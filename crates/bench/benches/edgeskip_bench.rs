@@ -1,0 +1,33 @@
+//! Criterion: edge generation — edge skipping vs the O(m) weighted-draw
+//! models (the paper's Fig. 5 crossover, microbenchmarked).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_generation");
+    group.sample_size(10);
+    for &scale in &[2_000u64, 400] {
+        let dist = datasets::Profile::LiveJournal.distribution(scale);
+        let m = dist.num_edges();
+        let probs = genprob::heuristic_probabilities(&dist);
+        group.throughput(Throughput::Elements(m));
+
+        group.bench_with_input(BenchmarkId::new("edgeskip", m), &dist, |b, dist| {
+            b.iter(|| black_box(edgeskip::generate(&probs, dist, 3)).len())
+        });
+        group.bench_with_input(BenchmarkId::new("chung_lu_om", m), &dist, |b, dist| {
+            b.iter(|| black_box(generators::chung_lu_om(dist, 3)).len())
+        });
+        group.bench_with_input(BenchmarkId::new("erased", m), &dist, |b, dist| {
+            b.iter(|| black_box(generators::erased_chung_lu(dist, 3)).0.len())
+        });
+        group.bench_with_input(BenchmarkId::new("config_model", m), &dist, |b, dist| {
+            b.iter(|| black_box(generators::configuration_model(dist, 3)).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

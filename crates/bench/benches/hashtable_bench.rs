@@ -1,0 +1,67 @@
+//! Criterion: the concurrent edge table — linear vs quadratic probing and
+//! contention behaviour (the paper notes a single atomic per insertion with
+//! rare collisions).
+
+use conchash::{AtomicHashSet, Probe};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rayon::prelude::*;
+use std::hint::black_box;
+
+fn keys(n: u64) -> Vec<u64> {
+    (0..n)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+        .collect()
+}
+
+fn bench_hashtable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_table");
+    group.sample_size(10);
+    let n = 1_000_000u64;
+    let ks = keys(n);
+    group.throughput(Throughput::Elements(n));
+
+    for (name, probe) in [("linear", Probe::Linear), ("quadratic", Probe::Quadratic)] {
+        group.bench_with_input(BenchmarkId::new("insert_serial", name), &probe, |b, &probe| {
+            b.iter(|| {
+                let set = AtomicHashSet::with_probe(ks.len(), probe);
+                for &k in &ks {
+                    black_box(set.test_and_set(k));
+                }
+                set.len()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("insert_parallel", name),
+            &probe,
+            |b, &probe| {
+                b.iter(|| {
+                    let set = AtomicHashSet::with_probe(ks.len(), probe);
+                    ks.par_iter().for_each(|&k| {
+                        black_box(set.test_and_set(k));
+                    });
+                    set.len()
+                })
+            },
+        );
+    }
+
+    // Duplicate-heavy workload: every key inserted twice (the swap
+    // algorithm's read-mostly fast path).
+    group.bench_function("insert_duplicates", |b| {
+        b.iter(|| {
+            let set = AtomicHashSet::new(ks.len());
+            for &k in &ks {
+                set.test_and_set(k);
+            }
+            let mut hits = 0u64;
+            for &k in &ks {
+                hits += u64::from(set.test_and_set(k));
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashtable);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion: random permutation — the Shun et al. reservation algorithm vs
+//! the serial Fisher-Yates shuffle and the sort-based parallel alternative
+//! (the paper reports an order-of-magnitude win for Shun et al. over other
+//! parallel shuffles at 16 cores).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parutil::permute::{darts, fisher_yates, parallel_permute_with_darts, permute_by_sort};
+use parutil::rng::Xoshiro256pp;
+use std::hint::black_box;
+
+fn bench_permute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("permutation");
+    group.sample_size(10);
+    for &n in &[100_000usize, 1_000_000] {
+        let base: Vec<u32> = (0..n as u32).collect();
+        let h = darts(n, 42);
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("shun_reservation", n), &base, |b, base| {
+            b.iter(|| {
+                let mut v = base.clone();
+                parallel_permute_with_darts(&mut v, &h);
+                black_box(v[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fisher_yates_serial", n), &base, |b, base| {
+            b.iter(|| {
+                let mut v = base.clone();
+                let mut rng = Xoshiro256pp::new(42);
+                fisher_yates(&mut v, &mut rng);
+                black_box(v[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sort_based", n), &base, |b, base| {
+            b.iter(|| {
+                let mut v = base.clone();
+                permute_by_sort(&mut v, 42);
+                black_box(v[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_permute);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion: §IV-A probability generation — O(|D|²) cost across profile
+//! sizes, plus the refill-round and Sinkhorn-refinement ablations (quality
+//! is reported to stderr once per configuration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_probgen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probability_generation");
+    group.sample_size(10);
+    for profile in [datasets::Profile::Meso, datasets::Profile::As20] {
+        let dist = profile.distribution(1);
+        let classes = dist.num_classes();
+
+        // Quality report (once, to stderr): residual per configuration.
+        let single = genprob::heuristic_probabilities_with(&dist, 1);
+        let refilled = genprob::heuristic_probabilities_with(&dist, 8);
+        let mut refined = refilled.clone();
+        let refined_res = genprob::sinkhorn_refine(&mut refined, &dist, 10);
+        eprintln!(
+            "{}: residual single-round {:.4}, refill-8 {:.4}, +sinkhorn-10 {:.4}",
+            profile.name(),
+            genprob::max_relative_residual(&single, &dist),
+            genprob::max_relative_residual(&refilled, &dist),
+            refined_res,
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("heuristic_refill8", classes),
+            &dist,
+            |b, dist| b.iter(|| black_box(genprob::heuristic_probabilities(dist)).max_value()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("heuristic_single_round", classes),
+            &dist,
+            |b, dist| {
+                b.iter(|| black_box(genprob::heuristic_probabilities_with(dist, 1)).max_value())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("chung_lu_closed_form", classes),
+            &dist,
+            |b, dist| b.iter(|| black_box(genprob::chung_lu_probabilities(dist, true)).max_value()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("heuristic_plus_sinkhorn10", classes),
+            &dist,
+            |b, dist| {
+                b.iter(|| {
+                    let mut p = genprob::heuristic_probabilities(dist);
+                    genprob::sinkhorn_refine(&mut p, dist, 10);
+                    black_box(p).max_value()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probgen);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion: weighted endpoint sampling — cumulative binary search vs the
+//! alias table (the log-factor the paper blames for the O(m) models'
+//! slowdown at scale, Fig. 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use generators::EndpointSampling;
+use std::hint::black_box;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("endpoint_sampling");
+    group.sample_size(10);
+    for &scale in &[2_000u64, 400] {
+        let dist = datasets::Profile::LiveJournal.distribution(scale);
+        let m = dist.num_edges();
+        group.throughput(Throughput::Elements(m));
+
+        group.bench_with_input(BenchmarkId::new("binary_search", m), &dist, |b, dist| {
+            b.iter(|| {
+                black_box(generators::chung_lu::chung_lu_om_with(
+                    dist,
+                    5,
+                    EndpointSampling::BinarySearch,
+                ))
+                .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("alias_table", m), &dist, |b, dist| {
+            b.iter(|| {
+                black_box(generators::chung_lu::chung_lu_om_with(
+                    dist,
+                    5,
+                    EndpointSampling::Alias,
+                ))
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion: double-edge swap throughput — serial vs parallel kernel, and
+//! probing-strategy ablation (supports the Section VIII-C discussion).
+
+use conchash::Probe;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use swap::SwapConfig;
+
+fn bench_swaps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swap_iteration");
+    group.sample_size(10);
+    for &scale in &[2_000u64, 400] {
+        let dist = datasets::Profile::LiveJournal.distribution(scale);
+        let base = generators::havel_hakimi(&dist).expect("graphical");
+        let m = base.len() as u64;
+        group.throughput(Throughput::Elements(m));
+
+        group.bench_with_input(BenchmarkId::new("parallel", m), &base, |b, base| {
+            b.iter(|| {
+                let mut g = base.clone();
+                swap::swap_edges(&mut g, &SwapConfig::new(1, 7));
+                black_box(g.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("serial", m), &base, |b, base| {
+            b.iter(|| {
+                let mut g = base.clone();
+                swap::swap_edges_serial(&mut g, &SwapConfig::new(1, 7));
+                black_box(g.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("quadratic_probe", m), &base, |b, base| {
+            b.iter(|| {
+                let mut g = base.clone();
+                let mut cfg = SwapConfig::new(1, 7);
+                cfg.probe = Probe::Quadratic;
+                swap::swap_edges(&mut g, &cfg);
+                black_box(g.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_swaps);
+criterion_main!(benches);

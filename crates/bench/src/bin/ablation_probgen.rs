@@ -1,0 +1,71 @@
+//! Ablation: how much does each probability-generation refinement matter?
+//!
+//! Compares, per Table-I profile:
+//!
+//! * the closed-form capped Chung-Lu probabilities (the "O(n²) edgeskip"
+//!   baseline's input);
+//! * the paper-literal single-pass heuristic (`refill = 1`);
+//! * the default capacity-aware waterfill (`refill = 8`, see DESIGN.md);
+//! * waterfill + 10 Sinkhorn rounds (the §IX future-work correction).
+//!
+//! Reported: the degree-system residual (max relative expected-degree
+//! error) and the realized d_max / edge-count errors of one generated
+//! graph per configuration.
+//!
+//! ```text
+//! cargo run -p bench --release --bin ablation_probgen
+//! ```
+
+use bench::{default_scale, Table};
+use datasets::Profile;
+use genprob::{
+    chung_lu_probabilities, heuristic_probabilities_with, max_relative_residual, sinkhorn_refine,
+    ProbMatrix,
+};
+use graphcore::metrics::DistributionComparison;
+use graphcore::DegreeDistribution;
+
+fn variants(dist: &DegreeDistribution) -> Vec<(&'static str, ProbMatrix)> {
+    let mut out = Vec::new();
+    out.push(("chung-lu capped", chung_lu_probabilities(dist, true)));
+    out.push(("heuristic refill=1", heuristic_probabilities_with(dist, 1)));
+    out.push(("heuristic refill=8", heuristic_probabilities_with(dist, 8)));
+    let mut refined = heuristic_probabilities_with(dist, 8);
+    sinkhorn_refine(&mut refined, dist, 10);
+    out.push(("refill=8 + sinkhorn", refined));
+    out
+}
+
+fn main() {
+    println!("Ablation: probability-generation variants (residual and realized errors)\n");
+    let mut table = Table::new(
+        "ablation_probgen",
+        &[
+            "Network",
+            "variant",
+            "residual %",
+            "edge err %",
+            "dmax err %",
+        ],
+    );
+    for profile in [Profile::Meso, Profile::As20, Profile::LiveJournal] {
+        let scale = default_scale(profile);
+        let dist = profile.distribution(scale);
+        for (name, probs) in variants(&dist) {
+            let residual = max_relative_residual(&probs, &dist);
+            let g = edgeskip::generate(&probs, &dist, 0xAB1A);
+            let cmp = DistributionComparison::measure(&g, &dist);
+            table.row(vec![
+                profile.name().to_string(),
+                name.to_string(),
+                format!("{:.2}", 100.0 * residual),
+                format!("{:+.2}", cmp.edge_count_pct),
+                format!("{:+.2}", cmp.max_degree_pct),
+            ]);
+        }
+    }
+    table.finish();
+    println!("\nexpected: the refill drives the residual to ~0 where the single-pass");
+    println!("heuristic strands capped stubs (hub undershoot); Sinkhorn polishes what");
+    println!("little remains; capped Chung-Lu misses the system badly on skew.");
+}

@@ -1,0 +1,54 @@
+//! Table I: test graph characteristics — paper targets vs the calibrated
+//! synthetic profiles actually used (at the default bench scales).
+//!
+//! ```text
+//! cargo run -p bench --release --bin table1
+//! ```
+
+use bench::{default_scale, eng, Table};
+use datasets::Profile;
+
+fn main() {
+    println!("Table I: test graph characteristics (paper targets vs calibrated profiles)\n");
+    let mut table = Table::new(
+        "table1",
+        &[
+            "Network",
+            "scale",
+            "n(paper)",
+            "n(ours)",
+            "m(paper)",
+            "m(ours)",
+            "d_avg",
+            "d_max(paper)",
+            "d_max(ours)",
+            "|D|(paper)",
+            "|D|(ours)",
+        ],
+    );
+    for p in Profile::all() {
+        let t = p.targets();
+        let scale = default_scale(p);
+        let d = p.distribution(scale);
+        table.row(vec![
+            p.name().to_string(),
+            format!("1/{scale}"),
+            eng(t.n),
+            eng(d.num_vertices()),
+            eng(t.m),
+            eng(d.num_edges()),
+            format!("{:.1}", d.avg_degree()),
+            eng(t.d_max as u64),
+            eng(d.max_degree() as u64),
+            if t.d_unique_paper == 0 {
+                "?".to_string()
+            } else {
+                eng(t.d_unique_paper)
+            },
+            eng(d.num_classes() as u64),
+        ]);
+    }
+    table.finish();
+    println!("\nPaper values are published targets; 'ours' are the synthetic power-law");
+    println!("profiles at the default bench scale (see DESIGN.md for the substitution).");
+}

@@ -1,0 +1,152 @@
+//! Shared harness support for the table/figure reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper;
+//! run them with `cargo run -p bench --release --bin <name>`. Results are
+//! printed as aligned text and, when `NULLGRAPH_CSV_DIR` is set, also
+//! written as CSV for plotting.
+//!
+//! The paper's largest graphs (Friendster 1.8B edges, Twitter 1.4B) are
+//! infeasible on this container (1 CPU core — see `EXPERIMENTS.md`), so
+//! every binary sizes its workloads through [`default_scale`]; override
+//! with `NULLGRAPH_SCALE_MULT=<k>` to shrink (`k > 1`) or enlarge
+//! (`0 < k < 1` is not supported; use the per-profile scale instead).
+
+use datasets::Profile;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Per-profile scale divisor used by the benches: the small quality graphs
+/// run at full scale, the four scalability graphs run at a documented
+/// fraction of their published size.
+pub fn default_scale(profile: Profile) -> u64 {
+    let base = match profile {
+        Profile::Meso | Profile::As20 => 1,
+        Profile::WikiTalk => 100,
+        Profile::DBpedia => 1_000,
+        Profile::LiveJournal => 100,
+        Profile::Friendster => 2_000,
+        Profile::Twitter => 2_000,
+        Profile::Uk2005 => 1_000,
+    };
+    base * scale_mult()
+}
+
+/// Global scale multiplier from `NULLGRAPH_SCALE_MULT` (default 1).
+pub fn scale_mult() -> u64 {
+    std::env::var("NULLGRAPH_SCALE_MULT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(1)
+}
+
+/// Number of repetitions for ensemble experiments, from
+/// `NULLGRAPH_RUNS` (default `default`).
+pub fn runs_or(default: u64) -> u64 {
+    std::env::var("NULLGRAPH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(default)
+}
+
+/// A simple aligned-text table writer that can also emit CSV.
+pub struct Table {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        Self {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Print aligned text to stdout and, when `NULLGRAPH_CSV_DIR` is set,
+    /// write `<dir>/<name>.csv`.
+    pub fn finish(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", line(&self.header));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+        if let Ok(dir) = std::env::var("NULLGRAPH_CSV_DIR") {
+            let path = PathBuf::from(dir).join(format!("{}.csv", self.name));
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent).ok();
+            }
+            if let Ok(mut f) = std::fs::File::create(&path) {
+                writeln!(f, "{}", self.header.join(",")).ok();
+                for row in &self.rows {
+                    writeln!(f, "{}", row.join(",")).ok();
+                }
+                eprintln!("(csv written to {})", path.display());
+            }
+        }
+    }
+}
+
+/// Format a count with engineering suffixes, Table-I style.
+pub fn eng(x: u64) -> String {
+    if x >= 1_000_000_000 {
+        format!("{:.1}B", x as f64 / 1e9)
+    } else if x >= 1_000_000 {
+        format!("{:.1}M", x as f64 / 1e6)
+    } else if x >= 1_000 {
+        format!("{:.1}K", x as f64 / 1e3)
+    } else {
+        x.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eng_formats() {
+        assert_eq!(eng(12), "12");
+        assert_eq!(eng(3_100), "3.1K");
+        assert_eq!(eng(4_700_000), "4.7M");
+        assert_eq!(eng(1_800_000_000), "1.8B");
+    }
+
+    #[test]
+    fn table_accepts_rows() {
+        let mut t = Table::new("test", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.finish();
+    }
+
+    #[test]
+    fn default_scales_cover_all_profiles() {
+        for p in Profile::all() {
+            assert!(default_scale(p) >= 1);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! CLI subcommands. Each module exposes `run(&Parsed) -> Result<(), CliError>`.
+
+pub mod compare;
+pub mod digraph;
+pub mod generate;
+pub mod lfr;
+pub mod mix;
+pub mod profile;
+pub mod stats;
+
+use std::fmt;
+
+/// Unified command error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument problems.
+    Args(crate::args::ArgError),
+    /// File IO problems.
+    Io(std::io::Error),
+    /// Anything domain-specific (bad distribution, unrealizable input...).
+    Domain(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Args(e) => write!(f, "{e}"),
+            Self::Io(e) => write!(f, "{e}"),
+            Self::Domain(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<crate::args::ArgError> for CliError {
+    fn from(e: crate::args::ArgError) -> Self {
+        Self::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}

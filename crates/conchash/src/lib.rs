@@ -1,0 +1,333 @@
+//! A fixed-capacity concurrent open-addressing hash set over 64-bit keys.
+//!
+//! This is the edge-simplicity table of the paper's parallel double-edge-swap
+//! algorithm (Section III-A, adapted from Slota et al. \[33\]): edges defined
+//! by two 32-bit vertex ids are packed into a single 64-bit key, and the set
+//! supports a thread-safe `test_and_set` that inserts the key and reports
+//! whether it was already present — one atomic compare-exchange per insertion
+//! in the common (collision-free) case.
+//!
+//! Design points:
+//!
+//! * **Open addressing** over a power-of-two array of `AtomicU64`; the empty
+//!   slot sentinel is `u64::MAX` (unreachable for canonical edge keys, whose
+//!   smaller endpoint occupies the high 32 bits and is `< u32::MAX`).
+//! * **Probing**: linear by default; quadratic (triangular-step) probing is
+//!   available for ablation benchmarks. Both visit every slot before
+//!   declaring the table full.
+//! * **No deletion**: the swap algorithm rebuilds the table each iteration
+//!   (`clear` is a parallel fill), so tombstones are unnecessary.
+//! * The hash is the SplitMix64 finalizer — a bijection on `u64`, so distinct
+//!   keys never alias before reduction to a table index.
+
+//!
+//! # Example
+//!
+//! ```
+//! use conchash::AtomicHashSet;
+//!
+//! let set = AtomicHashSet::new(1000);
+//! assert!(!set.test_and_set(42));  // newly inserted
+//! assert!(set.test_and_set(42));   // already present
+//! assert!(set.contains(42));
+//! ```
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Sentinel marking an empty slot. Keys equal to this value are rejected.
+pub const EMPTY: u64 = u64::MAX;
+
+/// Probing strategy for collision resolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Probe {
+    /// Step by 1 (cache-friendly; the paper's default).
+    #[default]
+    Linear,
+    /// Triangular-number steps (1, 3, 6, ...): visits every slot of a
+    /// power-of-two table exactly once; reduces primary clustering.
+    Quadratic,
+}
+
+/// Fixed-capacity concurrent hash set of `u64` keys.
+pub struct AtomicHashSet {
+    slots: Box<[AtomicU64]>,
+    mask: usize,
+    probe: Probe,
+    occupied: AtomicUsize,
+}
+
+/// Bijective 64-bit hash (SplitMix64 finalizer).
+#[inline]
+fn hash64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl AtomicHashSet {
+    /// Create a set able to hold at least `capacity` keys at a load factor
+    /// of at most 0.5 (the table size is the next power of two of
+    /// `2 * capacity`, minimum 16).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_probe(capacity, Probe::Linear)
+    }
+
+    /// As [`AtomicHashSet::new`] with an explicit probing strategy.
+    pub fn with_probe(capacity: usize, probe: Probe) -> Self {
+        let size = (capacity.max(4) * 2).next_power_of_two().max(16);
+        let slots: Box<[AtomicU64]> = (0..size).map(|_| AtomicU64::new(EMPTY)).collect();
+        Self {
+            slots,
+            mask: size - 1,
+            probe,
+            occupied: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of slots in the backing array.
+    #[inline]
+    pub fn table_size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of keys currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.occupied.load(Ordering::Relaxed)
+    }
+
+    /// `true` if no keys are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn step(&self, iteration: usize) -> usize {
+        match self.probe {
+            Probe::Linear => 1,
+            // Triangular increments: offsets 0,1,3,6,10,... mod 2^k cover all
+            // slots exactly once.
+            Probe::Quadratic => iteration,
+        }
+    }
+
+    /// Insert `key`; returns `true` if the key was **already present**
+    /// (matching the paper's `TestAndSet` convention: `true` means the edge
+    /// exists, i.e. inserting it would violate simplicity).
+    ///
+    /// Lock-free: one CAS in the common case. Panics if the table is full
+    /// (callers size the table for a <=0.5 load factor) or if `key == EMPTY`.
+    #[inline]
+    pub fn test_and_set(&self, key: u64) -> bool {
+        assert_ne!(key, EMPTY, "the sentinel key cannot be stored");
+        let mut idx = (hash64(key) as usize) & self.mask;
+        for it in 1..=self.slots.len() {
+            let slot = &self.slots[idx];
+            let cur = slot.load(Ordering::Relaxed);
+            if cur == key {
+                return true;
+            }
+            if cur == EMPTY {
+                match slot.compare_exchange(EMPTY, key, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => {
+                        self.occupied.fetch_add(1, Ordering::Relaxed);
+                        return false;
+                    }
+                    // Another thread claimed this slot; if it stored our key
+                    // we are done, otherwise keep probing from this slot.
+                    Err(existing) => {
+                        if existing == key {
+                            return true;
+                        }
+                    }
+                }
+            }
+            idx = (idx + self.step(it)) & self.mask;
+        }
+        panic!("AtomicHashSet full: size the table for the expected key count");
+    }
+
+    /// `true` if `key` is in the set (no insertion).
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        let mut idx = (hash64(key) as usize) & self.mask;
+        for it in 1..=self.slots.len() {
+            let cur = self.slots[idx].load(Ordering::Relaxed);
+            if cur == key {
+                return true;
+            }
+            if cur == EMPTY {
+                return false;
+            }
+            idx = (idx + self.step(it)) & self.mask;
+        }
+        false
+    }
+
+    /// Reset the set to empty (parallel fill of the slot array).
+    pub fn clear(&mut self) {
+        self.slots
+            .par_iter_mut()
+            .for_each(|s| *s = AtomicU64::new(EMPTY));
+        self.occupied.store(0, Ordering::Relaxed);
+    }
+
+    /// Reset the set to empty through a shared reference (parallel atomic
+    /// stores); usable mid-pipeline where the set is shared across threads.
+    pub fn clear_shared(&self) {
+        self.slots
+            .par_iter()
+            .for_each(|s| s.store(EMPTY, Ordering::Relaxed));
+        self.occupied.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for AtomicHashSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicHashSet")
+            .field("table_size", &self.table_size())
+            .field("len", &self.len())
+            .field("probe", &self.probe)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn basic_insert_and_lookup() {
+        let set = AtomicHashSet::new(100);
+        assert!(!set.test_and_set(42));
+        assert!(set.test_and_set(42));
+        assert!(set.contains(42));
+        assert!(!set.contains(43));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut set = AtomicHashSet::new(10);
+        for k in 0..10u64 {
+            set.test_and_set(k);
+        }
+        assert_eq!(set.len(), 10);
+        set.clear();
+        assert_eq!(set.len(), 0);
+        for k in 0..10u64 {
+            assert!(!set.contains(k));
+            assert!(!set.test_and_set(k));
+        }
+    }
+
+    #[test]
+    fn clear_shared_resets() {
+        let set = AtomicHashSet::new(10);
+        for k in 0..10u64 {
+            set.test_and_set(k);
+        }
+        set.clear_shared();
+        assert_eq!(set.len(), 0);
+        assert!(!set.contains(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn sentinel_rejected() {
+        let set = AtomicHashSet::new(4);
+        set.test_and_set(EMPTY);
+    }
+
+    #[test]
+    fn fills_to_capacity_without_panic() {
+        // Table of size >= 2*cap; inserting exactly `cap` keys must succeed
+        // for both probing strategies even with adversarial (sequential) keys.
+        for probe in [Probe::Linear, Probe::Quadratic] {
+            let cap = 1000;
+            let set = AtomicHashSet::with_probe(cap, probe);
+            for k in 0..cap as u64 {
+                assert!(!set.test_and_set(k), "{probe:?} key {k}");
+            }
+            assert_eq!(set.len(), cap);
+            for k in 0..cap as u64 {
+                assert!(set.contains(k));
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_probe_visits_all_slots() {
+        // With exactly table_size inserts (load factor 1.0) the triangular
+        // probe sequence must still find every empty slot.
+        let set = AtomicHashSet::with_probe(7, Probe::Quadratic);
+        assert_eq!(set.table_size(), 16);
+        for k in 0..16u64 {
+            assert!(!set.test_and_set((k + 1) * 16)); // same low bits stress probing
+        }
+        assert_eq!(set.len(), 16);
+    }
+
+    #[test]
+    fn concurrent_inserts_match_hashset() {
+        // Many threads insert overlapping ranges; exactly one insertion per
+        // distinct key must report "absent".
+        let keys: Vec<u64> = (0..20_000u64).map(|i| i % 5000).collect();
+        let set = AtomicHashSet::new(5000);
+        let fresh: usize = keys
+            .par_iter()
+            .map(|&k| usize::from(!set.test_and_set(k)))
+            .sum();
+        assert_eq!(fresh, 5000);
+        assert_eq!(set.len(), 5000);
+        let reference: HashSet<u64> = keys.iter().copied().collect();
+        for &k in &reference {
+            assert!(set.contains(k));
+        }
+    }
+
+    #[test]
+    fn concurrent_distinct_keys_all_fresh() {
+        let n = 50_000u64;
+        let set = AtomicHashSet::new(n as usize);
+        let fresh: usize = (0..n)
+            .into_par_iter()
+            .map(|k| usize::from(!set.test_and_set(k.wrapping_mul(0x9E3779B97F4A7C15) | 1)))
+            .sum();
+        assert_eq!(fresh, n as usize);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_set_semantics(keys in proptest::collection::vec(0u64..1000, 0..2000)) {
+            let set = AtomicHashSet::new(keys.len().max(1));
+            let mut reference = HashSet::new();
+            for &k in &keys {
+                let was_present = set.test_and_set(k);
+                prop_assert_eq!(was_present, !reference.insert(k));
+            }
+            prop_assert_eq!(set.len(), reference.len());
+            for &k in &reference {
+                prop_assert!(set.contains(k));
+            }
+        }
+
+        #[test]
+        fn prop_contains_negative(keys in proptest::collection::hash_set(0u64..1_000_000, 1..500), probe_q in any::<bool>()) {
+            let probe = if probe_q { Probe::Quadratic } else { Probe::Linear };
+            let set = AtomicHashSet::with_probe(keys.len(), probe);
+            for &k in &keys {
+                set.test_and_set(k);
+            }
+            // Keys outside the inserted universe must be absent.
+            for i in 0..100u64 {
+                let k = 2_000_000 + i;
+                prop_assert!(!set.contains(k));
+            }
+        }
+    }
+}

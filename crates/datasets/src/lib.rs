@@ -1,0 +1,36 @@
+//! Synthetic degree distributions calibrated to the paper's Table I
+//! datasets.
+//!
+//! The paper parses degree distributions from SNAP / WebGraph datasets
+//! (AS-733, WikiTalk, DBpedia, LiveJournal, Friendster, Twitter, uk-2005)
+//! and a protein-interaction network (Meso). Those files are not available
+//! offline, but every algorithm in this workspace consumes **only the
+//! degree distribution**, so a discrete power law calibrated to each
+//! graph's published vertex count, edge count and maximum degree exercises
+//! identical code paths with the same skew-induced failure modes
+//! (attachment probabilities above 1, multi-edge pressure, heavy tails).
+//! See `DESIGN.md` for the substitution rationale.
+//!
+//! [`Profile`] enumerates the eight Table-I graphs; each produces a
+//! deterministic [`DegreeDistribution`](graphcore::DegreeDistribution) at full scale or scaled down by an
+//! integer divisor (`n`, `m` and `d_max` all divide) for laptop-class runs.
+
+//!
+//! # Example
+//!
+//! ```
+//! use datasets::Profile;
+//!
+//! // The AS-733-like profile at full published scale.
+//! let dist = Profile::As20.distribution(1);
+//! assert_eq!(dist.max_degree(), 1500);
+//! assert!(dist.is_graphical());
+//! ```
+
+pub mod powerlaw;
+pub mod profiles;
+pub mod shapes;
+
+pub use powerlaw::{calibrated_powerlaw, PowerLawSpec};
+pub use shapes::{bimodal, regular, LogNormalSpec};
+pub use profiles::{Profile, ProfileTargets};

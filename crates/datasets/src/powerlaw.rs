@@ -1,0 +1,280 @@
+//! Discrete power-law degree distributions with exact vertex counts.
+
+use graphcore::DegreeDistribution;
+
+/// A discrete power law: `n` vertices with degrees in `[d_min, d_max]` and
+/// class sizes proportional to `d^(-gamma)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerLawSpec {
+    /// Total vertex count.
+    pub n: u64,
+    /// Power-law exponent (larger = steeper tail = lower average degree).
+    pub gamma: f64,
+    /// Smallest degree.
+    pub d_min: u32,
+    /// Largest degree (one vertex is always pinned to this degree).
+    pub d_max: u32,
+}
+
+impl PowerLawSpec {
+    /// Materialize the distribution: exact `n` vertices (largest-remainder
+    /// rounding), even stub sum, `d_max` always represented, and adjusted to
+    /// be graphical. Deterministic — no randomness involved.
+    pub fn distribution(&self) -> DegreeDistribution {
+        assert!(self.n > 0 && self.d_min >= 1 && self.d_min <= self.d_max);
+        assert!((self.d_max as u64) < self.n, "d_max must be < n");
+        let lo = self.d_min as u64;
+        let hi = self.d_max as u64;
+        // Continuous class masses.
+        let weights: Vec<f64> = (lo..=hi).map(|d| (d as f64).powf(-self.gamma)).collect();
+        let wsum: f64 = weights.iter().sum();
+        // Reserve one vertex for the pinned d_max hub.
+        let free = self.n - 1;
+        let quotas: Vec<f64> = weights.iter().map(|w| w / wsum * free as f64).collect();
+        let mut counts: Vec<u64> = quotas.iter().map(|&q| q as u64).collect();
+        let assigned: u64 = counts.iter().sum();
+        // Largest-remainder: hand out the deficit by fractional part.
+        let mut remainders: Vec<(f64, usize)> = quotas
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| (q - q.floor(), i))
+            .collect();
+        remainders.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        for k in 0..(free - assigned) as usize {
+            counts[remainders[k % remainders.len()].1] += 1;
+        }
+        // Pin the hub.
+        counts[(hi - lo) as usize] += 1;
+
+        let mut pairs: Vec<(u32, u64)> = (lo..=hi)
+            .zip(counts)
+            .filter(|&(_, c)| c > 0)
+            .map(|(d, c)| (d as u32, c))
+            .collect();
+        fix_parity(&mut pairs);
+        let mut dist =
+            DegreeDistribution::from_pairs(pairs).expect("construction is sorted and even");
+        dist = make_graphical(dist);
+        dist
+    }
+
+    /// Average degree of the *continuous* power law (before rounding) —
+    /// used by the calibration search, where it is monotone in `gamma`.
+    pub fn continuous_avg_degree(&self) -> f64 {
+        let lo = self.d_min as u64;
+        let hi = self.d_max as u64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for d in lo..=hi {
+            let w = (d as f64).powf(-self.gamma);
+            num += d as f64 * w;
+            den += w;
+        }
+        num / den
+    }
+}
+
+/// Shared finalization for deterministic distribution builders: fix the
+/// stub-sum parity, validate, and adjust to graphical.
+pub(crate) fn finalize_pairs(mut pairs: Vec<(u32, u64)>) -> DegreeDistribution {
+    fix_parity(&mut pairs);
+    let dist = DegreeDistribution::from_pairs(pairs).expect("finalized pairs are sorted and even");
+    make_graphical(dist)
+}
+
+/// Make the stub sum even by moving one vertex from an odd-degree class to
+/// the next degree down (preserves `n`; changes `m` by at most half an
+/// edge).
+fn fix_parity(pairs: &mut Vec<(u32, u64)>) {
+    let stubs: u64 = pairs.iter().map(|&(d, c)| d as u64 * c).sum();
+    if stubs.is_multiple_of(2) {
+        return;
+    }
+    // An odd total implies some odd-degree class with d >= 1 exists.
+    let idx = pairs
+        .iter()
+        .position(|&(d, c)| d % 2 == 1 && c > 0 && d >= 1)
+        .expect("odd stub sum implies an odd-degree class");
+    let d = pairs[idx].0;
+    pairs[idx].1 -= 1;
+    if pairs[idx].1 == 0 {
+        pairs.remove(idx);
+    }
+    let target = d - 1;
+    if target > 0 {
+        match pairs.binary_search_by_key(&target, |&(dd, _)| dd) {
+            Ok(i) => pairs[i].1 += 1,
+            Err(i) => pairs.insert(i, (target, 1)),
+        }
+    }
+    // Degree 0 vertices are simply dropped (changes n by one in the rare
+    // d == 1 case).
+}
+
+/// Demote the largest-degree vertex until the distribution is graphical.
+/// Power laws with `d_max ≪ n` virtually always pass on the first check.
+fn make_graphical(mut dist: DegreeDistribution) -> DegreeDistribution {
+    for _ in 0..64 {
+        if dist.is_graphical() {
+            return dist;
+        }
+        let mut pairs: Vec<(u32, u64)> = dist
+            .degrees()
+            .iter()
+            .zip(dist.counts())
+            .map(|(&d, &c)| (d, c))
+            .collect();
+        // Move one hub vertex to 3/4 of its degree (keeping parity even).
+        let (d, _) = *pairs.last().expect("non-graphical implies non-empty");
+        let mut new_d = (d / 4 * 3).max(1);
+        if (d - new_d) % 2 == 1 {
+            new_d = new_d.saturating_sub(1).max(1);
+        }
+        if let Some(last) = pairs.last_mut() {
+            last.1 -= 1;
+        }
+        if pairs.last().is_some_and(|&(_, c)| c == 0) {
+            pairs.pop();
+        }
+        match pairs.binary_search_by_key(&new_d, |&(dd, _)| dd) {
+            Ok(i) => pairs[i].1 += 1,
+            Err(i) => pairs.insert(i, (new_d, 1)),
+        }
+        fix_parity(&mut pairs);
+        dist = DegreeDistribution::from_pairs(pairs).expect("adjustment keeps validity");
+    }
+    dist
+}
+
+/// Binary-search the exponent `gamma` so a [`PowerLawSpec`] hits a target
+/// edge count, then materialize it.
+///
+/// The search runs on the **materialized** (discrete, rounded, parity- and
+/// graphicality-fixed) distribution's edge count, which is monotone in
+/// `gamma` up to rounding steps; the continuous mean seeds the bracket.
+pub fn calibrated_powerlaw(n: u64, target_m: u64, d_min: u32, d_max: u32) -> DegreeDistribution {
+    assert!(n > 1);
+    let build = |gamma: f64| {
+        PowerLawSpec {
+            n,
+            gamma,
+            d_min,
+            d_max,
+        }
+        .distribution()
+    };
+    let (mut lo, mut hi) = (-2.0f64, 8.0f64);
+    let mut best = build(0.5 * (lo + hi));
+    let mut best_err = best.num_edges().abs_diff(target_m);
+    for _ in 0..48 {
+        let mid = 0.5 * (lo + hi);
+        let dist = build(mid);
+        let m = dist.num_edges();
+        let err = m.abs_diff(target_m);
+        if err < best_err {
+            best_err = err;
+            best = dist;
+        }
+        if err == 0 {
+            break;
+        }
+        if m > target_m {
+            lo = mid; // steeper tail lowers the edge count
+        } else {
+            hi = mid;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_vertex_count_and_even_stubs() {
+        let spec = PowerLawSpec {
+            n: 10_000,
+            gamma: 2.1,
+            d_min: 1,
+            d_max: 500,
+        };
+        let dist = spec.distribution();
+        // Parity fixing may drop at most one degree-1 vertex.
+        assert!(dist.num_vertices() >= spec.n - 1 && dist.num_vertices() <= spec.n);
+        assert_eq!(dist.stub_sum() % 2, 0);
+        assert!(dist.is_graphical());
+    }
+
+    #[test]
+    fn dmax_always_present() {
+        let spec = PowerLawSpec {
+            n: 5000,
+            gamma: 2.5,
+            d_min: 1,
+            d_max: 300,
+        };
+        let dist = spec.distribution();
+        assert_eq!(dist.max_degree(), 300);
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = PowerLawSpec {
+            n: 2000,
+            gamma: 2.0,
+            d_min: 1,
+            d_max: 100,
+        };
+        assert_eq!(spec.distribution(), spec.distribution());
+    }
+
+    #[test]
+    fn steeper_gamma_lower_average() {
+        let base = PowerLawSpec {
+            n: 10_000,
+            gamma: 1.5,
+            d_min: 1,
+            d_max: 200,
+        };
+        let steep = PowerLawSpec { gamma: 3.0, ..base };
+        assert!(steep.distribution().avg_degree() < base.distribution().avg_degree());
+        assert!(steep.continuous_avg_degree() < base.continuous_avg_degree());
+    }
+
+    #[test]
+    fn calibration_hits_edge_target() {
+        for &(n, m, dmax) in &[(2_000u64, 3_500u64, 400u32), (6_500, 12_500, 1_500), (50_000, 200_000, 3_000)] {
+            let dist = calibrated_powerlaw(n, m, 1, dmax);
+            let got = dist.num_edges();
+            let rel = (got as f64 - m as f64).abs() / m as f64;
+            assert!(rel < 0.05, "n={n}: wanted {m} edges, got {got}");
+            assert!(dist.is_graphical());
+            assert_eq!(dist.max_degree(), dmax);
+        }
+    }
+
+    #[test]
+    fn calibration_dense_target() {
+        // Average degree near d_max/2 forces a negative exponent; the search
+        // range must cover it.
+        let dist = calibrated_powerlaw(1000, 20_000, 1, 100);
+        let rel = (dist.num_edges() as f64 - 20_000.0).abs() / 20_000.0;
+        assert!(rel < 0.05, "got {}", dist.num_edges());
+    }
+
+    #[test]
+    fn parity_fix_preserves_near_everything() {
+        // A distribution engineered to come out odd before fixing.
+        let spec = PowerLawSpec {
+            n: 101,
+            gamma: 0.0,
+            d_min: 3,
+            d_max: 3,
+        };
+        // gamma 0, single class: 101 vertices of degree 3 -> odd sum.
+        // d_max must be < n and the fix must restore evenness.
+        let dist = spec.distribution();
+        assert_eq!(dist.stub_sum() % 2, 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! The directed `O(m)` Chung-Lu baseline: `m` independent edge draws with
+//! source ∝ out-degree and target ∝ in-degree.
+//!
+//! The directed analogue of the undirected `O(m)` model: matches the joint
+//! distribution's *marginals* in expectation but freely produces self loops
+//! and duplicate directed edges on skewed inputs — the failure mode the
+//! pipeline (probabilities + edge skipping + swaps) avoids.
+
+use crate::digraph::{DiDegreeDistribution, DiEdge, DiEdgeList};
+use parutil::rng::Xoshiro256pp;
+use rayon::prelude::*;
+
+/// Per-class cumulative-mass sampler for one side (out or in).
+struct SideSampler {
+    cum_mass: Vec<u64>,
+    class_base: Vec<u64>,
+    class_count: Vec<u64>,
+}
+
+impl SideSampler {
+    fn new(dist: &DiDegreeDistribution, out_side: bool) -> Self {
+        let mut cum_mass = Vec::with_capacity(dist.num_classes());
+        let mut acc = 0u64;
+        for (&(o, i), &c) in dist.classes().iter().zip(dist.counts()) {
+            let d = if out_side { o } else { i };
+            acc += d as u64 * c;
+            cum_mass.push(acc);
+        }
+        let offsets = dist.class_offsets();
+        Self {
+            cum_mass,
+            class_base: offsets[..dist.num_classes()].to_vec(),
+            class_count: dist.counts().to_vec(),
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.cum_mass.last().copied().unwrap_or(0)
+    }
+
+    #[inline]
+    fn sample(&self, rng: &mut Xoshiro256pp) -> u64 {
+        let t = rng.next_below(self.total());
+        let c = self.cum_mass.partition_point(|&s| s <= t);
+        self.class_base[c] + rng.next_below(self.class_count[c])
+    }
+}
+
+/// Generate a directed `O(m)` Chung-Lu loopy multi-digraph matching the
+/// joint distribution's out/in marginals in expectation. Deterministic per
+/// seed, independent of thread count.
+pub fn directed_chung_lu(dist: &DiDegreeDistribution, seed: u64) -> DiEdgeList {
+    let n = dist.num_vertices();
+    assert!(n < u32::MAX as u64);
+    let m = dist.num_edges();
+    if m == 0 {
+        return DiEdgeList::new(n as usize);
+    }
+    let sources = SideSampler::new(dist, true);
+    let targets = SideSampler::new(dist, false);
+    const CHUNK: u64 = 1 << 14;
+    let chunks = m.div_ceil(CHUNK);
+    let per_chunk: Vec<Vec<DiEdge>> = (0..chunks)
+        .into_par_iter()
+        .map(|k| {
+            let lo = k * CHUNK;
+            let hi = ((k + 1) * CHUNK).min(m);
+            let mut rng = Xoshiro256pp::stream(seed, k);
+            (lo..hi)
+                .map(|_| {
+                    DiEdge::new(
+                        sources.sample(&mut rng) as u32,
+                        targets.sample(&mut rng) as u32,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let mut edges = Vec::with_capacity(m as usize);
+    for mut c in per_chunk {
+        edges.append(&mut c);
+    }
+    DiEdgeList::from_edges(n as usize, edges)
+}
+
+/// The directed erased model: an `O(m)` draw with violations discarded —
+/// simple, but the joint distribution's heavy classes lose edges (the
+/// directed analogue of the paper's Fig. 2 bias).
+pub fn directed_erased(dist: &DiDegreeDistribution, seed: u64) -> (DiEdgeList, usize) {
+    let mut g = directed_chung_lu(dist, seed);
+    let erased = g.erase_violations();
+    (g, erased)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(pairs: &[((u32, u32), u64)]) -> DiDegreeDistribution {
+        DiDegreeDistribution::from_pairs(pairs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn exact_edge_count_and_determinism() {
+        let d = dist(&[((1, 1), 100), ((4, 4), 20)]);
+        let g = directed_chung_lu(&d, 3);
+        assert_eq!(g.len() as u64, d.num_edges());
+        assert_eq!(directed_chung_lu(&d, 3), g);
+        assert_ne!(directed_chung_lu(&d, 4), g);
+    }
+
+    #[test]
+    fn marginals_match_in_expectation() {
+        let d = dist(&[((1, 3), 120), ((3, 1), 120), ((8, 8), 10)]);
+        let runs = 12;
+        let n = d.num_vertices() as usize;
+        let mut out_mean = vec![0.0f64; n];
+        let mut in_mean = vec![0.0f64; n];
+        for s in 0..runs {
+            let g = directed_chung_lu(&d, s);
+            for (acc, x) in out_mean.iter_mut().zip(g.out_degrees()) {
+                *acc += x as f64 / runs as f64;
+            }
+            for (acc, x) in in_mean.iter_mut().zip(g.in_degrees()) {
+                *acc += x as f64 / runs as f64;
+            }
+        }
+        // Canonical layout: first 120 vertices are class (1,3).
+        let m0_out = out_mean[..120].iter().sum::<f64>() / 120.0;
+        let m0_in = in_mean[..120].iter().sum::<f64>() / 120.0;
+        assert!((m0_out - 1.0).abs() < 0.1, "out {m0_out}");
+        assert!((m0_in - 3.0).abs() < 0.2, "in {m0_in}");
+    }
+
+    #[test]
+    fn skew_produces_violations() {
+        let d = dist(&[((1, 1), 50), ((30, 30), 3)]);
+        let mut violated = false;
+        for s in 0..5 {
+            if !directed_chung_lu(&d, s).is_simple() {
+                violated = true;
+            }
+        }
+        assert!(violated, "expected self loops / duplicates on skew");
+    }
+
+    #[test]
+    fn erased_variant_simple_and_lighter() {
+        let d = dist(&[((1, 1), 50), ((30, 30), 3)]);
+        let (g, erased) = directed_erased(&d, 3);
+        assert!(g.is_simple());
+        assert_eq!(g.len() + erased, d.num_edges() as usize);
+    }
+
+    #[test]
+    fn sources_never_receive_when_in_degree_zero() {
+        let d = dist(&[((0, 2), 10), ((2, 0), 10)]);
+        let g = directed_chung_lu(&d, 7);
+        // Class (2,0) occupies ids 10..20 and has zero in-mass.
+        for e in g.edges() {
+            assert!(e.to() < 10, "sink-side violation: {e}");
+            assert!(e.from() >= 10, "source-side violation: {e}");
+        }
+    }
+}

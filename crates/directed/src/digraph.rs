@@ -1,0 +1,434 @@
+//! Directed edges, edge lists and joint in/out degree distributions.
+
+use std::collections::HashSet;
+
+/// A directed edge `from → to`. Unlike the undirected [`graphcore::Edge`],
+/// endpoints are *not* canonicalized: `a→b` and `b→a` are distinct edges
+/// and may coexist in a simple digraph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DiEdge {
+    from: u32,
+    to: u32,
+}
+
+impl DiEdge {
+    /// Create a directed edge.
+    #[inline]
+    pub fn new(from: u32, to: u32) -> Self {
+        debug_assert!(from < u32::MAX && to < u32::MAX);
+        Self { from, to }
+    }
+
+    /// Source vertex.
+    #[inline]
+    pub fn from(&self) -> u32 {
+        self.from
+    }
+
+    /// Target vertex.
+    #[inline]
+    pub fn to(&self) -> u32 {
+        self.to
+    }
+
+    /// `true` when source equals target.
+    #[inline]
+    pub fn is_self_loop(&self) -> bool {
+        self.from == self.to
+    }
+
+    /// Pack into a 64-bit key (source in the high bits). Never equals
+    /// `u64::MAX` because vertex ids are `< u32::MAX`.
+    #[inline]
+    pub fn key(&self) -> u64 {
+        ((self.from as u64) << 32) | self.to as u64
+    }
+
+    /// Inverse of [`DiEdge::key`].
+    #[inline]
+    pub fn from_key(key: u64) -> Self {
+        Self {
+            from: (key >> 32) as u32,
+            to: key as u32,
+        }
+    }
+
+    /// The directed double-edge swap: `(a→b, c→d) → (a→d, c→b)` — the only
+    /// rewiring of two directed edges that preserves every vertex's in- and
+    /// out-degree.
+    #[inline]
+    pub fn swap_with(&self, other: &DiEdge) -> (DiEdge, DiEdge) {
+        (
+            DiEdge::new(self.from, other.to),
+            DiEdge::new(other.from, self.to),
+        )
+    }
+}
+
+impl std::fmt::Display for DiEdge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {}", self.from, self.to)
+    }
+}
+
+/// A multiset of directed edges over vertices `0..num_vertices`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiEdgeList {
+    edges: Vec<DiEdge>,
+    num_vertices: usize,
+}
+
+impl DiEdgeList {
+    /// An empty digraph on `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            edges: Vec::new(),
+            num_vertices,
+        }
+    }
+
+    /// Wrap an edge vector (endpoints must be `< num_vertices`).
+    pub fn from_edges(num_vertices: usize, edges: Vec<DiEdge>) -> Self {
+        debug_assert!(edges
+            .iter()
+            .all(|e| (e.from() as usize) < num_vertices && (e.to() as usize) < num_vertices));
+        Self {
+            edges,
+            num_vertices,
+        }
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` when there are no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Immutable edge view.
+    #[inline]
+    pub fn edges(&self) -> &[DiEdge] {
+        &self.edges
+    }
+
+    /// Mutable edge view (used by the swap kernel).
+    #[inline]
+    pub fn edges_mut(&mut self) -> &mut [DiEdge] {
+        &mut self.edges
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut d = vec![0u32; self.num_vertices];
+        for e in &self.edges {
+            d[e.from() as usize] += 1;
+        }
+        d
+    }
+
+    /// In-degree of every vertex.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut d = vec![0u32; self.num_vertices];
+        for e in &self.edges {
+            d[e.to() as usize] += 1;
+        }
+        d
+    }
+
+    /// Joint `(out, in)` degree of every vertex.
+    pub fn joint_degrees(&self) -> Vec<(u32, u32)> {
+        self.out_degrees()
+            .into_iter()
+            .zip(self.in_degrees())
+            .collect()
+    }
+
+    /// `true` when the digraph has no self loops and no duplicate directed
+    /// edges (antiparallel pairs `a→b`, `b→a` are allowed).
+    pub fn is_simple(&self) -> bool {
+        if self.edges.iter().any(DiEdge::is_self_loop) {
+            return false;
+        }
+        let mut seen = HashSet::with_capacity(self.edges.len());
+        self.edges.iter().all(|e| seen.insert(e.key()))
+    }
+
+    /// The joint degree distribution of this digraph.
+    pub fn joint_distribution(&self) -> DiDegreeDistribution {
+        DiDegreeDistribution::from_joint_degrees(&self.joint_degrees())
+    }
+
+    /// Remove self loops and duplicate directed edges, keeping the first
+    /// copy of each ordered pair (the directed "erased" step). Returns the
+    /// number of removed edges.
+    pub fn erase_violations(&mut self) -> usize {
+        let before = self.edges.len();
+        let mut seen = HashSet::with_capacity(self.edges.len());
+        self.edges
+            .retain(|e| !e.is_self_loop() && seen.insert(e.key()));
+        before - self.edges.len()
+    }
+}
+
+/// A joint in/out degree distribution: `counts[i]` vertices have
+/// out-degree `classes[i].0` and in-degree `classes[i].1`.
+///
+/// Classes are stored sorted ascending by `(out, in)`; class `c` owns the
+/// contiguous vertex-id block given by the prefix sums of the counts (the
+/// directed analogue of the undirected canonical layout).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiDegreeDistribution {
+    classes: Vec<(u32, u32)>,
+    counts: Vec<u64>,
+}
+
+/// Error constructing a [`DiDegreeDistribution`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiDistributionError {
+    /// Classes were not strictly ascending.
+    NotSorted,
+    /// A class had a zero count.
+    ZeroCount,
+    /// Total out-degree differs from total in-degree.
+    StubImbalance,
+}
+
+impl std::fmt::Display for DiDistributionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotSorted => write!(f, "joint degree classes must be strictly ascending"),
+            Self::ZeroCount => write!(f, "joint degree classes must have nonzero counts"),
+            Self::StubImbalance => write!(f, "total out-degree must equal total in-degree"),
+        }
+    }
+}
+
+impl std::error::Error for DiDistributionError {}
+
+impl DiDegreeDistribution {
+    /// Build from `((out, in), count)` pairs, sorted strictly ascending.
+    pub fn from_pairs(pairs: Vec<((u32, u32), u64)>) -> Result<Self, DiDistributionError> {
+        if pairs.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err(DiDistributionError::NotSorted);
+        }
+        if pairs.iter().any(|&(_, c)| c == 0) {
+            return Err(DiDistributionError::ZeroCount);
+        }
+        let out: u64 = pairs.iter().map(|&((o, _), c)| o as u64 * c).sum();
+        let inn: u64 = pairs.iter().map(|&((_, i), c)| i as u64 * c).sum();
+        if out != inn {
+            return Err(DiDistributionError::StubImbalance);
+        }
+        let (classes, counts) = pairs.into_iter().unzip();
+        Ok(Self { classes, counts })
+    }
+
+    /// Compress a per-vertex joint degree list.
+    pub fn from_joint_degrees(joint: &[(u32, u32)]) -> Self {
+        let mut sorted: Vec<(u32, u32)> = joint.to_vec();
+        sorted.sort_unstable();
+        let mut classes = Vec::new();
+        let mut counts: Vec<u64> = Vec::new();
+        for d in sorted {
+            match classes.last() {
+                Some(&last) if last == d => *counts.last_mut().expect("aligned") += 1,
+                _ => {
+                    classes.push(d);
+                    counts.push(1);
+                }
+            }
+        }
+        Self { classes, counts }
+    }
+
+    /// Joint degree classes, ascending.
+    #[inline]
+    pub fn classes(&self) -> &[(u32, u32)] {
+        &self.classes
+    }
+
+    /// Vertex count per class.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of classes.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total vertex count.
+    pub fn num_vertices(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total edge count (= total out-degree = total in-degree).
+    pub fn num_edges(&self) -> u64 {
+        self.classes
+            .iter()
+            .zip(&self.counts)
+            .map(|(&(o, _), &c)| o as u64 * c)
+            .sum()
+    }
+
+    /// Exclusive prefix sums of the counts (vertex-id block per class).
+    pub fn class_offsets(&self) -> Vec<u64> {
+        parutil::prefix::exclusive_prefix_sum(&self.counts)
+    }
+
+    /// Expand to per-vertex joint degrees in canonical class order.
+    pub fn expand(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.num_vertices() as usize);
+        for (&d, &c) in self.classes.iter().zip(&self.counts) {
+            out.extend(std::iter::repeat_n(d, c as usize));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn diedge_basics() {
+        let e = DiEdge::new(3, 7);
+        assert_eq!(e.from(), 3);
+        assert_eq!(e.to(), 7);
+        assert_ne!(DiEdge::new(3, 7), DiEdge::new(7, 3));
+        assert!(DiEdge::new(5, 5).is_self_loop());
+        assert_eq!(DiEdge::from_key(e.key()), e);
+    }
+
+    #[test]
+    fn directed_swap_preserves_degrees() {
+        let e = DiEdge::new(0, 1);
+        let f = DiEdge::new(2, 3);
+        let (g, h) = e.swap_with(&f);
+        assert_eq!(g, DiEdge::new(0, 3));
+        assert_eq!(h, DiEdge::new(2, 1));
+        // Out endpoints {0, 2} and in endpoints {1, 3} preserved.
+    }
+
+    #[test]
+    fn edge_list_degrees() {
+        let g = DiEdgeList::from_edges(
+            3,
+            vec![DiEdge::new(0, 1), DiEdge::new(1, 2), DiEdge::new(2, 0), DiEdge::new(0, 2)],
+        );
+        assert_eq!(g.out_degrees(), vec![2, 1, 1]);
+        assert_eq!(g.in_degrees(), vec![1, 1, 2]);
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn antiparallel_is_simple_duplicate_is_not() {
+        let anti = DiEdgeList::from_edges(2, vec![DiEdge::new(0, 1), DiEdge::new(1, 0)]);
+        assert!(anti.is_simple());
+        let dup = DiEdgeList::from_edges(2, vec![DiEdge::new(0, 1), DiEdge::new(0, 1)]);
+        assert!(!dup.is_simple());
+        let looped = DiEdgeList::from_edges(2, vec![DiEdge::new(1, 1)]);
+        assert!(!looped.is_simple());
+    }
+
+    #[test]
+    fn erase_violations_directed() {
+        let mut g = DiEdgeList::from_edges(
+            3,
+            vec![
+                DiEdge::new(0, 1),
+                DiEdge::new(0, 1), // duplicate
+                DiEdge::new(1, 0), // antiparallel: legal, kept
+                DiEdge::new(2, 2), // self loop
+            ],
+        );
+        let removed = g.erase_violations();
+        assert_eq!(removed, 2);
+        assert!(g.is_simple());
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn distribution_validation() {
+        assert!(DiDegreeDistribution::from_pairs(vec![((1, 1), 3)]).is_ok());
+        assert_eq!(
+            DiDegreeDistribution::from_pairs(vec![((1, 0), 3)]),
+            Err(DiDistributionError::StubImbalance)
+        );
+        assert_eq!(
+            DiDegreeDistribution::from_pairs(vec![((1, 1), 0)]),
+            Err(DiDistributionError::ZeroCount)
+        );
+        assert_eq!(
+            DiDegreeDistribution::from_pairs(vec![((2, 2), 1), ((1, 1), 1)]),
+            Err(DiDistributionError::NotSorted)
+        );
+    }
+
+    #[test]
+    fn distribution_round_trip() {
+        let joint = vec![(1, 0), (0, 1), (1, 0), (2, 3), (0, 0)];
+        let dist = DiDegreeDistribution::from_joint_degrees(&joint);
+        assert_eq!(dist.num_vertices(), 5);
+        let mut expanded = dist.expand();
+        let mut orig = joint.clone();
+        expanded.sort_unstable();
+        orig.sort_unstable();
+        assert_eq!(expanded, orig);
+    }
+
+    #[test]
+    fn offsets_and_counts() {
+        let dist =
+            DiDegreeDistribution::from_pairs(vec![((0, 1), 2), ((1, 0), 2), ((1, 1), 3)]).unwrap();
+        assert_eq!(dist.class_offsets(), vec![0, 2, 4, 7]);
+        assert_eq!(dist.num_edges(), 5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_joint_distribution_consistent(
+            joint in proptest::collection::vec((0u32..5, 0u32..5), 1..50)
+        ) {
+            let dist = DiDegreeDistribution::from_joint_degrees(&joint);
+            prop_assert_eq!(dist.num_vertices() as usize, joint.len());
+            let total: u64 = dist.counts().iter().sum();
+            prop_assert_eq!(total as usize, joint.len());
+            // Classes strictly ascending.
+            for w in dist.classes().windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+
+        #[test]
+        fn prop_swap_preserves_endpoint_roles(
+            a in 0u32..100, b in 0u32..100, c in 0u32..100, d in 0u32..100
+        ) {
+            let (g, h) = DiEdge::new(a, b).swap_with(&DiEdge::new(c, d));
+            let mut outs = [g.from(), h.from()];
+            let mut ins = [g.to(), h.to()];
+            outs.sort_unstable();
+            ins.sort_unstable();
+            let mut want_outs = [a, c];
+            let mut want_ins = [b, d];
+            want_outs.sort_unstable();
+            want_ins.sort_unstable();
+            prop_assert_eq!(outs, want_outs);
+            prop_assert_eq!(ins, want_ins);
+        }
+    }
+}

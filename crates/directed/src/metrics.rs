@@ -1,0 +1,108 @@
+//! Digraph statistics relevant to directed null models.
+
+use crate::digraph::DiEdgeList;
+use std::collections::HashSet;
+
+/// Reciprocity: the fraction of directed edges whose reverse edge also
+/// exists (`a→b` counts as reciprocated iff `b→a` is present). 0 for an
+/// empty graph; self loops count as reciprocated.
+///
+/// Reciprocity is the classic statistic tested against directed null
+/// models (Durak et al. \[14\] match in/out *and reciprocal* degrees because
+/// plain joint-degree models destroy reciprocity — exactly what makes them
+/// useful as a null hypothesis for it).
+pub fn reciprocity(graph: &DiEdgeList) -> f64 {
+    if graph.is_empty() {
+        return 0.0;
+    }
+    let present: HashSet<u64> = graph.edges().iter().map(|e| e.key()).collect();
+    let reciprocated = graph
+        .edges()
+        .iter()
+        .filter(|e| {
+            let reverse = crate::digraph::DiEdge::new(e.to(), e.from());
+            present.contains(&reverse.key())
+        })
+        .count();
+    reciprocated as f64 / graph.len() as f64
+}
+
+/// Maximum relative error between a digraph's realized joint distribution
+/// and a target, over out- and in-degree marginal totals per class that
+/// exist in the target (used by validation code and tests).
+pub fn joint_distribution_error(
+    graph: &DiEdgeList,
+    target: &crate::digraph::DiDegreeDistribution,
+) -> f64 {
+    let realized = graph.joint_distribution();
+    let lookup: std::collections::HashMap<(u32, u32), u64> = realized
+        .classes()
+        .iter()
+        .zip(realized.counts())
+        .map(|(&c, &n)| (c, n))
+        .collect();
+    let mut worst = 0.0f64;
+    for (&class, &count) in target.classes().iter().zip(target.counts()) {
+        let got = lookup.get(&class).copied().unwrap_or(0) as f64;
+        worst = worst.max(((got - count as f64) / count as f64).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DiEdge;
+
+    #[test]
+    fn reciprocity_extremes() {
+        // Fully reciprocated pair.
+        let full = DiEdgeList::from_edges(2, vec![DiEdge::new(0, 1), DiEdge::new(1, 0)]);
+        assert_eq!(reciprocity(&full), 1.0);
+        // One-way cycle: nothing reciprocated.
+        let cycle = DiEdgeList::from_edges(
+            3,
+            vec![DiEdge::new(0, 1), DiEdge::new(1, 2), DiEdge::new(2, 0)],
+        );
+        assert_eq!(reciprocity(&cycle), 0.0);
+        assert_eq!(reciprocity(&DiEdgeList::new(0)), 0.0);
+    }
+
+    #[test]
+    fn reciprocity_partial() {
+        let g = DiEdgeList::from_edges(
+            3,
+            vec![
+                DiEdge::new(0, 1),
+                DiEdge::new(1, 0),
+                DiEdge::new(1, 2),
+                DiEdge::new(2, 0),
+            ],
+        );
+        assert!((reciprocity(&g) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_error_zero_for_exact_realization() {
+        let g = crate::havel_hakimi_directed(&[(1, 1), (1, 1), (1, 1)]).unwrap();
+        let target = g.joint_distribution();
+        assert_eq!(joint_distribution_error(&g, &target), 0.0);
+    }
+
+    #[test]
+    fn null_model_destroys_reciprocity() {
+        // Build a highly reciprocated digraph, mix it with directed swaps,
+        // and watch reciprocity collapse toward the null expectation.
+        let mut edges = Vec::new();
+        for i in 0..100u32 {
+            let j = (i + 1) % 100;
+            edges.push(DiEdge::new(i, j));
+            edges.push(DiEdge::new(j, i));
+        }
+        let mut g = DiEdgeList::from_edges(100, edges);
+        assert_eq!(reciprocity(&g), 1.0);
+        crate::swap_directed_edges(&mut g, &crate::DirectedSwapConfig::new(10, 5));
+        let r = reciprocity(&g);
+        assert!(r < 0.3, "reciprocity after mixing: {r}");
+    }
+}

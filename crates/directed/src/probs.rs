@@ -1,0 +1,317 @@
+//! Directed class-pair attachment probabilities — the §IV-A heuristic on
+//! out-stubs × in-stubs.
+//!
+//! The directed degree system has two halves: for every joint class `i`,
+//!
+//! ```text
+//! d_out(i) = Σ_j P[i][j]·(n_j − δ_ij)        (row sums — out-degrees)
+//! d_in(j)  = Σ_i P[i][j]·(n_i − δ_ij)        (column sums — in-degrees)
+//! ```
+//!
+//! where `P[i][j]` is the probability of a directed edge from a class-`i`
+//! vertex to a class-`j` vertex (not symmetric!). The stub-accounting
+//! heuristic wires each class's out-stubs against the remaining in-stub
+//! pools, capped by the simple-digraph pair count `n_i·n_j − δ_ij·n_i`
+//! (no self loops) and the in-stub supply, with capacity-aware refill
+//! rounds exactly as in the undirected `genprob` crate.
+
+use crate::digraph::DiDegreeDistribution;
+
+/// A dense (non-symmetric) `|D| × |D|` matrix of directed attachment
+/// probabilities over joint degree classes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DirectedProbMatrix {
+    dcount: usize,
+    values: Vec<f64>,
+}
+
+impl DirectedProbMatrix {
+    /// A zero matrix over `dcount` classes.
+    pub fn new(dcount: usize) -> Self {
+        Self {
+            dcount,
+            values: vec![0.0; dcount * dcount],
+        }
+    }
+
+    /// Number of classes.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.dcount
+    }
+
+    /// Probability of an edge from class `i` to class `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.dcount + j]
+    }
+
+    /// Set a cell.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, p: f64) {
+        self.values[i * self.dcount + j] = p;
+    }
+
+    /// Accumulate into a cell.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, p: f64) {
+        self.values[i * self.dcount + j] += p;
+    }
+
+    /// Clamp all cells into `[0, 1]`.
+    pub fn clamp_unit(&mut self) {
+        for v in &mut self.values {
+            *v = v.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Expected out-degree per class under this matrix.
+    pub fn expected_out_degrees(&self, dist: &DiDegreeDistribution) -> Vec<f64> {
+        let counts = dist.counts();
+        (0..self.dcount)
+            .map(|i| {
+                (0..self.dcount)
+                    .map(|j| {
+                        let pairs = counts[j] as f64 - if i == j { 1.0 } else { 0.0 };
+                        self.get(i, j) * pairs
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Expected in-degree per class under this matrix.
+    pub fn expected_in_degrees(&self, dist: &DiDegreeDistribution) -> Vec<f64> {
+        let counts = dist.counts();
+        (0..self.dcount)
+            .map(|j| {
+                (0..self.dcount)
+                    .map(|i| {
+                        let pairs = counts[i] as f64 - if i == j { 1.0 } else { 0.0 };
+                        self.get(i, j) * pairs
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Expected edge count under this matrix.
+    pub fn expected_edges(&self, dist: &DiDegreeDistribution) -> f64 {
+        let counts = dist.counts();
+        let mut total = 0.0;
+        for i in 0..self.dcount {
+            for j in 0..self.dcount {
+                let pairs = counts[i] as f64 * counts[j] as f64
+                    - if i == j { counts[i] as f64 } else { 0.0 };
+                total += pairs * self.get(i, j);
+            }
+        }
+        total
+    }
+}
+
+/// Maximum relative residual over both halves of the directed degree
+/// system (classes with zero target degree on a side are skipped on that
+/// side).
+pub fn directed_max_residual(probs: &DirectedProbMatrix, dist: &DiDegreeDistribution) -> f64 {
+    let out = probs.expected_out_degrees(dist);
+    let inn = probs.expected_in_degrees(dist);
+    let mut worst = 0.0f64;
+    for (c, (&(o, i), _)) in dist.classes().iter().zip(dist.counts()).enumerate() {
+        if o > 0 {
+            worst = worst.max(((out[c] - o as f64) / o as f64).abs());
+        }
+        if i > 0 {
+            worst = worst.max(((inn[c] - i as f64) / i as f64).abs());
+        }
+    }
+    worst
+}
+
+/// The directed stub-accounting heuristic with 8 refill rounds.
+pub fn directed_heuristic_probabilities(dist: &DiDegreeDistribution) -> DirectedProbMatrix {
+    directed_heuristic_probabilities_with(dist, 8)
+}
+
+/// [`directed_heuristic_probabilities`] with an explicit refill-round
+/// count (1 = single proportional pass).
+pub fn directed_heuristic_probabilities_with(
+    dist: &DiDegreeDistribution,
+    refill_rounds: usize,
+) -> DirectedProbMatrix {
+    let dcount = dist.num_classes();
+    let mut probs = DirectedProbMatrix::new(dcount);
+    if dcount == 0 {
+        return probs;
+    }
+    let refill_rounds = refill_rounds.max(1);
+    let counts = dist.counts();
+    let classes = dist.classes();
+    let mut fe_out: Vec<f64> = classes
+        .iter()
+        .zip(counts)
+        .map(|(&(o, _), &c)| o as f64 * c as f64)
+        .collect();
+    let mut fe_in: Vec<f64> = classes
+        .iter()
+        .zip(counts)
+        .map(|(&(_, i), &c)| i as f64 * c as f64)
+        .collect();
+    let mut alloc = vec![0.0f64; dcount];
+
+    // Process classes in descending out-degree order (preferential).
+    let mut order: Vec<usize> = (0..dcount).collect();
+    order.sort_unstable_by(|&a, &b| {
+        classes[b]
+            .0
+            .cmp(&classes[a].0)
+            .then(classes[b].1.cmp(&classes[a].1))
+    });
+
+    for &i in &order {
+        if fe_out[i] <= 0.0 {
+            continue;
+        }
+        let n_i = counts[i] as f64;
+        let pair_cap = |j: usize| -> f64 {
+            let n_j = counts[j] as f64;
+            if i == j {
+                (n_i * n_j - n_i).max(0.0)
+            } else {
+                n_i * n_j
+            }
+        };
+        alloc[..dcount].fill(0.0);
+        let mut remaining = fe_out[i];
+        for _ in 0..refill_rounds {
+            if remaining <= 1e-9 {
+                break;
+            }
+            let mut wsum = 0.0;
+            for j in 0..dcount {
+                if alloc[j] < pair_cap(j).min(fe_in[j]) {
+                    wsum += fe_in[j] - alloc[j];
+                }
+            }
+            if wsum <= 0.0 {
+                break;
+            }
+            let mut distributed = 0.0;
+            for j in 0..dcount {
+                let cap = pair_cap(j).min(fe_in[j]);
+                if alloc[j] >= cap {
+                    continue;
+                }
+                let offer = remaining * (fe_in[j] - alloc[j]) / wsum;
+                let take = offer.min(cap - alloc[j]);
+                alloc[j] += take;
+                distributed += take;
+            }
+            remaining -= distributed;
+            if distributed <= 1e-12 {
+                break;
+            }
+        }
+        let mut consumed = 0.0;
+        for j in 0..dcount {
+            let e_ij = alloc[j];
+            if e_ij <= 0.0 {
+                continue;
+            }
+            probs.add(i, j, e_ij / pair_cap(j));
+            fe_in[j] -= e_ij;
+            consumed += e_ij;
+        }
+        fe_out[i] = (fe_out[i] - consumed).max(0.0);
+    }
+    probs.clamp_unit();
+    probs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(pairs: &[((u32, u32), u64)]) -> DiDegreeDistribution {
+        DiDegreeDistribution::from_pairs(pairs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn regular_digraph_exact() {
+        // Every vertex (2, 2): P must satisfy both systems exactly.
+        let d = dist(&[((2, 2), 10)]);
+        let p = directed_heuristic_probabilities(&d);
+        let r = directed_max_residual(&p, &d);
+        assert!(r < 1e-9, "residual {r}");
+        // P = d / (n - 1).
+        assert!((p.get(0, 0) - 2.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complete_digraph() {
+        // Every vertex points at every other: (n-1, n-1).
+        let d = dist(&[((4, 4), 5)]);
+        let p = directed_heuristic_probabilities(&d);
+        assert!((p.get(0, 0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sources_and_sinks_balance() {
+        let d = dist(&[((0, 3), 20), ((3, 0), 20)]);
+        let p = directed_heuristic_probabilities(&d);
+        let r = directed_max_residual(&p, &d);
+        assert!(r < 0.05, "residual {r}");
+        // Sinks never emit: row for the sink class must be zero.
+        let sink_class = d.classes().iter().position(|&c| c == (0, 3)).unwrap();
+        for j in 0..2 {
+            assert_eq!(p.get(sink_class, j), 0.0);
+        }
+    }
+
+    #[test]
+    fn skewed_joint_distribution_residual_small() {
+        let d = dist(&[
+            ((1, 1), 300),
+            ((1, 2), 60),
+            ((2, 1), 60),
+            ((2, 40), 2),
+            ((5, 5), 20),
+            ((40, 2), 2),
+        ]);
+        let p = directed_heuristic_probabilities(&d);
+        let r = directed_max_residual(&p, &d);
+        assert!(r < 0.1, "residual {r}");
+        let expect = p.expected_edges(&d);
+        let target = d.num_edges() as f64;
+        assert!((expect - target).abs() / target < 0.05);
+    }
+
+    #[test]
+    fn refill_improves_on_single_round() {
+        let d = dist(&[((1, 1), 300), ((2, 2), 31), ((2, 40), 2), ((40, 2), 2)]);
+        let single = directed_heuristic_probabilities_with(&d, 1);
+        let refilled = directed_heuristic_probabilities_with(&d, 8);
+        assert!(
+            directed_max_residual(&refilled, &d) <= directed_max_residual(&single, &d) + 1e-12
+        );
+    }
+
+    #[test]
+    fn all_cells_valid_probabilities() {
+        let d = dist(&[((1, 2), 10), ((2, 1), 10), ((3, 3), 4)]);
+        let p = directed_heuristic_probabilities(&d);
+        for i in 0..3 {
+            for j in 0..3 {
+                let v = p.get(i, j);
+                assert!((0.0..=1.0).contains(&v), "P[{i}][{j}] = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let d = DiDegreeDistribution::from_pairs(vec![]).unwrap();
+        let p = directed_heuristic_probabilities(&d);
+        assert_eq!(p.num_classes(), 0);
+    }
+}

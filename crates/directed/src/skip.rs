@@ -1,0 +1,262 @@
+//! Directed edge skipping: Algorithm IV.2 over ordered (source-class ×
+//! target-class) spaces.
+//!
+//! Directed spaces are rectangular (`n_i × n_j` ordered pairs); the
+//! same-class space excludes the diagonal (`n_i(n_i − 1)` pairs), so the
+//! generator can never emit a self loop and — since each ordered pair is
+//! visited exactly once — never a duplicate edge. The output is simple by
+//! construction.
+
+use crate::digraph::{DiDegreeDistribution, DiEdge, DiEdgeList};
+use crate::probs::DirectedProbMatrix;
+use parutil::rng::Xoshiro256pp;
+use rayon::prelude::*;
+
+/// Target output edges per parallel task (large spaces are split).
+const TARGET_EDGES_PER_TASK: u64 = 1 << 16;
+const MAX_SPLITS_PER_SPACE: u64 = 1 << 10;
+
+#[derive(Clone, Copy, Debug)]
+struct Task {
+    class_i: u32,
+    class_j: u32,
+    start: u64,
+    end: u64,
+}
+
+/// Generate a simple digraph where each ordered cross-class vertex pair
+/// `(u ∈ i, v ∈ j)`, `u ≠ v`, carries an edge independently with
+/// probability `probs.get(i, j)`. Deterministic per seed, independent of
+/// thread count.
+pub fn generate_directed(
+    probs: &DirectedProbMatrix,
+    dist: &DiDegreeDistribution,
+    seed: u64,
+) -> DiEdgeList {
+    let dcount = dist.num_classes();
+    assert_eq!(probs.num_classes(), dcount);
+    let offsets = dist.class_offsets();
+    let counts = dist.counts();
+    let n = dist.num_vertices();
+    assert!(n < u32::MAX as u64);
+
+    let mut tasks = Vec::new();
+    for i in 0..dcount {
+        for j in 0..dcount {
+            let p = probs.get(i, j);
+            if p <= 0.0 {
+                continue;
+            }
+            let space = space_size(counts[i], counts[j], i == j);
+            if space == 0 {
+                continue;
+            }
+            let expected = (p * space as f64).ceil() as u64;
+            let splits = (expected / TARGET_EDGES_PER_TASK + 1)
+                .min(MAX_SPLITS_PER_SPACE)
+                .min(space)
+                .max(1);
+            let chunk = space.div_ceil(splits);
+            let mut start = 1;
+            while start <= space {
+                let end = (start + chunk - 1).min(space);
+                tasks.push(Task {
+                    class_i: i as u32,
+                    class_j: j as u32,
+                    start,
+                    end,
+                });
+                start = end + 1;
+            }
+        }
+    }
+
+    let per_task: Vec<Vec<DiEdge>> = tasks
+        .par_iter()
+        .enumerate()
+        .map(|(t, task)| run_task(task, probs, counts, &offsets, seed, t as u64))
+        .collect();
+    let total: usize = per_task.iter().map(Vec::len).sum();
+    let mut edges = Vec::with_capacity(total);
+    for mut chunk in per_task {
+        edges.append(&mut chunk);
+    }
+    DiEdgeList::from_edges(n as usize, edges)
+}
+
+/// Ordered pair count of the `(i, j)` space (diagonal pairs excluded when
+/// `i == j`).
+fn space_size(count_i: u64, count_j: u64, same: bool) -> u64 {
+    if same {
+        count_i * count_j - count_i
+    } else {
+        count_i * count_j
+    }
+}
+
+/// Decode a 1-based position of the same-class space (all ordered pairs
+/// `(u, v)` with `u ≠ v` over `n` vertices, enumerated row-major with the
+/// diagonal removed).
+#[inline]
+fn same_class_decode(x: u64, n: u64) -> (u64, u64) {
+    let row_len = n - 1;
+    let u = (x - 1) / row_len;
+    let r = (x - 1) % row_len;
+    let v = if r >= u { r + 1 } else { r };
+    (u, v)
+}
+
+fn run_task(
+    task: &Task,
+    probs: &DirectedProbMatrix,
+    counts: &[u64],
+    offsets: &[u64],
+    seed: u64,
+    task_index: u64,
+) -> Vec<DiEdge> {
+    let i = task.class_i as usize;
+    let j = task.class_j as usize;
+    let p = probs.get(i, j);
+    let mut rng = Xoshiro256pp::stream(seed, task_index);
+    let sampler = edgeskip_sampler(p);
+    let mut out = Vec::new();
+    let base_i = offsets[i];
+    let base_j = offsets[j];
+    let mut x = task.start - 1;
+    while let Some(next) = sampler.next_selected(x, task.end, &mut rng) {
+        x = next;
+        let (u, v) = if i == j {
+            let (uo, vo) = same_class_decode(x, counts[i]);
+            (base_i + uo, base_i + vo)
+        } else {
+            let nj = counts[j];
+            (base_i + (x - 1) / nj, base_j + (x - 1) % nj)
+        };
+        out.push(DiEdge::new(u as u32, v as u32));
+    }
+    out
+}
+
+/// The geometric skip sampler (shared implementation detail with the
+/// undirected crate; reproduced here to keep the directed crate free of a
+/// dependency on `edgeskip`'s undirected types).
+fn edgeskip_sampler(p: f64) -> SkipSampler {
+    SkipSampler::new(p)
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SkipSampler {
+    p: f64,
+    log_q: f64,
+}
+
+impl SkipSampler {
+    fn new(p: f64) -> Self {
+        let p = p.clamp(0.0, 1.0);
+        let log_q = if p <= 0.0 {
+            0.0
+        } else if p >= 1.0 {
+            f64::NEG_INFINITY
+        } else {
+            (-p).ln_1p()
+        };
+        Self { p, log_q }
+    }
+
+    #[inline]
+    fn next_selected(&self, x: u64, end: u64, rng: &mut Xoshiro256pp) -> Option<u64> {
+        if self.p <= 0.0 || x >= end {
+            return None;
+        }
+        if self.p >= 1.0 {
+            return Some(x + 1);
+        }
+        let r = rng.next_f64_open();
+        let l = (r.ln() / self.log_q).floor();
+        if l >= (end - x) as f64 {
+            return None;
+        }
+        let next = x + l as u64 + 1;
+        (next <= end).then_some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(pairs: &[((u32, u32), u64)]) -> DiDegreeDistribution {
+        DiDegreeDistribution::from_pairs(pairs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn same_class_decode_enumerates_all_ordered_pairs() {
+        let n = 7u64;
+        let mut seen = std::collections::HashSet::new();
+        for x in 1..=n * (n - 1) {
+            let (u, v) = same_class_decode(x, n);
+            assert_ne!(u, v, "x={x}");
+            assert!(u < n && v < n);
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len(), (n * (n - 1)) as usize);
+    }
+
+    #[test]
+    fn probability_one_same_class_is_complete_digraph() {
+        let d = dist(&[((4, 4), 5)]);
+        let mut p = DirectedProbMatrix::new(1);
+        p.set(0, 0, 1.0);
+        let g = generate_directed(&p, &d, 3);
+        assert_eq!(g.len(), 20); // 5 * 4 ordered pairs
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn probability_one_cross_class_is_complete_bipartite_oriented() {
+        let d = dist(&[((0, 3), 4), ((4, 0), 3)]);
+        let mut p = DirectedProbMatrix::new(2);
+        // Class 1 = (4,0) sources (ids 4..7), class 0 = (0,3) sinks (0..4).
+        p.set(1, 0, 1.0);
+        let g = generate_directed(&p, &d, 3);
+        assert_eq!(g.len(), 12);
+        for e in g.edges() {
+            assert!(e.from() >= 4 && e.to() < 4, "edge {e}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_probabilities_respected() {
+        let d = dist(&[((1, 1), 50), ((2, 2), 25)]);
+        let mut p = DirectedProbMatrix::new(2);
+        p.set(0, 1, 0.5); // edges only from class 0 to class 1
+        let g = generate_directed(&p, &d, 9);
+        assert!(!g.is_empty());
+        for e in g.edges() {
+            assert!(e.from() < 50 && e.to() >= 50, "edge {e}");
+        }
+    }
+
+    #[test]
+    fn output_simple_and_concentrated() {
+        let d = dist(&[((2, 2), 200), ((6, 6), 40)]);
+        let p = crate::probs::directed_heuristic_probabilities(&d);
+        let runs = 10;
+        let mut mean = 0.0;
+        for s in 0..runs {
+            let g = generate_directed(&p, &d, s);
+            assert!(g.is_simple());
+            mean += g.len() as f64 / runs as f64;
+        }
+        let target = d.num_edges() as f64;
+        assert!((mean - target).abs() / target < 0.06, "mean {mean} target {target}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = dist(&[((2, 2), 60)]);
+        let p = crate::probs::directed_heuristic_probabilities(&d);
+        assert_eq!(generate_directed(&p, &d, 4), generate_directed(&p, &d, 4));
+        assert_ne!(generate_directed(&p, &d, 4), generate_directed(&p, &d, 5));
+    }
+}

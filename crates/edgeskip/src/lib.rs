@@ -1,0 +1,402 @@
+//! Parallel edge-skipping Bernoulli edge generation (paper Algorithm IV.2,
+//! after Batagelj & Brandes \[4\] and Miller & Hagberg \[21\], parallelized as
+//! in Slota et al. \[33\]).
+//!
+//! A Bernoulli generator flips a coin for every possible vertex pair —
+//! `O(n²)` work. *Edge skipping* samples the gap between consecutive
+//! successes directly from the geometric distribution,
+//! `l = ⌊ln(r) / ln(1−p)⌋`, reducing the work to `O(m)` while producing a
+//! distribution **identical** to per-pair coin flips.
+//!
+//! With class-pair probabilities (one `p` per degree-class pair) each pair
+//! `(a, b)` of classes owns an ordered *space* of candidate edges:
+//!
+//! * cross-class: `N_a × N_b` pairs, decoded by division/modulo;
+//! * same-class: `N_a (N_a − 1) / 2` unordered pairs, decoded by inverting
+//!   the triangular enumeration.
+//!
+//! Spaces are generated in parallel, and large spaces are split into
+//! subranges — the geometric distribution is memoryless, so restarting the
+//! skip sequence at a boundary leaves the process exactly Bernoulli.
+//!
+//! Global vertex ids come from the exclusive prefix sums of the class
+//! counts (ascending degree order — the canonical layout of
+//! [`DegreeDistribution`]).
+
+//!
+//! # Example
+//!
+//! ```
+//! use graphcore::DegreeDistribution;
+//!
+//! let dist = DegreeDistribution::from_pairs(vec![(2, 100), (6, 20)]).unwrap();
+//! let probs = genprob::heuristic_probabilities(&dist);
+//! let g = edgeskip::generate(&probs, &dist, 7);
+//! assert!(g.is_simple());           // guaranteed by construction
+//! assert!(!g.is_empty());
+//! ```
+
+pub mod skip;
+
+use genprob::ProbMatrix;
+use graphcore::{DegreeDistribution, Edge, EdgeList};
+use parutil::rng::Xoshiro256pp;
+use rayon::prelude::*;
+use skip::SkipSampler;
+
+/// Target number of output edges per parallel task; large class-pair spaces
+/// are split so no task is expected to emit many more than this.
+const TARGET_EDGES_PER_TASK: u64 = 1 << 16;
+
+/// Maximum number of subranges a single class-pair space is split into.
+const MAX_SPLITS_PER_SPACE: u64 = 1 << 10;
+
+/// One parallel unit of work: a subrange of one class-pair space.
+#[derive(Clone, Copy, Debug)]
+struct Task {
+    class_a: u32,
+    class_b: u32,
+    /// 1-based start position within the space (first candidate is `x = 1`).
+    start: u64,
+    /// Inclusive end position.
+    end: u64,
+}
+
+/// Generate an edge list from class-pair probabilities: every candidate
+/// vertex pair between classes `a` and `b` is included independently with
+/// probability `probs.get(a, b)`.
+///
+/// The output is always simple (each pair is considered exactly once and
+/// self pairs are never enumerated). Deterministic for a fixed seed,
+/// independent of thread count.
+pub fn generate(probs: &ProbMatrix, dist: &DegreeDistribution, seed: u64) -> EdgeList {
+    let dcount = dist.num_classes();
+    assert_eq!(probs.num_classes(), dcount);
+    let offsets = dist.class_offsets();
+    let counts = dist.counts();
+    let n = dist.num_vertices();
+    assert!(n < u32::MAX as u64, "vertex ids must fit in u32");
+
+    // Build the deterministic task list.
+    let mut tasks = Vec::new();
+    for a in 0..dcount {
+        for b in a..dcount {
+            let p = probs.get(a, b);
+            if p <= 0.0 {
+                continue;
+            }
+            let space = space_size(counts[a], counts[b], a == b);
+            if space == 0 {
+                continue;
+            }
+            let expected = (p * space as f64).ceil() as u64;
+            let splits = (expected / TARGET_EDGES_PER_TASK + 1)
+                .min(MAX_SPLITS_PER_SPACE)
+                .min(space)
+                .max(1);
+            let chunk = space.div_ceil(splits);
+            let mut start = 1;
+            while start <= space {
+                let end = (start + chunk - 1).min(space);
+                tasks.push(Task {
+                    class_a: a as u32,
+                    class_b: b as u32,
+                    start,
+                    end,
+                });
+                start = end + 1;
+            }
+        }
+    }
+
+    let per_task: Vec<Vec<Edge>> = tasks
+        .par_iter()
+        .enumerate()
+        .map(|(t, task)| run_task(task, probs, counts, &offsets, seed, t as u64))
+        .collect();
+    let total: usize = per_task.iter().map(Vec::len).sum();
+    let mut edges = Vec::with_capacity(total);
+    for mut chunk in per_task {
+        edges.append(&mut chunk);
+    }
+    EdgeList::from_edges(n as usize, edges)
+}
+
+/// Number of candidate pairs in the `(a, b)` space.
+fn space_size(count_a: u64, count_b: u64, same: bool) -> u64 {
+    if same {
+        count_a * (count_a - 1) / 2
+    } else {
+        count_a * count_b
+    }
+}
+
+fn run_task(
+    task: &Task,
+    probs: &ProbMatrix,
+    counts: &[u64],
+    offsets: &[u64],
+    seed: u64,
+    task_index: u64,
+) -> Vec<Edge> {
+    let a = task.class_a as usize;
+    let b = task.class_b as usize;
+    let p = probs.get(a, b);
+    let mut rng = Xoshiro256pp::stream(seed, task_index);
+    let sampler = SkipSampler::new(p);
+    let mut out = Vec::new();
+    let base_a = offsets[a];
+    let base_b = offsets[b];
+    let mut x = task.start - 1; // current position; first candidate is start.
+    while let Some(next) = sampler.next_selected(x, task.end, &mut rng) {
+        x = next;
+        let (u, v) = if a == b {
+            let (uo, vo) = skip::triangular_decode(x);
+            (base_a + uo, base_a + vo)
+        } else {
+            let nb = counts[b];
+            (base_a + (x - 1) / nb, base_b + (x - 1) % nb)
+        };
+        out.push(Edge::new(u as u32, v as u32));
+    }
+    out
+}
+
+/// Erdős–Rényi `G(n, p)` via edge skipping over the single triangular space
+/// of all `n(n−1)/2` pairs (the equal-probability special case of
+/// [`generate`]).
+pub fn erdos_renyi(n: u64, p: f64, seed: u64) -> EdgeList {
+    assert!(n < u32::MAX as u64);
+    let dist = DegreeDistribution::from_pairs_relaxed(vec![(1, n)])
+        .expect("single class is always valid");
+    let mut probs = ProbMatrix::new(1);
+    probs.set(0, 0, p.clamp(0.0, 1.0));
+    let mut g = generate(&probs, &dist, seed);
+    // `generate` infers n from the distribution; preserve it.
+    debug_assert_eq!(g.num_vertices(), n as usize);
+    g.edges_mut().sort_unstable();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(pairs: &[(u32, u64)]) -> DegreeDistribution {
+        DegreeDistribution::from_pairs_relaxed(pairs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn probability_one_single_class_is_complete() {
+        let d = dist(&[(1, 20)]);
+        let mut p = ProbMatrix::new(1);
+        p.set(0, 0, 1.0);
+        let g = generate(&p, &d, 7);
+        assert_eq!(g.len(), 20 * 19 / 2);
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn probability_one_cross_class_is_complete_bipartite() {
+        let d = dist(&[(1, 5), (2, 7)]);
+        let mut p = ProbMatrix::new(2);
+        p.set(0, 1, 1.0);
+        let g = generate(&p, &d, 7);
+        assert_eq!(g.len(), 35);
+        assert!(g.is_simple());
+        // Every edge must join the two id blocks [0,5) and [5,12).
+        for e in g.edges() {
+            assert!(e.u() < 5 && e.v() >= 5, "edge {e} not cross-block");
+        }
+    }
+
+    #[test]
+    fn probability_zero_is_empty() {
+        let d = dist(&[(1, 100)]);
+        let p = ProbMatrix::new(1);
+        let g = generate(&p, &d, 7);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn output_always_simple() {
+        let d = dist(&[(1, 50), (2, 30), (5, 10)]);
+        let mut p = ProbMatrix::new(3);
+        for a in 0..3 {
+            for b in a..3 {
+                p.set(a, b, 0.3 + 0.1 * (a + b) as f64);
+            }
+        }
+        for seed in 0..5 {
+            let g = generate(&p, &d, seed);
+            assert!(g.is_simple(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let d = dist(&[(1, 100), (3, 40)]);
+        let mut p = ProbMatrix::new(2);
+        p.set(0, 0, 0.05);
+        p.set(0, 1, 0.1);
+        p.set(1, 1, 0.2);
+        let a = generate(&p, &d, 42);
+        let b = generate(&p, &d, 42);
+        assert_eq!(a, b);
+        let c = generate(&p, &d, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn edge_count_concentrates_on_expectation() {
+        let d = dist(&[(1, 200), (2, 100)]);
+        let mut p = ProbMatrix::new(2);
+        p.set(0, 0, 0.02);
+        p.set(0, 1, 0.05);
+        p.set(1, 1, 0.1);
+        let expect = p.expected_edges(&d);
+        let runs = 20;
+        let mean: f64 = (0..runs)
+            .map(|s| generate(&p, &d, s).len() as f64)
+            .sum::<f64>()
+            / runs as f64;
+        // Binomial concentration: the run-mean should be within a few
+        // standard errors of the expectation.
+        let rel = (mean - expect).abs() / expect;
+        assert!(rel < 0.05, "mean {mean} expected {expect}");
+    }
+
+    #[test]
+    fn large_space_splitting_preserves_count() {
+        // A space big enough to be split into many tasks.
+        let d = dist(&[(1, 5000)]);
+        let mut p = ProbMatrix::new(1);
+        p.set(0, 0, 0.01);
+        let g = generate(&p, &d, 11);
+        let expect = 0.01 * (5000.0 * 4999.0 / 2.0);
+        let rel = (g.len() as f64 - expect).abs() / expect;
+        assert!(rel < 0.05, "got {} expected {expect}", g.len());
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let empty = erdos_renyi(50, 0.0, 1);
+        assert!(empty.is_empty());
+        assert_eq!(empty.num_vertices(), 50);
+        let full = erdos_renyi(50, 1.0, 1);
+        assert_eq!(full.len(), 50 * 49 / 2);
+        assert!(full.is_simple());
+    }
+
+    #[test]
+    fn erdos_renyi_density() {
+        let n = 400u64;
+        let p = 0.05;
+        let runs = 10;
+        let expect = p * (n * (n - 1) / 2) as f64;
+        let mean: f64 = (0..runs)
+            .map(|s| erdos_renyi(n, p, s).len() as f64)
+            .sum::<f64>()
+            / runs as f64;
+        let rel = (mean - expect).abs() / expect;
+        assert!(rel < 0.05, "mean {mean} expected {expect}");
+    }
+
+    #[test]
+    fn expected_degrees_realized_from_heuristic_probs() {
+        // End-to-end §IV-A + IV-B: degrees must match in expectation.
+        let d = dist(&[(2, 300), (4, 100), (8, 25), (20, 5)]);
+        let p = genprob::heuristic_probabilities(&d);
+        let runs = 15;
+        let mut mean_edges = 0.0;
+        for s in 0..runs {
+            mean_edges += generate(&p, &d, s).len() as f64 / runs as f64;
+        }
+        let target = d.num_edges() as f64;
+        let rel = (mean_edges - target).abs() / target;
+        assert!(rel < 0.08, "mean edges {mean_edges} target {target}");
+    }
+
+    #[test]
+    fn per_pair_inclusion_frequency_matches_bernoulli() {
+        // Edge skipping must be *distributionally identical* to flipping an
+        // independent coin per candidate pair: over many seeds, every pair's
+        // inclusion frequency concentrates on p.
+        let d = dist(&[(1, 8)]);
+        let mut probs = ProbMatrix::new(1);
+        let p = 0.3;
+        probs.set(0, 0, p);
+        let trials = 4000u64;
+        let pairs = 8 * 7 / 2;
+        let mut counts = std::collections::HashMap::new();
+        for s in 0..trials {
+            let g = generate(&probs, &d, s);
+            for e in g.edges() {
+                *counts.entry(e.key()).or_insert(0u64) += 1;
+            }
+        }
+        assert_eq!(counts.len(), pairs, "every pair must be reachable");
+        let sigma = (p * (1.0 - p) / trials as f64).sqrt();
+        for (&key, &c) in &counts {
+            let freq = c as f64 / trials as f64;
+            assert!(
+                (freq - p).abs() < 5.0 * sigma,
+                "pair {key:x}: freq {freq} vs p {p}"
+            );
+        }
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn prop_output_simple_and_in_range(
+                classes in proptest::collection::btree_map(1u32..20, 1u64..30, 1..5),
+                seed in any::<u64>()
+            ) {
+                let pairs: Vec<(u32, u64)> = classes.into_iter().collect();
+                let d = DegreeDistribution::from_pairs_relaxed(pairs).unwrap();
+                let probs = genprob::heuristic_probabilities(&d);
+                let g = generate(&probs, &d, seed);
+                prop_assert!(g.is_simple());
+                let n = d.num_vertices() as u32;
+                for e in g.edges() {
+                    prop_assert!(e.v() < n);
+                }
+            }
+
+            #[test]
+            fn prop_er_edge_count_within_bounds(
+                n in 2u64..200, p_milli in 0u64..=1000, seed in any::<u64>()
+            ) {
+                let p = p_milli as f64 / 1000.0;
+                let g = erdos_renyi(n, p, seed);
+                prop_assert!(g.is_simple());
+                prop_assert!(g.len() as u64 <= n * (n - 1) / 2);
+                if p >= 1.0 {
+                    prop_assert_eq!(g.len() as u64, n * (n - 1) / 2);
+                }
+                if p <= 0.0 {
+                    prop_assert!(g.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_ids_respect_class_blocks() {
+        let d = dist(&[(1, 10), (2, 10)]);
+        let mut p = ProbMatrix::new(2);
+        p.set(0, 0, 1.0);
+        let g = generate(&p, &d, 3);
+        // Only class-0 pairs: all ids < 10.
+        for e in g.edges() {
+            assert!(e.v() < 10);
+        }
+        assert_eq!(g.len(), 45);
+    }
+}

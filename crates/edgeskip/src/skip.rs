@@ -1,0 +1,226 @@
+//! Geometric skip sampling and triangular index decoding — the inner loop of
+//! Algorithm IV.2.
+
+use parutil::rng::Xoshiro256pp;
+
+/// Iterator-style sampler over a Bernoulli(`p`) process on positions
+/// `1, 2, 3, ...`: instead of flipping a coin per position it draws the gap
+/// to the next success from the geometric distribution,
+/// `l = ⌊ln(r) / ln(1 − p)⌋` with `r` uniform in `(0, 1]`.
+#[derive(Clone, Copy, Debug)]
+pub struct SkipSampler {
+    p: f64,
+    /// Precomputed `ln(1 − p)`; `0` means `p <= 0` (never select),
+    /// `-inf` means `p >= 1` (select everything).
+    log_q: f64,
+}
+
+impl SkipSampler {
+    /// Create a sampler for success probability `p` (clamped to `[0, 1]`).
+    pub fn new(p: f64) -> Self {
+        let p = p.clamp(0.0, 1.0);
+        // ln_1p keeps precision for small p, where ln(1 - p) ≈ -p.
+        let log_q = if p <= 0.0 {
+            0.0
+        } else if p >= 1.0 {
+            f64::NEG_INFINITY
+        } else {
+            (-p).ln_1p()
+        };
+        Self { p, log_q }
+    }
+
+    /// The success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Given the current position `x` (0 = before the first candidate),
+    /// return the next selected position `<= end`, or `None` when the
+    /// process leaves the range.
+    #[inline]
+    pub fn next_selected(&self, x: u64, end: u64, rng: &mut Xoshiro256pp) -> Option<u64> {
+        if self.p <= 0.0 || x >= end {
+            return None;
+        }
+        if self.p >= 1.0 {
+            return Some(x + 1);
+        }
+        let r = rng.next_f64_open();
+        let l = (r.ln() / self.log_q).floor();
+        // A huge skip can exceed u64; saturate past `end`.
+        if l >= (end - x) as f64 {
+            return None;
+        }
+        let next = x + l as u64 + 1;
+        (next <= end).then_some(next)
+    }
+}
+
+/// Invert the triangular enumeration of unordered pairs `(u, v)` with
+/// `u > v >= 0`, ordered `(1,0), (2,0), (2,1), (3,0), ...`: position `x`
+/// (1-based) maps to `u = ⌈(−1 + √(1 + 8x)) / 2⌉`, `v = x − u(u−1)/2 − 1`.
+///
+/// (The paper's Algorithm IV.2 line 21 prints `v = x − u·u²/2 − 1`, a typo
+/// for the triangular-number offset `u(u−1)/2`.) The floating-point square
+/// root is followed by an exact integer correction so the decode is valid
+/// for every `x` up to `2^63`.
+#[inline]
+pub fn triangular_decode(x: u64) -> (u64, u64) {
+    debug_assert!(x >= 1);
+    let mut u = ((-1.0 + (1.0 + 8.0 * x as f64).sqrt()) / 2.0).ceil() as u64;
+    // Correct f64 rounding: require tri(u-1) < x <= tri(u).
+    while u > 0 && tri(u - 1) >= x {
+        u -= 1;
+    }
+    while tri(u) < x {
+        u += 1;
+    }
+    let v = x - tri(u - 1) - 1;
+    (u, v)
+}
+
+/// `u`-th triangular number `u(u+1)/2`.
+#[inline]
+fn tri(u: u64) -> u64 {
+    u * (u + 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn triangular_decode_first_positions() {
+        assert_eq!(triangular_decode(1), (1, 0));
+        assert_eq!(triangular_decode(2), (2, 0));
+        assert_eq!(triangular_decode(3), (2, 1));
+        assert_eq!(triangular_decode(4), (3, 0));
+        assert_eq!(triangular_decode(5), (3, 1));
+        assert_eq!(triangular_decode(6), (3, 2));
+        assert_eq!(triangular_decode(7), (4, 0));
+    }
+
+    #[test]
+    fn triangular_decode_enumerates_all_pairs() {
+        // Decoding 1..=C(n,2) must yield every pair (u > v) exactly once.
+        let n = 60u64;
+        let total = n * (n - 1) / 2;
+        let mut seen = std::collections::HashSet::new();
+        for x in 1..=total {
+            let (u, v) = triangular_decode(x);
+            assert!(v < u && u < n, "x={x} -> ({u},{v})");
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len(), total as usize);
+    }
+
+    #[test]
+    fn triangular_decode_large_positions_exact() {
+        // Positions where f64 sqrt rounding matters.
+        for &x in &[
+            1u64 << 40,
+            (1u64 << 40) + 1,
+            (1u64 << 52) - 1,
+            1u64 << 52,
+            (1u64 << 60) + 12345,
+        ] {
+            let (u, v) = triangular_decode(x);
+            assert!(tri(u - 1) < x && x <= tri(u), "x={x} u={u}");
+            assert_eq!(v, x - tri(u - 1) - 1);
+            assert!(v < u);
+        }
+    }
+
+    #[test]
+    fn skip_p_one_selects_all() {
+        let s = SkipSampler::new(1.0);
+        let mut rng = Xoshiro256pp::new(1);
+        let mut x = 0;
+        let mut selected = Vec::new();
+        while let Some(next) = s.next_selected(x, 10, &mut rng) {
+            x = next;
+            selected.push(next);
+        }
+        assert_eq!(selected, (1..=10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn skip_p_zero_selects_none() {
+        let s = SkipSampler::new(0.0);
+        let mut rng = Xoshiro256pp::new(1);
+        assert_eq!(s.next_selected(0, 1_000_000, &mut rng), None);
+    }
+
+    #[test]
+    fn skip_matches_bernoulli_rate() {
+        for &p in &[0.01f64, 0.1, 0.5, 0.9] {
+            let s = SkipSampler::new(p);
+            let mut rng = Xoshiro256pp::new(99);
+            let end = 200_000u64;
+            let mut x = 0;
+            let mut count = 0u64;
+            while let Some(next) = s.next_selected(x, end, &mut rng) {
+                x = next;
+                count += 1;
+            }
+            let rate = count as f64 / end as f64;
+            let sigma = (p * (1.0 - p) / end as f64).sqrt();
+            assert!(
+                (rate - p).abs() < 5.0 * sigma.max(1e-4),
+                "p={p} rate={rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn skip_positions_strictly_increasing_and_bounded() {
+        let s = SkipSampler::new(0.2);
+        let mut rng = Xoshiro256pp::new(3);
+        let mut x = 0;
+        while let Some(next) = s.next_selected(x, 5000, &mut rng) {
+            assert!(next > x && next <= 5000);
+            x = next;
+        }
+    }
+
+    #[test]
+    fn skip_tiny_p_huge_space_no_overflow() {
+        let s = SkipSampler::new(1e-12);
+        let mut rng = Xoshiro256pp::new(5);
+        // Should terminate quickly (expected ~0.001 selections).
+        let mut x = 0;
+        let mut count = 0;
+        while let Some(next) = s.next_selected(x, 1_000_000, &mut rng) {
+            x = next;
+            count += 1;
+        }
+        assert!(count < 10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_triangular_decode_round_trips(x in 1u64..1_000_000_000) {
+            let (u, v) = triangular_decode(x);
+            prop_assert!(v < u);
+            prop_assert_eq!(tri(u - 1) + v + 1, x);
+        }
+
+        #[test]
+        fn prop_skip_within_bounds(p in 0.0f64..1.0, seed in any::<u64>()) {
+            let s = SkipSampler::new(p);
+            let mut rng = Xoshiro256pp::new(seed);
+            let mut x = 0;
+            for _ in 0..100 {
+                match s.next_selected(x, 1000, &mut rng) {
+                    Some(next) => {
+                        prop_assert!(next > x && next <= 1000);
+                        x = next;
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+}

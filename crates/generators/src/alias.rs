@@ -1,0 +1,145 @@
+//! Alias-method sampling (Vose 1991) — `O(1)` per draw after `O(k)` setup.
+//!
+//! An ablation alternative to the cumulative binary search in
+//! [`crate::weights`]: the paper attributes part of the `O(m)` model's
+//! slowdown to the `O(log n)` per-draw search; the alias table removes that
+//! factor at the cost of table construction.
+
+use parutil::rng::Xoshiro256pp;
+
+/// Alias table over `k` outcomes with arbitrary nonnegative weights.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from weights. At least one weight must be positive.
+    pub fn new(weights: &[f64]) -> Self {
+        let k = weights.len();
+        assert!(k > 0, "alias table needs at least one outcome");
+        assert!(k <= u32::MAX as usize);
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && weights.iter().all(|&w| w >= 0.0),
+            "weights must be nonnegative with positive sum"
+        );
+        // Scale so the average cell mass is 1.
+        let scaled: Vec<f64> = weights.iter().map(|&w| w * k as f64 / total).collect();
+        let mut prob = vec![0.0f64; k];
+        let mut alias = vec![0u32; k];
+        let mut small: Vec<u32> = Vec::with_capacity(k);
+        let mut large: Vec<u32> = Vec::with_capacity(k);
+        let mut mass = scaled;
+        for (i, &m) in mass.iter().enumerate() {
+            if m < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let (s, l) = (small.pop().unwrap(), large.pop().unwrap());
+            prob[s as usize] = mass[s as usize];
+            alias[s as usize] = l;
+            mass[l as usize] = (mass[l as usize] + mass[s as usize]) - 1.0;
+            if mass[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: both stacks drain to cells of mass ~1.
+        for s in small.into_iter().chain(large) {
+            prob[s as usize] = 1.0;
+            alias[s as usize] = s;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` when the table has no outcomes (never: construction requires
+    /// at least one).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome index.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> u32 {
+        let i = rng.next_below(self.prob.len() as u64) as usize;
+        if rng.next_f64() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[5.0]);
+        let mut rng = Xoshiro256pp::new(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn matches_weights_chi_square() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights);
+        let mut rng = Xoshiro256pp::new(42);
+        let trials = 200_000u64;
+        let mut counts = [0u64; 4];
+        for _ in 0..trials {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        let chi2: f64 = counts
+            .iter()
+            .zip(&weights)
+            .map(|(&c, &w)| {
+                let e = trials as f64 * w / total;
+                let d = c as f64 - e;
+                d * d / e
+            })
+            .sum();
+        // 3 degrees of freedom, 99.9th percentile ≈ 16.3.
+        assert!(chi2 < 16.3, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn zero_weight_outcome_never_drawn() {
+        let t = AliasTable::new(&[1.0, 0.0, 1.0]);
+        let mut rng = Xoshiro256pp::new(9);
+        for _ in 0..50_000 {
+            assert_ne!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn extreme_skew() {
+        let t = AliasTable::new(&[1.0, 1e6]);
+        let mut rng = Xoshiro256pp::new(5);
+        let trials = 100_000;
+        let zeros = (0..trials).filter(|_| t.sample(&mut rng) == 0).count();
+        // Expected rate 1e-6; allow up to a handful.
+        assert!(zeros < 10, "zeros = {zeros}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn all_zero_rejected() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,71 @@
+//! The Bernoulli Chung-Lu baseline — "O(n²) edgeskip" in the paper's plots.
+//!
+//! Evaluate every vertex pair once with the (capped) closed-form Chung-Lu
+//! probability `min(1, d_u·d_v / 2m)`, realized in `O(m)` work via edge
+//! skipping. Simple by construction, but the cap and the closed form's bias
+//! mean the output degree distribution misses the target on skewed inputs —
+//! the gap the paper's probability-generation heuristic closes.
+
+use genprob::chung_lu_probabilities;
+use graphcore::{DegreeDistribution, EdgeList};
+
+/// Generate a simple graph from capped closed-form Chung-Lu probabilities
+/// via parallel edge skipping.
+pub fn bernoulli_edgeskip(dist: &DegreeDistribution, seed: u64) -> EdgeList {
+    let probs = chung_lu_probabilities(dist, true);
+    edgeskip::generate(&probs, dist, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(pairs: &[(u32, u64)]) -> DegreeDistribution {
+        DegreeDistribution::from_pairs(pairs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn always_simple() {
+        let d = dist(&[(1, 100), (50, 4)]);
+        for s in 0..5 {
+            assert!(bernoulli_edgeskip(&d, s).is_simple(), "seed {s}");
+        }
+    }
+
+    #[test]
+    fn flat_distribution_edge_count_close() {
+        let d = dist(&[(4, 2000)]);
+        let runs = 10;
+        let mean: f64 = (0..runs)
+            .map(|s| bernoulli_edgeskip(&d, s).len() as f64)
+            .sum::<f64>()
+            / runs as f64;
+        let target = d.num_edges() as f64;
+        // Uncapped flat distribution: expectation ≈ m (up to the -P_jj term).
+        let rel = (mean - target).abs() / target;
+        assert!(rel < 0.05, "mean {mean} target {target}");
+    }
+
+    #[test]
+    fn skewed_distribution_undershoots() {
+        // Capping P at 1 discards probability mass, so heavy-tailed targets
+        // lose edges — exactly the bias the paper's Fig. 3 shows.
+        let d = dist(&[(1, 200), (100, 4)]);
+        let runs = 10;
+        let mean: f64 = (0..runs)
+            .map(|s| bernoulli_edgeskip(&d, s).len() as f64)
+            .sum::<f64>()
+            / runs as f64;
+        assert!(
+            mean < d.num_edges() as f64,
+            "expected undershoot, mean {mean} target {}",
+            d.num_edges()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = dist(&[(2, 50), (4, 25)]);
+        assert_eq!(bernoulli_edgeskip(&d, 9), bernoulli_edgeskip(&d, 9));
+    }
+}

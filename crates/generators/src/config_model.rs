@@ -1,0 +1,111 @@
+//! The configuration model (Molloy & Reed \[24\]) and its rejection-sampling
+//! "repeated" variant.
+//!
+//! Stub matching: expand every vertex into `deg(v)` stubs, randomly permute
+//! the stub list (parallel Shun et al. shuffle), and pair consecutive stubs.
+//! The result realizes the degree sequence **exactly** but is a loopy
+//! multigraph; the repeated variant redraws until a simple graph appears,
+//! which the paper notes becomes hopeless as skew grows (the expected number
+//! of violations exceeds one).
+
+use graphcore::{DegreeDistribution, Edge, EdgeList};
+use parutil::permute::parallel_permute;
+use parutil::rng::mix64;
+
+/// One configuration-model draw: exact degree sequence, possibly non-simple.
+pub fn configuration_model(dist: &DegreeDistribution, seed: u64) -> EdgeList {
+    let n = dist.num_vertices();
+    assert!(n < u32::MAX as u64);
+    // Stub list under the canonical class layout.
+    let mut stubs: Vec<u32> = Vec::with_capacity(dist.stub_sum() as usize);
+    let offsets = dist.class_offsets();
+    for (c, (&d, &count)) in dist.degrees().iter().zip(dist.counts()).enumerate() {
+        for v in offsets[c]..offsets[c] + count {
+            for _ in 0..d {
+                stubs.push(v as u32);
+            }
+        }
+    }
+    parallel_permute(&mut stubs, seed);
+    let edges: Vec<Edge> = stubs
+        .chunks_exact(2)
+        .map(|pair| Edge::new(pair[0], pair[1]))
+        .collect();
+    EdgeList::from_edges(n as usize, edges)
+}
+
+/// Redraw the configuration model until the output is simple, up to
+/// `max_tries` attempts. Returns the graph and the number of attempts used,
+/// or `None` if every attempt contained a violation.
+pub fn repeated_configuration(
+    dist: &DegreeDistribution,
+    seed: u64,
+    max_tries: usize,
+) -> Option<(EdgeList, usize)> {
+    for t in 0..max_tries {
+        let g = configuration_model(dist, mix64(seed ^ t as u64));
+        if g.is_simple() {
+            return Some((g, t + 1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dist(pairs: &[(u32, u64)]) -> DegreeDistribution {
+        DegreeDistribution::from_pairs(pairs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn exact_degree_sequence() {
+        let d = dist(&[(1, 10), (2, 5), (4, 5)]);
+        let g = configuration_model(&d, 7);
+        assert_eq!(g.degree_distribution(), d);
+        assert_eq!(g.len() as u64, d.num_edges());
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = dist(&[(2, 20)]);
+        assert_eq!(configuration_model(&d, 1), configuration_model(&d, 1));
+    }
+
+    #[test]
+    fn repeated_eventually_simple_on_sparse() {
+        let d = dist(&[(2, 100)]);
+        let (g, tries) = repeated_configuration(&d, 5, 200).expect("sparse should succeed");
+        assert!(g.is_simple());
+        assert!(tries >= 1);
+        assert_eq!(g.degree_distribution(), d);
+    }
+
+    #[test]
+    fn repeated_gives_up_on_forced_violation() {
+        // Two vertices of degree 2 can only realize as a doubled edge or
+        // self loops — never simple.
+        let d = dist(&[(2, 2)]);
+        assert!(repeated_configuration(&d, 1, 50).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_degrees_always_exact(
+            pairs in proptest::collection::btree_map(1u32..8, 1u64..12, 1..5),
+            seed in any::<u64>()
+        ) {
+            let mut pairs: Vec<(u32, u64)> = pairs.into_iter().collect();
+            let stub: u64 = pairs.iter().map(|&(d, c)| d as u64 * c).sum();
+            if !stub.is_multiple_of(2) {
+                let idx = pairs.iter().position(|&(d, _)| d % 2 == 1).unwrap();
+                pairs[idx].1 += 1;
+            }
+            let d = DegreeDistribution::from_pairs(pairs).unwrap();
+            let g = configuration_model(&d, seed);
+            prop_assert_eq!(g.degree_distribution(), d);
+        }
+    }
+}

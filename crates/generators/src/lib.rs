@@ -1,0 +1,49 @@
+//! Baseline random-graph generators the paper evaluates against
+//! (Section VIII):
+//!
+//! * [`chung_lu::chung_lu_om`] — the `O(m)` Chung-Lu model: `2m` weighted
+//!   endpoint draws paired into edges; may emit self loops and multi-edges.
+//! * [`erased::erased_chung_lu`] — the erased configuration model: `O(m)`
+//!   output with violations discarded (simple, but distorts the degree
+//!   distribution — the paper's Fig. 2).
+//! * [`bernoulli::bernoulli_edgeskip`] — the "O(n²) edgeskip" baseline:
+//!   capped closed-form Chung-Lu probabilities realized by the edge-skipping
+//!   generator (simple by construction).
+//! * [`havel_hakimi::havel_hakimi`] — deterministic realization of a
+//!   graphical degree sequence; with many swap iterations it is the paper's
+//!   uniform-random reference generator (Milo et al. \[22\]).
+//! * [`config_model`] — the classic stub-matching configuration model and
+//!   its rejection-sampling "repeated" variant.
+//!
+//! Weighted endpoint sampling is provided by both a cumulative-sum binary
+//! search (`O(log n)` per draw — what the paper's timing discussion assumes)
+//! and an alias table (`O(1)` per draw — an ablation this workspace adds).
+
+//!
+//! # Example
+//!
+//! ```
+//! use graphcore::DegreeDistribution;
+//!
+//! let dist = DegreeDistribution::from_pairs(vec![(2, 50), (4, 25)]).unwrap();
+//! // Exact degree sequence, deterministic:
+//! let hh = generators::havel_hakimi(&dist).unwrap();
+//! assert_eq!(hh.degree_distribution(), dist);
+//! // Expectation-matching loopy multigraph:
+//! let cl = generators::chung_lu_om(&dist, 1);
+//! assert_eq!(cl.len() as u64, dist.num_edges());
+//! ```
+
+pub mod alias;
+pub mod bernoulli;
+pub mod chung_lu;
+pub mod config_model;
+pub mod erased;
+pub mod havel_hakimi;
+pub mod weights;
+
+pub use bernoulli::bernoulli_edgeskip;
+pub use chung_lu::{chung_lu_om, EndpointSampling};
+pub use config_model::{configuration_model, repeated_configuration};
+pub use erased::erased_chung_lu;
+pub use havel_hakimi::{havel_hakimi, havel_hakimi_sequence};

@@ -1,0 +1,198 @@
+//! Symmetric class-pair probability matrix with packed triangular storage.
+
+use graphcore::DegreeDistribution;
+use rayon::prelude::*;
+
+/// A symmetric `|D| × |D|` matrix of pairwise attachment probabilities over
+/// the degree classes of a [`DegreeDistribution`] (ascending class order).
+///
+/// Only the upper triangle (including the diagonal) is stored:
+/// `|D|(|D|+1)/2` entries, indexed so `get(a, b) == get(b, a)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbMatrix {
+    dcount: usize,
+    /// Packed upper triangle, row-major: row `a` holds `(a, a..dcount)`.
+    values: Vec<f64>,
+}
+
+impl ProbMatrix {
+    /// A zero matrix over `dcount` classes.
+    pub fn new(dcount: usize) -> Self {
+        Self {
+            dcount,
+            values: vec![0.0; dcount * (dcount + 1) / 2],
+        }
+    }
+
+    /// Number of degree classes.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.dcount
+    }
+
+    #[inline]
+    fn index(&self, a: usize, b: usize) -> usize {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        debug_assert!(b < self.dcount);
+        // Offset of row a in the packed triangle plus column offset.
+        a * self.dcount - a * (a + 1) / 2 + b
+    }
+
+    /// Probability between classes `a` and `b` (symmetric).
+    #[inline]
+    pub fn get(&self, a: usize, b: usize) -> f64 {
+        self.values[self.index(a, b)]
+    }
+
+    /// Set the probability between classes `a` and `b` (symmetric).
+    #[inline]
+    pub fn set(&mut self, a: usize, b: usize, p: f64) {
+        let idx = self.index(a, b);
+        self.values[idx] = p;
+    }
+
+    /// Accumulate into the probability between classes `a` and `b`.
+    #[inline]
+    pub fn add(&mut self, a: usize, b: usize, p: f64) {
+        let idx = self.index(a, b);
+        self.values[idx] += p;
+    }
+
+    /// Clamp every entry into `[0, 1]`.
+    pub fn clamp_unit(&mut self) {
+        self.values.par_iter_mut().for_each(|v| *v = v.clamp(0.0, 1.0));
+    }
+
+    /// Expected degree of a vertex in each class `j`:
+    /// `E_j = Σ_i n_i·P[j][i] − P[j][j]` (the paper's degree system; the
+    /// subtraction accounts for the vertex not attaching to itself).
+    #[allow(clippy::needless_range_loop)] // indexing two aligned arrays
+    pub fn expected_degrees(&self, dist: &DegreeDistribution) -> Vec<f64> {
+        assert_eq!(dist.num_classes(), self.dcount);
+        let counts = dist.counts();
+        (0..self.dcount)
+            .into_par_iter()
+            .map(|j| {
+                let mut e = 0.0;
+                for i in 0..self.dcount {
+                    e += counts[i] as f64 * self.get(j, i);
+                }
+                e - self.get(j, j)
+            })
+            .collect()
+    }
+
+    /// Expected number of edges a Bernoulli generator would realize:
+    /// `Σ_{a<b} n_a·n_b·P[a][b] + Σ_a C(n_a, 2)·P[a][a]`.
+    #[allow(clippy::needless_range_loop)] // indexing two aligned arrays
+    pub fn expected_edges(&self, dist: &DegreeDistribution) -> f64 {
+        assert_eq!(dist.num_classes(), self.dcount);
+        let counts = dist.counts();
+        let mut total = 0.0;
+        for a in 0..self.dcount {
+            let n_a = counts[a] as f64;
+            total += n_a * (n_a - 1.0) / 2.0 * self.get(a, a);
+            for b in a + 1..self.dcount {
+                total += n_a * counts[b] as f64 * self.get(a, b);
+            }
+        }
+        total
+    }
+
+    /// Largest entry (0 for an empty matrix).
+    pub fn max_value(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_get_set() {
+        let mut m = ProbMatrix::new(3);
+        m.set(0, 2, 0.5);
+        assert_eq!(m.get(0, 2), 0.5);
+        assert_eq!(m.get(2, 0), 0.5);
+        m.set(2, 0, 0.25);
+        assert_eq!(m.get(0, 2), 0.25);
+    }
+
+    #[test]
+    fn packed_indices_distinct() {
+        let n = 5;
+        let mut m = ProbMatrix::new(n);
+        let mut counter = 0.0;
+        for a in 0..n {
+            for b in a..n {
+                counter += 1.0;
+                m.set(a, b, counter);
+            }
+        }
+        let mut expect = 0.0;
+        for a in 0..n {
+            for b in a..n {
+                expect += 1.0;
+                assert_eq!(m.get(a, b), expect, "cell ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut m = ProbMatrix::new(2);
+        m.add(0, 1, 0.3);
+        m.add(1, 0, 0.4);
+        assert!((m.get(0, 1) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_unit_bounds() {
+        let mut m = ProbMatrix::new(2);
+        m.set(0, 0, 1.5);
+        m.set(0, 1, -0.5);
+        m.set(1, 1, 0.5);
+        m.clamp_unit();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(1, 1), 0.5);
+    }
+
+    #[test]
+    fn expected_degrees_complete_graph() {
+        // Single class, P = 1: expected degree of each vertex is n - 1.
+        let d = DegreeDistribution::from_pairs(vec![(3, 4)]).unwrap();
+        let mut m = ProbMatrix::new(1);
+        m.set(0, 0, 1.0);
+        let e = m.expected_degrees(&d);
+        assert_eq!(e, vec![3.0]);
+    }
+
+    #[test]
+    fn expected_edges_complete_graph() {
+        let d = DegreeDistribution::from_pairs(vec![(3, 4)]).unwrap();
+        let mut m = ProbMatrix::new(1);
+        m.set(0, 0, 1.0);
+        assert_eq!(m.expected_edges(&d), 6.0); // C(4,2)
+    }
+
+    #[test]
+    fn expected_edges_bipartite_like() {
+        let d = DegreeDistribution::from_pairs(vec![(2, 3), (3, 2)]).unwrap();
+        let mut m = ProbMatrix::new(2);
+        m.set(0, 1, 1.0);
+        assert_eq!(m.expected_edges(&d), 6.0); // 3 * 2 pairs
+        let e = m.expected_degrees(&d);
+        assert_eq!(e[0], 2.0); // class 0 vertex attaches to both class-1 vertices
+        assert_eq!(e[1], 3.0);
+    }
+
+    #[test]
+    fn max_value_works() {
+        let mut m = ProbMatrix::new(2);
+        assert_eq!(m.max_value(), 0.0);
+        m.set(1, 1, 0.75);
+        assert_eq!(m.max_value(), 0.75);
+    }
+}

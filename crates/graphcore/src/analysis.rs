@@ -1,0 +1,212 @@
+//! Whole-graph analyses used when judging null models: degree
+//! assortativity (Newman \[26\], one of the paper's motivating statistics),
+//! global clustering, and connected components.
+
+use crate::csr::Csr;
+use crate::edgelist::EdgeList;
+use rayon::prelude::*;
+
+/// Degree assortativity coefficient (Newman 2002): the Pearson correlation
+/// of the degrees at either end of an edge. Positive = assortative (hubs
+/// attach to hubs), negative = disassortative. Returns 0 for graphs with
+/// fewer than 2 edges or zero degree variance.
+///
+/// Self loops are skipped; multi-edges each count, matching the standard
+/// estimator on edge lists.
+pub fn assortativity(graph: &EdgeList) -> f64 {
+    let deg = graph.degree_sequence();
+    let degs = deg.degrees();
+    // Accumulate over edges: Newman's formula
+    //   r = [M⁻¹ Σ jᵢkᵢ − (M⁻¹ Σ ½(jᵢ+kᵢ))²] / [M⁻¹ Σ ½(jᵢ²+kᵢ²) − (M⁻¹ Σ ½(jᵢ+kᵢ))²]
+    let (m, sum_prod, sum_half, sum_half_sq) = graph
+        .edges()
+        .par_iter()
+        .filter(|e| !e.is_self_loop())
+        .map(|e| {
+            let j = degs[e.u() as usize] as f64;
+            let k = degs[e.v() as usize] as f64;
+            (1u64, j * k, 0.5 * (j + k), 0.5 * (j * j + k * k))
+        })
+        .reduce(
+            || (0, 0.0, 0.0, 0.0),
+            |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3),
+        );
+    if m < 2 {
+        return 0.0;
+    }
+    let inv_m = 1.0 / m as f64;
+    let mean = inv_m * sum_half;
+    let num = inv_m * sum_prod - mean * mean;
+    let den = inv_m * sum_half_sq - mean * mean;
+    if den.abs() < 1e-15 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Global clustering coefficient (transitivity): `3·triangles / wedges`,
+/// where a wedge is an ordered pair of distinct neighbors of a vertex.
+/// Requires a simple graph; returns 0 when there are no wedges.
+pub fn global_clustering(graph: &EdgeList) -> f64 {
+    let csr = Csr::from_edge_list(graph);
+    let triangles = csr.triangle_count();
+    let wedges: u64 = (0..graph.num_vertices() as u32)
+        .into_par_iter()
+        .map(|v| {
+            let d = csr.degree(v) as u64;
+            d.saturating_sub(1) * d / 2
+        })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / wedges as f64
+    }
+}
+
+/// Connected-component labelling via BFS. Returns `(labels, count)` where
+/// `labels[v]` identifies the component of `v` (isolated vertices get their
+/// own components).
+pub fn connected_components(graph: &EdgeList) -> (Vec<u32>, usize) {
+    let n = graph.num_vertices();
+    let csr = Csr::from_edge_list(graph);
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n as u32 {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        labels[start as usize] = count;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &w in csr.neighbors(v) {
+                if labels[w as usize] == u32::MAX {
+                    labels[w as usize] = count;
+                    queue.push_back(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (labels, count as usize)
+}
+
+/// Size of the largest connected component (0 for an empty graph).
+pub fn largest_component_size(graph: &EdgeList) -> usize {
+    let (labels, count) = connected_components(graph);
+    if count == 0 {
+        return 0;
+    }
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+/// Complementary cumulative degree distribution: for each distinct degree
+/// `d` (ascending), the fraction of vertices with degree `≥ d`.
+pub fn degree_ccdf(graph: &EdgeList) -> Vec<(u32, f64)> {
+    let dist = graph.degree_distribution();
+    let n = dist.num_vertices() as f64;
+    if n == 0.0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(dist.num_classes());
+    let mut remaining: u64 = dist.num_vertices();
+    for (&d, &c) in dist.degrees().iter().zip(dist.counts()) {
+        out.push((d, remaining as f64 / n));
+        remaining -= c;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star(n: u32) -> EdgeList {
+        EdgeList::from_pairs((1..n).map(|i| (0, i)))
+    }
+
+    #[test]
+    fn star_is_disassortative() {
+        let r = assortativity(&star(20));
+        assert!(r < -0.9, "star assortativity {r}");
+    }
+
+    #[test]
+    fn regular_graph_assortativity_degenerate() {
+        // A cycle: all degrees equal -> zero variance -> defined as 0.
+        let cycle = EdgeList::from_pairs((0..10).map(|i| (i, (i + 1) % 10)));
+        assert_eq!(assortativity(&cycle), 0.0);
+    }
+
+    #[test]
+    fn path_assortativity_negative() {
+        // Endpoints (degree 1) attach to interior (degree 2).
+        let path = EdgeList::from_pairs([(0, 1), (1, 2), (2, 3)]);
+        let r = assortativity(&path);
+        assert!(r < 0.0, "path assortativity {r}");
+    }
+
+    #[test]
+    fn clustering_triangle_is_one() {
+        let tri = EdgeList::from_pairs([(0, 1), (1, 2), (0, 2)]);
+        assert!((global_clustering(&tri) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_star_is_zero() {
+        assert_eq!(global_clustering(&star(10)), 0.0);
+    }
+
+    #[test]
+    fn clustering_k4_is_one() {
+        let k4 = EdgeList::from_pairs([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert!((global_clustering(&k4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn components_basic() {
+        let g = EdgeList::from_edges(
+            6,
+            vec![
+                crate::Edge::new(0, 1),
+                crate::Edge::new(1, 2),
+                crate::Edge::new(3, 4),
+            ],
+        );
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[3], labels[5]);
+        assert_eq!(largest_component_size(&g), 3);
+    }
+
+    #[test]
+    fn components_empty() {
+        let g = EdgeList::new(0);
+        assert_eq!(connected_components(&g).1, 0);
+        assert_eq!(largest_component_size(&g), 0);
+    }
+
+    #[test]
+    fn ccdf_shape() {
+        // Degrees: [1, 1, 2] -> ccdf: (1, 1.0), (2, 1/3).
+        let path = EdgeList::from_pairs([(0, 1), (1, 2)]);
+        let ccdf = degree_ccdf(&path);
+        assert_eq!(ccdf.len(), 2);
+        assert_eq!(ccdf[0], (1, 1.0));
+        assert!((ccdf[1].1 - 1.0 / 3.0).abs() < 1e-12);
+        // Monotone decreasing.
+        for w in ccdf.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

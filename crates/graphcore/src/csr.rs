@@ -1,0 +1,186 @@
+//! Compressed sparse row adjacency — the analysis-side representation.
+//!
+//! Generation and swapping work on edge lists; analyses (motif counting in
+//! the examples, neighborhood queries in tests) want adjacency. `Csr` stores
+//! both directions of every undirected edge with sorted neighbor lists, so
+//! `has_edge` is a binary search and triangle counting can use merge-style
+//! intersection.
+
+use crate::edgelist::EdgeList;
+use parutil::prefix::parallel_exclusive_prefix_sum;
+use rayon::prelude::*;
+
+/// Compressed sparse row adjacency structure for an undirected graph.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    neighbors: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from an edge list. Self loops are stored once per endpoint
+    /// occurrence; multi-edges appear with multiplicity.
+    pub fn from_edge_list(graph: &EdgeList) -> Self {
+        let n = graph.num_vertices();
+        let mut counts = vec![0u64; n];
+        for e in graph.edges() {
+            counts[e.u() as usize] += 1;
+            if !e.is_self_loop() {
+                counts[e.v() as usize] += 1;
+            }
+        }
+        let offsets = parallel_exclusive_prefix_sum(&counts);
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut neighbors = vec![0u32; offsets[n] as usize];
+        for e in graph.edges() {
+            let (u, v) = (e.u() as usize, e.v() as usize);
+            neighbors[cursor[u] as usize] = e.v();
+            cursor[u] += 1;
+            if u != v {
+                neighbors[cursor[v] as usize] = e.u();
+                cursor[v] += 1;
+            }
+        }
+        // Sort each adjacency list for binary-search lookups.
+        let mut ranges: Vec<(usize, usize)> = (0..n)
+            .map(|v| (offsets[v] as usize, offsets[v + 1] as usize))
+            .collect();
+        // Parallel per-vertex sorts; each range is disjoint.
+        let ptr = SendPtr(neighbors.as_mut_ptr());
+        ranges.par_iter_mut().for_each(|&mut (s, e)| {
+            let p = ptr;
+            // SAFETY: adjacency ranges are disjoint by construction.
+            let slice = unsafe { std::slice::from_raw_parts_mut(p.0.add(s), e - s) };
+            slice.sort_unstable();
+        });
+        Self { offsets, neighbors }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Degree of `v` (self loops count once here; use the edge list for the
+    /// loopy-multigraph convention).
+    pub fn degree(&self, v: u32) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Sorted neighbor list of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let s = self.offsets[v as usize] as usize;
+        let e = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[s..e]
+    }
+
+    /// `true` if an edge `{u, v}` exists.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Count triangles (3-cycles) in a **simple** graph via sorted-list
+    /// intersection over the edge orientation `u < v < w` (parallel over
+    /// vertices).
+    pub fn triangle_count(&self) -> u64 {
+        (0..self.num_vertices() as u32)
+            .into_par_iter()
+            .map(|u| {
+                let nu = self.neighbors(u);
+                let mut local = 0u64;
+                for &v in nu.iter().filter(|&&v| v > u) {
+                    // Intersect higher neighbors of u and v.
+                    let nv = self.neighbors(v);
+                    let (mut i, mut j) = (0, 0);
+                    while i < nu.len() && j < nv.len() {
+                        let (a, b) = (nu[i], nv[j]);
+                        if a <= v {
+                            i += 1;
+                            continue;
+                        }
+                        match a.cmp(&b) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                local += 1;
+                                i += 1;
+                                j += 1;
+                            }
+                        }
+                    }
+                }
+                local
+            })
+            .sum()
+    }
+}
+
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_with_tail() -> Csr {
+        Csr::from_edge_list(&EdgeList::from_pairs([(0, 1), (1, 2), (0, 2), (2, 3)]))
+    }
+
+    #[test]
+    fn adjacency_correct() {
+        let g = triangle_with_tail();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.neighbors(3), &[2]);
+        assert_eq!(g.degree(2), 3);
+    }
+
+    #[test]
+    fn has_edge_lookup() {
+        let g = triangle_with_tail();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn triangle_counts() {
+        assert_eq!(triangle_with_tail().triangle_count(), 1);
+        // K4 has 4 triangles.
+        let k4 = Csr::from_edge_list(&EdgeList::from_pairs([
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+        ]));
+        assert_eq!(k4.triangle_count(), 4);
+        // A path has none.
+        let path = Csr::from_edge_list(&EdgeList::from_pairs([(0, 1), (1, 2), (2, 3)]));
+        assert_eq!(path.triangle_count(), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edge_list(&EdgeList::new(3));
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.triangle_count(), 0);
+    }
+
+    #[test]
+    fn self_loop_stored_once() {
+        let g = Csr::from_edge_list(&EdgeList::from_pairs([(0, 0), (0, 1)]));
+        assert_eq!(g.neighbors(0), &[0, 1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+}

@@ -1,0 +1,429 @@
+//! Degree sequences and degree distributions.
+
+use parutil::hist::parallel_histogram;
+use serde::{Deserialize, Serialize};
+
+/// Per-vertex degrees: `degrees()[v]` is the degree of vertex `v`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegreeSequence {
+    degrees: Vec<u32>,
+}
+
+impl DegreeSequence {
+    /// Wrap a per-vertex degree vector.
+    pub fn new(degrees: Vec<u32>) -> Self {
+        Self { degrees }
+    }
+
+    /// Per-vertex degrees.
+    #[inline]
+    pub fn degrees(&self) -> &[u32] {
+        &self.degrees
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// `true` when there are no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.degrees.is_empty()
+    }
+
+    /// Sum of all degrees (`2m` for a realizing graph).
+    pub fn stub_sum(&self) -> u64 {
+        self.degrees.iter().map(|&d| d as u64).sum()
+    }
+
+    /// Number of edges a realizing graph would have; `None` when the degree
+    /// sum is odd (no graph exists).
+    pub fn num_edges(&self) -> Option<u64> {
+        let s = self.stub_sum();
+        s.is_multiple_of(2).then_some(s / 2)
+    }
+
+    /// Largest degree, or 0 for an empty sequence.
+    pub fn max_degree(&self) -> u32 {
+        self.degrees.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Compress into a [`DegreeDistribution`] (parallel histogram).
+    pub fn distribution(&self) -> DegreeDistribution {
+        let counts = parallel_histogram(&self.degrees);
+        let pairs: Vec<(u32, u64)> = counts
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .map(|(d, c)| (d as u32, c))
+            .collect();
+        // Measured sequences may have an odd stub sum (they are data, not
+        // generation targets), so skip the parity requirement.
+        DegreeDistribution::from_pairs_relaxed(pairs)
+            .expect("histogram output is sorted and unique")
+    }
+
+    /// Erdős–Gallai test: is some simple graph realizing this sequence?
+    ///
+    /// `O(n log n)` (dominated by the sort). A sequence is graphical iff the
+    /// degree sum is even and for every `k`:
+    /// `sum_{i<=k} d_i <= k(k-1) + sum_{i>k} min(d_i, k)`.
+    pub fn is_graphical(&self) -> bool {
+        let mut d: Vec<u32> = self.degrees.clone();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        let n = d.len();
+        if n == 0 {
+            return true;
+        }
+        if d[0] as usize >= n {
+            return false;
+        }
+        if !self.stub_sum().is_multiple_of(2) {
+            return false;
+        }
+        // Prefix sums of the sorted sequence.
+        let mut prefix = vec![0u64; n + 1];
+        for i in 0..n {
+            prefix[i + 1] = prefix[i] + d[i] as u64;
+        }
+        // For the right-hand side we need sum_{i>k} min(d_i, k). Since d is
+        // sorted descending, min(d_i, k) = k for i <= cut(k) and d_i beyond,
+        // where cut(k) = #{i : d_i > k}. Find cut by binary search.
+        for k in 1..=n {
+            let lhs = prefix[k];
+            // Number of entries after position k that are > k.
+            let cut = d.partition_point(|&x| x as usize > k).max(k);
+            let rhs = (k as u64) * (k as u64 - 1)
+                + (cut - k) as u64 * k as u64
+                + (prefix[n] - prefix[cut]);
+            if lhs > rhs {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A degree distribution `{(d_1, n_1), ..., (d_max, n_max)}`: `counts[i]`
+/// vertices have degree `degrees[i]`.
+///
+/// Classes are stored in **ascending degree order** and are unique; this is
+/// the canonical class layout used by the probability matrix (`genprob`) and
+/// the edge-skipping generator (`edgeskip`): class `c` owns the contiguous
+/// vertex-id block given by the exclusive prefix sum of `counts`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegreeDistribution {
+    degrees: Vec<u32>,
+    counts: Vec<u64>,
+}
+
+/// Error constructing a [`DegreeDistribution`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistributionError {
+    /// Degrees were not strictly ascending.
+    NotSorted,
+    /// A class had a zero vertex count.
+    ZeroCount,
+    /// The total stub count is odd, so no graph can realize the distribution.
+    OddStubSum,
+}
+
+impl std::fmt::Display for DistributionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotSorted => write!(f, "degree classes must be strictly ascending"),
+            Self::ZeroCount => write!(f, "degree classes must have nonzero counts"),
+            Self::OddStubSum => write!(f, "total degree sum must be even"),
+        }
+    }
+}
+
+impl std::error::Error for DistributionError {}
+
+impl DegreeDistribution {
+    /// Build from `(degree, count)` pairs (must be strictly ascending in
+    /// degree with positive counts and an even stub sum).
+    pub fn from_pairs(pairs: Vec<(u32, u64)>) -> Result<Self, DistributionError> {
+        if pairs.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err(DistributionError::NotSorted);
+        }
+        if pairs.iter().any(|&(_, c)| c == 0) {
+            return Err(DistributionError::ZeroCount);
+        }
+        let stub_sum: u64 = pairs.iter().map(|&(d, c)| d as u64 * c).sum();
+        if !stub_sum.is_multiple_of(2) {
+            return Err(DistributionError::OddStubSum);
+        }
+        let (degrees, counts) = pairs.into_iter().unzip();
+        Ok(Self { degrees, counts })
+    }
+
+    /// As [`DegreeDistribution::from_pairs`] but without the even-stub-sum
+    /// requirement. Distributions *measured* from data may be odd (and are
+    /// then simply not graphical); distributions used as generation targets
+    /// should go through [`DegreeDistribution::from_pairs`].
+    pub fn from_pairs_relaxed(pairs: Vec<(u32, u64)>) -> Result<Self, DistributionError> {
+        if pairs.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err(DistributionError::NotSorted);
+        }
+        if pairs.iter().any(|&(_, c)| c == 0) {
+            return Err(DistributionError::ZeroCount);
+        }
+        let (degrees, counts) = pairs.into_iter().unzip();
+        Ok(Self { degrees, counts })
+    }
+
+    /// Unique degrees, ascending.
+    #[inline]
+    pub fn degrees(&self) -> &[u32] {
+        &self.degrees
+    }
+
+    /// Vertex count per class, aligned with [`DegreeDistribution::degrees`].
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of distinct degrees, `|D|`.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Total vertex count `n`.
+    pub fn num_vertices(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total stub count `2m`.
+    pub fn stub_sum(&self) -> u64 {
+        self.degrees
+            .iter()
+            .zip(&self.counts)
+            .map(|(&d, &c)| d as u64 * c)
+            .sum()
+    }
+
+    /// Number of edges `m` in a realizing graph.
+    pub fn num_edges(&self) -> u64 {
+        self.stub_sum() / 2
+    }
+
+    /// Largest degree.
+    pub fn max_degree(&self) -> u32 {
+        self.degrees.last().copied().unwrap_or(0)
+    }
+
+    /// Mean degree.
+    pub fn avg_degree(&self) -> f64 {
+        let n = self.num_vertices();
+        if n == 0 {
+            0.0
+        } else {
+            self.stub_sum() as f64 / n as f64
+        }
+    }
+
+    /// Expand into a per-vertex sequence using the canonical class layout:
+    /// vertex ids are grouped by class in ascending degree order.
+    pub fn expand(&self) -> DegreeSequence {
+        let mut out = Vec::with_capacity(self.num_vertices() as usize);
+        for (&d, &c) in self.degrees.iter().zip(&self.counts) {
+            out.extend(std::iter::repeat_n(d, c as usize));
+        }
+        DegreeSequence::new(out)
+    }
+
+    /// Exclusive prefix sums of the class counts: class `c` owns vertex ids
+    /// `layout[c] .. layout[c + 1]` under the canonical layout.
+    pub fn class_offsets(&self) -> Vec<u64> {
+        parutil::prefix::parallel_exclusive_prefix_sum(&self.counts)
+    }
+
+    /// Index of the class with degree `d`, if present.
+    pub fn class_of_degree(&self, d: u32) -> Option<usize> {
+        self.degrees.binary_search(&d).ok()
+    }
+
+    /// Erdős–Gallai test on the distribution.
+    ///
+    /// By Tripathi & Vijay (2003) it suffices to check the Erdős–Gallai
+    /// inequality at the `k` values where the sorted sequence strictly
+    /// decreases — exactly the class boundaries — so this runs in
+    /// `O(|D|^2)` instead of `O(n)`.
+    pub fn is_graphical(&self) -> bool {
+        let dcount = self.num_classes();
+        if dcount == 0 {
+            return true;
+        }
+        if !self.stub_sum().is_multiple_of(2) {
+            return false;
+        }
+        let n = self.num_vertices();
+        if self.max_degree() as u64 >= n {
+            return false;
+        }
+        // Work in descending-degree order.
+        let deg: Vec<u64> = self.degrees.iter().rev().map(|&d| d as u64).collect();
+        let cnt: Vec<u64> = self.counts.iter().rev().copied().collect();
+        // Cumulative vertices and degree mass, descending.
+        let mut cum_n = vec![0u64; dcount + 1];
+        let mut cum_s = vec![0u64; dcount + 1];
+        for i in 0..dcount {
+            cum_n[i + 1] = cum_n[i] + cnt[i];
+            cum_s[i + 1] = cum_s[i] + deg[i] * cnt[i];
+        }
+        for b in 1..=dcount {
+            let k = cum_n[b]; // boundary position
+            let lhs = cum_s[b];
+            // RHS tail: sum over remaining vertices of min(d, k).
+            let mut tail = 0u64;
+            for j in b..dcount {
+                tail += cnt[j] * deg[j].min(k);
+            }
+            if lhs > k * (k - 1) + tail {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sequence_basics() {
+        let s = DegreeSequence::new(vec![2, 2, 2]);
+        assert_eq!(s.stub_sum(), 6);
+        assert_eq!(s.num_edges(), Some(3));
+        assert_eq!(s.max_degree(), 2);
+        assert!(s.is_graphical());
+    }
+
+    #[test]
+    fn odd_sum_has_no_edge_count() {
+        let s = DegreeSequence::new(vec![1, 1, 1]);
+        assert_eq!(s.num_edges(), None);
+        assert!(!s.is_graphical());
+    }
+
+    #[test]
+    fn graphical_known_cases() {
+        // Star K_{1,3}.
+        assert!(DegreeSequence::new(vec![3, 1, 1, 1]).is_graphical());
+        // Degree exceeding n-1.
+        assert!(!DegreeSequence::new(vec![4, 1, 1, 1]).is_graphical());
+        // Classic non-graphical even-sum sequence.
+        assert!(!DegreeSequence::new(vec![3, 3, 1, 1]).is_graphical());
+        // Complete graph K4.
+        assert!(DegreeSequence::new(vec![3, 3, 3, 3]).is_graphical());
+        // Empty.
+        assert!(DegreeSequence::new(vec![]).is_graphical());
+        // All zeros.
+        assert!(DegreeSequence::new(vec![0, 0]).is_graphical());
+    }
+
+    #[test]
+    fn distribution_round_trip() {
+        let s = DegreeSequence::new(vec![1, 2, 2, 3, 3, 3, 0]);
+        let dist = s.distribution();
+        assert_eq!(dist.degrees(), &[0, 1, 2, 3]);
+        assert_eq!(dist.counts(), &[1, 1, 2, 3]);
+        assert_eq!(dist.num_vertices(), 7);
+        assert_eq!(dist.stub_sum(), 14);
+        let expanded = dist.expand();
+        let mut orig = s.degrees().to_vec();
+        orig.sort_unstable();
+        assert_eq!(expanded.degrees(), &orig[..]);
+    }
+
+    #[test]
+    fn distribution_validation() {
+        assert_eq!(
+            DegreeDistribution::from_pairs(vec![(2, 1), (1, 2)]),
+            Err(DistributionError::NotSorted)
+        );
+        assert_eq!(
+            DegreeDistribution::from_pairs(vec![(1, 0)]),
+            Err(DistributionError::ZeroCount)
+        );
+        assert_eq!(
+            DegreeDistribution::from_pairs(vec![(1, 1), (2, 1)]),
+            Err(DistributionError::OddStubSum)
+        );
+        assert!(DegreeDistribution::from_pairs(vec![(1, 2), (2, 3)]).is_ok());
+    }
+
+    #[test]
+    fn class_offsets_layout() {
+        let dist = DegreeDistribution::from_pairs(vec![(1, 2), (2, 3), (4, 1)]).unwrap();
+        assert_eq!(dist.class_offsets(), vec![0, 2, 5, 6]);
+        assert_eq!(dist.class_of_degree(2), Some(1));
+        assert_eq!(dist.class_of_degree(3), None);
+    }
+
+    #[test]
+    fn distribution_graphical_matches_sequence() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![3, 1, 1, 1],
+            vec![3, 3, 1, 1],
+            vec![3, 3, 3, 3],
+            vec![2, 2, 2, 2, 2],
+            vec![5, 5, 4, 3, 2, 1],
+            vec![6, 5, 5, 4, 3, 2, 1],
+        ];
+        for degs in cases {
+            let seq = DegreeSequence::new(degs.clone());
+            if !seq.stub_sum().is_multiple_of(2) {
+                continue;
+            }
+            let dist = seq.distribution();
+            assert_eq!(
+                dist.is_graphical(),
+                seq.is_graphical(),
+                "mismatch on {degs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn avg_degree() {
+        let dist = DegreeDistribution::from_pairs(vec![(1, 2), (3, 2)]).unwrap();
+        assert!((dist.avg_degree() - 2.0).abs() < 1e-12);
+        assert_eq!(dist.num_edges(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distribution_graphical_equals_sequence(
+            degs in proptest::collection::vec(0u32..12, 1..40)
+        ) {
+            let seq = DegreeSequence::new(degs);
+            let dist = seq.distribution();
+            prop_assert_eq!(dist.is_graphical(), seq.is_graphical());
+        }
+
+        #[test]
+        fn prop_expand_round_trips(
+            pairs in proptest::collection::btree_map(1u32..30, 1u64..20, 1..10)
+        ) {
+            let mut pairs: Vec<(u32, u64)> = pairs.into_iter().collect();
+            // Fix parity by bumping a count.
+            let stub: u64 = pairs.iter().map(|&(d, c)| d as u64 * c).sum();
+            if !stub.is_multiple_of(2) {
+                // Find an odd-degree class and add one vertex to it.
+                let idx = pairs.iter().position(|&(d, _)| d % 2 == 1).unwrap();
+                pairs[idx].1 += 1;
+            }
+            let dist = DegreeDistribution::from_pairs(pairs).unwrap();
+            let back = dist.expand().distribution();
+            prop_assert_eq!(back, dist);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Undirected edges with canonical packing into 64-bit keys.
+
+/// An undirected edge between two vertices.
+///
+/// Stored in canonical order (`u <= v`) so that `{a, b}` and `{b, a}` compare
+/// equal and pack to the same key. Vertex ids must be `< u32::MAX` so the
+/// packed key never collides with the hash-table empty sentinel
+/// (`u64::MAX`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    u: u32,
+    v: u32,
+}
+
+impl Edge {
+    /// Create an edge; endpoints are canonicalized so `u() <= v()`.
+    #[inline]
+    pub fn new(a: u32, b: u32) -> Self {
+        debug_assert!(a < u32::MAX && b < u32::MAX, "vertex id reserved");
+        if a <= b {
+            Self { u: a, v: b }
+        } else {
+            Self { u: b, v: a }
+        }
+    }
+
+    /// Smaller endpoint.
+    #[inline]
+    pub fn u(&self) -> u32 {
+        self.u
+    }
+
+    /// Larger endpoint.
+    #[inline]
+    pub fn v(&self) -> u32 {
+        self.v
+    }
+
+    /// Both endpoints as a `(small, large)` pair.
+    #[inline]
+    pub fn endpoints(&self) -> (u32, u32) {
+        (self.u, self.v)
+    }
+
+    /// `true` when both endpoints coincide.
+    #[inline]
+    pub fn is_self_loop(&self) -> bool {
+        self.u == self.v
+    }
+
+    /// Pack into a 64-bit key: smaller endpoint in the high 32 bits.
+    ///
+    /// Because `u < u32::MAX`, the key is always `< u64::MAX`, the hash-table
+    /// empty sentinel.
+    #[inline]
+    pub fn key(&self) -> u64 {
+        ((self.u as u64) << 32) | self.v as u64
+    }
+
+    /// Inverse of [`Edge::key`].
+    #[inline]
+    pub fn from_key(key: u64) -> Self {
+        Self {
+            u: (key >> 32) as u32,
+            v: key as u32,
+        }
+    }
+
+    /// The two double-edge-swap outcomes for edge pair `(e, f)`
+    /// (Section II-B): `side = false` gives `{u,x},{v,y}`; `side = true`
+    /// gives `{u,y},{v,x}`.
+    #[inline]
+    pub fn swap_with(&self, other: &Edge, side: bool) -> (Edge, Edge) {
+        let (u, v) = self.endpoints();
+        let (x, y) = other.endpoints();
+        if side {
+            (Edge::new(u, y), Edge::new(v, x))
+        } else {
+            (Edge::new(u, x), Edge::new(v, y))
+        }
+    }
+}
+
+impl std::fmt::Display for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.u, self.v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn canonical_order() {
+        assert_eq!(Edge::new(3, 1), Edge::new(1, 3));
+        assert_eq!(Edge::new(3, 1).u(), 1);
+        assert_eq!(Edge::new(3, 1).v(), 3);
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        assert!(Edge::new(5, 5).is_self_loop());
+        assert!(!Edge::new(5, 6).is_self_loop());
+    }
+
+    #[test]
+    fn key_round_trip() {
+        let e = Edge::new(123_456, 789);
+        assert_eq!(Edge::from_key(e.key()), e);
+    }
+
+    #[test]
+    fn key_never_sentinel() {
+        let e = Edge::new(u32::MAX - 1, u32::MAX - 1);
+        assert_ne!(e.key(), u64::MAX);
+    }
+
+    #[test]
+    fn swap_preserves_degree_multiset() {
+        let e = Edge::new(1, 2);
+        let f = Edge::new(3, 4);
+        for side in [false, true] {
+            let (g, h) = e.swap_with(&f, side);
+            let mut before = vec![1, 2, 3, 4];
+            let mut after = vec![g.u(), g.v(), h.u(), h.v()];
+            before.sort_unstable();
+            after.sort_unstable();
+            assert_eq!(before, after);
+        }
+    }
+
+    #[test]
+    fn swap_sides_differ() {
+        let e = Edge::new(1, 2);
+        let f = Edge::new(3, 4);
+        let a = e.swap_with(&f, false);
+        let b = e.swap_with(&f, true);
+        assert_ne!(a, b);
+        assert_eq!(a.0, Edge::new(1, 3));
+        assert_eq!(a.1, Edge::new(2, 4));
+        assert_eq!(b.0, Edge::new(1, 4));
+        assert_eq!(b.1, Edge::new(2, 3));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_key_round_trip(a in 0u32..u32::MAX - 1, b in 0u32..u32::MAX - 1) {
+            let e = Edge::new(a, b);
+            prop_assert_eq!(Edge::from_key(e.key()), e);
+            prop_assert!(e.u() <= e.v());
+        }
+
+        #[test]
+        fn prop_swap_preserves_endpoint_multiset(
+            a in 0u32..1000, b in 0u32..1000, c in 0u32..1000, d in 0u32..1000, side in any::<bool>()
+        ) {
+            let e = Edge::new(a, b);
+            let f = Edge::new(c, d);
+            let (g, h) = e.swap_with(&f, side);
+            let mut before = [e.u(), e.v(), f.u(), f.v()];
+            let mut after = [g.u(), g.v(), h.u(), h.v()];
+            before.sort_unstable();
+            after.sort_unstable();
+            prop_assert_eq!(before, after);
+        }
+    }
+}

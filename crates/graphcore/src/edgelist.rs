@@ -1,0 +1,353 @@
+//! Edge lists — the working representation for generation and swapping.
+
+use crate::degree::{DegreeDistribution, DegreeSequence};
+use crate::edge::Edge;
+use rayon::prelude::*;
+use std::collections::HashSet;
+
+/// A multiset of undirected edges over vertices `0..num_vertices`.
+///
+/// The list may temporarily contain self loops and multi-edges (e.g. the
+/// output of the O(m) Chung-Lu baseline); [`EdgeList::is_simple`] and
+/// [`EdgeList::simplicity_report`] classify them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    edges: Vec<Edge>,
+    num_vertices: usize,
+}
+
+/// Counts of simplicity violations in an edge list.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimplicityReport {
+    /// Edges with identical endpoints.
+    pub self_loops: u64,
+    /// Extra copies beyond the first for each distinct vertex pair
+    /// (a pair appearing 3 times contributes 2).
+    pub multi_edges: u64,
+}
+
+impl SimplicityReport {
+    /// `true` when the list is a simple graph.
+    pub fn is_simple(&self) -> bool {
+        self.self_loops == 0 && self.multi_edges == 0
+    }
+}
+
+impl EdgeList {
+    /// An empty edge list over `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            edges: Vec::new(),
+            num_vertices,
+        }
+    }
+
+    /// Wrap an existing edge vector. `num_vertices` must exceed every
+    /// endpoint (checked in debug builds).
+    pub fn from_edges(num_vertices: usize, edges: Vec<Edge>) -> Self {
+        debug_assert!(edges
+            .iter()
+            .all(|e| (e.v() as usize) < num_vertices));
+        Self {
+            edges,
+            num_vertices,
+        }
+    }
+
+    /// Build from `(u, v)` pairs, inferring the vertex count from the largest
+    /// endpoint.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let edges: Vec<Edge> = pairs.into_iter().map(|(a, b)| Edge::new(a, b)).collect();
+        let num_vertices = edges
+            .iter()
+            .map(|e| e.v() as usize + 1)
+            .max()
+            .unwrap_or(0);
+        Self {
+            edges,
+            num_vertices,
+        }
+    }
+
+    /// Number of edges (counting multiplicities).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` when the list holds no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Number of vertices (`n`); isolated vertices are included.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Immutable view of the edges.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Mutable view of the edges (used by the swap kernel).
+    #[inline]
+    pub fn edges_mut(&mut self) -> &mut [Edge] {
+        &mut self.edges
+    }
+
+    /// Consume the list, returning the raw edge vector.
+    pub fn into_edges(self) -> Vec<Edge> {
+        self.edges
+    }
+
+    /// Append an edge.
+    pub fn push(&mut self, e: Edge) {
+        debug_assert!((e.v() as usize) < self.num_vertices);
+        self.edges.push(e);
+    }
+
+    /// Per-vertex degrees. Self loops contribute 2 to their vertex, matching
+    /// the standard convention for degree sequences of loopy multigraphs.
+    pub fn degree_sequence(&self) -> DegreeSequence {
+        let mut deg = vec![0u32; self.num_vertices];
+        for e in &self.edges {
+            deg[e.u() as usize] += 1;
+            deg[e.v() as usize] += 1;
+        }
+        DegreeSequence::new(deg)
+    }
+
+    /// The degree distribution of the current list.
+    pub fn degree_distribution(&self) -> DegreeDistribution {
+        self.degree_sequence().distribution()
+    }
+
+    /// Classify simplicity violations (parallel sort-based counting).
+    pub fn simplicity_report(&self) -> SimplicityReport {
+        let self_loops = self
+            .edges
+            .par_iter()
+            .filter(|e| e.is_self_loop())
+            .count() as u64;
+        let mut keys: Vec<u64> = self.edges.par_iter().map(|e| e.key()).collect();
+        keys.par_sort_unstable();
+        let duplicates = keys.windows(2).filter(|w| w[0] == w[1]).count() as u64;
+        // Duplicate self loops are counted once, as multi-edges.
+        SimplicityReport {
+            self_loops,
+            multi_edges: duplicates,
+        }
+    }
+
+    /// `true` when the list has no self loops or multi-edges.
+    pub fn is_simple(&self) -> bool {
+        if self.edges.iter().any(Edge::is_self_loop) {
+            return false;
+        }
+        let mut seen = HashSet::with_capacity(self.edges.len());
+        self.edges.iter().all(|e| seen.insert(e.key()))
+    }
+
+    /// Remove self loops and duplicate edges, keeping the first copy of each
+    /// pair — the "erasure" step of the erased configuration model \[8\].
+    ///
+    /// Returns the number of removed edges.
+    pub fn erase_violations(&mut self) -> usize {
+        let before = self.edges.len();
+        let mut seen = HashSet::with_capacity(self.edges.len());
+        self.edges
+            .retain(|e| !e.is_self_loop() && seen.insert(e.key()));
+        before - self.edges.len()
+    }
+
+    /// Largest endpoint in the list, or `None` when empty.
+    pub fn max_vertex(&self) -> Option<u32> {
+        self.edges.par_iter().map(|e| e.v()).max()
+    }
+
+    /// The subgraph induced by `vertices`: edges with both endpoints in the
+    /// set, relabeled to `0..vertices.len()` in the given order. Returns
+    /// the subgraph and the old-id-per-new-id mapping.
+    ///
+    /// Duplicate entries in `vertices` are rejected (panics in debug
+    /// builds, keeps the first occurrence otherwise).
+    pub fn induced_subgraph(&self, vertices: &[u32]) -> (EdgeList, Vec<u32>) {
+        let mut new_id = vec![u32::MAX; self.num_vertices];
+        for (k, &v) in vertices.iter().enumerate() {
+            debug_assert!(
+                new_id[v as usize] == u32::MAX,
+                "duplicate vertex {v} in induced_subgraph"
+            );
+            if new_id[v as usize] == u32::MAX {
+                new_id[v as usize] = k as u32;
+            }
+        }
+        let edges: Vec<Edge> = self
+            .edges
+            .iter()
+            .filter_map(|e| {
+                let u = new_id[e.u() as usize];
+                let v = new_id[e.v() as usize];
+                (u != u32::MAX && v != u32::MAX).then(|| Edge::new(u, v))
+            })
+            .collect();
+        (
+            EdgeList::from_edges(vertices.len(), edges),
+            vertices.to_vec(),
+        )
+    }
+}
+
+impl FromIterator<Edge> for EdgeList {
+    fn from_iter<I: IntoIterator<Item = Edge>>(iter: I) -> Self {
+        let edges: Vec<Edge> = iter.into_iter().collect();
+        let num_vertices = edges
+            .iter()
+            .map(|e| e.v() as usize + 1)
+            .max()
+            .unwrap_or(0);
+        Self {
+            edges,
+            num_vertices,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn triangle() -> EdgeList {
+        EdgeList::from_pairs([(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn basic_properties() {
+        let g = triangle();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.num_vertices(), 3);
+        assert!(g.is_simple());
+        assert_eq!(g.simplicity_report(), SimplicityReport::default());
+    }
+
+    #[test]
+    fn degree_sequence_triangle() {
+        let g = triangle();
+        assert_eq!(g.degree_sequence().degrees(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn self_loop_counts_twice_in_degree() {
+        let g = EdgeList::from_pairs([(0, 0), (0, 1)]);
+        assert_eq!(g.degree_sequence().degrees(), &[3, 1]);
+    }
+
+    #[test]
+    fn simplicity_report_counts() {
+        let g = EdgeList::from_pairs([(0, 1), (1, 0), (2, 2), (0, 1), (3, 4)]);
+        let r = g.simplicity_report();
+        assert_eq!(r.self_loops, 1);
+        assert_eq!(r.multi_edges, 2); // (0,1) appears 3x -> 2 extras
+        assert!(!r.is_simple());
+        assert!(!g.is_simple());
+    }
+
+    #[test]
+    fn erase_violations_produces_simple() {
+        let mut g = EdgeList::from_pairs([(0, 1), (1, 0), (2, 2), (0, 1), (3, 4)]);
+        let removed = g.erase_violations();
+        assert_eq!(removed, 3);
+        assert!(g.is_simple());
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.edges()[0], Edge::new(0, 1));
+        assert_eq!(g.edges()[1], Edge::new(3, 4));
+    }
+
+    #[test]
+    fn empty_list() {
+        let g = EdgeList::new(5);
+        assert!(g.is_empty());
+        assert!(g.is_simple());
+        assert_eq!(g.degree_sequence().degrees(), &[0, 0, 0, 0, 0]);
+        assert_eq!(g.max_vertex(), None);
+    }
+
+    #[test]
+    fn isolated_vertices_preserved() {
+        let g = EdgeList::from_edges(10, vec![Edge::new(0, 1)]);
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.degree_sequence().degrees().len(), 10);
+    }
+
+    #[test]
+    fn induced_subgraph_basic() {
+        // Triangle {0,1,2} + pendant 2-3.
+        let g = EdgeList::from_pairs([(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let (sub, mapping) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(mapping, vec![1, 2, 3]);
+        assert_eq!(sub.num_vertices(), 3);
+        // Edges (1,2) and (2,3) survive as (0,1) and (1,2).
+        assert_eq!(sub.len(), 2);
+        assert!(sub.edges().contains(&Edge::new(0, 1)));
+        assert!(sub.edges().contains(&Edge::new(1, 2)));
+    }
+
+    #[test]
+    fn induced_subgraph_empty_selection() {
+        let g = EdgeList::from_pairs([(0, 1)]);
+        let (sub, _) = g.induced_subgraph(&[]);
+        assert!(sub.is_empty());
+        assert_eq!(sub.num_vertices(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_induced_subgraph_degrees_bounded(
+            pairs in proptest::collection::vec((0u32..20, 0u32..20), 1..100),
+            take in 1usize..15
+        ) {
+            let g = EdgeList::from_pairs(pairs);
+            let n = g.num_vertices() as u32;
+            let selected: Vec<u32> = (0..n.min(take as u32)).collect();
+            let (sub, _) = g.induced_subgraph(&selected);
+            // Induced degrees never exceed original degrees.
+            let orig = g.degree_sequence();
+            let new = sub.degree_sequence();
+            for (k, &v) in selected.iter().enumerate() {
+                prop_assert!(new.degrees()[k] <= orig.degrees()[v as usize]);
+            }
+        }
+
+        #[test]
+        fn prop_degree_sum_is_twice_edges(
+            pairs in proptest::collection::vec((0u32..50, 0u32..50), 0..200)
+        ) {
+            let g = EdgeList::from_pairs(pairs);
+            let total: u64 = g.degree_sequence().degrees().iter().map(|&d| d as u64).sum();
+            prop_assert_eq!(total, 2 * g.len() as u64);
+        }
+
+        #[test]
+        fn prop_erase_makes_simple(
+            pairs in proptest::collection::vec((0u32..30, 0u32..30), 0..300)
+        ) {
+            let mut g = EdgeList::from_pairs(pairs);
+            g.erase_violations();
+            prop_assert!(g.is_simple());
+            prop_assert!(g.simplicity_report().is_simple());
+        }
+
+        #[test]
+        fn prop_report_agrees_with_is_simple(
+            pairs in proptest::collection::vec((0u32..20, 0u32..20), 0..150)
+        ) {
+            let g = EdgeList::from_pairs(pairs);
+            prop_assert_eq!(g.is_simple(), g.simplicity_report().is_simple());
+        }
+    }
+}

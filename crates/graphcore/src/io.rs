@@ -1,0 +1,171 @@
+//! Plain-text IO for edge lists and degree distributions.
+//!
+//! Formats match the de-facto conventions of SNAP-style datasets:
+//!
+//! * **edge list** — one `u v` pair per line, `#`-prefixed comment lines
+//!   ignored;
+//! * **degree distribution** — one `degree count` pair per line, ascending.
+
+use crate::degree::DegreeDistribution;
+use crate::edgelist::EdgeList;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Parse an edge list from a reader (whitespace-separated `u v` per line).
+pub fn read_edge_list(reader: impl io::Read) -> io::Result<EdgeList> {
+    let buf = io::BufReader::new(reader);
+    let mut pairs = Vec::new();
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<u32> {
+            tok.ok_or_else(|| bad_line(lineno))?
+                .parse::<u32>()
+                .map_err(|_| bad_line(lineno))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        pairs.push((u, v));
+    }
+    Ok(EdgeList::from_pairs(pairs))
+}
+
+/// Write an edge list (`u v` per line, canonical endpoint order).
+pub fn write_edge_list(graph: &EdgeList, writer: impl io::Write) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# {} vertices, {} edges", graph.num_vertices(), graph.len())?;
+    for e in graph.edges() {
+        writeln!(w, "{} {}", e.u(), e.v())?;
+    }
+    w.flush()
+}
+
+/// Read an edge list from a file path.
+pub fn load_edge_list(path: impl AsRef<Path>) -> io::Result<EdgeList> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Write an edge list to a file path.
+pub fn save_edge_list(graph: &EdgeList, path: impl AsRef<Path>) -> io::Result<()> {
+    write_edge_list(graph, std::fs::File::create(path)?)
+}
+
+/// Parse a degree distribution (`degree count` per line).
+pub fn read_distribution(reader: impl io::Read) -> io::Result<DegreeDistribution> {
+    let buf = io::BufReader::new(reader);
+    let mut pairs = Vec::new();
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let d: u32 = it
+            .next()
+            .ok_or_else(|| bad_line(lineno))?
+            .parse()
+            .map_err(|_| bad_line(lineno))?;
+        let c: u64 = it
+            .next()
+            .ok_or_else(|| bad_line(lineno))?
+            .parse()
+            .map_err(|_| bad_line(lineno))?;
+        pairs.push((d, c));
+    }
+    DegreeDistribution::from_pairs(pairs)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Write a degree distribution (`degree count` per line).
+pub fn write_distribution(dist: &DegreeDistribution, writer: impl io::Write) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# {} vertices, {} edges, {} classes",
+        dist.num_vertices(),
+        dist.num_edges(),
+        dist.num_classes()
+    )?;
+    for (&d, &c) in dist.degrees().iter().zip(dist.counts()) {
+        writeln!(w, "{d} {c}")?;
+    }
+    w.flush()
+}
+
+/// Read a degree distribution from a file path.
+pub fn load_distribution(path: impl AsRef<Path>) -> io::Result<DegreeDistribution> {
+    read_distribution(std::fs::File::open(path)?)
+}
+
+/// Write a degree distribution to a file path.
+pub fn save_distribution(dist: &DegreeDistribution, path: impl AsRef<Path>) -> io::Result<()> {
+    write_distribution(dist, std::fs::File::create(path)?)
+}
+
+fn bad_line(lineno: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed input at line {}", lineno + 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = EdgeList::from_pairs([(0, 1), (1, 2), (0, 2)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn edge_list_skips_comments_and_blanks() {
+        let text = "# header\n\n0 1\n  2 3  \n# trailing\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.num_vertices(), 4);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list("0 x\n".as_bytes()).is_err());
+        assert!(read_edge_list("0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn distribution_round_trip() {
+        let dist = DegreeDistribution::from_pairs(vec![(1, 2), (2, 3), (4, 1)]).unwrap();
+        let mut buf = Vec::new();
+        write_distribution(&dist, &mut buf).unwrap();
+        let back = read_distribution(&buf[..]).unwrap();
+        assert_eq!(back, dist);
+    }
+
+    #[test]
+    fn distribution_path_helpers() {
+        let dir = std::env::temp_dir().join("graphcore_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dist.txt");
+        let dist = DegreeDistribution::from_pairs(vec![(2, 4), (3, 2)]).unwrap();
+        save_distribution(&dist, &path).unwrap();
+        assert_eq!(load_distribution(&path).unwrap(), dist);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn distribution_rejects_invalid() {
+        // Odd stub sum.
+        assert!(read_distribution("1 1\n".as_bytes()).is_err());
+        // Out of order.
+        assert!(read_distribution("2 1\n1 2\n".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Core graph data structures and quality metrics for null-graph-model
+//! generation.
+//!
+//! The paper's algorithms operate on three representations:
+//!
+//! * an [`edgelist::EdgeList`] — the working representation for
+//!   generation and double-edge swapping;
+//! * a [`degree::DegreeSequence`] — per-vertex degrees;
+//! * a [`degree::DegreeDistribution`] — the compressed
+//!   `{(d_1, n_1), ..., (d_max, n_max)}` form the generator consumes
+//!   (Section IV of the paper).
+//!
+//! [`metrics`] implements everything the evaluation section measures: Gini
+//! coefficient, edge-count / max-degree error (Fig. 3), per-degree output
+//! error (Fig. 2), and the empirical pairwise degree-class attachment
+//! probability matrices compared by L1 norm (Figs. 1 and 4).
+
+//!
+//! # Example
+//!
+//! ```
+//! use graphcore::{DegreeDistribution, EdgeList};
+//! use graphcore::metrics::gini;
+//!
+//! let g = EdgeList::from_pairs([(0, 1), (1, 2), (0, 2), (0, 3)]);
+//! assert!(g.is_simple());
+//! let dist = g.degree_distribution();
+//! assert_eq!(dist.num_edges(), 4);
+//! assert!(dist.is_graphical());
+//! assert!(gini(&g.degree_sequence()) > 0.0);
+//! ```
+
+pub mod analysis;
+pub mod csr;
+pub mod degree;
+pub mod edge;
+pub mod edgelist;
+pub mod io;
+pub mod metrics;
+
+pub use degree::{DegreeDistribution, DegreeSequence};
+pub use edge::Edge;
+pub use edgelist::EdgeList;

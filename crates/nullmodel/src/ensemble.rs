@@ -1,0 +1,200 @@
+//! Null-model ensembles and significance testing.
+//!
+//! The end product of null-model generation is almost always an *ensemble*:
+//! many independent uniform samples against which an observed statistic is
+//! scored (motif z-scores, modularity significance, assortativity
+//! baselines — the applications the paper's introduction lists). This
+//! module packages that workflow.
+
+use crate::{generate_from_edge_list, GeneratorConfig};
+use graphcore::{DegreeDistribution, EdgeList};
+use parutil::rng::mix64;
+
+/// Generate `count` independent uniform samples from a degree distribution
+/// (each sample uses a distinct derived seed).
+pub fn ensemble_from_distribution(
+    dist: &DegreeDistribution,
+    cfg: &GeneratorConfig,
+    count: usize,
+) -> Vec<EdgeList> {
+    (0..count)
+        .map(|k| {
+            let sub = GeneratorConfig {
+                seed: mix64(cfg.seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                ..cfg.clone()
+            };
+            crate::generate_from_distribution(dist, &sub).graph
+        })
+        .collect()
+}
+
+/// Generate `count` independent uniform mixes of an observed edge list
+/// (the exact-degree-sequence null space, paper problem 1).
+pub fn ensemble_from_edge_list(
+    observed: &EdgeList,
+    cfg: &GeneratorConfig,
+    count: usize,
+) -> Vec<EdgeList> {
+    (0..count)
+        .map(|k| {
+            let mut g = observed.clone();
+            let sub = GeneratorConfig {
+                seed: mix64(cfg.seed ^ (k as u64).wrapping_mul(0xA076_1D64_78BD_642F)),
+                ..cfg.clone()
+            };
+            generate_from_edge_list(&mut g, &sub);
+            g
+        })
+        .collect()
+}
+
+/// Summary of an observed statistic against a null ensemble.
+#[derive(Clone, Copy, Debug)]
+pub struct SignificanceReport {
+    /// The observed value.
+    pub observed: f64,
+    /// Ensemble mean.
+    pub null_mean: f64,
+    /// Ensemble standard deviation (sample, `n-1`).
+    pub null_sd: f64,
+    /// `(observed − mean) / sd`; 0 when the ensemble is degenerate.
+    pub z_score: f64,
+    /// Two-sided empirical p-value: fraction of null samples at least as
+    /// extreme (in |x − mean|) as the observation, with the +1 smoothing
+    /// standard for permutation tests.
+    pub p_value: f64,
+}
+
+impl SignificanceReport {
+    /// Score `observed` against null statistic samples.
+    pub fn from_samples(observed: f64, null_samples: &[f64]) -> Self {
+        let n = null_samples.len();
+        if n < 2 {
+            return Self {
+                observed,
+                null_mean: null_samples.first().copied().unwrap_or(0.0),
+                null_sd: 0.0,
+                z_score: 0.0,
+                p_value: 1.0,
+            };
+        }
+        let mean = null_samples.iter().sum::<f64>() / n as f64;
+        let var = null_samples
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        let sd = var.sqrt();
+        let z = if sd > 0.0 { (observed - mean) / sd } else { 0.0 };
+        let dev = (observed - mean).abs();
+        let extreme = null_samples
+            .iter()
+            .filter(|&&x| (x - mean).abs() >= dev)
+            .count();
+        let p = (extreme + 1) as f64 / (n + 1) as f64;
+        Self {
+            observed,
+            null_mean: mean,
+            null_sd: sd,
+            z_score: z,
+            p_value: p,
+        }
+    }
+}
+
+/// Score a graph statistic of an observed network against its
+/// exact-degree-sequence null model: generates `count` uniform mixes and
+/// applies `statistic` to each.
+pub fn significance_against_null(
+    observed: &EdgeList,
+    statistic: impl Fn(&EdgeList) -> f64,
+    cfg: &GeneratorConfig,
+    count: usize,
+) -> SignificanceReport {
+    let obs_value = statistic(observed);
+    let nulls: Vec<f64> = ensemble_from_edge_list(observed, cfg, count)
+        .iter()
+        .map(&statistic)
+        .collect();
+    SignificanceReport::from_samples(obs_value, &nulls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::csr::Csr;
+
+    fn dist(pairs: &[(u32, u64)]) -> DegreeDistribution {
+        DegreeDistribution::from_pairs(pairs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn ensembles_are_distinct_and_simple() {
+        let d = dist(&[(2, 60), (4, 20)]);
+        let graphs = ensemble_from_distribution(&d, &GeneratorConfig::new(1), 4);
+        assert_eq!(graphs.len(), 4);
+        for g in &graphs {
+            assert!(g.is_simple());
+        }
+        assert_ne!(graphs[0], graphs[1]);
+        assert_ne!(graphs[1], graphs[2]);
+    }
+
+    #[test]
+    fn edge_list_ensemble_preserves_degrees() {
+        let d = dist(&[(2, 40), (3, 20)]);
+        let observed = generators::havel_hakimi(&d).unwrap();
+        let nulls = ensemble_from_edge_list(&observed, &GeneratorConfig::new(9), 3);
+        for g in &nulls {
+            assert_eq!(g.degree_distribution(), d);
+            assert!(g.is_simple());
+        }
+        assert_ne!(nulls[0], nulls[1]);
+    }
+
+    #[test]
+    fn significance_math() {
+        let r = SignificanceReport::from_samples(10.0, &[1.0, 2.0, 3.0]);
+        assert!((r.null_mean - 2.0).abs() < 1e-12);
+        assert!((r.null_sd - 1.0).abs() < 1e-12);
+        assert!((r.z_score - 8.0).abs() < 1e-12);
+        assert!(r.p_value <= 0.5);
+    }
+
+    #[test]
+    fn degenerate_ensembles() {
+        let r = SignificanceReport::from_samples(5.0, &[]);
+        assert_eq!(r.z_score, 0.0);
+        assert_eq!(r.p_value, 1.0);
+        let r = SignificanceReport::from_samples(5.0, &[5.0, 5.0, 5.0]);
+        assert_eq!(r.z_score, 0.0, "zero-variance null must not divide by 0");
+    }
+
+    #[test]
+    fn clustered_graph_triangle_significance() {
+        // Two K5s joined by a bridge: far more triangles than its null.
+        let mut pairs = Vec::new();
+        for block in 0..2u32 {
+            let base = block * 5;
+            for a in 0..5 {
+                for b in (a + 1)..5 {
+                    pairs.push((base + a, base + b));
+                }
+            }
+        }
+        pairs.push((0, 5));
+        let observed = EdgeList::from_pairs(pairs);
+        let report = significance_against_null(
+            &observed,
+            |g| Csr::from_edge_list(g).triangle_count() as f64,
+            &GeneratorConfig::new(3).with_swap_iterations(8),
+            30,
+        );
+        assert!(
+            report.z_score > 2.0,
+            "clustering should be significant: {report:?}"
+        );
+        assert!(report.observed > report.null_mean);
+        assert!(report.p_value < 0.2);
+    }
+}

@@ -1,0 +1,265 @@
+//! End-to-end parallel generation of simple, uniformly-random null graph
+//! models — the public API of this workspace and the paper's headline
+//! pipeline (Algorithm IV.1):
+//!
+//! ```text
+//! P  ← GenerateProbabilities({D, N})   // genprob, Section IV-A
+//! E  ← GenerateEdges(P, {D, N})        // edgeskip, Section IV-B
+//! E' ← SwapEdges(E)                    // swap,    Section III-A
+//! ```
+//!
+//! Two entry points cover the paper's two problems:
+//!
+//! * [`generate_from_distribution`] — problem 2: sample a uniformly-random
+//!   simple graph given only a degree distribution;
+//! * [`generate_from_edge_list`] — problem 1: uniformly mix an existing
+//!   edge list in place (degree sequence preserved exactly).
+//!
+//! [`uniform_reference`] reproduces the paper's baseline sampler
+//! (Havel-Hakimi + many swap iterations, after Milo et al.), and
+//! [`hierarchical`] implements Section VI's LFR-like layered generation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use graphcore::DegreeDistribution;
+//! use nullmodel::{generate_from_distribution, GeneratorConfig};
+//!
+//! // 300 vertices of degree 2, 100 of degree 4, 10 hubs of degree 20.
+//! let dist = DegreeDistribution::from_pairs(vec![(2, 300), (4, 100), (20, 10)]).unwrap();
+//! let out = generate_from_distribution(&dist, &GeneratorConfig::new(42));
+//! assert!(out.graph.is_simple());
+//! // The realized edge count matches the target in expectation.
+//! let m = out.graph.len() as f64;
+//! let target = dist.num_edges() as f64;
+//! assert!((m - target).abs() / target < 0.2);
+//! ```
+
+pub mod ensemble;
+pub mod hierarchical;
+pub mod phases;
+pub mod validate;
+
+pub use ensemble::{
+    ensemble_from_distribution, ensemble_from_edge_list, significance_against_null,
+    SignificanceReport,
+};
+pub use hierarchical::{generate_layered, generate_lfr, Layer, LfrConfig, LfrGraph};
+pub use phases::PhaseTimings;
+pub use validate::ValidationReport;
+
+use graphcore::{DegreeDistribution, EdgeList};
+use std::time::Instant;
+use swap::{SwapConfig, SwapStats};
+
+/// Configuration for the end-to-end generator.
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    /// Double-edge-swap iterations after edge generation. The paper observes
+    /// ~10 iterations suffice for empirical mixing on all test graphs
+    /// (Fig. 4); under 1% attachment-probability error typically needs ~5.
+    pub swap_iterations: usize,
+    /// RNG seed; the whole pipeline is reproducible for a fixed seed.
+    pub seed: u64,
+    /// Optional Sinkhorn refinement rounds applied to the §IV-A
+    /// probabilities before edge generation (0 = paper-faithful heuristic
+    /// only; a handful of rounds sharpens the expected degree match — an
+    /// extension the paper's Section IX leaves to future work).
+    pub refine_rounds: usize,
+    /// Track per-iteration simplicity violations during swaps (costly).
+    pub track_violations: bool,
+}
+
+impl GeneratorConfig {
+    /// Default configuration (10 swap iterations, no refinement).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            swap_iterations: 10,
+            seed,
+            refine_rounds: 0,
+            track_violations: false,
+        }
+    }
+
+    /// Set the swap iteration count.
+    pub fn with_swap_iterations(mut self, iterations: usize) -> Self {
+        self.swap_iterations = iterations;
+        self
+    }
+
+    /// Set the Sinkhorn refinement rounds.
+    pub fn with_refine_rounds(mut self, rounds: usize) -> Self {
+        self.refine_rounds = rounds;
+        self
+    }
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+/// Output of [`generate_from_distribution`].
+#[derive(Clone, Debug)]
+pub struct GeneratedGraph {
+    /// The generated simple graph.
+    pub graph: EdgeList,
+    /// Wall-clock time of each pipeline phase (the paper's Fig. 6).
+    pub timings: PhaseTimings,
+    /// Per-iteration swap statistics (mixing diagnostics, Fig. 4).
+    pub swap_stats: SwapStats,
+    /// Maximum relative residual of the probability matrix against the
+    /// degree system (how well the target is matched *in expectation*).
+    pub probability_residual: f64,
+}
+
+/// Generate a uniformly-random simple graph from a degree distribution
+/// (Algorithm IV.1). The output matches the distribution in expectation;
+/// it is always simple.
+pub fn generate_from_distribution(
+    dist: &DegreeDistribution,
+    cfg: &GeneratorConfig,
+) -> GeneratedGraph {
+    let mut timings = PhaseTimings::default();
+
+    let t0 = Instant::now();
+    let mut probs = genprob::heuristic_probabilities(dist);
+    let probability_residual = if cfg.refine_rounds > 0 {
+        genprob::sinkhorn_refine(&mut probs, dist, cfg.refine_rounds)
+    } else {
+        genprob::max_relative_residual(&probs, dist)
+    };
+    timings.probabilities = t0.elapsed();
+
+    let t1 = Instant::now();
+    let mut graph = edgeskip::generate(&probs, dist, parutil::rng::mix64(cfg.seed ^ 0xE5CE));
+    timings.edge_generation = t1.elapsed();
+
+    let t2 = Instant::now();
+    let mut swap_cfg = SwapConfig::new(cfg.swap_iterations, parutil::rng::mix64(cfg.seed ^ 0x5A9));
+    swap_cfg.track_violations = cfg.track_violations;
+    let swap_stats = swap::swap_edges(&mut graph, &swap_cfg);
+    timings.swapping = t2.elapsed();
+
+    GeneratedGraph {
+        graph,
+        timings,
+        swap_stats,
+        probability_residual,
+    }
+}
+
+/// Uniformly mix an existing edge list in place (the paper's problem 1).
+/// The degree sequence is preserved exactly; a simple input stays simple,
+/// and a non-simple input is progressively simplified.
+pub fn generate_from_edge_list(
+    graph: &mut EdgeList,
+    cfg: &GeneratorConfig,
+) -> (SwapStats, PhaseTimings) {
+    let mut timings = PhaseTimings::default();
+    let t = Instant::now();
+    let mut swap_cfg = SwapConfig::new(cfg.swap_iterations, parutil::rng::mix64(cfg.seed ^ 0x5A9));
+    swap_cfg.track_violations = cfg.track_violations;
+    let stats = swap::swap_edges(graph, &swap_cfg);
+    timings.swapping = t.elapsed();
+    (stats, timings)
+}
+
+/// The paper's uniform-random reference sampler: a Havel-Hakimi realization
+/// followed by `iterations` full swap sweeps (the paper uses 128). Returns
+/// `None` when the distribution is not graphical.
+pub fn uniform_reference(
+    dist: &DegreeDistribution,
+    iterations: usize,
+    seed: u64,
+) -> Option<EdgeList> {
+    let mut graph = generators::havel_hakimi(dist)?;
+    swap::swap_edges(&mut graph, &SwapConfig::new(iterations, seed));
+    Some(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::metrics::DistributionComparison;
+
+    fn dist(pairs: &[(u32, u64)]) -> DegreeDistribution {
+        DegreeDistribution::from_pairs(pairs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn pipeline_output_simple_and_close() {
+        let d = dist(&[(1, 400), (2, 150), (4, 60), (10, 12), (30, 4)]);
+        let out = generate_from_distribution(&d, &GeneratorConfig::new(1));
+        assert!(out.graph.is_simple());
+        let cmp = DistributionComparison::measure(&out.graph, &d);
+        assert!(cmp.edge_count_pct.abs() < 15.0, "{cmp:?}");
+        assert!(out.probability_residual < 0.3);
+        assert_eq!(out.swap_stats.iterations.len(), 10);
+    }
+
+    #[test]
+    fn refinement_tightens_expectation() {
+        let d = dist(&[(1, 400), (2, 150), (4, 60), (10, 12), (30, 4)]);
+        let plain = generate_from_distribution(&d, &GeneratorConfig::new(5));
+        let refined =
+            generate_from_distribution(&d, &GeneratorConfig::new(5).with_refine_rounds(20));
+        assert!(refined.probability_residual <= plain.probability_residual + 1e-12);
+    }
+
+    #[test]
+    fn edge_list_mixing_preserves_everything() {
+        let d = dist(&[(2, 100), (4, 30)]);
+        let mut g = generators::havel_hakimi(&d).unwrap();
+        let before = g.degree_distribution();
+        let (stats, _) = generate_from_edge_list(&mut g, &GeneratorConfig::new(9));
+        assert!(g.is_simple());
+        assert_eq!(g.degree_distribution(), before);
+        assert!(stats.total_successful() > 0);
+    }
+
+    #[test]
+    fn uniform_reference_works() {
+        let d = dist(&[(1, 40), (2, 20), (3, 10), (5, 2)]);
+        let g = uniform_reference(&d, 16, 3).unwrap();
+        assert!(g.is_simple());
+        assert_eq!(g.degree_distribution(), d);
+    }
+
+    #[test]
+    fn uniform_reference_rejects_non_graphical() {
+        // One vertex of huge degree with too few partners.
+        let d = DegreeDistribution::from_pairs(vec![(1, 2), (10, 2)]).unwrap();
+        assert!(!d.is_graphical());
+        assert!(uniform_reference(&d, 4, 1).is_none());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = dist(&[(2, 50), (4, 25)]);
+        let a = generate_from_distribution(&d, &GeneratorConfig::new(7));
+        let b = generate_from_distribution(&d, &GeneratorConfig::new(7));
+        assert_eq!(a.graph, b.graph);
+        let c = generate_from_distribution(&d, &GeneratorConfig::new(8));
+        assert_ne!(a.graph, c.graph);
+    }
+
+    #[test]
+    fn timings_populated() {
+        let d = dist(&[(2, 200), (6, 50)]);
+        let out = generate_from_distribution(&d, &GeneratorConfig::new(2));
+        // All phases ran; swap phase dominates per the paper's Fig. 6.
+        assert!(out.timings.total() >= out.timings.swapping);
+    }
+
+    #[test]
+    fn zero_swap_iterations_still_simple() {
+        let d = dist(&[(2, 100), (4, 50)]);
+        let cfg = GeneratorConfig::new(3).with_swap_iterations(0);
+        let out = generate_from_distribution(&d, &cfg);
+        // Edge-skipping alone already guarantees simplicity.
+        assert!(out.graph.is_simple());
+        assert!(out.swap_stats.iterations.is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! Per-phase wall-clock accounting (the paper's Fig. 6 breakdown).
+
+use std::time::Duration;
+
+/// Wall-clock duration of each pipeline phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Probability generation (Section IV-A).
+    pub probabilities: Duration,
+    /// Edge-skipping generation (Section IV-B).
+    pub edge_generation: Duration,
+    /// Double-edge swapping (Section III-A).
+    pub swapping: Duration,
+}
+
+impl PhaseTimings {
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.probabilities + self.edge_generation + self.swapping
+    }
+
+    /// Element-wise sum (for averaging over repeated runs).
+    pub fn accumulate(&mut self, other: &PhaseTimings) {
+        self.probabilities += other.probabilities;
+        self.edge_generation += other.edge_generation;
+        self.swapping += other.swapping;
+    }
+}
+
+impl std::fmt::Display for PhaseTimings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "probabilities {:.3}s | edges {:.3}s | swaps {:.3}s | total {:.3}s",
+            self.probabilities.as_secs_f64(),
+            self.edge_generation.as_secs_f64(),
+            self.swapping.as_secs_f64(),
+            self.total().as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_accumulate() {
+        let mut a = PhaseTimings {
+            probabilities: Duration::from_millis(10),
+            edge_generation: Duration::from_millis(20),
+            swapping: Duration::from_millis(30),
+        };
+        assert_eq!(a.total(), Duration::from_millis(60));
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.total(), Duration::from_millis(120));
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = PhaseTimings::default();
+        let s = format!("{t}");
+        assert!(s.contains("total"));
+    }
+}

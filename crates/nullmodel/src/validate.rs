@@ -1,0 +1,108 @@
+//! Output validation: did the generated graph do what the paper promises?
+
+use graphcore::metrics::{degree_ks_distance, per_degree_error, DistributionComparison};
+use graphcore::{DegreeDistribution, EdgeList};
+
+/// A structured check of one generated graph against its target
+/// distribution.
+#[derive(Clone, Debug)]
+pub struct ValidationReport {
+    /// No self loops or multi-edges.
+    pub is_simple: bool,
+    /// Fig. 3's error triple (edge count, max degree, Gini).
+    pub comparison: DistributionComparison,
+    /// Mean absolute per-degree relative error (Fig. 2's curve, collapsed).
+    pub mean_abs_degree_error: f64,
+    /// Kolmogorov-Smirnov distance between the realized and target degree
+    /// distributions (0 = identical CDFs).
+    pub ks_distance: f64,
+}
+
+impl ValidationReport {
+    /// Measure `graph` against `target`.
+    pub fn measure(graph: &EdgeList, target: &DegreeDistribution) -> Self {
+        let per_degree = per_degree_error(graph, target);
+        let mean_abs_degree_error = if per_degree.is_empty() {
+            0.0
+        } else {
+            per_degree.iter().map(|&(_, e)| e.abs()).sum::<f64>() / per_degree.len() as f64
+        };
+        Self {
+            is_simple: graph.is_simple(),
+            comparison: DistributionComparison::measure(graph, target),
+            mean_abs_degree_error,
+            ks_distance: degree_ks_distance(&graph.degree_distribution(), target),
+        }
+    }
+
+    /// `true` when the graph is simple and every aggregate error is within
+    /// `tol_pct` percent (degree error within `tol_pct / 100` relative).
+    pub fn passes(&self, tol_pct: f64) -> bool {
+        self.is_simple
+            && self.comparison.edge_count_pct.abs() <= tol_pct
+            && self.comparison.max_degree_pct.abs() <= tol_pct
+            && self.comparison.gini_pct.abs() <= tol_pct
+            && self.mean_abs_degree_error <= tol_pct / 100.0
+    }
+}
+
+impl std::fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simple: {} | edge err {:+.2}% | dmax err {:+.2}% | gini err {:+.2}% | mean |degree err| {:.4}",
+            self.is_simple,
+            self.comparison.edge_count_pct,
+            self.comparison.max_degree_pct,
+            self.comparison.gini_pct,
+            self.mean_abs_degree_error
+        )?;
+        write!(f, " | ks {:.4}", self.ks_distance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_from_distribution, GeneratorConfig};
+
+    #[test]
+    fn perfect_realization_passes() {
+        let d = DegreeDistribution::from_pairs(vec![(2, 50)]).unwrap();
+        let g = generators::havel_hakimi(&d).unwrap();
+        let r = ValidationReport::measure(&g, &d);
+        assert!(r.is_simple);
+        assert!(r.passes(0.01));
+        assert_eq!(r.mean_abs_degree_error, 0.0);
+        assert_eq!(r.ks_distance, 0.0);
+    }
+
+    #[test]
+    fn pipeline_output_within_tolerance() {
+        let d =
+            DegreeDistribution::from_pairs(vec![(1, 500), (2, 200), (5, 60), (12, 10)]).unwrap();
+        let out = generate_from_distribution(&d, &GeneratorConfig::new(17));
+        let r = ValidationReport::measure(&out.graph, &d);
+        assert!(r.is_simple);
+        assert!(
+            r.comparison.edge_count_pct.abs() < 15.0,
+            "report: {r}"
+        );
+    }
+
+    #[test]
+    fn display_renders() {
+        let d = DegreeDistribution::from_pairs(vec![(2, 10)]).unwrap();
+        let g = generators::havel_hakimi(&d).unwrap();
+        let s = format!("{}", ValidationReport::measure(&g, &d));
+        assert!(s.contains("simple: true"));
+    }
+
+    #[test]
+    fn bad_graph_fails() {
+        let d = DegreeDistribution::from_pairs(vec![(2, 10), (4, 5)]).unwrap();
+        let empty = EdgeList::new(15);
+        let r = ValidationReport::measure(&empty, &d);
+        assert!(!r.passes(5.0));
+    }
+}

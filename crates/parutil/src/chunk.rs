@@ -1,0 +1,66 @@
+//! Even partitioning of index ranges across workers.
+
+use std::ops::Range;
+
+/// Split `0..len` into at most `parts` contiguous ranges whose lengths differ
+/// by at most one. Empty ranges are never produced; fewer than `parts` ranges
+/// are returned when `len < parts`.
+pub fn even_chunks(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for k in 0..parts {
+        let size = base + usize::from(k < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// The default chunk count for a parallel region: a small multiple of the
+/// rayon pool size, so work stealing can balance uneven chunks.
+pub fn default_chunk_count() -> usize {
+    rayon::current_num_threads() * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_range_exactly() {
+        for len in [0usize, 1, 2, 7, 100, 101, 1023] {
+            for parts in [1usize, 2, 3, 8, 16, 1000] {
+                let chunks = even_chunks(len, parts);
+                let mut expect = 0;
+                for c in &chunks {
+                    assert_eq!(c.start, expect);
+                    assert!(!c.is_empty());
+                    expect = c.end;
+                }
+                assert_eq!(expect, len);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_within_one() {
+        let chunks = even_chunks(103, 8);
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+    }
+
+    #[test]
+    fn zero_parts_empty() {
+        assert!(even_chunks(10, 0).is_empty());
+        assert!(even_chunks(0, 10).is_empty());
+    }
+}

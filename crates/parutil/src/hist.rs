@@ -1,0 +1,92 @@
+//! Parallel histogram counting.
+//!
+//! Extracting a degree distribution from a degree sequence is a counting
+//! problem: `counts[d] = #{v : deg(v) = d}`. For large sequences we count
+//! into per-chunk local histograms and reduce, which avoids atomic contention
+//! on hot buckets (low degrees dominate skewed distributions).
+
+use crate::chunk::{default_chunk_count, even_chunks};
+use rayon::prelude::*;
+
+/// Count occurrences of each value in `values`; the result has
+/// `max_value + 1` buckets where `max_value = values.iter().max()`.
+///
+/// Returns an empty vector for empty input.
+pub fn parallel_histogram(values: &[u32]) -> Vec<u64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let max = *values.par_iter().max().unwrap() as usize;
+    let buckets = max + 1;
+    if values.len() < 1 << 15 {
+        let mut counts = vec![0u64; buckets];
+        for &v in values {
+            counts[v as usize] += 1;
+        }
+        return counts;
+    }
+    let chunks = even_chunks(values.len(), default_chunk_count());
+    chunks
+        .par_iter()
+        .map(|c| {
+            let mut local = vec![0u64; buckets];
+            for &v in &values[c.clone()] {
+                local[v as usize] += 1;
+            }
+            local
+        })
+        .reduce(
+            || vec![0u64; buckets],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn serial_histogram(values: &[u32]) -> Vec<u64> {
+        if values.is_empty() {
+            return Vec::new();
+        }
+        let max = *values.iter().max().unwrap() as usize;
+        let mut counts = vec![0u64; max + 1];
+        for &v in values {
+            counts[v as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(parallel_histogram(&[]).is_empty());
+    }
+
+    #[test]
+    fn small_and_large_match_serial() {
+        let small: Vec<u32> = vec![0, 1, 1, 3, 3, 3];
+        assert_eq!(parallel_histogram(&small), vec![1, 2, 0, 3]);
+        let large: Vec<u32> = (0..200_000u32).map(|i| (i * 31) % 97).collect();
+        assert_eq!(parallel_histogram(&large), serial_histogram(&large));
+    }
+
+    #[test]
+    fn total_count_preserved() {
+        let values: Vec<u32> = (0..50_000).map(|i| i % 1000).collect();
+        let h = parallel_histogram(&values);
+        assert_eq!(h.iter().sum::<u64>(), values.len() as u64);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_serial(values in proptest::collection::vec(0u32..500, 0..5000)) {
+            prop_assert_eq!(parallel_histogram(&values), serial_histogram(&values));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Parallel utility primitives used throughout the null-graph-model workspace.
+//!
+//! This crate provides the low-level substrates that the paper's algorithms
+//! are built on:
+//!
+//! * [`rng`] — deterministic, splittable pseudo-random number generation
+//!   (SplitMix64 for stream derivation, xoshiro256++ for bulk generation).
+//!   Every algorithm in the workspace takes a 64-bit seed and derives
+//!   independent per-thread / per-chunk streams, so results are reproducible.
+//! * [`prefix`] — serial and parallel exclusive/inclusive prefix sums (used
+//!   for vertex-identifier assignment in edge-skipping, Algorithm IV.2 line 3).
+//! * [`permute`] — random permutations: serial Fisher–Yates, the
+//!   reservation-based parallel algorithm of Shun et al. (SODA'15) that
+//!   reproduces the exact serial result for a fixed dart array, and a
+//!   sort-based comparator used in ablation benchmarks.
+//! * [`chunk`] — helpers for splitting index ranges into even chunks.
+//! * [`hist`] — parallel histogram counting (degree-distribution extraction).
+
+//!
+//! # Example
+//!
+//! ```
+//! use parutil::permute::random_permutation;
+//! use parutil::prefix::exclusive_prefix_sum;
+//!
+//! // A reproducible parallel shuffle of 0..10_000 ...
+//! let p = random_permutation(10_000, 42);
+//! assert_eq!(p, random_permutation(10_000, 42));
+//! // ... and class offsets for an edge-skipping layout.
+//! assert_eq!(exclusive_prefix_sum(&[3, 1, 4]), vec![0, 3, 4, 8]);
+//! ```
+
+pub mod chunk;
+pub mod hist;
+pub mod permute;
+pub mod prefix;
+pub mod rng;
+
+pub use chunk::even_chunks;
+pub use permute::{fisher_yates, parallel_permute, random_permutation};
+pub use prefix::{exclusive_prefix_sum, inclusive_prefix_sum};
+pub use rng::{SplitMix64, Xoshiro256pp};

@@ -1,0 +1,284 @@
+//! Random permutations: serial Fisher–Yates and the reservation-based
+//! parallel algorithm of Shun, Gu, Blelloch, Fineman and Gibbons (SODA'15).
+//!
+//! The paper permutes the edge list every double-edge-swap iteration
+//! (Algorithm III.1 line 6) and reports an order-of-magnitude speedup of the
+//! Shun et al. approach over alternative parallel shuffles.
+//!
+//! The key property of the Shun et al. scheme implemented here: for a fixed
+//! *dart array* `H` (where `H[i]` is uniform in `[0, i]`), the parallel
+//! algorithm produces **exactly** the permutation the serial Knuth shuffle
+//! would produce by executing `swap(A[i], A[H[i]])` for `i = n-1 .. 1`. Swaps
+//! on disjoint position pairs commute, so any execution order that serializes
+//! conflicting iterations in decreasing-`i` order is equivalent to the serial
+//! one; the reservation rounds below enforce precisely that.
+
+use crate::rng::Xoshiro256pp;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// In-place serial Fisher–Yates (Knuth) shuffle.
+pub fn fisher_yates<T>(data: &mut [T], rng: &mut Xoshiro256pp) {
+    let n = data.len();
+    for i in (1..n).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        data.swap(i, j);
+    }
+}
+
+/// Generate the dart array for a permutation of length `n`: `darts[i]` is
+/// uniform in `[0, i]`. Darts are derived per-chunk from independent streams,
+/// so the array is deterministic for a fixed `(seed, n)` regardless of thread
+/// count.
+pub fn darts(n: usize, seed: u64) -> Vec<u32> {
+    assert!(n < u32::MAX as usize, "permutation length must fit in u32");
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = vec![0u32; n];
+    // Fixed chunk size: boundaries (and therefore the derived RNG streams)
+    // do not depend on the rayon pool size, so the dart array is a pure
+    // function of (n, seed).
+    const STEP: usize = 1 << 16;
+    let step = STEP;
+    out.par_chunks_mut(step).enumerate().for_each(|(k, slice)| {
+        let start = k * step;
+        // Seeding by element offset (not chunk index) keeps the array
+        // independent of the chunking, hence of the thread count.
+        let mut rng = Xoshiro256pp::stream(seed, start as u64);
+        for (off, d) in slice.iter_mut().enumerate() {
+            let i = start + off;
+            *d = rng.next_below(i as u64 + 1) as u32;
+        }
+    });
+    out
+}
+
+/// Apply a dart array serially (reference implementation of the Knuth
+/// shuffle order used by the parallel algorithm).
+pub fn apply_darts_serial<T>(data: &mut [T], darts: &[u32]) {
+    assert_eq!(data.len(), darts.len());
+    for i in (1..data.len()).rev() {
+        data.swap(i, darts[i] as usize);
+    }
+}
+
+/// Shuffle `data` in parallel; deterministic for a fixed seed (independent of
+/// thread count) and identical to [`apply_darts_serial`] with the same darts.
+pub fn parallel_permute<T: Send>(data: &mut [T], seed: u64) {
+    let h = darts(data.len(), seed);
+    parallel_permute_with_darts(data, &h);
+}
+
+/// Reservation-based parallel application of a dart array.
+///
+/// Each round, every unfinished iteration `i` writes its priority into the
+/// reservation cells of positions `i` and `darts[i]` with `fetch_max`; an
+/// iteration commits (performs its swap) when it wins both cells. Committed
+/// iterations from the same round touch disjoint position pairs, so their
+/// swaps can run in parallel. The highest remaining iteration always wins,
+/// guaranteeing progress; the expected round count is logarithmic.
+pub fn parallel_permute_with_darts<T: Send>(data: &mut [T], darts: &[u32]) {
+    let n = data.len();
+    assert_eq!(n, darts.len());
+    if n < 2 {
+        return;
+    }
+    // Small inputs: the serial shuffle is faster than round bookkeeping.
+    if n < 1 << 12 {
+        apply_darts_serial(data, darts);
+        return;
+    }
+
+    // Reservation cells; 0 = empty, iteration i reserves with priority i
+    // (iteration 0 is always a no-op swap and is excluded).
+    let res: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let mut remaining: Vec<u32> = (1..n as u32).collect();
+    let ptr = SendPtr(data.as_mut_ptr());
+
+    while !remaining.is_empty() {
+        // Phase 1: reserve.
+        remaining.par_iter().for_each(|&i| {
+            let d = darts[i as usize];
+            res[i as usize].fetch_max(i, Ordering::Relaxed);
+            res[d as usize].fetch_max(i, Ordering::Relaxed);
+        });
+        // Phase 2: commit winners, keep losers.
+        let (commit, rest): (Vec<u32>, Vec<u32>) = remaining.par_iter().partition(|&&i| {
+            let d = darts[i as usize];
+            res[i as usize].load(Ordering::Relaxed) == i
+                && res[d as usize].load(Ordering::Relaxed) == i
+        });
+        commit.par_iter().for_each(|&i| {
+            let p = ptr; // capture the Send+Sync wrapper, not the raw field
+            let d = darts[i as usize] as usize;
+            let i = i as usize;
+            if i != d {
+                // SAFETY: committed iterations hold both reservation cells,
+                // so their {i, darts[i]} position pairs are pairwise
+                // disjoint; no two threads touch the same element.
+                unsafe { std::ptr::swap(p.0.add(i), p.0.add(d)) };
+            }
+        });
+        // Phase 3: clear touched reservations for the next round.
+        remaining.par_iter().for_each(|&i| {
+            res[i as usize].store(0, Ordering::Relaxed);
+            res[darts[i as usize] as usize].store(0, Ordering::Relaxed);
+        });
+        remaining = rest;
+    }
+}
+
+/// Produce a uniformly random permutation of `0..n` as a `Vec<u32>`.
+pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
+    assert!(n < u32::MAX as usize);
+    let mut v: Vec<u32> = (0..n as u32).collect();
+    parallel_permute(&mut v, seed);
+    v
+}
+
+/// Sort-based parallel shuffle (ablation comparator): assign each element a
+/// random 64-bit key and parallel-sort by `(key, original index)`.
+///
+/// Unbiased up to key collisions (probability ≈ n²/2⁶⁵, negligible at any
+/// size this workspace handles). Requires `T: Copy` because it permutes
+/// out-of-place.
+pub fn permute_by_sort<T: Copy + Send + Sync>(data: &mut [T], seed: u64) {
+    let n = data.len();
+    let mut keyed: Vec<(u64, u32)> = (0..n)
+        .into_par_iter()
+        .map(|i| (Xoshiro256pp::stream(seed, i as u64).next_u64(), i as u32))
+        .collect();
+    keyed.par_sort_unstable();
+    let src: Vec<T> = data.to_vec();
+    data.par_iter_mut()
+        .zip(keyed.par_iter())
+        .for_each(|(slot, &(_, idx))| *slot = src[idx as usize]);
+}
+
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn is_permutation(v: &[u32], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for &x in v {
+            if (x as usize) >= n || seen[x as usize] {
+                return false;
+            }
+            seen[x as usize] = true;
+        }
+        v.len() == n
+    }
+
+    #[test]
+    fn fisher_yates_is_bijection() {
+        let mut rng = Xoshiro256pp::new(1);
+        let mut v: Vec<u32> = (0..1000).collect();
+        fisher_yates(&mut v, &mut rng);
+        assert!(is_permutation(&v, 1000));
+    }
+
+    #[test]
+    fn darts_in_range() {
+        let h = darts(5000, 42);
+        for (i, &d) in h.iter().enumerate() {
+            assert!(d as usize <= i, "dart {d} at {i}");
+        }
+    }
+
+    #[test]
+    fn darts_deterministic() {
+        assert_eq!(darts(10_000, 7), darts(10_000, 7));
+        assert_ne!(darts(10_000, 7), darts(10_000, 8));
+    }
+
+    #[test]
+    fn parallel_matches_serial_large() {
+        let n = 50_000;
+        let h = darts(n, 123);
+        let mut a: Vec<u32> = (0..n as u32).collect();
+        let mut b = a.clone();
+        apply_darts_serial(&mut a, &h);
+        parallel_permute_with_darts(&mut b, &h);
+        assert_eq!(a, b);
+        assert!(is_permutation(&a, n));
+    }
+
+    #[test]
+    fn random_permutation_is_bijection() {
+        for n in [0usize, 1, 2, 3, 100, 4097, 20_000] {
+            let p = random_permutation(n, 99);
+            assert!(is_permutation(&p, n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn permute_by_sort_is_bijection() {
+        let mut v: Vec<u32> = (0..30_000).collect();
+        permute_by_sort(&mut v, 5);
+        assert!(is_permutation(&v, 30_000));
+    }
+
+    #[test]
+    fn small_n_uniformity_chi_square() {
+        // All 24 permutations of n=4 should be roughly equally likely.
+        // Uses the serial dart application (the parallel path is identical
+        // by the equality test above).
+        let trials = 48_000usize;
+        let mut counts = std::collections::HashMap::new();
+        for t in 0..trials {
+            let h = darts_serial_small(4, t as u64);
+            let mut v = [0u8, 1, 2, 3];
+            for i in (1..4).rev() {
+                v.swap(i, h[i] as usize);
+            }
+            *counts.entry(v).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 24);
+        let expect = trials as f64 / 24.0;
+        let chi2: f64 = counts
+            .values()
+            .map(|&c| {
+                let d = c as f64 - expect;
+                d * d / expect
+            })
+            .sum();
+        // 23 degrees of freedom; 99.9th percentile ≈ 49.7.
+        assert!(chi2 < 49.7, "chi2 = {chi2}");
+    }
+
+    fn darts_serial_small(n: usize, seed: u64) -> Vec<u32> {
+        let mut rng = Xoshiro256pp::new(seed);
+        (0..n).map(|i| rng.next_below(i as u64 + 1) as u32).collect()
+    }
+
+    proptest! {
+        #[test]
+        fn prop_parallel_equals_serial(n in 2usize..6000, seed in any::<u64>()) {
+            let h = darts(n, seed);
+            let mut a: Vec<u32> = (0..n as u32).collect();
+            let mut b = a.clone();
+            apply_darts_serial(&mut a, &h);
+            parallel_permute_with_darts(&mut b, &h);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn prop_random_permutation_bijection(n in 0usize..3000, seed in any::<u64>()) {
+            let p = random_permutation(n, seed);
+            prop_assert!(is_permutation(&p, n));
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Serial and parallel prefix sums.
+//!
+//! Algorithm IV.2 of the paper needs an exclusive prefix sum over the
+//! per-degree vertex counts to assign contiguous vertex identifiers to each
+//! degree class (`I ← ParallelPrefixSums(N)`). The parallel form is the
+//! classic three-phase scan: per-chunk partial sums, a serial scan of the
+//! (small) chunk totals, then per-chunk offset application.
+
+use crate::chunk::{default_chunk_count, even_chunks};
+use rayon::prelude::*;
+
+/// Exclusive prefix sum: `out[i] = sum(values[..i])`.
+///
+/// Returns a vector with `values.len() + 1` entries; the final entry is the
+/// total, so `out[i]..out[i+1]` is the id range of class `i`.
+pub fn exclusive_prefix_sum(values: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(values.len() + 1);
+    let mut acc = 0u64;
+    out.push(0);
+    for &v in values {
+        acc += v;
+        out.push(acc);
+    }
+    out
+}
+
+/// Inclusive prefix sum: `out[i] = sum(values[..=i])`.
+pub fn inclusive_prefix_sum(values: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(values.len());
+    let mut acc = 0u64;
+    for &v in values {
+        acc += v;
+        out.push(acc);
+    }
+    out
+}
+
+/// Parallel exclusive prefix sum with the same output convention as
+/// [`exclusive_prefix_sum`] (length `n + 1`, last entry is the total).
+pub fn parallel_exclusive_prefix_sum(values: &[u64]) -> Vec<u64> {
+    let n = values.len();
+    // The fan-out only pays off for large inputs.
+    if n < 1 << 14 {
+        return exclusive_prefix_sum(values);
+    }
+    let chunks = even_chunks(n, default_chunk_count());
+    let partials: Vec<u64> = chunks
+        .par_iter()
+        .map(|c| values[c.clone()].iter().sum())
+        .collect();
+    let offsets = exclusive_prefix_sum(&partials);
+    let mut out = vec![0u64; n + 1];
+    // Write each chunk's scan into the shifted output region. `out[0]` stays 0.
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    chunks.par_iter().enumerate().for_each(|(k, c)| {
+        let mut acc = offsets[k];
+        // SAFETY: chunks are disjoint; chunk `c` writes only indices
+        // `c.start+1 ..= c.end`, and chunk boundaries do not overlap because
+        // chunk k ends where chunk k+1 begins.
+        let p = out_ptr;
+        for i in c.clone() {
+            acc += values[i];
+            unsafe { *p.0.add(i + 1) = acc };
+        }
+    });
+    out
+}
+
+/// A `Send`/`Sync` raw-pointer wrapper for disjoint parallel writes.
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exclusive_basic() {
+        assert_eq!(exclusive_prefix_sum(&[]), vec![0]);
+        assert_eq!(exclusive_prefix_sum(&[5]), vec![0, 5]);
+        assert_eq!(exclusive_prefix_sum(&[1, 2, 3]), vec![0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn inclusive_basic() {
+        assert!(inclusive_prefix_sum(&[]).is_empty());
+        assert_eq!(inclusive_prefix_sum(&[1, 2, 3]), vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn parallel_matches_serial_large() {
+        let values: Vec<u64> = (0..100_000u64).map(|i| (i * 2654435761) % 1000).collect();
+        assert_eq!(
+            parallel_exclusive_prefix_sum(&values),
+            exclusive_prefix_sum(&values)
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial_small() {
+        let values: Vec<u64> = (0..37u64).collect();
+        assert_eq!(
+            parallel_exclusive_prefix_sum(&values),
+            exclusive_prefix_sum(&values)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_parallel_equals_serial(values in proptest::collection::vec(0u64..1_000_000, 0..20_000)) {
+            prop_assert_eq!(
+                parallel_exclusive_prefix_sum(&values),
+                exclusive_prefix_sum(&values)
+            );
+        }
+
+        #[test]
+        fn prop_exclusive_monotone_and_total(values in proptest::collection::vec(0u64..1000, 0..500)) {
+            let out = exclusive_prefix_sum(&values);
+            prop_assert_eq!(out.len(), values.len() + 1);
+            for w in out.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+            prop_assert_eq!(*out.last().unwrap(), values.iter().sum::<u64>());
+        }
+    }
+}

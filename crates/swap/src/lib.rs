@@ -1,0 +1,522 @@
+//! Parallel double-edge swaps (paper Algorithm III.1).
+//!
+//! A *double-edge swap* takes two edges `e = {u,v}`, `f = {x,y}` and rewires
+//! them to `{u,x},{v,y}` or `{u,y},{v,x}`. Swaps preserve the degree
+//! sequence exactly; performing many randomly-selected swaps is a Markov
+//! Chain Monte Carlo process whose stationary distribution is uniform over
+//! the simple graphs realizing the degree sequence (Artzy-Randrup & Stone
+//! \[2\], Milo et al. \[22\]).
+//!
+//! Each iteration of the parallel algorithm:
+//!
+//! 1. rebuilds a concurrent hash table containing every current edge key
+//!    (thread-safe `TestAndSet` insertions);
+//! 2. randomly permutes the edge list (reservation-based parallel shuffle);
+//! 3. attempts, in parallel, to swap every adjacent pair `(E[2i], E[2i+1])`
+//!    of the permuted list, accepting a swap only when neither replacement
+//!    edge is a self loop and neither is already present in the table.
+//!
+//! Rejected swaps leave the pair untouched (an MCMC self-transition, which
+//! preserves the chain's symmetry). Successful swaps insert the new edges
+//! but do **not** remove the old ones, and a half-failed attempt leaves its
+//! first replacement edge in the table; both kinds of stale entry are
+//! *conservative* — they can only cause extra rejections, never a
+//! simplicity violation — and the table is rebuilt from scratch next
+//! iteration.
+//!
+//! Non-simple input is legal: multi-edges and self loops are gradually
+//! eliminated, because a successful swap of one copy of a duplicated edge
+//! replaces it with fresh edges (the paper uses exactly this to "simplify"
+//! `O(m)` Chung-Lu output).
+
+//!
+//! # Example
+//!
+//! ```
+//! use graphcore::EdgeList;
+//! use swap::{swap_edges, SwapConfig};
+//!
+//! let mut g = EdgeList::from_pairs((0..100).map(|i| (i, (i + 1) % 100)));
+//! let before = g.degree_sequence();
+//! let stats = swap_edges(&mut g, &SwapConfig::new(5, 42));
+//! assert_eq!(g.degree_sequence(), before);  // degrees preserved exactly
+//! assert!(g.is_simple());                    // simplicity preserved
+//! assert!(stats.total_successful() > 0);
+//! ```
+
+pub mod connected;
+pub mod stats;
+
+pub use connected::{swap_edges_connected, ConnectedSwapConfig, ConnectedSwapError};
+pub use stats::{IterationStats, SwapStats};
+
+use conchash::{AtomicHashSet, Probe};
+use graphcore::{Edge, EdgeList};
+use parutil::permute::{apply_darts_serial, darts, parallel_permute_with_darts};
+use parutil::rng::mix64;
+use rayon::prelude::*;
+
+/// Configuration for a swap run.
+#[derive(Clone, Debug)]
+pub struct SwapConfig {
+    /// Number of full permute-and-swap iterations.
+    pub iterations: usize,
+    /// RNG seed; runs are reproducible for a fixed seed (and identical to
+    /// the serial reference when executed on a single thread).
+    pub seed: u64,
+    /// Hash-table probing strategy.
+    pub probe: Probe,
+    /// When `true`, each iteration's [`IterationStats`] also counts the
+    /// remaining self loops and multi-edges (adds an `O(m log m)` sort per
+    /// iteration; off by default).
+    pub track_violations: bool,
+}
+
+impl SwapConfig {
+    /// `iterations` swap sweeps with the given seed and default options.
+    pub fn new(iterations: usize, seed: u64) -> Self {
+        Self {
+            iterations,
+            seed,
+            probe: Probe::Linear,
+            track_violations: false,
+        }
+    }
+}
+
+/// An edge plus a flag recording whether it has ever been produced by a
+/// successful swap — the paper's empirical mixing criterion is "all edges
+/// successfully swapped at least once".
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    edge: Edge,
+    swapped: bool,
+}
+
+/// Run parallel double-edge swaps in place. Returns per-iteration statistics.
+pub fn swap_edges(graph: &mut EdgeList, cfg: &SwapConfig) -> SwapStats {
+    run(graph, cfg, true)
+}
+
+/// Serial reference implementation of the identical algorithm (same darts,
+/// same pair order, same table semantics). On a single-threaded rayon pool
+/// [`swap_edges`] produces byte-identical output.
+pub fn swap_edges_serial(graph: &mut EdgeList, cfg: &SwapConfig) -> SwapStats {
+    run(graph, cfg, false)
+}
+
+/// Swap until the paper's empirical mixing criterion is met: the fraction
+/// of edges that have been produced by a successful swap reaches
+/// `threshold` (e.g. 0.999), up to `max_iterations` sweeps. When the input
+/// is non-simple, sweeps additionally continue until every violation is
+/// eliminated (tracking is enabled automatically in that case).
+///
+/// Returns the collected statistics; [`SwapStats::iterations_to_mix`] tells
+/// whether (and when) the threshold was reached.
+pub fn swap_until_mixed(
+    graph: &mut EdgeList,
+    threshold: f64,
+    max_iterations: usize,
+    seed: u64,
+) -> SwapStats {
+    let mut cfg = SwapConfig::new(max_iterations, seed);
+    cfg.track_violations = !graph.is_simple();
+    let needs_simplify = cfg.track_violations;
+    run_until(graph, &cfg, true, &|it: &IterationStats| {
+        it.ever_swapped_fraction >= threshold
+            && (!needs_simplify || (it.self_loops == 0 && it.multi_edges == 0))
+    })
+}
+
+fn run(graph: &mut EdgeList, cfg: &SwapConfig, parallel: bool) -> SwapStats {
+    run_until(graph, cfg, parallel, &|_| false)
+}
+
+fn run_until(
+    graph: &mut EdgeList,
+    cfg: &SwapConfig,
+    parallel: bool,
+    stop_when: &dyn Fn(&IterationStats) -> bool,
+) -> SwapStats {
+    let m = graph.len();
+    let mut stats = SwapStats::default();
+    if m < 2 || cfg.iterations == 0 {
+        return stats;
+    }
+    let mut slots: Vec<Slot> = graph
+        .edges()
+        .iter()
+        .map(|&edge| Slot {
+            edge,
+            swapped: false,
+        })
+        .collect();
+    // Table sized for the worst case per iteration: m initial insertions
+    // plus up to two fresh keys per pair.
+    let mut table = AtomicHashSet::with_probe(2 * m, cfg.probe);
+
+    for iter in 0..cfg.iterations {
+        let iter_seed = mix64(cfg.seed ^ (iter as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        table.clear();
+
+        // Phase 1: register all current edges.
+        if parallel {
+            slots.par_iter().for_each(|s| {
+                table.test_and_set(s.edge.key());
+            });
+        } else {
+            for s in &slots {
+                table.test_and_set(s.edge.key());
+            }
+        }
+
+        // Phase 2: permute.
+        let h = darts(m, iter_seed);
+        if parallel {
+            parallel_permute_with_darts(&mut slots, &h);
+        } else {
+            apply_darts_serial(&mut slots, &h);
+        }
+
+        // Phase 3: attempt swaps on adjacent pairs.
+        let successes: u64 = if parallel {
+            slots
+                .par_chunks_mut(2)
+                .enumerate()
+                .map(|(pair_idx, pair)| attempt_swap(pair, pair_idx, iter_seed, &table))
+                .sum()
+        } else {
+            slots
+                .chunks_mut(2)
+                .enumerate()
+                .map(|(pair_idx, pair)| attempt_swap(pair, pair_idx, iter_seed, &table))
+                .sum()
+        };
+
+        let ever_swapped = if parallel {
+            slots.par_iter().filter(|s| s.swapped).count()
+        } else {
+            slots.iter().filter(|s| s.swapped).count()
+        };
+
+        let mut it_stats = IterationStats {
+            attempted_pairs: (m / 2) as u64,
+            successful_swaps: successes,
+            ever_swapped_fraction: ever_swapped as f64 / m as f64,
+            self_loops: 0,
+            multi_edges: 0,
+        };
+        if cfg.track_violations {
+            let current =
+                EdgeList::from_edges(graph.num_vertices(), slots.iter().map(|s| s.edge).collect());
+            let report = current.simplicity_report();
+            it_stats.self_loops = report.self_loops;
+            it_stats.multi_edges = report.multi_edges;
+        }
+        let stop = stop_when(&it_stats);
+        stats.iterations.push(it_stats);
+        if stop {
+            break;
+        }
+    }
+
+    // Write the final edges back.
+    graph
+        .edges_mut()
+        .iter_mut()
+        .zip(&slots)
+        .for_each(|(e, s)| *e = s.edge);
+    stats
+}
+
+/// Attempt the double-edge swap on one adjacent pair of the permuted list.
+/// Returns 1 on success, 0 on rejection (or for the odd trailing singleton).
+#[inline]
+fn attempt_swap(pair: &mut [Slot], pair_idx: usize, iter_seed: u64, table: &AtomicHashSet) -> u64 {
+    if pair.len() < 2 {
+        return 0;
+    }
+    let e = pair[0].edge;
+    let f = pair[1].edge;
+    // One random bit per pair selects the swap partnering (Alg. III.1
+    // line 11); derived from the pair index so the choice is independent of
+    // execution order.
+    let side = mix64(iter_seed ^ (pair_idx as u64) ^ 0xD1B5_4A32_D192_ED03) & 1 == 1;
+    let (g, h) = e.swap_with(&f, side);
+    if g.is_self_loop() || h.is_self_loop() {
+        return 0;
+    }
+    // Short-circuit matches the paper: if `g` is taken, `h` is never
+    // inserted; if `g` inserts but `h` is taken, `g` stays as a stale
+    // (conservative) entry until the next rebuild.
+    if !table.test_and_set(g.key()) && !table.test_and_set(h.key()) {
+        pair[0] = Slot {
+            edge: g,
+            swapped: true,
+        };
+        pair[1] = Slot {
+            edge: h,
+            swapped: true,
+        };
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::DegreeDistribution;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn ring(n: u32) -> EdgeList {
+        EdgeList::from_pairs((0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    #[test]
+    fn preserves_degree_sequence_exactly() {
+        let mut g = ring(100);
+        let before = g.degree_sequence();
+        let stats = swap_edges(&mut g, &SwapConfig::new(5, 42));
+        assert_eq!(g.degree_sequence(), before);
+        assert!(stats.total_successful() > 0, "no swaps happened");
+    }
+
+    #[test]
+    fn preserves_simplicity() {
+        let mut g = ring(200);
+        swap_edges(&mut g, &SwapConfig::new(10, 7));
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn serial_matches_parallel_on_one_thread() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let mut a = ring(150);
+        let mut b = a.clone();
+        let cfg = SwapConfig::new(4, 99);
+        let sa = pool.install(|| swap_edges(&mut a, &cfg));
+        let sb = swap_edges_serial(&mut b, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(sa.total_successful(), sb.total_successful());
+    }
+
+    #[test]
+    fn deterministic_per_seed_serial() {
+        let mut a = ring(100);
+        let mut b = ring(100);
+        swap_edges_serial(&mut a, &SwapConfig::new(3, 5));
+        swap_edges_serial(&mut b, &SwapConfig::new(3, 5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_iterations_no_op() {
+        let mut g = ring(10);
+        let orig = g.clone();
+        let stats = swap_edges(&mut g, &SwapConfig::new(0, 1));
+        assert_eq!(g, orig);
+        assert!(stats.iterations.is_empty());
+    }
+
+    #[test]
+    fn tiny_graphs_no_panic() {
+        for n in [0u32, 3, 4] {
+            let mut g = if n == 0 {
+                EdgeList::new(0)
+            } else {
+                ring(n)
+            };
+            swap_edges(&mut g, &SwapConfig::new(3, 1));
+            assert!(g.is_simple());
+        }
+    }
+
+    #[test]
+    fn single_edge_cannot_swap() {
+        let mut g = EdgeList::from_pairs([(0, 1)]);
+        let stats = swap_edges(&mut g, &SwapConfig::new(5, 1));
+        assert_eq!(stats.total_successful(), 0);
+        assert_eq!(g.edges()[0], Edge::new(0, 1));
+    }
+
+    #[test]
+    fn simplifies_multigraph() {
+        // Start from an O(m)-style multigraph; violations must shrink to 0.
+        let dist =
+            DegreeDistribution::from_pairs(vec![(1, 120), (2, 40), (10, 8), (40, 2)]).unwrap();
+        let mut g = generators::chung_lu_om(&dist, 3);
+        let realized = g.degree_distribution();
+        let before = g.simplicity_report();
+        assert!(
+            before.self_loops + before.multi_edges > 0,
+            "fixture should start non-simple"
+        );
+        let mut cfg = SwapConfig::new(40, 11);
+        cfg.track_violations = true;
+        let stats = swap_edges(&mut g, &cfg);
+        let last = stats.iterations.last().unwrap();
+        assert_eq!(last.self_loops + last.multi_edges, 0, "not simplified");
+        assert!(g.is_simple());
+        // Swaps preserve the *realized* degree sequence of the multigraph
+        // (which matches `dist` only in expectation).
+        assert_eq!(g.degree_distribution(), realized);
+    }
+
+    #[test]
+    fn ever_swapped_fraction_monotone() {
+        let mut g = ring(500);
+        let stats = swap_edges(&mut g, &SwapConfig::new(8, 13));
+        let fracs: Vec<f64> = stats
+            .iterations
+            .iter()
+            .map(|i| i.ever_swapped_fraction)
+            .collect();
+        for w in fracs.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "fraction decreased: {fracs:?}");
+        }
+        assert!(*fracs.last().unwrap() > 0.9, "mixing too slow: {fracs:?}");
+    }
+
+    /// Brute-force all simple graphs on `n` labeled vertices realizing a
+    /// degree sequence.
+    fn enumerate_realizations(degs: &[u32]) -> Vec<Vec<u64>> {
+        let n = degs.len();
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
+            .collect();
+        let target_edges: u32 = degs.iter().sum::<u32>() / 2;
+        let mut out = Vec::new();
+        for mask in 0u32..(1 << pairs.len()) {
+            if mask.count_ones() != target_edges {
+                continue;
+            }
+            let mut deg = vec![0u32; n];
+            let mut keys = Vec::new();
+            for (i, &(u, v)) in pairs.iter().enumerate() {
+                if mask >> i & 1 == 1 {
+                    deg[u as usize] += 1;
+                    deg[v as usize] += 1;
+                    keys.push(Edge::new(u, v).key());
+                }
+            }
+            if deg == degs {
+                keys.sort_unstable();
+                out.push(keys);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn uniform_sampling_over_realizations() {
+        // The paper validates its swap procedure against the analytically
+        // expected sample (Milo et al. [22]); we do the same exhaustively:
+        // the degree sequence [2,2,2,1,1] has a small set of labeled
+        // realizations, and after enough swap iterations every realization
+        // must appear with equal frequency.
+        let degs = vec![2u32, 2, 2, 1, 1];
+        let support = enumerate_realizations(&degs);
+        assert!(support.len() > 1);
+        let start = generators::havel_hakimi_sequence(&graphcore::DegreeSequence::new(
+            degs.clone(),
+        ))
+        .unwrap();
+        let trials = 6000;
+        let mut counts: HashMap<Vec<u64>, u64> = HashMap::new();
+        for t in 0..trials {
+            let mut g = start.clone();
+            swap_edges_serial(&mut g, &SwapConfig::new(12, 0xC0FFEE + t));
+            let mut keys: Vec<u64> = g.edges().iter().map(|e| e.key()).collect();
+            keys.sort_unstable();
+            *counts.entry(keys).or_insert(0) += 1;
+        }
+        // Every realization reached.
+        assert_eq!(
+            counts.len(),
+            support.len(),
+            "chain did not reach all realizations"
+        );
+        let expect = trials as f64 / support.len() as f64;
+        let chi2: f64 = support
+            .iter()
+            .map(|k| {
+                let c = *counts.get(k).unwrap_or(&0) as f64;
+                (c - expect) * (c - expect) / expect
+            })
+            .sum();
+        // d.o.f. = support - 1; allow the 99.9th percentile for robustness.
+        // For the sequences used here support is small (< 20), so 45 is a
+        // generous universal bound.
+        assert!(chi2 < 45.0, "chi2 = {chi2} over {} states", support.len());
+    }
+
+    #[test]
+    fn swap_until_mixed_stops_early() {
+        let mut g = ring(400);
+        let stats = swap_until_mixed(&mut g, 0.95, 50, 3);
+        let used = stats.iterations.len();
+        assert!(used < 50, "should stop well before the cap, used {used}");
+        assert!(stats.iterations.last().unwrap().ever_swapped_fraction >= 0.95);
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn swap_until_mixed_simplifies_first() {
+        let dist =
+            DegreeDistribution::from_pairs(vec![(1, 80), (2, 30), (20, 4)]).unwrap();
+        let mut g = generators::chung_lu_om(&dist, 5);
+        if g.is_simple() {
+            return; // unlucky fixture; other tests cover the simple path
+        }
+        let stats = swap_until_mixed(&mut g, 0.9, 60, 9);
+        let last = stats.iterations.last().unwrap();
+        assert_eq!(last.self_loops + last.multi_edges, 0);
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn violations_never_increase() {
+        // Simplicity violations are monotonically non-increasing across
+        // sweeps: the table rejects any swap that would create a duplicate,
+        // and self loops are rejected outright.
+        let dist =
+            DegreeDistribution::from_pairs(vec![(1, 60), (2, 30), (30, 4)]).unwrap();
+        let mut g = generators::chung_lu_om(&dist, 11);
+        let mut cfg = SwapConfig::new(25, 13);
+        cfg.track_violations = true;
+        let stats = swap_edges(&mut g, &cfg);
+        let totals: Vec<u64> = stats
+            .iterations
+            .iter()
+            .map(|it| it.self_loops + it.multi_edges)
+            .collect();
+        for w in totals.windows(2) {
+            assert!(w[1] <= w[0], "violations increased: {totals:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_swaps_preserve_degrees_and_simplicity(
+            degs in proptest::collection::vec(0u32..8, 4..40),
+            seed in any::<u64>()
+        ) {
+            let seq = graphcore::DegreeSequence::new(degs);
+            prop_assume!(seq.is_graphical());
+            let Some(start) = generators::havel_hakimi_sequence(&seq) else {
+                unreachable!("graphical sequences always realize");
+            };
+            let mut g = start;
+            swap_edges(&mut g, &SwapConfig::new(3, seed));
+            prop_assert!(g.is_simple());
+            prop_assert_eq!(g.degree_sequence(), seq);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Section VI integration: LFR-like benchmarks and generalized hierarchies
+//! at realistic sizes.
+
+use graphcore::DegreeDistribution;
+use nullmodel::{generate_lfr, generate_layered, GeneratorConfig, Layer, LfrConfig};
+
+fn community_distribution() -> DegreeDistribution {
+    // A skewed global distribution, the regime where the paper notes plain
+    // Chung-Lu methods fail for small communities.
+    DegreeDistribution::from_pairs(vec![(3, 1200), (6, 500), (12, 150), (25, 30), (60, 4)])
+        .unwrap()
+}
+
+fn lfr_config(mixing: f64, seed: u64) -> LfrConfig {
+    LfrConfig {
+        distribution: community_distribution(),
+        mixing,
+        community_size_min: 20,
+        community_size_max: 120,
+        community_exponent: 1.5,
+        swap_iterations: 3,
+        seed,
+    }
+}
+
+#[test]
+fn measured_mixing_tracks_target_over_sweep() {
+    let mut previous = -1.0;
+    for &mu in &[0.1, 0.3, 0.5, 0.7] {
+        let out = generate_lfr(&lfr_config(mu, 42)).unwrap();
+        assert!(out.graph.is_simple());
+        assert!(
+            (out.measured_mixing - mu).abs() < 0.12,
+            "target {mu}, measured {}",
+            out.measured_mixing
+        );
+        assert!(
+            out.measured_mixing > previous,
+            "mixing must increase with μ"
+        );
+        previous = out.measured_mixing;
+    }
+}
+
+#[test]
+fn global_degree_distribution_roughly_preserved() {
+    let cfg = lfr_config(0.25, 7);
+    let out = generate_lfr(&cfg).unwrap();
+    let target_m = cfg.distribution.num_edges() as f64;
+    let got_m = out.graph.len() as f64;
+    assert!(
+        (got_m - target_m).abs() / target_m < 0.15,
+        "m {got_m} vs {target_m}"
+    );
+    // Stub loss from parity fixes must be marginal.
+    let loss = out.lost_stubs as f64 / cfg.distribution.stub_sum() as f64;
+    assert!(loss < 0.02, "lost {loss}");
+}
+
+#[test]
+fn communities_have_internal_structure() {
+    let out = generate_lfr(&lfr_config(0.2, 3)).unwrap();
+    // With μ = 0.2, most edges must be intra-community.
+    let intra = out
+        .graph
+        .edges()
+        .iter()
+        .filter(|e| out.communities[e.u() as usize] == out.communities[e.v() as usize])
+        .count();
+    assert!(intra as f64 / out.graph.len() as f64 > 0.65);
+}
+
+#[test]
+fn overlapping_degree_shares_sum_constraint() {
+    // λ shares that do not sum to one are rejected — the paper's only
+    // stated restriction on the generalized hierarchy.
+    let degrees = vec![4u32; 50];
+    let layers = [
+        Layer {
+            groups: vec![0; 50],
+            lambda: 0.5,
+        },
+        Layer {
+            groups: vec![0; 50],
+            lambda: 0.3,
+        },
+    ];
+    assert!(generate_layered(&degrees, &layers, &GeneratorConfig::new(1)).is_err());
+}
+
+#[test]
+fn three_level_hierarchy_at_scale() {
+    let n = 2000usize;
+    let degrees = vec![10u32; n];
+    let fine: Vec<u32> = (0..n).map(|v| (v / 50) as u32).collect();
+    let mid: Vec<u32> = (0..n).map(|v| (v / 250) as u32).collect();
+    let layers = [
+        Layer {
+            groups: fine.clone(),
+            lambda: 0.6,
+        },
+        Layer {
+            groups: mid.clone(),
+            lambda: 0.25,
+        },
+        Layer {
+            groups: vec![0; n],
+            lambda: 0.15,
+        },
+    ];
+    let out = generate_layered(&degrees, &layers, &GeneratorConfig::new(13)).unwrap();
+    assert!(out.graph.is_simple());
+    let m = out.graph.len() as f64;
+    let target = n as f64 * 10.0 / 2.0;
+    assert!((m - target).abs() / target < 0.15, "m {m} target {target}");
+
+    // Count edges by the finest level containing both endpoints.
+    let mut fine_edges = 0usize;
+    let mut mid_edges = 0usize;
+    let mut global_edges = 0usize;
+    for e in out.graph.edges() {
+        let (u, v) = (e.u() as usize, e.v() as usize);
+        if fine[u] == fine[v] {
+            fine_edges += 1;
+        } else if mid[u] == mid[v] {
+            mid_edges += 1;
+        } else {
+            global_edges += 1;
+        }
+    }
+    // Shares should roughly follow the λ values.
+    let total = out.graph.len() as f64;
+    assert!((fine_edges as f64 / total - 0.6).abs() < 0.12);
+    assert!(mid_edges > 0 && global_edges > 0);
+}
+
+#[test]
+fn lfr_stress_small_communities() {
+    // Many tiny skewed communities — the regime the paper highlights.
+    let cfg = LfrConfig {
+        distribution: DegreeDistribution::from_pairs(vec![(2, 800), (5, 200), (15, 20)]).unwrap(),
+        mixing: 0.15,
+        community_size_min: 8,
+        community_size_max: 24,
+        community_exponent: 2.0,
+        swap_iterations: 2,
+        seed: 77,
+    };
+    let out = generate_lfr(&cfg).unwrap();
+    assert!(out.graph.is_simple());
+    let num_comms = *out.communities.iter().max().unwrap() as u64 + 1;
+    assert!(num_comms >= 1020 / 24, "got {num_comms} communities");
+}
