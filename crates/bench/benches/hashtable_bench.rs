@@ -21,15 +21,19 @@ fn bench_hashtable(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n));
 
     for (name, probe) in [("linear", Probe::Linear), ("quadratic", Probe::Quadratic)] {
-        group.bench_with_input(BenchmarkId::new("insert_serial", name), &probe, |b, &probe| {
-            b.iter(|| {
-                let set = AtomicHashSet::with_probe(ks.len(), probe);
-                for &k in &ks {
-                    black_box(set.test_and_set(k));
-                }
-                set.len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("insert_serial", name),
+            &probe,
+            |b, &probe| {
+                b.iter(|| {
+                    let set = AtomicHashSet::with_probe(ks.len(), probe);
+                    for &k in &ks {
+                        black_box(set.test_and_set(k));
+                    }
+                    set.len()
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("insert_parallel", name),
             &probe,

@@ -23,14 +23,18 @@ fn bench_permute(c: &mut Criterion) {
                 black_box(v[0])
             })
         });
-        group.bench_with_input(BenchmarkId::new("fisher_yates_serial", n), &base, |b, base| {
-            b.iter(|| {
-                let mut v = base.clone();
-                let mut rng = Xoshiro256pp::new(42);
-                fisher_yates(&mut v, &mut rng);
-                black_box(v[0])
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fisher_yates_serial", n),
+            &base,
+            |b, base| {
+                b.iter(|| {
+                    let mut v = base.clone();
+                    let mut rng = Xoshiro256pp::new(42);
+                    fisher_yates(&mut v, &mut rng);
+                    black_box(v[0])
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("sort_based", n), &base, |b, base| {
             b.iter(|| {
                 let mut v = base.clone();

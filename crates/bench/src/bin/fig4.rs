@@ -45,8 +45,8 @@ fn main() {
     let base_runs = runs_or(6).max(20) as usize;
     let mats: Vec<AttachmentMatrix> = (0..2 * base_runs as u64)
         .map(|s| {
-            let g = nullmodel::uniform_reference(&dist, 128, 0xBA5E + s)
-                .expect("profile is graphical");
+            let g =
+                nullmodel::uniform_reference(&dist, 128, 0xBA5E + s).expect("profile is graphical");
             AttachmentMatrix::from_graph_with_layout(&g, &dist)
         })
         .collect();
@@ -94,9 +94,7 @@ fn main() {
     }
     table.finish();
 
-    println!(
-        "\nsampling floor (independent uniform ensemble vs baseline): {sampling_floor:.2}"
-    );
+    println!("\nsampling floor (independent uniform ensemble vs baseline): {sampling_floor:.2}");
     println!("(error = L1 difference of ensemble-averaged attachment matrices, as % of");
     println!("the baseline matrix's L1 mass; the plateau ≈ the sampling floor plus each");
     println!("method's own degree-distribution mismatch)");

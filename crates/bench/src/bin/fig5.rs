@@ -60,5 +60,8 @@ fn main() {
     println!("\nexpected shape (paper): methods comparable at small scale; at large scale the");
     println!("edge-skipping methods win because the O(m) models pay a binary search per draw.");
     println!("(absolute numbers are not comparable to the paper's 16-core node — this runs on");
-    println!("{} thread(s); see EXPERIMENTS.md)", rayon::current_num_threads());
+    println!(
+        "{} thread(s); see EXPERIMENTS.md)",
+        rayon::current_num_threads()
+    );
 }

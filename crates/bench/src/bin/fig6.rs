@@ -14,7 +14,16 @@ fn main() {
     println!("Fig. 6: per-phase execution time (seconds), 1 swap iteration\n");
     let mut table = Table::new(
         "fig6",
-        &["Network", "m", "|D|", "probabilities", "edge gen", "swapping", "total", "edges/s"],
+        &[
+            "Network",
+            "m",
+            "|D|",
+            "probabilities",
+            "edge gen",
+            "swapping",
+            "total",
+            "edges/s",
+        ],
     );
     let mut mean = PhaseTimings::default();
     let mut count = 0u32;

@@ -37,7 +37,12 @@ fn main() {
     println!("--- density sweep (d-regular, n = 2000) ---");
     let mut t = Table::new(
         "mixing_density",
-        &["degree", "density", "mean acceptance", "iters to 99% swapped"],
+        &[
+            "degree",
+            "density",
+            "mean acceptance",
+            "iters to 99% swapped",
+        ],
     );
     for &d in &[2u32, 4, 8, 16, 32, 64, 128, 256] {
         let dist = DegreeDistribution::from_pairs(vec![(d, 2000)]).expect("even");

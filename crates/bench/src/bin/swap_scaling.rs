@@ -27,7 +27,13 @@ fn main() {
 
     let mut table = Table::new(
         "swap_scaling",
-        &["variant", "iterations", "seconds", "swaps/s", "% edges ever swapped"],
+        &[
+            "variant",
+            "iterations",
+            "seconds",
+            "swaps/s",
+            "% edges ever swapped",
+        ],
     );
 
     for &iters in &[1usize, 3] {

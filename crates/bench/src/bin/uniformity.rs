@@ -65,8 +65,7 @@ fn main() {
         if states < 2 {
             continue;
         }
-        let start =
-            generators::havel_hakimi_sequence(&DegreeSequence::new(degs.clone())).unwrap();
+        let start = generators::havel_hakimi_sequence(&DegreeSequence::new(degs.clone())).unwrap();
         let mut counts: HashMap<Vec<u64>, u64> = HashMap::new();
         for t in 0..trials {
             let mut g = start.clone();
@@ -85,8 +84,13 @@ fn main() {
             .sum();
         let dof = states - 1;
         // 99th-percentile χ² critical values for small dof.
-        let critical = [0.0, 6.63, 9.21, 11.34, 13.28, 15.09, 16.81, 18.48, 20.09, 21.67];
-        let crit = critical.get(dof).copied().unwrap_or(2.0 * dof as f64 + 15.0);
+        let critical = [
+            0.0, 6.63, 9.21, 11.34, 13.28, 15.09, 16.81, 18.48, 20.09, 21.67,
+        ];
+        let crit = critical
+            .get(dof)
+            .copied()
+            .unwrap_or(2.0 * dof as f64 + 15.0);
         let verdict = if chi2 < crit { "uniform" } else { "BIASED?" };
         table.row(vec![
             name.to_string(),

@@ -47,7 +47,7 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Known boolean flags (everything else starting with `--` takes a value).
-const FLAGS: &[&str] = &["track", "quiet", "verbose", "strict"];
+const FLAGS: &[&str] = &["track", "quiet", "verbose", "strict", "json", "control"];
 
 impl Parsed {
     /// Parse raw arguments.
@@ -60,11 +60,7 @@ impl Parsed {
                     out.flags.insert(key.to_string());
                 } else {
                     let value = it.next().cloned().unwrap_or_default();
-                    if out
-                        .options
-                        .insert(key.to_string(), value)
-                        .is_some()
-                    {
+                    if out.options.insert(key.to_string(), value).is_some() {
                         return Err(ArgError::Duplicate(key.to_string()));
                     }
                 }
@@ -155,10 +151,7 @@ mod tests {
             p.get_or("seed", 0u64),
             Err(ArgError::Invalid { .. })
         ));
-        assert_eq!(
-            p.require("out"),
-            Err(ArgError::Missing("out".to_string()))
-        );
+        assert_eq!(p.require("out"), Err(ArgError::Missing("out".to_string())));
         let dup = Parsed::parse(
             &["--seed", "1", "--seed", "2"]
                 .iter()

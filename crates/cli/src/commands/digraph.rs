@@ -59,11 +59,7 @@ fn mix(args: &Parsed, in_path: &str) -> Result<(), CliError> {
             "mixed digraph: {} accepted swaps over {iterations} iterations",
             stats.total()
         );
-        println!(
-            "reciprocity: {:.4} -> {:.4}",
-            before_recip,
-            reciprocity(&g)
-        );
+        println!("reciprocity: {:.4} -> {:.4}", before_recip, reciprocity(&g));
     }
     Ok(())
 }
@@ -81,8 +77,7 @@ mod tests {
         let gpath = dir.join("dg.txt");
         let mpath = dir.join("dm.txt");
 
-        let dist =
-            DiDegreeDistribution::from_pairs(vec![((1, 1), 60), ((3, 3), 10)]).unwrap();
+        let dist = DiDegreeDistribution::from_pairs(vec![((1, 1), 60), ((3, 3), 10)]).unwrap();
         dio::write_joint_distribution(&dist, std::fs::File::create(&dpath).unwrap()).unwrap();
 
         let gen_args = Parsed::parse(&[
@@ -113,13 +108,8 @@ mod tests {
 
     #[test]
     fn both_modes_rejected() {
-        let args = Parsed::parse(&[
-            "--dist".into(),
-            "a".into(),
-            "--input".into(),
-            "b".into(),
-        ])
-        .unwrap();
+        let args =
+            Parsed::parse(&["--dist".into(), "a".into(), "--input".into(), "b".into()]).unwrap();
         assert!(matches!(run(&args), Err(CliError::Domain(_))));
     }
 }

@@ -7,6 +7,7 @@ pub mod lfr;
 pub mod mix;
 pub mod profile;
 pub mod stats;
+pub mod verify;
 
 use std::fmt;
 

@@ -31,7 +31,10 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
             0.0
         }
     );
-    println!("unique degrees:  {}", graph.degree_distribution().num_classes());
+    println!(
+        "unique degrees:  {}",
+        graph.degree_distribution().num_classes()
+    );
     println!("gini:            {:.4}", gini(&seq));
     println!("assortativity:   {:+.4}", assortativity(&graph));
     if report.is_simple() {

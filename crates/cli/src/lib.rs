@@ -6,6 +6,7 @@
 //! nullgraph lfr      --dist degrees.txt --mu 0.3 --min-comm 20 --max-comm 100 --out graph.txt
 //! nullgraph profile  --name as20 [--scale 1] [--out degrees.txt]
 //! nullgraph stats    --input graph.txt
+//! nullgraph verify   [--sequence 2,2,2,1,1] [--control] [--json]
 //! nullgraph directed --dist joint.txt --out digraph.txt
 //! ```
 //!
@@ -38,6 +39,7 @@ pub fn run(argv: &[String]) -> i32 {
         "stats" => commands::stats::run(&parsed),
         "directed" => commands::digraph::run(&parsed),
         "compare" => commands::compare::run(&parsed),
+        "verify" => commands::verify::run(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             return 0;
@@ -82,6 +84,14 @@ USAGE:
 
   nullgraph compare --input <graph> (--dist <file> | --against <graph>) [--tol PCT] [--strict]
       Validate a graph against a target degree distribution.
+
+  nullgraph verify [--sequence d1,d2,...] [--trials N] [--sweeps N]
+            [--replicates N] [--alpha F] [--seed N] [--json] [--control]
+      Statistically verify the swap chain's uniformity against the exactly
+      enumerated realizations of small degree sequences (chi-square,
+      Bonferroni-corrected) and the edge-skip generator's per-pair edge
+      probabilities (exact binomial). Exits nonzero on any rejection;
+      --control also demands rejection of an intentionally-biased sampler.
 
   nullgraph directed --dist <file> --out <file> [--seed N] [--swaps N]
   nullgraph directed --input <file> --out <file> [--iterations N] [--seed N]

@@ -184,6 +184,126 @@ impl AtomicHashSet {
     }
 }
 
+/// Fixed-capacity concurrent hash **map** from `u64` keys to `u64` values
+/// with a *minimum-claim* update rule: [`AtomicHashMap::claim_min`] inserts
+/// the key if absent and atomically lowers its stored value to the claimed
+/// one. The final value per key is the minimum over all claims — a
+/// commutative, associative reduction, so the map's contents are
+/// **independent of thread interleaving**.
+///
+/// This is the conflict-resolution table of the deterministic parallel
+/// double-edge swap: every pair claims its two replacement edge keys with
+/// its own pair index, and after a barrier the pair that holds the minimum
+/// index for both keys commits. Unlike a bare `TestAndSet` (whose winner is
+/// decided by CAS timing), the claim winner is a pure function of the
+/// claimed values.
+pub struct AtomicHashMap {
+    keys: Box<[AtomicU64]>,
+    values: Box<[AtomicU64]>,
+    mask: usize,
+    probe: Probe,
+}
+
+impl AtomicHashMap {
+    /// Create a map able to hold at least `capacity` keys at a load factor
+    /// of at most 0.5 (same sizing rule as [`AtomicHashSet::new`]).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_probe(capacity, Probe::Linear)
+    }
+
+    /// As [`AtomicHashMap::new`] with an explicit probing strategy.
+    pub fn with_probe(capacity: usize, probe: Probe) -> Self {
+        let size = (capacity.max(4) * 2).next_power_of_two().max(16);
+        let keys: Box<[AtomicU64]> = (0..size).map(|_| AtomicU64::new(EMPTY)).collect();
+        let values: Box<[AtomicU64]> = (0..size).map(|_| AtomicU64::new(u64::MAX)).collect();
+        Self {
+            keys,
+            values,
+            mask: size - 1,
+            probe,
+        }
+    }
+
+    /// Number of slots in the backing array.
+    #[inline]
+    pub fn table_size(&self) -> usize {
+        self.keys.len()
+    }
+
+    #[inline]
+    fn step(&self, iteration: usize) -> usize {
+        match self.probe {
+            Probe::Linear => 1,
+            Probe::Quadratic => iteration,
+        }
+    }
+
+    /// Insert `key` if absent and lower its value to `value` if smaller.
+    /// Thread-safe and order-independent: after all claims complete, the
+    /// stored value is the minimum claimed value for the key.
+    ///
+    /// Panics if the table is full or `key == EMPTY`.
+    #[inline]
+    pub fn claim_min(&self, key: u64, value: u64) {
+        assert_ne!(key, EMPTY, "the sentinel key cannot be stored");
+        let mut idx = (hash64(key) as usize) & self.mask;
+        for it in 1..=self.keys.len() {
+            let slot = &self.keys[idx];
+            let cur = slot.load(Ordering::Relaxed);
+            let owned = cur == key
+                || (cur == EMPTY
+                    && match slot.compare_exchange(EMPTY, key, Ordering::Relaxed, Ordering::Relaxed)
+                    {
+                        Ok(_) => true,
+                        Err(existing) => existing == key,
+                    });
+            if owned {
+                self.values[idx].fetch_min(value, Ordering::Relaxed);
+                return;
+            }
+            idx = (idx + self.step(it)) & self.mask;
+        }
+        panic!("AtomicHashMap full: size the table for the expected key count");
+    }
+
+    /// The minimum value claimed for `key`, or `None` if the key is absent.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let mut idx = (hash64(key) as usize) & self.mask;
+        for it in 1..=self.keys.len() {
+            let cur = self.keys[idx].load(Ordering::Relaxed);
+            if cur == key {
+                return Some(self.values[idx].load(Ordering::Relaxed));
+            }
+            if cur == EMPTY {
+                return None;
+            }
+            idx = (idx + self.step(it)) & self.mask;
+        }
+        None
+    }
+
+    /// Reset the map to empty through a shared reference (parallel atomic
+    /// stores).
+    pub fn clear_shared(&self) {
+        self.keys
+            .par_iter()
+            .for_each(|s| s.store(EMPTY, Ordering::Relaxed));
+        self.values
+            .par_iter()
+            .for_each(|s| s.store(u64::MAX, Ordering::Relaxed));
+    }
+}
+
+impl std::fmt::Debug for AtomicHashMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicHashMap")
+            .field("table_size", &self.table_size())
+            .field("probe", &self.probe)
+            .finish()
+    }
+}
+
 impl std::fmt::Debug for AtomicHashSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AtomicHashSet")
@@ -301,7 +421,131 @@ mod tests {
         assert_eq!(fresh, n as usize);
     }
 
+    /// True threads (not rayon) racing `test_and_set` on overlapping key
+    /// sets: every distinct key must report "absent" exactly once across
+    /// all threads, and no insertion may be lost. Exercises the CAS path
+    /// under genuine preemption; run it with `--release` and
+    /// `RUST_TEST_THREADS` unset for maximum contention.
+    #[test]
+    fn threads_racing_overlapping_inserts_exactly_once() {
+        let distinct = 8_192u64;
+        let threads = 8usize;
+        let set = AtomicHashSet::new(distinct as usize);
+        let barrier = std::sync::Barrier::new(threads);
+        let fresh_total: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let set = &set;
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        barrier.wait();
+                        // Every thread inserts every key, in a different,
+                        // colliding order.
+                        let mut fresh = 0usize;
+                        for i in 0..distinct {
+                            let k = (i * 2654435761 + t as u64 * 7919) % distinct;
+                            fresh += usize::from(!set.test_and_set(k));
+                        }
+                        fresh
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(
+            fresh_total, distinct as usize,
+            "a key was double-counted or lost"
+        );
+        assert_eq!(set.len(), distinct as usize);
+        for k in 0..distinct {
+            assert!(set.contains(k), "lost update for key {k}");
+        }
+    }
+
+    /// The same race through the map: concurrent `claim_min` calls from
+    /// real threads must leave each key holding the global minimum claim,
+    /// independent of interleaving.
+    #[test]
+    fn threads_racing_claims_keep_minimum() {
+        let distinct = 4_096u64;
+        let threads = 8usize;
+        let map = AtomicHashMap::new(distinct as usize);
+        let barrier = std::sync::Barrier::new(threads);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let map = &map;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..distinct {
+                        let k = (i * 48271 + t as u64) % distinct;
+                        // Thread t claims key k with value k * threads + t.
+                        map.claim_min(k, k * threads as u64 + t as u64);
+                    }
+                });
+            }
+        });
+        for k in 0..distinct {
+            // The minimum claim for key k is from thread 0.
+            assert_eq!(map.get(k), Some(k * threads as u64), "key {k}");
+        }
+    }
+
+    #[test]
+    fn map_basic_semantics() {
+        let map = AtomicHashMap::new(16);
+        assert_eq!(map.get(7), None);
+        map.claim_min(7, 30);
+        assert_eq!(map.get(7), Some(30));
+        map.claim_min(7, 12);
+        assert_eq!(map.get(7), Some(12));
+        map.claim_min(7, 99); // larger claim must not raise the value
+        assert_eq!(map.get(7), Some(12));
+        map.claim_min(8, 1);
+        assert_eq!(map.get(8), Some(1));
+        map.clear_shared();
+        assert_eq!(map.get(7), None);
+        assert_eq!(map.get(8), None);
+    }
+
+    #[test]
+    fn map_fills_to_capacity_without_panic() {
+        for probe in [Probe::Linear, Probe::Quadratic] {
+            let cap = 500;
+            let map = AtomicHashMap::with_probe(cap, probe);
+            for k in 0..cap as u64 {
+                map.claim_min(k, k + 1);
+            }
+            for k in 0..cap as u64 {
+                assert_eq!(map.get(k), Some(k + 1), "{probe:?} key {k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn map_sentinel_rejected() {
+        let map = AtomicHashMap::new(4);
+        map.claim_min(EMPTY, 0);
+    }
+
     proptest! {
+        #[test]
+        fn prop_map_holds_minimum(
+            claims in proptest::collection::vec((0u64..64, 0u64..1000), 0..500)
+        ) {
+            let map = AtomicHashMap::new(64);
+            let mut reference = std::collections::HashMap::new();
+            for &(k, v) in &claims {
+                map.claim_min(k, v);
+                let e = reference.entry(k).or_insert(u64::MAX);
+                *e = (*e).min(v);
+            }
+            for (&k, &v) in &reference {
+                prop_assert_eq!(map.get(k), Some(v));
+            }
+        }
+
         #[test]
         fn prop_set_semantics(keys in proptest::collection::vec(0u64..1000, 0..2000)) {
             let set = AtomicHashSet::new(keys.len().max(1));

@@ -32,5 +32,5 @@ pub mod profiles;
 pub mod shapes;
 
 pub use powerlaw::{calibrated_powerlaw, PowerLawSpec};
-pub use shapes::{bimodal, regular, LogNormalSpec};
 pub use profiles::{Profile, ProfileTargets};
+pub use shapes::{bimodal, regular, LogNormalSpec};

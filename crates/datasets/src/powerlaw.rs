@@ -244,7 +244,11 @@ mod tests {
 
     #[test]
     fn calibration_hits_edge_target() {
-        for &(n, m, dmax) in &[(2_000u64, 3_500u64, 400u32), (6_500, 12_500, 1_500), (50_000, 200_000, 3_000)] {
+        for &(n, m, dmax) in &[
+            (2_000u64, 3_500u64, 400u32),
+            (6_500, 12_500, 1_500),
+            (50_000, 200_000, 3_000),
+        ] {
             let dist = calibrated_powerlaw(n, m, 1, dmax);
             let got = dist.num_edges();
             let rel = (got as f64 - m as f64).abs() / m as f64;

@@ -153,7 +153,10 @@ impl Profile {
         // law cannot reach the target mean if the cutoff sits too close to
         // it).
         let avg = (2 * m) / n;
-        let d_max = ((t.d_max as u64 / scale).max(8 * avg.max(1)).max(4).min(n - 1)) as u32;
+        let d_max = ((t.d_max as u64 / scale)
+            .max(8 * avg.max(1))
+            .max(4)
+            .min(n - 1)) as u32;
         calibrated_powerlaw(n, m, 1, d_max)
     }
 }
@@ -223,10 +226,7 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(
-            Profile::Meso.distribution(1),
-            Profile::Meso.distribution(1)
-        );
+        assert_eq!(Profile::Meso.distribution(1), Profile::Meso.distribution(1));
     }
 
     #[test]

@@ -328,7 +328,12 @@ mod tests {
     fn edge_list_degrees() {
         let g = DiEdgeList::from_edges(
             3,
-            vec![DiEdge::new(0, 1), DiEdge::new(1, 2), DiEdge::new(2, 0), DiEdge::new(0, 2)],
+            vec![
+                DiEdge::new(0, 1),
+                DiEdge::new(1, 2),
+                DiEdge::new(2, 0),
+                DiEdge::new(0, 2),
+            ],
         );
         assert_eq!(g.out_degrees(), vec![2, 1, 1]);
         assert_eq!(g.in_degrees(), vec![1, 1, 2]);

@@ -27,7 +27,11 @@ pub fn read_diedge_list(reader: impl io::Read) -> io::Result<DiEdgeList> {
         max_v = max_v.max(from).max(to);
         edges.push(DiEdge::new(from, to));
     }
-    let n = if edges.is_empty() { 0 } else { max_v as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_v as usize + 1
+    };
     Ok(DiEdgeList::from_edges(n, edges))
 }
 
@@ -140,8 +144,8 @@ mod tests {
 
     #[test]
     fn joint_distribution_round_trip() {
-        let d = DiDegreeDistribution::from_pairs(vec![((0, 1), 2), ((1, 0), 2), ((2, 2), 3)])
-            .unwrap();
+        let d =
+            DiDegreeDistribution::from_pairs(vec![((0, 1), 2), ((1, 0), 2), ((2, 2), 3)]).unwrap();
         let mut buf = Vec::new();
         write_joint_distribution(&d, &mut buf).unwrap();
         let back = read_joint_distribution(&buf[..]).unwrap();

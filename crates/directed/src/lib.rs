@@ -42,8 +42,8 @@ pub mod swap;
 
 pub use chung_lu::{directed_chung_lu, directed_erased};
 pub use digraph::{DiDegreeDistribution, DiEdge, DiEdgeList};
-pub use probs::{directed_heuristic_probabilities, DirectedProbMatrix};
 pub use metrics::reciprocity;
+pub use probs::{directed_heuristic_probabilities, DirectedProbMatrix};
 pub use skip::generate_directed;
 pub use swap::{swap_directed_edges, DirectedSwapConfig};
 
@@ -86,7 +86,11 @@ pub fn havel_hakimi_directed(seq: &[(u32, u32)]) -> Option<DiEdgeList> {
             return None;
         }
         targets.sort_unstable_by_key(|&u| {
-            std::cmp::Reverse((in_rem[u as usize], out_rem[u as usize], std::cmp::Reverse(u)))
+            std::cmp::Reverse((
+                in_rem[u as usize],
+                out_rem[u as usize],
+                std::cmp::Reverse(u),
+            ))
         });
         for &u in &targets[..out] {
             edges.push(DiEdge::new(v, u));
@@ -204,12 +208,9 @@ mod tests {
     #[test]
     fn end_to_end_asymmetric_distribution() {
         // Sources and sinks: out-heavy and in-heavy classes must balance.
-        let dist = DiDegreeDistribution::from_pairs(vec![
-            ((0, 4), 50),
-            ((1, 1), 100),
-            ((4, 0), 50),
-        ])
-        .unwrap();
+        let dist =
+            DiDegreeDistribution::from_pairs(vec![((0, 4), 50), ((1, 1), 100), ((4, 0), 50)])
+                .unwrap();
         let g = generate_directed_from_distribution(&dist, &DirectedGeneratorConfig::new(9));
         assert!(g.is_simple());
         let target = dist.num_edges() as f64;
@@ -219,8 +220,7 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let dist =
-            DiDegreeDistribution::from_pairs(vec![((2, 2), 50), ((4, 4), 10)]).unwrap();
+        let dist = DiDegreeDistribution::from_pairs(vec![((2, 2), 50), ((4, 4), 10)]).unwrap();
         let cfg = DirectedGeneratorConfig::new(5);
         let a = generate_directed_from_distribution(&dist, &cfg);
         let b = generate_directed_from_distribution(&dist, &cfg);

@@ -291,9 +291,7 @@ mod tests {
         let d = dist(&[((1, 1), 300), ((2, 2), 31), ((2, 40), 2), ((40, 2), 2)]);
         let single = directed_heuristic_probabilities_with(&d, 1);
         let refilled = directed_heuristic_probabilities_with(&d, 8);
-        assert!(
-            directed_max_residual(&refilled, &d) <= directed_max_residual(&single, &d) + 1e-12
-        );
+        assert!(directed_max_residual(&refilled, &d) <= directed_max_residual(&single, &d) + 1e-12);
     }
 
     #[test]

@@ -249,7 +249,10 @@ mod tests {
             mean += g.len() as f64 / runs as f64;
         }
         let target = d.num_edges() as f64;
-        assert!((mean - target).abs() / target < 0.06, "mean {mean} target {target}");
+        assert!(
+            (mean - target).abs() / target < 0.06,
+            "mean {mean} target {target}"
+        );
     }
 
     #[test]

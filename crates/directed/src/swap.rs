@@ -50,10 +50,7 @@ impl DirectedSwapStats {
 }
 
 /// Run parallel directed double-edge swaps in place.
-pub fn swap_directed_edges(
-    graph: &mut DiEdgeList,
-    cfg: &DirectedSwapConfig,
-) -> DirectedSwapStats {
+pub fn swap_directed_edges(graph: &mut DiEdgeList, cfg: &DirectedSwapConfig) -> DirectedSwapStats {
     run(graph, cfg, true)
 }
 

@@ -167,8 +167,8 @@ fn run_task(
 /// [`generate`]).
 pub fn erdos_renyi(n: u64, p: f64, seed: u64) -> EdgeList {
     assert!(n < u32::MAX as u64);
-    let dist = DegreeDistribution::from_pairs_relaxed(vec![(1, n)])
-        .expect("single class is always valid");
+    let dist =
+        DegreeDistribution::from_pairs_relaxed(vec![(1, n)]).expect("single class is always valid");
     let mut probs = ProbMatrix::new(1);
     probs.set(0, 0, p.clamp(0.0, 1.0));
     let mut g = generate(&probs, &dist, seed);

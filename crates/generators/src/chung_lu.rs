@@ -72,10 +72,7 @@ pub fn chung_lu_om_with(
             let mut out = Vec::with_capacity((hi - lo) as usize);
             for _ in lo..hi {
                 let (a, b) = match &alias {
-                    None => (
-                        cumulative.sample(&mut rng),
-                        cumulative.sample(&mut rng),
-                    ),
+                    None => (cumulative.sample(&mut rng), cumulative.sample(&mut rng)),
                     Some((table, offsets)) => {
                         let draw = |rng: &mut Xoshiro256pp| {
                             let c = table.sample(rng) as usize;

@@ -110,8 +110,7 @@ mod tests {
 
     #[test]
     fn skewed_realizable() {
-        let dist =
-            DegreeDistribution::from_pairs(vec![(1, 60), (2, 20), (5, 8), (20, 2)]).unwrap();
+        let dist = DegreeDistribution::from_pairs(vec![(1, 60), (2, 20), (5, 8), (20, 2)]).unwrap();
         assert!(dist.is_graphical());
         let g = havel_hakimi(&dist).unwrap();
         assert!(g.is_simple());

@@ -303,7 +303,15 @@ mod tests {
     #[test]
     fn powerlaw_like_residual_moderate() {
         // Skewed distribution: counts fall off as degree grows.
-        let d = dist(&[(1, 600), (2, 200), (3, 100), (5, 40), (10, 12), (20, 5), (40, 1)]);
+        let d = dist(&[
+            (1, 600),
+            (2, 200),
+            (3, 100),
+            (5, 40),
+            (10, 12),
+            (20, 5),
+            (40, 1),
+        ]);
         let p = heuristic_probabilities(&d);
         let r = max_relative_residual(&p, &d);
         assert!(r < 0.25, "residual {r}");
@@ -318,7 +326,15 @@ mod tests {
 
     #[test]
     fn sinkhorn_reduces_residual() {
-        let d = dist(&[(1, 600), (2, 200), (3, 100), (5, 40), (10, 12), (20, 5), (40, 1)]);
+        let d = dist(&[
+            (1, 600),
+            (2, 200),
+            (3, 100),
+            (5, 40),
+            (10, 12),
+            (20, 5),
+            (40, 1),
+        ]);
         let mut p = heuristic_probabilities(&d);
         let before = max_relative_residual(&p, &d);
         let after = sinkhorn_refine(&mut p, &d, 20);
@@ -353,12 +369,23 @@ mod tests {
             heur_res < cl_res,
             "heuristic {heur_res} should beat Chung-Lu {cl_res}"
         );
-        assert!(cl_res > 0.2, "Chung-Lu residual unexpectedly small: {cl_res}");
+        assert!(
+            cl_res > 0.2,
+            "Chung-Lu residual unexpectedly small: {cl_res}"
+        );
     }
 
     #[test]
     fn expected_edges_close_to_target() {
-        let d = dist(&[(1, 600), (2, 200), (3, 100), (5, 40), (10, 12), (20, 5), (40, 1)]);
+        let d = dist(&[
+            (1, 600),
+            (2, 200),
+            (3, 100),
+            (5, 40),
+            (10, 12),
+            (20, 5),
+            (40, 1),
+        ]);
         let p = heuristic_probabilities(&d);
         let expect = p.expected_edges(&d);
         let target = d.num_edges() as f64;

@@ -60,7 +60,9 @@ impl ProbMatrix {
 
     /// Clamp every entry into `[0, 1]`.
     pub fn clamp_unit(&mut self) {
-        self.values.par_iter_mut().for_each(|v| *v = v.clamp(0.0, 1.0));
+        self.values
+            .par_iter_mut()
+            .for_each(|v| *v = v.clamp(0.0, 1.0));
     }
 
     /// Expected degree of a vertex in each class `j`:

@@ -45,9 +45,7 @@ impl EdgeList {
     /// Wrap an existing edge vector. `num_vertices` must exceed every
     /// endpoint (checked in debug builds).
     pub fn from_edges(num_vertices: usize, edges: Vec<Edge>) -> Self {
-        debug_assert!(edges
-            .iter()
-            .all(|e| (e.v() as usize) < num_vertices));
+        debug_assert!(edges.iter().all(|e| (e.v() as usize) < num_vertices));
         Self {
             edges,
             num_vertices,
@@ -58,11 +56,7 @@ impl EdgeList {
     /// endpoint.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, u32)>) -> Self {
         let edges: Vec<Edge> = pairs.into_iter().map(|(a, b)| Edge::new(a, b)).collect();
-        let num_vertices = edges
-            .iter()
-            .map(|e| e.v() as usize + 1)
-            .max()
-            .unwrap_or(0);
+        let num_vertices = edges.iter().map(|e| e.v() as usize + 1).max().unwrap_or(0);
         Self {
             edges,
             num_vertices,
@@ -128,11 +122,7 @@ impl EdgeList {
 
     /// Classify simplicity violations (parallel sort-based counting).
     pub fn simplicity_report(&self) -> SimplicityReport {
-        let self_loops = self
-            .edges
-            .par_iter()
-            .filter(|e| e.is_self_loop())
-            .count() as u64;
+        let self_loops = self.edges.par_iter().filter(|e| e.is_self_loop()).count() as u64;
         let mut keys: Vec<u64> = self.edges.par_iter().map(|e| e.key()).collect();
         keys.par_sort_unstable();
         let duplicates = keys.windows(2).filter(|w| w[0] == w[1]).count() as u64;
@@ -205,11 +195,7 @@ impl EdgeList {
 impl FromIterator<Edge> for EdgeList {
     fn from_iter<I: IntoIterator<Item = Edge>>(iter: I) -> Self {
         let edges: Vec<Edge> = iter.into_iter().collect();
-        let num_vertices = edges
-            .iter()
-            .map(|e| e.v() as usize + 1)
-            .max()
-            .unwrap_or(0);
+        let num_vertices = edges.iter().map(|e| e.v() as usize + 1).max().unwrap_or(0);
         Self {
             edges,
             num_vertices,

@@ -37,7 +37,12 @@ pub fn read_edge_list(reader: impl io::Read) -> io::Result<EdgeList> {
 /// Write an edge list (`u v` per line, canonical endpoint order).
 pub fn write_edge_list(graph: &EdgeList, writer: impl io::Write) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# {} vertices, {} edges", graph.num_vertices(), graph.len())?;
+    writeln!(
+        w,
+        "# {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.len()
+    )?;
     for e in graph.edges() {
         writeln!(w, "{} {}", e.u(), e.v())?;
     }

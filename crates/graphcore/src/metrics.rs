@@ -174,11 +174,8 @@ impl AttachmentMatrix {
         let degrees: Vec<u32> = dist.degrees().to_vec();
         let counts: Vec<u64> = dist.counts().to_vec();
         let dcount = degrees.len();
-        let class_of: HashMap<u32, usize> = degrees
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| (d, i))
-            .collect();
+        let class_of: HashMap<u32, usize> =
+            degrees.iter().enumerate().map(|(i, &d)| (d, i)).collect();
         let mut edge_counts = vec![0u64; dcount * dcount];
         for e in graph.edges() {
             if e.is_self_loop() {

@@ -85,7 +85,11 @@ impl SignificanceReport {
             .sum::<f64>()
             / (n - 1) as f64;
         let sd = var.sqrt();
-        let z = if sd > 0.0 { (observed - mean) / sd } else { 0.0 };
+        let z = if sd > 0.0 {
+            (observed - mean) / sd
+        } else {
+            0.0
+        };
         let dev = (observed - mean).abs();
         let extreme = null_samples
             .iter()

@@ -144,7 +144,10 @@ pub fn generate_layered(
         // Ties in the fractional parts (ubiquitous: λ = 0.5 with odd d) are
         // broken by a per-(vertex, layer) hash — a fixed tie-break would
         // systematically favour one layer and bias the realized mixing.
-        let quotas: Vec<f64> = member_layers.iter().map(|&l| layers[l].lambda * d).collect();
+        let quotas: Vec<f64> = member_layers
+            .iter()
+            .map(|&l| layers[l].lambda * d)
+            .collect();
         let mut parts: Vec<u32> = quotas.iter().map(|&q| q as u32).collect();
         let assigned: u32 = parts.iter().sum();
         let mut order: Vec<usize> = (0..member_layers.len()).collect();
@@ -299,9 +302,7 @@ pub fn generate_lfr(cfg: &LfrConfig) -> Result<LfrGraph, LayerError> {
         covered += s;
     }
     // A trailing community of size 1 cannot host internal edges; merge it.
-    if *sizes.last().expect("at least one community") < cfg.community_size_min
-        && sizes.len() > 1
-    {
+    if *sizes.last().expect("at least one community") < cfg.community_size_min && sizes.len() > 1 {
         let tail = sizes.pop().expect("nonempty");
         *sizes.last_mut().expect("nonempty") += tail;
     }

@@ -261,7 +261,63 @@ mod tests {
 
     fn darts_serial_small(n: usize, seed: u64) -> Vec<u32> {
         let mut rng = Xoshiro256pp::new(seed);
-        (0..n).map(|i| rng.next_below(i as u64 + 1) as u32).collect()
+        (0..n)
+            .map(|i| rng.next_below(i as u64 + 1) as u32)
+            .collect()
+    }
+
+    /// Chi-square uniformity of the PRODUCTION permutation path (`darts` +
+    /// dart application) over all 120 permutations of n = 5, 100k trials.
+    ///
+    /// `parutil` sits below `stattest` in the crate graph, so the p-value
+    /// machinery is not available here; the assertion uses a fixed critical
+    /// value instead. For 119 degrees of freedom the Wilson–Hilferty
+    /// approximation puts the p ≈ 1e-9 quantile near 237, so a threshold of
+    /// 240 makes a false failure on a uniform shuffle essentially
+    /// impossible while any systematic bias of a few percent per cell
+    /// (chi2 grows linearly in trials) blows far past it.
+    #[test]
+    fn n5_uniformity_chi_square_100k() {
+        const N: usize = 5;
+        const TRIALS: usize = 100_000;
+        let mut counts = std::collections::HashMap::new();
+        for t in 0..TRIALS {
+            let h = darts(N, 0x00D5_EED0 ^ t as u64);
+            let mut v = [0u8, 1, 2, 3, 4];
+            for i in (1..N).rev() {
+                v.swap(i, h[i] as usize);
+            }
+            *counts.entry(v).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 120, "all 5! permutations must occur");
+        let expect = TRIALS as f64 / 120.0;
+        let chi2: f64 = counts
+            .values()
+            .map(|&c| {
+                let d = c as f64 - expect;
+                d * d / expect
+            })
+            .sum();
+        assert!(chi2 < 240.0, "chi2 = {chi2} over 119 dof");
+    }
+
+    /// The serial Fisher–Yates order and the parallel reservation shuffle
+    /// agree exactly for the same dart array, across seeds and across the
+    /// serial-fallback boundary (`n < 2^12` runs serially inside
+    /// `parallel_permute_with_darts`).
+    #[test]
+    fn serial_and_parallel_fisher_yates_agree_across_seeds() {
+        for n in [2usize, 5, 100, (1 << 12) - 1, 1 << 12, 10_000] {
+            for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+                let h = darts(n, seed);
+                let mut serial: Vec<u32> = (0..n as u32).collect();
+                apply_darts_serial(&mut serial, &h);
+                let mut parallel: Vec<u32> = (0..n as u32).collect();
+                parallel_permute(&mut parallel, seed);
+                assert_eq!(serial, parallel, "n = {n}, seed = {seed}");
+                assert!(is_permutation(&serial, n));
+            }
+        }
     }
 
     proptest! {

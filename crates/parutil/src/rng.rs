@@ -83,7 +83,9 @@ impl Xoshiro256pp {
     /// state expansion.
     #[inline]
     pub fn stream(seed: u64, index: u64) -> Self {
-        Self::new(mix64(seed ^ mix64(index.wrapping_add(0xA076_1D64_78BD_642F))))
+        Self::new(mix64(
+            seed ^ mix64(index.wrapping_add(0xA076_1D64_78BD_642F)),
+        ))
     }
 
     /// Next 64 uniformly-distributed bits.

@@ -1,0 +1,301 @@
+//! Exact enumeration of the simple graphs realizing a small degree
+//! sequence.
+//!
+//! For `n ≤ 8` vertices there are at most `C(8,2) = 28` vertex pairs, so a
+//! labeled simple graph packs into a `u32` bitmask over the lexicographic
+//! pair order. Enumerating every realization of a degree sequence turns the
+//! swap chain's "uniform over all realizations" claim into a testable
+//! hypothesis: sample the chain, map each sample to its mask, and
+//! chi-square the resulting histogram against the exact uniform
+//! distribution (see [`crate::harness`]).
+//!
+//! The enumeration is a straightforward backtracking search over pairs in
+//! lexicographic order with residual-degree pruning; the state space at
+//! `n ≤ 8` is tiny (the largest support used by the tests has a few
+//! hundred graphs), so no sophistication is needed — only correctness.
+
+use graphcore::EdgeList;
+
+/// Largest vertex count the mask encoding supports (`C(8,2) = 28 ≤ 32`).
+pub const MAX_VERTICES: usize = 8;
+
+/// Lexicographic index of the pair `(u, v)` with `u < v` among all pairs of
+/// `n` vertices: pairs are ordered `(0,1), (0,2), ..., (0,n−1), (1,2), ...`.
+#[inline]
+pub fn pair_index(n: usize, u: usize, v: usize) -> usize {
+    debug_assert!(u < v && v < n);
+    u * (2 * n - u - 1) / 2 + (v - u - 1)
+}
+
+/// The complete set of labeled simple graphs realizing one degree sequence,
+/// each encoded as a `u32` bitmask over [`pair_index`] positions.
+#[derive(Clone, Debug)]
+pub struct Realizations {
+    n: usize,
+    masks: Vec<u32>,
+}
+
+impl Realizations {
+    /// Enumerate every labeled simple graph on `seq.len()` vertices whose
+    /// degree sequence equals `seq`. Returns `None` when the sequence has
+    /// more than [`MAX_VERTICES`] vertices. A non-graphical sequence yields
+    /// an empty support.
+    pub fn enumerate(seq: &[u32]) -> Option<Self> {
+        let n = seq.len();
+        if n > MAX_VERTICES {
+            return None;
+        }
+        let stub_sum: u64 = seq.iter().map(|&d| d as u64).sum();
+        if !stub_sum.is_multiple_of(2) || seq.iter().any(|&d| d as usize >= n.max(1)) {
+            return Some(Self {
+                n,
+                masks: Vec::new(),
+            });
+        }
+        let mut residual: Vec<u32> = seq.to_vec();
+        let mut masks = Vec::new();
+        // Pair list in lexicographic order, so mask bit i == pair_index order.
+        let mut pairs = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                pairs.push((u, v));
+            }
+        }
+        backtrack(&pairs, 0, 0, &mut residual, &mut masks);
+        masks.sort_unstable();
+        Some(Self { n, masks })
+    }
+
+    /// Number of vertices of every graph in the support.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct realizations.
+    pub fn support_size(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// The sorted masks.
+    pub fn masks(&self) -> &[u32] {
+        &self.masks
+    }
+
+    /// Index of `mask` within the sorted support, or `None` when `mask` is
+    /// not a realization of the sequence.
+    pub fn index_of(&self, mask: u32) -> Option<usize> {
+        self.masks.binary_search(&mask).ok()
+    }
+
+    /// Canonical mask of an [`EdgeList`] over this support's vertex count.
+    /// Returns `None` when the graph is not simple, has a different vertex
+    /// count, or contains an out-of-range endpoint.
+    pub fn mask_of(&self, graph: &EdgeList) -> Option<u32> {
+        if graph.num_vertices() != self.n {
+            return None;
+        }
+        edge_list_mask(graph)
+    }
+}
+
+/// Encode a simple [`EdgeList`] on `≤ 8` vertices as a pair-index bitmask.
+/// Returns `None` for self loops, duplicate edges, or too many vertices.
+pub fn edge_list_mask(graph: &EdgeList) -> Option<u32> {
+    let n = graph.num_vertices();
+    if n > MAX_VERTICES {
+        return None;
+    }
+    let mut mask = 0u32;
+    for e in graph.edges() {
+        let (u, v) = (e.u() as usize, e.v() as usize);
+        if u == v || v >= n {
+            return None;
+        }
+        let bit = 1u32 << pair_index(n, u, v);
+        if mask & bit != 0 {
+            return None; // duplicate edge
+        }
+        mask |= bit;
+    }
+    Some(mask)
+}
+
+/// Depth-first search over pairs: each pair is either excluded or included
+/// (consuming one residual degree at both endpoints). Prunes when a vertex
+/// can no longer reach zero residual with the pairs remaining.
+fn backtrack(
+    pairs: &[(usize, usize)],
+    idx: usize,
+    mask: u32,
+    residual: &mut [u32],
+    out: &mut Vec<u32>,
+) {
+    if idx == pairs.len() {
+        if residual.iter().all(|&r| r == 0) {
+            out.push(mask);
+        }
+        return;
+    }
+    let (u, v) = pairs[idx];
+    // Prune: once the lexicographic scan moves past vertex `u`, no later
+    // pair can touch any vertex `< u`; their residuals must already be 0.
+    // (Pairs are sorted by `u`, so check only the current `u`'s feasibility
+    // against its remaining pairs: at most `n − 1 − v + 1` pairs touch `u`
+    // from `(u, v)` onward.)
+    let n = residual.len();
+    let remaining_for_u = (n - v) as u32; // pairs (u,v), (u,v+1), ..., (u,n−1)
+    if residual[u] > remaining_for_u {
+        return; // u can never be saturated
+    }
+    // Option 1: exclude the pair — legal only while u stays satisfiable
+    // (residual[u] == remaining_for_u forces inclusion).
+    if residual[u] < remaining_for_u {
+        backtrack(pairs, idx + 1, mask, residual, out);
+    }
+    // Option 2: include the pair.
+    if residual[u] > 0 && residual[v] > 0 {
+        residual[u] -= 1;
+        residual[v] -= 1;
+        backtrack(pairs, idx + 1, mask | (1 << idx), residual, out);
+        residual[u] += 1;
+        residual[v] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::EdgeList;
+
+    #[test]
+    fn pair_index_is_lexicographic() {
+        let n = 5;
+        let mut expect = 0;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                assert_eq!(pair_index(n, u, v), expect);
+                expect += 1;
+            }
+        }
+        assert_eq!(expect, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn triangle_unique_realization() {
+        let r = Realizations::enumerate(&[2, 2, 2]).unwrap();
+        assert_eq!(r.support_size(), 1);
+        let g = EdgeList::from_pairs([(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(r.mask_of(&g), Some(r.masks()[0]));
+    }
+
+    #[test]
+    fn path_sequence_multiple_realizations() {
+        // [1,1,2]: one vertex of degree 2 — always the middle of a path.
+        // Labeled paths on 3 vertices with degree seq (1,1,2) in THIS vertex
+        // order: vertex 2 is the center, so edges {0,2},{1,2} — exactly one.
+        let r = Realizations::enumerate(&[1, 1, 2]).unwrap();
+        assert_eq!(r.support_size(), 1);
+        // [2,1,1]: vertex 0 is the center: edges {0,1},{0,2} — one again.
+        let r = Realizations::enumerate(&[2, 1, 1]).unwrap();
+        assert_eq!(r.support_size(), 1);
+    }
+
+    #[test]
+    fn known_support_sizes() {
+        // Degree sequence [1,1,1,1]: perfect matchings of K4 = 3.
+        assert_eq!(Realizations::enumerate(&[1; 4]).unwrap().support_size(), 3);
+        // 2-regular on 4 vertices: 4-cycles on 4 labeled vertices = 3.
+        assert_eq!(Realizations::enumerate(&[2; 4]).unwrap().support_size(), 3);
+        // 2-regular on 5 vertices: 5-cycles = 5!/(5·2) = 12.
+        assert_eq!(Realizations::enumerate(&[2; 5]).unwrap().support_size(), 12);
+        // 2-regular on 6 vertices: 6-cycles (6!/(6·2) = 60) plus
+        // two disjoint triangles (C(6,3)/2 = 10) = 70.
+        assert_eq!(Realizations::enumerate(&[2; 6]).unwrap().support_size(), 70);
+        // 3-regular on 4 vertices: K4 only.
+        assert_eq!(Realizations::enumerate(&[3; 4]).unwrap().support_size(), 1);
+        // [2,2,2,1,1]: path of 5 plus triangle+edge arrangements; count by
+        // brute force cross-check below.
+        let r = Realizations::enumerate(&[2, 2, 2, 1, 1]).unwrap();
+        assert_eq!(r.support_size(), brute_force_count(&[2, 2, 2, 1, 1]));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_sequences() {
+        for seq in [
+            vec![1, 2, 3, 2, 1, 1],
+            vec![3, 3, 2, 2, 2],
+            vec![2, 2, 2, 2, 1, 1],
+            vec![4, 2, 2, 2, 2],
+            vec![3, 3, 3, 3],
+            vec![1, 1, 1],    // odd stub sum → empty
+            vec![5, 1, 1, 1], // non-graphical → empty
+        ] {
+            let r = Realizations::enumerate(&seq).unwrap();
+            assert_eq!(
+                r.support_size(),
+                brute_force_count(&seq),
+                "sequence {seq:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn masks_sorted_and_indexable() {
+        let r = Realizations::enumerate(&[2; 6]).unwrap();
+        let masks = r.masks();
+        assert!(masks.windows(2).all(|w| w[0] < w[1]));
+        for (i, &m) in masks.iter().enumerate() {
+            assert_eq!(r.index_of(m), Some(i));
+        }
+        assert_eq!(r.index_of(u32::MAX), None);
+    }
+
+    #[test]
+    fn rejects_large_n() {
+        assert!(Realizations::enumerate(&[1; 9]).is_none());
+    }
+
+    #[test]
+    fn mask_of_rejects_wrong_shape() {
+        let r = Realizations::enumerate(&[2, 2, 2]).unwrap();
+        // Wrong vertex count.
+        let g4 = EdgeList::from_pairs([(0, 1), (1, 2), (2, 3), (0, 3)]);
+        assert_eq!(r.mask_of(&g4), None);
+        // Duplicate edge.
+        let mut dup = EdgeList::new(3);
+        dup.push(graphcore::Edge::new(0, 1));
+        dup.push(graphcore::Edge::new(1, 0));
+        assert_eq!(edge_list_mask(&dup), None);
+        // Self loop.
+        let mut lp = EdgeList::new(3);
+        lp.push(graphcore::Edge::new(1, 1));
+        assert_eq!(edge_list_mask(&lp), None);
+    }
+
+    /// Exhaustive check over all 2^C(n,2) graphs — the ground truth the
+    /// backtracking search must match.
+    fn brute_force_count(seq: &[u32]) -> usize {
+        let n = seq.len();
+        let bits = n * (n - 1) / 2;
+        let mut pairs = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                pairs.push((u, v));
+            }
+        }
+        let mut count = 0;
+        for mask in 0u32..(1u32 << bits) {
+            let mut deg = vec![0u32; n];
+            for (i, &(u, v)) in pairs.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    deg[u] += 1;
+                    deg[v] += 1;
+                }
+            }
+            if deg == seq {
+                count += 1;
+            }
+        }
+        count
+    }
+}

@@ -1,0 +1,59 @@
+//! Statistical verification subsystem for the null-model generators.
+//!
+//! The paper's central correctness claim — the parallel double-edge-swap
+//! chain samples **uniformly** from the simple graphs realizing a degree
+//! sequence — is only checkable against ground truth when the ground truth
+//! is known. This crate makes it known for small instances and turns the
+//! claim into automated hypothesis tests:
+//!
+//! * [`enumerate`] — exact enumeration of every labeled simple graph
+//!   realizing a degree sequence on `n ≤ 8` vertices, encoded as `u32`
+//!   bitmasks over the lexicographic vertex-pair order;
+//! * [`stats`] — a dependency-free hypothesis-test kit: Pearson chi-square
+//!   (p-values via the regularized incomplete gamma function), two-sample
+//!   Kolmogorov–Smirnov, exact/approximate two-sided binomial tests, and
+//!   Wilson score intervals;
+//! * [`harness`] — end-to-end harnesses: [`SwapUniformityHarness`] drives
+//!   the swap MCMC (serial, parallel, and an intentionally-biased control)
+//!   against the enumerated support with Bonferroni-corrected chi-square
+//!   verdicts, and [`EdgeSkipExpectationHarness`] binomially verifies the
+//!   Bernoulli edge-skip generator's per-pair edge probabilities.
+//!
+//! Verdicts are machine readable ([`UniformityVerdict::to_json`],
+//! [`ExpectationVerdict::to_json`]) and drive the `verify` CLI subcommand
+//! and the tier-1 statistical test suite (`tests/uniformity_statistical.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use stattest::{SamplerKind, SwapUniformityHarness, UniformityConfig};
+//!
+//! // Every 2-regular graph on 5 vertices is a 5-cycle; there are 12.
+//! let harness = SwapUniformityHarness::new(&[2, 2, 2, 2, 2]).unwrap();
+//! assert_eq!(harness.support().support_size(), 12);
+//!
+//! let cfg = UniformityConfig {
+//!     sweeps: 20,
+//!     trials: 600,
+//!     replicates: 1,
+//!     alpha: 1e-6,
+//!     base_seed: 7,
+//! };
+//! let verdict = harness.run(SamplerKind::SwapSerial, &cfg).unwrap();
+//! assert!(!verdict.rejected); // the real chain is uniform
+//! ```
+
+pub mod enumerate;
+pub mod harness;
+pub mod stats;
+
+pub use enumerate::{edge_list_mask, pair_index, Realizations, MAX_VERTICES};
+pub use harness::{
+    EdgeSkipExpectationHarness, ExpectationConfig, ExpectationVerdict, HarnessError,
+    ReplicateResult, SamplerKind, SwapUniformityHarness, UniformityConfig, UniformityVerdict,
+};
+pub use stats::{
+    binomial_two_sided, chi_square_pooled, chi_square_sf, chi_square_test, chi_square_uniform,
+    gamma_p, gamma_q, kolmogorov_sf, ks_two_sample, ln_binomial_pmf, ln_gamma, normal_two_sided,
+    wilson_interval, TestOutcome,
+};

@@ -1,0 +1,475 @@
+//! A small, dependency-free hypothesis-test kit.
+//!
+//! Everything here is classical: Pearson's chi-square with the p-value
+//! computed from the regularized upper incomplete gamma function, the
+//! two-sample Kolmogorov–Smirnov test with the asymptotic Kolmogorov
+//! distribution, the exact (and normal-approximate) two-sided binomial
+//! test, and Wilson score intervals. Implementations follow the standard
+//! series/continued-fraction evaluations (Numerical Recipes §6.2, §14.3).
+
+/// Outcome of a single hypothesis test.
+#[derive(Clone, Copy, Debug)]
+pub struct TestOutcome {
+    /// The test statistic (chi-square value, KS distance, ...).
+    pub statistic: f64,
+    /// Degrees of freedom where meaningful (0 otherwise).
+    pub dof: usize,
+    /// Two-sided p-value under the null hypothesis.
+    pub p_value: f64,
+}
+
+impl TestOutcome {
+    /// `true` when the null hypothesis is rejected at significance `alpha`.
+    pub fn rejected_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+/// Accurate to ~15 significant digits for positive arguments.
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps small arguments accurate.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = 0.999_999_999_999_809_9;
+    for (i, &c) in COEF.iter().enumerate() {
+        a += c / (x + i as f64 + 1.0);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_p domain: a > 0, x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_contfrac(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 − P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_q domain: a > 0, x >= 0");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_contfrac(a, x)
+    }
+}
+
+/// Series representation of `P(a, x)`; converges fast for `x < a + 1`.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Lentz continued fraction for `Q(a, x)`; converges fast for `x ≥ a + 1`.
+fn gamma_q_contfrac(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Survival function of the chi-square distribution: `P(X ≥ statistic)`
+/// with `dof` degrees of freedom.
+pub fn chi_square_sf(statistic: f64, dof: usize) -> f64 {
+    if dof == 0 {
+        return 1.0;
+    }
+    if !statistic.is_finite() {
+        return 0.0;
+    }
+    gamma_q(dof as f64 / 2.0, statistic.max(0.0) / 2.0)
+}
+
+/// Pearson chi-square goodness-of-fit test of observed counts against
+/// expected counts. `dof = cells − 1 − constrained` where `constrained`
+/// extra degrees can be removed for fitted parameters (pass 0 normally).
+///
+/// Cells with `expected == 0` but `observed > 0` force the statistic to
+/// infinity (p = 0); cells where both are zero are skipped.
+pub fn chi_square_test(observed: &[u64], expected: &[f64], constrained: usize) -> TestOutcome {
+    assert_eq!(observed.len(), expected.len(), "cell count mismatch");
+    let mut statistic = 0.0f64;
+    let mut cells = 0usize;
+    for (&o, &e) in observed.iter().zip(expected) {
+        if e <= 0.0 {
+            if o > 0 {
+                statistic = f64::INFINITY;
+                cells += 1;
+            }
+            continue;
+        }
+        let d = o as f64 - e;
+        statistic += d * d / e;
+        cells += 1;
+    }
+    let dof = cells.saturating_sub(1 + constrained);
+    TestOutcome {
+        statistic,
+        dof,
+        p_value: if dof == 0 {
+            1.0
+        } else {
+            chi_square_sf(statistic, dof)
+        },
+    }
+}
+
+/// Chi-square test against the uniform distribution over `observed.len()`
+/// cells.
+pub fn chi_square_uniform(observed: &[u64]) -> TestOutcome {
+    let total: u64 = observed.iter().sum();
+    let expected = vec![total as f64 / observed.len() as f64; observed.len()];
+    chi_square_test(observed, &expected, 0)
+}
+
+/// Chi-square with *tail pooling*: consecutive cells are merged until each
+/// pooled cell's expected count reaches `min_expected` (the classical
+/// validity rule of thumb is 5). Returns `None` when fewer than two pooled
+/// cells remain.
+pub fn chi_square_pooled(
+    observed: &[u64],
+    expected: &[f64],
+    min_expected: f64,
+) -> Option<TestOutcome> {
+    assert_eq!(observed.len(), expected.len());
+    let mut pooled_o = Vec::new();
+    let mut pooled_e = Vec::new();
+    let mut acc_o = 0u64;
+    let mut acc_e = 0.0f64;
+    for (&o, &e) in observed.iter().zip(expected) {
+        acc_o += o;
+        acc_e += e;
+        if acc_e >= min_expected {
+            pooled_o.push(acc_o);
+            pooled_e.push(acc_e);
+            acc_o = 0;
+            acc_e = 0.0;
+        }
+    }
+    if acc_o > 0 || acc_e > 0.0 {
+        // Fold the remainder into the last pooled cell, or keep it if
+        // nothing was pooled yet.
+        if let (Some(lo), Some(le)) = (pooled_o.last_mut(), pooled_e.last_mut()) {
+            *lo += acc_o;
+            *le += acc_e;
+        } else {
+            pooled_o.push(acc_o);
+            pooled_e.push(acc_e);
+        }
+    }
+    if pooled_o.len() < 2 {
+        return None;
+    }
+    Some(chi_square_test(&pooled_o, &pooled_e, 0))
+}
+
+/// Asymptotic survival function of the Kolmogorov distribution,
+/// `Q_KS(λ) = 2 Σ_{j≥1} (−1)^{j−1} e^{−2 j² λ²}`.
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Two-sample Kolmogorov–Smirnov test. Inputs need not be sorted.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> TestOutcome {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    let mut xa = a.to_vec();
+    let mut xb = b.to_vec();
+    xa.sort_unstable_by(f64::total_cmp);
+    xb.sort_unstable_by(f64::total_cmp);
+    let (na, nb) = (xa.len(), xb.len());
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while ia < na && ib < nb {
+        let va = xa[ia];
+        let vb = xb[ib];
+        let x = va.min(vb);
+        while ia < na && xa[ia] <= x {
+            ia += 1;
+        }
+        while ib < nb && xb[ib] <= x {
+            ib += 1;
+        }
+        let fa = ia as f64 / na as f64;
+        let fb = ib as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+    let ne = (na as f64 * nb as f64) / (na as f64 + nb as f64);
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    TestOutcome {
+        statistic: d,
+        dof: 0,
+        p_value: kolmogorov_sf(lambda),
+    }
+}
+
+/// Natural log of the binomial probability mass `P(X = k)` for
+/// `X ~ Binomial(n, p)`.
+pub fn ln_binomial_pmf(k: u64, n: u64, p: f64) -> f64 {
+    assert!(k <= n && (0.0..=1.0).contains(&p));
+    if p == 0.0 {
+        return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    if p == 1.0 {
+        return if k == n { 0.0 } else { f64::NEG_INFINITY };
+    }
+    let (nf, kf) = (n as f64, k as f64);
+    ln_gamma(nf + 1.0) - ln_gamma(kf + 1.0) - ln_gamma(nf - kf + 1.0)
+        + kf * p.ln()
+        + (nf - kf) * (1.0 - p).ln()
+}
+
+/// Exact two-sided binomial test (method of small p-values): the p-value is
+/// the total probability of all outcomes no more likely than the observed
+/// one. Used for `n ≤ 10_000`; larger `n` falls back to the normal
+/// approximation with continuity correction.
+pub fn binomial_two_sided(k: u64, n: u64, p: f64) -> TestOutcome {
+    assert!(k <= n, "k must be ≤ n");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mean = n as f64 * p;
+    let var = mean * (1.0 - p);
+    let statistic = if var > 0.0 {
+        (k as f64 - mean) / var.sqrt()
+    } else {
+        0.0
+    };
+    let p_value = if n <= 10_000 {
+        let obs = ln_binomial_pmf(k, n, p);
+        // Tolerance guards against ties lost to floating-point noise.
+        let mut total = 0.0f64;
+        for j in 0..=n {
+            let lj = ln_binomial_pmf(j, n, p);
+            if lj <= obs + 1e-9 {
+                total += lj.exp();
+            }
+        }
+        total.min(1.0)
+    } else {
+        // Normal approximation, continuity corrected.
+        let z = ((k as f64 - mean).abs() - 0.5).max(0.0) / var.sqrt();
+        normal_two_sided(z)
+    };
+    TestOutcome {
+        statistic,
+        dof: 0,
+        p_value,
+    }
+}
+
+/// Two-sided tail mass of the standard normal beyond `|z|`, via the
+/// complementary error function (expressed through `gamma_q(1/2, z²/2)`).
+pub fn normal_two_sided(z: f64) -> f64 {
+    let z = z.abs();
+    if z == 0.0 {
+        return 1.0;
+    }
+    gamma_q(0.5, z * z / 2.0)
+}
+
+/// Wilson score confidence interval for a binomial proportion with
+/// `successes` out of `trials` at normal quantile `z` (1.96 ≈ 95%).
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "Wilson interval needs at least one trial");
+    let n = trials as f64;
+    let phat = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = phat + z2 / (2.0 * n);
+    let half = z * (phat * (1.0 - phat) / n + z2 / (4.0 * n * n)).sqrt();
+    (
+        ((center - half) / denom).max(0.0),
+        ((center + half) / denom).min(1.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        assert!((ln_gamma(1.0)).abs() < 1e-12);
+        assert!((ln_gamma(2.0)).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi_square_critical_values() {
+        // Classical 5% critical values.
+        assert!((chi_square_sf(3.841_458_8, 1) - 0.05).abs() < 1e-6);
+        assert!((chi_square_sf(5.991_464_5, 2) - 0.05).abs() < 1e-6);
+        assert!((chi_square_sf(16.918_977_6, 9) - 0.05).abs() < 1e-6);
+        // Extreme statistic → tiny p.
+        assert!(chi_square_sf(100.0, 1) < 1e-20);
+        assert!(chi_square_sf(0.0, 5) == 1.0);
+    }
+
+    #[test]
+    fn gamma_p_q_complementary() {
+        for &(a, x) in &[(0.5, 0.3), (2.0, 1.0), (5.0, 9.0), (10.0, 3.0)] {
+            let s = gamma_p(a, x) + gamma_q(a, x);
+            assert!((s - 1.0).abs() < 1e-12, "P+Q = {s} at ({a},{x})");
+        }
+    }
+
+    #[test]
+    fn chi_square_test_balanced_counts_high_p() {
+        let obs = [100u64, 101, 99, 100];
+        let t = chi_square_uniform(&obs);
+        assert_eq!(t.dof, 3);
+        assert!(t.p_value > 0.9, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn chi_square_test_skewed_counts_low_p() {
+        let obs = [400u64, 0, 0, 0];
+        let t = chi_square_uniform(&obs);
+        assert!(t.p_value < 1e-100, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn chi_square_zero_expected_nonzero_observed_rejects() {
+        let t = chi_square_test(&[10, 5], &[10.0, 0.0], 0);
+        assert_eq!(t.p_value, 0.0);
+    }
+
+    #[test]
+    fn chi_square_pooling_merges_small_cells() {
+        let observed = [50u64, 30, 2, 1, 0, 1];
+        let expected = [48.0, 31.0, 2.0, 1.0, 1.0, 1.0];
+        let t = chi_square_pooled(&observed, &expected, 5.0).unwrap();
+        // 50|30|pooled-rest → 3 cells, 2 dof.
+        assert_eq!(t.dof, 2);
+        assert!(t.p_value > 0.5, "p = {}", t.p_value);
+        // Degenerate: everything pools into one cell.
+        assert!(chi_square_pooled(&[1, 1], &[1.0, 1.0], 100.0).is_none());
+    }
+
+    #[test]
+    fn ks_identical_samples_high_p() {
+        let a: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let t = ks_two_sample(&a, &a);
+        assert_eq!(t.statistic, 0.0);
+        assert!((t.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ks_disjoint_samples_low_p() {
+        let a: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..200).map(|i| 1000.0 + i as f64).collect();
+        let t = ks_two_sample(&a, &b);
+        assert!((t.statistic - 1.0).abs() < 1e-12);
+        assert!(t.p_value < 1e-12);
+    }
+
+    #[test]
+    fn binomial_exact_symmetric_cases() {
+        // Central observation: p-value 1.
+        let t = binomial_two_sided(5, 10, 0.5);
+        assert!((t.p_value - 1.0).abs() < 1e-9, "p = {}", t.p_value);
+        // All failures at p = 0.5: both extreme tails, 2/2^10.
+        let t = binomial_two_sided(0, 10, 0.5);
+        assert!((t.p_value - 2.0 / 1024.0).abs() < 1e-9, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn binomial_normal_approx_matches_exact_shape() {
+        // Same (k, n, p) through both paths: exact for n = 10 000 and the
+        // approximation for n just over the cutoff must broadly agree.
+        let exact = binomial_two_sided(5100, 10_000, 0.5);
+        let n = 10_001u64;
+        let approx = binomial_two_sided(5101, n, 0.5);
+        assert!(exact.p_value < 0.06 && exact.p_value > 0.02);
+        assert!((exact.p_value - approx.p_value).abs() < 0.01);
+    }
+
+    #[test]
+    fn binomial_degenerate_p() {
+        assert!((binomial_two_sided(0, 50, 0.0).p_value - 1.0).abs() < 1e-12);
+        assert!((binomial_two_sided(50, 50, 1.0).p_value - 1.0).abs() < 1e-12);
+        assert_eq!(binomial_two_sided(1, 50, 0.0).p_value, 0.0);
+    }
+
+    #[test]
+    fn normal_two_sided_known() {
+        assert!((normal_two_sided(1.959_963_985) - 0.05).abs() < 1e-6);
+        assert!((normal_two_sided(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_interval_contains_phat() {
+        let (lo, hi) = wilson_interval(50, 100, 1.96);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!((lo - 0.404).abs() < 0.005 && (hi - 0.596).abs() < 0.005);
+        let (lo0, _) = wilson_interval(0, 20, 1.96);
+        assert_eq!(lo0, 0.0);
+    }
+}

@@ -106,16 +106,12 @@ pub fn swap_edges_connected(
             let salt = mix64(cfg.seed ^ ((iter as u64) << 20) ^ attempt as u64);
             let sweep = swap_edges(graph, &SwapConfig::new(1, salt));
             if is_connected_ignoring_isolated(graph) {
-                stats
-                    .iterations
-                    .extend(sweep.iterations.iter().copied());
+                stats.iterations.extend(sweep.iterations.iter().copied());
                 accepted = true;
                 break;
             }
             // Roll back and retry with different randomness.
-            graph
-                .edges_mut()
-                .copy_from_slice(&snapshot);
+            graph.edges_mut().copy_from_slice(&snapshot);
         }
         if !accepted {
             return Err(ConnectedSwapError::RetriesExhausted { completed: iter });
@@ -139,8 +135,10 @@ mod tests {
         let two_rings = EdgeList::from_pairs([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
         assert!(!is_connected_ignoring_isolated(&two_rings));
         // Isolated vertices do not count.
-        let with_isolated =
-            EdgeList::from_edges(5, vec![graphcore::Edge::new(0, 1), graphcore::Edge::new(1, 2)]);
+        let with_isolated = EdgeList::from_edges(
+            5,
+            vec![graphcore::Edge::new(0, 1), graphcore::Edge::new(1, 2)],
+        );
         assert!(is_connected_ignoring_isolated(&with_isolated));
         assert!(is_connected_ignoring_isolated(&EdgeList::new(0)));
     }
@@ -195,7 +193,10 @@ mod tests {
                 disconnected += 1;
             }
         }
-        assert!(disconnected > 0, "cycles never disconnected — test too weak");
+        assert!(
+            disconnected > 0,
+            "cycles never disconnected — test too weak"
+        );
     }
 
     #[test]

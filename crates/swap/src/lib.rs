@@ -14,15 +14,26 @@
 //! 2. randomly permutes the edge list (reservation-based parallel shuffle);
 //! 3. attempts, in parallel, to swap every adjacent pair `(E[2i], E[2i+1])`
 //!    of the permuted list, accepting a swap only when neither replacement
-//!    edge is a self loop and neither is already present in the table.
+//!    edge is a self loop, neither is already present in the table, and the
+//!    pair wins the *minimum-index claim* on both replacement keys.
+//!
+//! The acceptance rule is **deterministic**: where the paper resolves
+//! proposal/proposal conflicts by whichever thread's `TestAndSet` lands
+//! first (so results depend on scheduling), this implementation runs a
+//! claim phase — every pair writes its pair index into a min-claim hash map
+//! ([`conchash::AtomicHashMap`]) under both replacement keys — followed,
+//! after a barrier, by a commit phase in which a pair succeeds iff it holds
+//! the minimum claim on both keys. Minimum is a commutative-associative
+//! reduction, so the winner set (and hence the whole run) is a pure
+//! function of `(edge list, seed)`, independent of the rayon pool size.
+//! Because the permutation randomizes pair indices every sweep, no edge is
+//! systematically favored; the `stattest` uniformity harness checks the
+//! resulting chain against the exact uniform distribution.
 //!
 //! Rejected swaps leave the pair untouched (an MCMC self-transition, which
-//! preserves the chain's symmetry). Successful swaps insert the new edges
-//! but do **not** remove the old ones, and a half-failed attempt leaves its
-//! first replacement edge in the table; both kinds of stale entry are
-//! *conservative* — they can only cause extra rejections, never a
-//! simplicity violation — and the table is rebuilt from scratch next
-//! iteration.
+//! preserves the chain's symmetry). Conflict rejections are *conservative*:
+//! they can only cause extra self-transitions, never a simplicity
+//! violation.
 //!
 //! Non-simple input is legal: multi-edges and self loops are gradually
 //! eliminated, because a successful swap of one copy of a duplicated edge
@@ -50,7 +61,7 @@ pub mod stats;
 pub use connected::{swap_edges_connected, ConnectedSwapConfig, ConnectedSwapError};
 pub use stats::{IterationStats, SwapStats};
 
-use conchash::{AtomicHashSet, Probe};
+use conchash::{AtomicHashMap, AtomicHashSet, Probe};
 use graphcore::{Edge, EdgeList};
 use parutil::permute::{apply_darts_serial, darts, parallel_permute_with_darts};
 use parutil::rng::mix64;
@@ -61,8 +72,9 @@ use rayon::prelude::*;
 pub struct SwapConfig {
     /// Number of full permute-and-swap iterations.
     pub iterations: usize,
-    /// RNG seed; runs are reproducible for a fixed seed (and identical to
-    /// the serial reference when executed on a single thread).
+    /// RNG seed; runs are reproducible for a fixed seed and identical to
+    /// the serial reference on **any** rayon pool size (the claim-based
+    /// acceptance is scheduling-independent).
     pub seed: u64,
     /// Hash-table probing strategy.
     pub probe: Probe,
@@ -99,8 +111,8 @@ pub fn swap_edges(graph: &mut EdgeList, cfg: &SwapConfig) -> SwapStats {
 }
 
 /// Serial reference implementation of the identical algorithm (same darts,
-/// same pair order, same table semantics). On a single-threaded rayon pool
-/// [`swap_edges`] produces byte-identical output.
+/// same pair order, same claim semantics). [`swap_edges`] produces
+/// byte-identical output on a rayon pool of any size.
 pub fn swap_edges_serial(graph: &mut EdgeList, cfg: &SwapConfig) -> SwapStats {
     run(graph, cfg, false)
 }
@@ -151,13 +163,15 @@ fn run_until(
             swapped: false,
         })
         .collect();
-    // Table sized for the worst case per iteration: m initial insertions
-    // plus up to two fresh keys per pair.
-    let mut table = AtomicHashSet::with_probe(2 * m, cfg.probe);
+    // The edge table holds exactly the m current edges; the claim map holds
+    // at most two replacement keys per pair (= m keys).
+    let mut table = AtomicHashSet::with_probe(m, cfg.probe);
+    let claims = AtomicHashMap::with_probe(m, cfg.probe);
 
     for iter in 0..cfg.iterations {
         let iter_seed = mix64(cfg.seed ^ (iter as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         table.clear();
+        claims.clear_shared();
 
         // Phase 1: register all current edges.
         if parallel {
@@ -178,18 +192,73 @@ fn run_until(
             apply_darts_serial(&mut slots, &h);
         }
 
-        // Phase 3: attempt swaps on adjacent pairs.
+        // Phase 3a: deterministic proposals, checked against the current
+        // edge set only (never against other pairs' proposals).
+        let proposals: Vec<Option<(Edge, Edge)>> = if parallel {
+            slots
+                .par_chunks(2)
+                .enumerate()
+                .map(|(pair_idx, pair)| propose_swap(pair, pair_idx, iter_seed, &table))
+                .collect()
+        } else {
+            slots
+                .chunks(2)
+                .enumerate()
+                .map(|(pair_idx, pair)| propose_swap(pair, pair_idx, iter_seed, &table))
+                .collect()
+        };
+
+        // Phase 3b: every live proposal claims both replacement keys with
+        // its pair index; the surviving claim per key is the minimum index,
+        // regardless of scheduling.
+        if parallel {
+            proposals.par_iter().enumerate().for_each(|(i, p)| {
+                if let Some((g, h)) = p {
+                    claims.claim_min(g.key(), i as u64);
+                    claims.claim_min(h.key(), i as u64);
+                }
+            });
+        } else {
+            for (i, p) in proposals.iter().enumerate() {
+                if let Some((g, h)) = p {
+                    claims.claim_min(g.key(), i as u64);
+                    claims.claim_min(h.key(), i as u64);
+                }
+            }
+        }
+
+        // Phase 3c: a pair commits iff it holds the minimum claim on both
+        // of its replacement keys.
+        let commit = |pair_idx: usize, pair: &mut [Slot]| -> u64 {
+            let Some((g, h)) = proposals[pair_idx] else {
+                return 0;
+            };
+            let i = pair_idx as u64;
+            if claims.get(g.key()) == Some(i) && claims.get(h.key()) == Some(i) {
+                pair[0] = Slot {
+                    edge: g,
+                    swapped: true,
+                };
+                pair[1] = Slot {
+                    edge: h,
+                    swapped: true,
+                };
+                1
+            } else {
+                0
+            }
+        };
         let successes: u64 = if parallel {
             slots
                 .par_chunks_mut(2)
                 .enumerate()
-                .map(|(pair_idx, pair)| attempt_swap(pair, pair_idx, iter_seed, &table))
+                .map(|(pair_idx, pair)| commit(pair_idx, pair))
                 .sum()
         } else {
             slots
                 .chunks_mut(2)
                 .enumerate()
-                .map(|(pair_idx, pair)| attempt_swap(pair, pair_idx, iter_seed, &table))
+                .map(|(pair_idx, pair)| commit(pair_idx, pair))
                 .sum()
         };
 
@@ -229,12 +298,19 @@ fn run_until(
     stats
 }
 
-/// Attempt the double-edge swap on one adjacent pair of the permuted list.
-/// Returns 1 on success, 0 on rejection (or for the odd trailing singleton).
+/// Propose the double-edge swap for one adjacent pair of the permuted list.
+/// Returns `None` when the pair must self-transition: trailing singleton,
+/// self-loop replacement, duplicate replacement pair, or a replacement that
+/// already exists in the current edge set.
 #[inline]
-fn attempt_swap(pair: &mut [Slot], pair_idx: usize, iter_seed: u64, table: &AtomicHashSet) -> u64 {
+fn propose_swap(
+    pair: &[Slot],
+    pair_idx: usize,
+    iter_seed: u64,
+    table: &AtomicHashSet,
+) -> Option<(Edge, Edge)> {
     if pair.len() < 2 {
-        return 0;
+        return None;
     }
     let e = pair[0].edge;
     let f = pair[1].edge;
@@ -243,25 +319,13 @@ fn attempt_swap(pair: &mut [Slot], pair_idx: usize, iter_seed: u64, table: &Atom
     // execution order.
     let side = mix64(iter_seed ^ (pair_idx as u64) ^ 0xD1B5_4A32_D192_ED03) & 1 == 1;
     let (g, h) = e.swap_with(&f, side);
-    if g.is_self_loop() || h.is_self_loop() {
-        return 0;
+    if g.is_self_loop() || h.is_self_loop() || g.key() == h.key() {
+        return None;
     }
-    // Short-circuit matches the paper: if `g` is taken, `h` is never
-    // inserted; if `g` inserts but `h` is taken, `g` stays as a stale
-    // (conservative) entry until the next rebuild.
-    if !table.test_and_set(g.key()) && !table.test_and_set(h.key()) {
-        pair[0] = Slot {
-            edge: g,
-            swapped: true,
-        };
-        pair[1] = Slot {
-            edge: h,
-            swapped: true,
-        };
-        1
-    } else {
-        0
+    if table.contains(g.key()) || table.contains(h.key()) {
+        return None;
     }
+    Some((g, h))
 }
 
 #[cfg(test)]
@@ -327,11 +391,7 @@ mod tests {
     #[test]
     fn tiny_graphs_no_panic() {
         for n in [0u32, 3, 4] {
-            let mut g = if n == 0 {
-                EdgeList::new(0)
-            } else {
-                ring(n)
-            };
+            let mut g = if n == 0 { EdgeList::new(0) } else { ring(n) };
             swap_edges(&mut g, &SwapConfig::new(3, 1));
             assert!(g.is_simple());
         }
@@ -423,10 +483,9 @@ mod tests {
         let degs = vec![2u32, 2, 2, 1, 1];
         let support = enumerate_realizations(&degs);
         assert!(support.len() > 1);
-        let start = generators::havel_hakimi_sequence(&graphcore::DegreeSequence::new(
-            degs.clone(),
-        ))
-        .unwrap();
+        let start =
+            generators::havel_hakimi_sequence(&graphcore::DegreeSequence::new(degs.clone()))
+                .unwrap();
         let trials = 6000;
         let mut counts: HashMap<Vec<u64>, u64> = HashMap::new();
         for t in 0..trials {
@@ -468,8 +527,7 @@ mod tests {
 
     #[test]
     fn swap_until_mixed_simplifies_first() {
-        let dist =
-            DegreeDistribution::from_pairs(vec![(1, 80), (2, 30), (20, 4)]).unwrap();
+        let dist = DegreeDistribution::from_pairs(vec![(1, 80), (2, 30), (20, 4)]).unwrap();
         let mut g = generators::chung_lu_om(&dist, 5);
         if g.is_simple() {
             return; // unlucky fixture; other tests cover the simple path
@@ -485,8 +543,7 @@ mod tests {
         // Simplicity violations are monotonically non-increasing across
         // sweeps: the table rejects any swap that would create a duplicate,
         // and self loops are rejected outright.
-        let dist =
-            DegreeDistribution::from_pairs(vec![(1, 60), (2, 30), (30, 4)]).unwrap();
+        let dist = DegreeDistribution::from_pairs(vec![(1, 60), (2, 30), (30, 4)]).unwrap();
         let mut g = generators::chung_lu_om(&dist, 11);
         let mut cfg = SwapConfig::new(25, 13);
         cfg.track_violations = true;

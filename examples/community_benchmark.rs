@@ -30,7 +30,10 @@ fn main() {
         distribution.max_degree()
     );
     println!();
-    println!("{:>6} {:>10} {:>8} {:>12} {:>10} {:>9}", "mu", "measured", "comms", "intra-edges", "m", "time");
+    println!(
+        "{:>6} {:>10} {:>8} {:>12} {:>10} {:>9}",
+        "mu", "measured", "comms", "intra-edges", "m", "time"
+    );
 
     for &mu in &[0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6] {
         let cfg = LfrConfig {

@@ -95,6 +95,53 @@ fn full_permutation_identical_across_pools() {
 }
 
 #[test]
+fn swap_chain_identical_across_pools() {
+    // The swap chain's minimum-index-claim acceptance makes conflict
+    // resolution a pure function of (edge list, seed): the exact same
+    // swaps are accepted on any pool size, not just the same degrees.
+    let run_on = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let mut g = generators::havel_hakimi(&dist()).unwrap();
+            let stats = swap::swap_edges(&mut g, &swap::SwapConfig::new(6, 2024));
+            (g, stats.total_successful())
+        })
+    };
+    let (g1, s1) = run_on(1);
+    let (g2, s2) = run_on(2);
+    let (g8, s8) = run_on(8);
+    assert_eq!(g1, g2, "1-thread vs 2-thread edge lists differ");
+    assert_eq!(g1, g8, "1-thread vs 8-thread edge lists differ");
+    assert_eq!((s1, s2), (s2, s8), "accepted-swap counts differ");
+    // And the parallel result equals the serial reference outright.
+    let mut serial = generators::havel_hakimi(&dist()).unwrap();
+    swap::swap_edges_serial(&mut serial, &swap::SwapConfig::new(6, 2024));
+    assert_eq!(g1, serial);
+}
+
+#[test]
+fn full_pipeline_identical_across_pools() {
+    // End-to-end: the whole nullmodel pipeline (probabilities → edge-skip →
+    // swap simplification/mixing) emits the identical edge list on 1, 2,
+    // and 8 rayon threads for a fixed seed.
+    let run_on = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| generate_from_distribution(&dist(), &GeneratorConfig::new(123)).graph)
+    };
+    let g1 = run_on(1);
+    let g2 = run_on(2);
+    let g8 = run_on(8);
+    assert_eq!(g1, g2, "pipeline differs between 1 and 2 threads");
+    assert_eq!(g1, g8, "pipeline differs between 1 and 8 threads");
+}
+
+#[test]
 fn lfr_reproducible() {
     let cfg = LfrConfig {
         distribution: DegreeDistribution::from_pairs(vec![(4, 400), (8, 100)]).unwrap(),

@@ -94,7 +94,10 @@ fn mixing_changes_attachment_statistics_toward_uniform() {
     let hh = generators::havel_hakimi(&dist).unwrap();
     let before = AttachmentMatrix::from_graph(&hh).l1_diff(&reference);
     let mut mixed = hh.clone();
-    generate_from_edge_list(&mut mixed, &GeneratorConfig::new(5).with_swap_iterations(15));
+    generate_from_edge_list(
+        &mut mixed,
+        &GeneratorConfig::new(5).with_swap_iterations(15),
+    );
     let after = AttachmentMatrix::from_graph(&mixed).l1_diff(&reference);
     assert!(
         after < before,

@@ -30,8 +30,7 @@ fn profile_ensemble_statistics_stable() {
 fn lfr_graph_has_significant_clustering() {
     // Community structure ⇒ triangles far above the degree-sequence null.
     let lfr = nullmodel::generate_lfr(&nullmodel::LfrConfig {
-        distribution: graphcore::DegreeDistribution::from_pairs(vec![(5, 500), (10, 100)])
-            .unwrap(),
+        distribution: graphcore::DegreeDistribution::from_pairs(vec![(5, 500), (10, 100)]).unwrap(),
         mixing: 0.1,
         community_size_min: 15,
         community_size_max: 50,
@@ -75,7 +74,10 @@ fn significance_report_consistency() {
     let r = SignificanceReport::from_samples(4.5, &samples);
     assert!((r.null_mean - 4.5).abs() < 1e-12);
     assert_eq!(r.z_score, 0.0);
-    assert!(r.p_value > 0.9, "centered observation should be insignificant");
+    assert!(
+        r.p_value > 0.9,
+        "centered observation should be insignificant"
+    );
 }
 
 #[test]

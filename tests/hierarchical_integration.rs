@@ -2,13 +2,12 @@
 //! at realistic sizes.
 
 use graphcore::DegreeDistribution;
-use nullmodel::{generate_lfr, generate_layered, GeneratorConfig, Layer, LfrConfig};
+use nullmodel::{generate_layered, generate_lfr, GeneratorConfig, Layer, LfrConfig};
 
 fn community_distribution() -> DegreeDistribution {
     // A skewed global distribution, the regime where the paper notes plain
     // Chung-Lu methods fail for small communities.
-    DegreeDistribution::from_pairs(vec![(3, 1200), (6, 500), (12, 150), (25, 30), (60, 4)])
-        .unwrap()
+    DegreeDistribution::from_pairs(vec![(3, 1200), (6, 500), (12, 150), (25, 30), (60, 4)]).unwrap()
 }
 
 fn lfr_config(mixing: f64, seed: u64) -> LfrConfig {

@@ -1,0 +1,165 @@
+//! Tier-1 statistical verification of the swap MCMC (and friends) against
+//! exact ground truth.
+//!
+//! For degree sequences on `n ≤ 8` vertices the full set of simple
+//! realizations is enumerated exactly (`stattest::Realizations`), so the
+//! chain's "uniform stationary distribution" claim is a testable hypothesis
+//! rather than a prayer: sample the chain with fixed seeds, histogram the
+//! samples over the support, and chi-square against uniform.
+//!
+//! **False-positive budget.** Every uniformity assertion in this file uses
+//! a family-wise significance of `1e-7` and there are four asserted
+//! harness runs, so if the chain *is* uniform the probability this file
+//! ever fails is below `4e-7 < 1e-6`. (With fixed seeds the outcome is in
+//! fact deterministic — the budget bounds the a-priori risk of having
+//! picked unlucky seeds.) The biased-control assertions fail in the
+//! opposite direction (they demand rejection of a reducible chain whose
+//! chi-square is astronomically large) and do not consume the budget.
+
+use stattest::{
+    EdgeSkipExpectationHarness, ExpectationConfig, SamplerKind, SwapUniformityHarness,
+    UniformityConfig,
+};
+
+/// Family-wise alpha per harness run; see the module docs for the budget.
+const ALPHA: f64 = 1e-7;
+
+fn cfg(sweeps: usize, trials: u64, base_seed: u64) -> UniformityConfig {
+    UniformityConfig {
+        sweeps,
+        trials,
+        replicates: 2,
+        alpha: ALPHA,
+        base_seed,
+    }
+}
+
+/// The real parallel chain is uniform over the realizations of
+/// `[2,2,2,1,1]` (path-plus-pendant shapes).
+#[test]
+fn swap_chain_uniform_on_2_2_2_1_1() {
+    let h = SwapUniformityHarness::new(&[2, 2, 2, 1, 1]).unwrap();
+    let v = h
+        .run(SamplerKind::SwapParallel, &cfg(30, 2_000, 11))
+        .unwrap();
+    assert!(!v.rejected, "uniformity rejected:\n{v}\n{}", v.to_json());
+}
+
+/// The real parallel chain is uniform over the 70 realizations of the
+/// 6-cycle's degree sequence `[2; 6]` (60 hexagons + 10 triangle pairs).
+/// This support needs swaps that change the cycle structure, so it also
+/// exercises the chain's irreducibility.
+#[test]
+fn swap_chain_uniform_on_six_cycle_sequence() {
+    let h = SwapUniformityHarness::new(&[2; 6]).unwrap();
+    assert_eq!(h.support().support_size(), 70);
+    let v = h
+        .run(SamplerKind::SwapParallel, &cfg(40, 3_500, 23))
+        .unwrap();
+    assert!(!v.rejected, "uniformity rejected:\n{v}\n{}", v.to_json());
+}
+
+/// The real parallel chain is uniform over the 15 perfect matchings of
+/// `K_6` (degree sequence `[1; 6]`).
+#[test]
+fn swap_chain_uniform_on_perfect_matchings() {
+    let h = SwapUniformityHarness::new(&[1; 6]).unwrap();
+    assert_eq!(h.support().support_size(), 15);
+    let v = h
+        .run(SamplerKind::SwapParallel, &cfg(30, 1_500, 37))
+        .unwrap();
+    assert!(!v.rejected, "uniformity rejected:\n{v}\n{}", v.to_json());
+}
+
+/// Power check: the intentionally-biased control sampler (identical swap
+/// proposals, but the permutation step is skipped so the pairing is frozen
+/// and the chain is reducible) must be REJECTED on every sequence the real
+/// chain passes. Without this, a vacuous harness would pass everything.
+#[test]
+fn biased_control_sampler_is_rejected() {
+    for (seq, sweeps, trials, seed) in [
+        (vec![2, 2, 2, 1, 1], 30, 2_000u64, 11u64),
+        (vec![2; 6], 40, 3_500, 23),
+        (vec![1; 6], 30, 1_500, 37),
+    ] {
+        let h = SwapUniformityHarness::new(&seq).unwrap();
+        let v = h
+            .run(SamplerKind::BiasedNoPermutation, &cfg(sweeps, trials, seed))
+            .unwrap();
+        assert!(
+            v.rejected,
+            "biased control NOT rejected on {seq:?}:\n{v}\n{}",
+            v.to_json()
+        );
+    }
+}
+
+/// The deterministic claim protocol makes the parallel chain identical to
+/// the serial reference sample-for-sample, so the two histograms must be
+/// equal — on any rayon pool size.
+#[test]
+fn parallel_and_serial_histograms_identical() {
+    let h = SwapUniformityHarness::new(&[2; 6]).unwrap();
+    let c = cfg(25, 800, 99);
+    let a = h.run(SamplerKind::SwapSerial, &c).unwrap();
+    let b = h.run(SamplerKind::SwapParallel, &c).unwrap();
+    for (ra, rb) in a.replicates.iter().zip(&b.replicates) {
+        assert_eq!(ra.counts, rb.counts);
+    }
+}
+
+/// End-to-end expectation check of the Bernoulli edge-skip generator:
+/// every vertex pair's empirical edge frequency matches its class-pair
+/// probability (exact binomial test, Bonferroni over all pairs).
+#[test]
+fn edgeskip_matches_classpair_probabilities() {
+    let dist = graphcore::DegreeDistribution::from_pairs(vec![(2, 10), (4, 5)]).unwrap();
+    let h = EdgeSkipExpectationHarness::new(dist);
+    let v = h.run(&ExpectationConfig {
+        trials: 1_200,
+        alpha: ALPHA,
+        base_seed: 0x5EED_0001,
+    });
+    assert!(!v.rejected, "expectation rejected:\n{v}\n{}", v.to_json());
+}
+
+/// Power check for the expectation harness: testing honest samples against
+/// a deliberately wrong probability matrix must reject.
+#[test]
+fn edgeskip_harness_detects_wrong_matrix() {
+    let dist = graphcore::DegreeDistribution::from_pairs(vec![(2, 10), (4, 5)]).unwrap();
+    let h = EdgeSkipExpectationHarness::new(dist.clone());
+    let mut wrong = genprob::heuristic_probabilities(&dist);
+    for a in 0..wrong.num_classes() {
+        for b in a..wrong.num_classes() {
+            wrong.set(a, b, (wrong.get(a, b) + 0.5).min(0.95));
+        }
+    }
+    let v = h.run_against(
+        &ExpectationConfig {
+            trials: 1_200,
+            alpha: ALPHA,
+            base_seed: 0x5EED_0001,
+        },
+        &wrong,
+    );
+    assert!(v.rejected, "wrong matrix NOT rejected:\n{v}");
+}
+
+/// The `verify` machinery reports sane machine-readable verdicts: JSON is
+/// emitted, support sizes are exact, and p-values are finite probabilities.
+#[test]
+fn verdicts_are_machine_readable() {
+    let h = SwapUniformityHarness::new(&[2, 2, 2, 2, 2]).unwrap();
+    assert_eq!(h.support().support_size(), 12); // labeled 5-cycles
+    let v = h.run(SamplerKind::SwapSerial, &cfg(20, 600, 5)).unwrap();
+    assert_eq!(v.support_size, 12);
+    for r in &v.replicates {
+        assert!(r.outcome.p_value.is_finite());
+        assert!((0.0..=1.0).contains(&r.outcome.p_value));
+        assert_eq!(r.counts.iter().sum::<u64>(), v.trials);
+    }
+    let j = v.to_json();
+    assert!(j.contains("\"sampler\":\"swap-serial\""));
+    assert!(j.contains("\"support_size\":12"));
+}
