@@ -73,11 +73,13 @@ fn main() {
             100.0 * AttachmentMatrix::average(&mats).l1_diff(&baseline) / base_mass
         };
         errors[0][mi] = measure(&graphs);
+        let mut ws = swap::SwapWorkspace::new();
         for it in 1..=MAX_ITERS {
             for (s, g) in graphs.iter_mut().enumerate() {
-                swap::swap_edges(
+                swap::swap_edges_with_workspace(
                     g,
                     &SwapConfig::new(1, 0x5EED ^ ((s as u64) << 8) ^ it as u64),
+                    &mut ws,
                 );
             }
             errors[it][mi] = measure(&graphs);

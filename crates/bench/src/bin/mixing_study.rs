@@ -19,9 +19,13 @@ use swap::SwapConfig;
 
 const ITERS: usize = 40;
 
-fn measure(dist: &DegreeDistribution, seed: u64) -> (f64, Option<usize>) {
+fn measure(
+    dist: &DegreeDistribution,
+    seed: u64,
+    ws: &mut swap::SwapWorkspace,
+) -> (f64, Option<usize>) {
     let mut g = generators::havel_hakimi(dist).expect("graphical");
-    let stats = swap::swap_edges(&mut g, &SwapConfig::new(ITERS, seed));
+    let stats = swap::swap_edges_with_workspace(&mut g, &SwapConfig::new(ITERS, seed), ws);
     let acc: f64 = stats
         .iterations
         .iter()
@@ -33,6 +37,7 @@ fn measure(dist: &DegreeDistribution, seed: u64) -> (f64, Option<usize>) {
 
 fn main() {
     println!("Section IX: mixing time vs density and skew ({ITERS} iteration cap)\n");
+    let mut ws = swap::SwapWorkspace::new();
 
     println!("--- density sweep (d-regular, n = 2000) ---");
     let mut t = Table::new(
@@ -46,7 +51,7 @@ fn main() {
     );
     for &d in &[2u32, 4, 8, 16, 32, 64, 128, 256] {
         let dist = DegreeDistribution::from_pairs(vec![(d, 2000)]).expect("even");
-        let (acc, mix) = measure(&dist, 0xD0 + d as u64);
+        let (acc, mix) = measure(&dist, 0xD0 + d as u64, &mut ws);
         t.row(vec![
             d.to_string(),
             format!("{:.4}", d as f64 / 1999.0),
@@ -69,7 +74,7 @@ fn main() {
             d_max: dmax,
         }
         .distribution();
-        let (acc, mix) = measure(&dist, 0x5E + dmax as u64);
+        let (acc, mix) = measure(&dist, 0x5E + dmax as u64, &mut ws);
         t.row(vec![
             dmax.to_string(),
             format!("{:.3}", gini_distribution(&dist)),

@@ -1,0 +1,166 @@
+//! Per-sweep swap throughput, before/after the workspace refactor, emitted
+//! as `BENCH_swap.json` (hand-rolled JSON, no serde).
+//!
+//! Two cost profiles are compared at each size, serial and parallel:
+//!
+//! * `fresh_per_sweep` — one [`swap::swap_edges`] call per sweep, so every
+//!   sweep rebuilds the workspace (table allocation + zeroed tag arrays +
+//!   dart/proposal buffers). This reproduces the allocation profile of the
+//!   pre-workspace loop, which paid those costs inside `run_until` on every
+//!   iteration.
+//! * `workspace_reuse` — one multi-sweep
+//!   [`swap::swap_edges_with_workspace`] call over a pre-grown
+//!   [`swap::SwapWorkspace`]: the steady-state zero-allocation path.
+//!
+//! ```text
+//! cargo run -p bench --release --bin swap_throughput
+//! # NULLGRAPH_SWEEPS=4 NULLGRAPH_SWEEP_SIZES=10000 for a quick smoke run
+//! # NULLGRAPH_BENCH_OUT=/tmp/out.json to redirect the JSON
+//! ```
+
+use graphcore::EdgeList;
+use std::fmt::Write as _;
+use std::time::Instant;
+use swap::{SwapConfig, SwapWorkspace};
+
+fn ring(m: usize) -> EdgeList {
+    EdgeList::from_pairs((0..m as u32).map(|i| (i, (i + 1) % m as u32)))
+}
+
+#[derive(Clone)]
+struct Row {
+    m: usize,
+    mode: &'static str,    // serial | parallel
+    variant: &'static str, // fresh_per_sweep | workspace_reuse
+    sweeps: usize,
+    secs_per_sweep: f64,
+    edges_per_sec: f64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(default)
+}
+
+fn sizes() -> Vec<usize> {
+    match std::env::var("NULLGRAPH_SWEEP_SIZES") {
+        Ok(v) => v
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&s| s >= 4)
+            .collect(),
+        Err(_) => vec![10_000, 100_000, 1_000_000],
+    }
+}
+
+/// Time `sweeps` single-sweep `swap_edges` calls (fresh workspace each, the
+/// pre-workspace cost profile).
+fn run_fresh(base: &EdgeList, sweeps: usize, serial: bool) -> f64 {
+    let mut g = base.clone();
+    let t = Instant::now();
+    for k in 0..sweeps {
+        let cfg = SwapConfig::new(1, 0xBE9C_0000 + k as u64);
+        if serial {
+            swap::swap_edges_serial(&mut g, &cfg);
+        } else {
+            swap::swap_edges(&mut g, &cfg);
+        }
+    }
+    t.elapsed().as_secs_f64() / sweeps as f64
+}
+
+/// Time one multi-sweep call over a pre-grown workspace (steady state).
+fn run_reuse(base: &EdgeList, sweeps: usize, serial: bool, ws: &mut SwapWorkspace) -> f64 {
+    let mut g = base.clone();
+    // Warm the workspace to this size outside the measurement.
+    let mut warm = base.clone();
+    let warm_cfg = SwapConfig::new(1, 0x3A3A);
+    if serial {
+        swap::swap_edges_serial_with_workspace(&mut warm, &warm_cfg, ws);
+    } else {
+        swap::swap_edges_with_workspace(&mut warm, &warm_cfg, ws);
+    }
+    let cfg = SwapConfig::new(sweeps, 0xBE9C_0000);
+    let t = Instant::now();
+    if serial {
+        swap::swap_edges_serial_with_workspace(&mut g, &cfg, ws);
+    } else {
+        swap::swap_edges_with_workspace(&mut g, &cfg, ws);
+    }
+    t.elapsed().as_secs_f64() / sweeps as f64
+}
+
+fn main() {
+    let sweeps = env_usize("NULLGRAPH_SWEEPS", 8);
+    let threads = rayon::current_num_threads();
+    let mut rows: Vec<Row> = Vec::new();
+
+    for m in sizes() {
+        let base = ring(m);
+        let mut ws = SwapWorkspace::with_capacity(m);
+        for (mode, serial) in [("serial", true), ("parallel", false)] {
+            let fresh = run_fresh(&base, sweeps, serial);
+            let reuse = run_reuse(&base, sweeps, serial, &mut ws);
+            for (variant, secs) in [("fresh_per_sweep", fresh), ("workspace_reuse", reuse)] {
+                println!(
+                    "m={m:>9}  {mode:<8}  {variant:<16}  {:>10.3} ms/sweep  {:>12.0} edges/s",
+                    secs * 1e3,
+                    m as f64 / secs
+                );
+                rows.push(Row {
+                    m,
+                    mode,
+                    variant,
+                    sweeps,
+                    secs_per_sweep: secs,
+                    edges_per_sec: m as f64 / secs,
+                });
+            }
+            let speedup = fresh / reuse;
+            println!("m={m:>9}  {mode:<8}  speedup {speedup:.2}x");
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"swap_sweep_throughput\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"sweeps_per_measurement\": {sweeps},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"m\": {}, \"mode\": \"{}\", \"variant\": \"{}\", \"sweeps\": {}, \
+             \"secs_per_sweep\": {:.6}, \"edges_per_sec\": {:.0}}}",
+            r.m, r.mode, r.variant, r.sweeps, r.secs_per_sweep, r.edges_per_sec
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    // Per-sweep speedup (fresh / reuse) for every (m, mode) measured.
+    json.push_str("  \"speedup\": [\n");
+    let pairs: Vec<(usize, &str, f64)> = rows
+        .iter()
+        .filter(|r| r.variant == "fresh_per_sweep")
+        .filter_map(|f| {
+            rows.iter()
+                .find(|r| r.variant == "workspace_reuse" && r.m == f.m && r.mode == f.mode)
+                .map(|r| (f.m, f.mode, f.secs_per_sweep / r.secs_per_sweep))
+        })
+        .collect();
+    for (i, (m, mode, s)) in pairs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"m\": {m}, \"mode\": \"{mode}\", \"x\": {s:.3}}}"
+        );
+        json.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::env::var("NULLGRAPH_BENCH_OUT").unwrap_or_else(|_| "BENCH_swap.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_swap.json");
+    println!("\nwrote {out}");
+}

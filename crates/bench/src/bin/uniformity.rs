@@ -67,9 +67,14 @@ fn main() {
         }
         let start = generators::havel_hakimi_sequence(&DegreeSequence::new(degs.clone())).unwrap();
         let mut counts: HashMap<Vec<u64>, u64> = HashMap::new();
+        let mut ws = swap::SwapWorkspace::new();
         for t in 0..trials {
             let mut g = start.clone();
-            swap::swap_edges_serial(&mut g, &SwapConfig::new(14, 0xDEAD ^ t));
+            swap::swap_edges_serial_with_workspace(
+                &mut g,
+                &SwapConfig::new(14, 0xDEAD ^ t),
+                &mut ws,
+            );
             let mut keys: Vec<u64> = g.edges().iter().map(|e| e.key()).collect();
             keys.sort_unstable();
             *counts.entry(keys).or_insert(0) += 1;

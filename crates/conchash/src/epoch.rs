@@ -1,0 +1,359 @@
+//! Epoch-stamped variants of the concurrent tables: `clear` is an O(1)
+//! generation bump instead of a fill over the slot array.
+//!
+//! The swap MCMC re-registers the current edge set every sweep; with the
+//! plain tables that meant a parallel store over every slot (2–4m stores
+//! for the edge table plus the same again for the claim map) before any
+//! useful work. Here every slot carries a *tag* in a companion `AtomicU64`
+//! array recording the epoch that wrote it; a slot is live only when its
+//! tag matches the table's current epoch, so bumping the epoch empties the
+//! table in O(1). Bhuiyan et al. (arXiv:1708.07290) use the same idea to
+//! keep their edge-membership structure cheap across billions of swap
+//! steps.
+//!
+//! Tag encoding: `2 * epoch` = published slot of that epoch, `2 * epoch + 1`
+//! = slot mid-insertion (claimed, key not yet visible). An inserter claims a
+//! stale slot by CAS-ing its tag to the locked value, writes the key, then
+//! publishes with a release store; probers that observe the locked tag spin
+//! until publication (a handful of instructions). All tags from earlier
+//! epochs — published or locked — compare below the current epoch's values
+//! and are claimable, so no slot is ever leaked across generations.
+//!
+//! Concurrency contract: `test_and_set` / `claim_min` / `contains` / `get`
+//! may race freely with each other; `clear` / `clear_shared` must not race
+//! with any other operation (same contract as the non-epoch tables, where a
+//! racing clear could drop concurrent insertions).
+
+use crate::{hash64, Probe, EMPTY};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of backing slots for `capacity` keys at a load factor of at most
+/// 0.5 (shared sizing rule of every table in this crate).
+#[inline]
+pub(crate) fn table_size_for(capacity: usize) -> usize {
+    (capacity.max(4) * 2).next_power_of_two().max(16)
+}
+
+/// Epoch-stamped concurrent hash set of `u64` keys with O(1) [`clear`].
+///
+/// Semantics match [`crate::AtomicHashSet`] exactly (same sizing, probing,
+/// `test_and_set` convention); only the cost of clearing differs.
+///
+/// [`clear`]: EpochHashSet::clear
+pub struct EpochHashSet {
+    slots: Box<[AtomicU64]>,
+    tags: Box<[AtomicU64]>,
+    /// Current generation; tags are compared against `2 * epoch`.
+    epoch: AtomicU64,
+    mask: usize,
+    probe: Probe,
+    occupied: AtomicUsize,
+}
+
+impl EpochHashSet {
+    /// Create a set able to hold at least `capacity` keys at a load factor
+    /// of at most 0.5.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_probe(capacity, Probe::Linear)
+    }
+
+    /// As [`EpochHashSet::new`] with an explicit probing strategy.
+    pub fn with_probe(capacity: usize, probe: Probe) -> Self {
+        let size = table_size_for(capacity);
+        Self {
+            slots: (0..size).map(|_| AtomicU64::new(EMPTY)).collect(),
+            // Tags start at 0 (= published in epoch 0); the table starts in
+            // epoch 1, so every slot is initially stale, i.e. empty.
+            tags: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            epoch: AtomicU64::new(1),
+            mask: size - 1,
+            probe,
+            occupied: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of slots in the backing array.
+    #[inline]
+    pub fn table_size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The probing strategy this table was built with.
+    #[inline]
+    pub fn probe(&self) -> Probe {
+        self.probe
+    }
+
+    /// Current epoch (starts at 1; each clear increments it).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Number of keys stored in the current epoch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.occupied.load(Ordering::Relaxed)
+    }
+
+    /// `true` if no keys are stored in the current epoch.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn step(&self, iteration: usize) -> usize {
+        match self.probe {
+            Probe::Linear => 1,
+            Probe::Quadratic => iteration,
+        }
+    }
+
+    /// Insert `key`; returns `true` if the key was **already present** in
+    /// the current epoch (the `TestAndSet` convention of
+    /// [`crate::AtomicHashSet::test_and_set`]).
+    ///
+    /// Panics if the table is full or `key == EMPTY`.
+    #[inline]
+    pub fn test_and_set(&self, key: u64) -> bool {
+        assert_ne!(key, EMPTY, "the sentinel key cannot be stored");
+        let live = self.epoch.load(Ordering::Relaxed) * 2;
+        let mut idx = (hash64(key) as usize) & self.mask;
+        for it in 1..=self.slots.len() {
+            loop {
+                let tag = self.tags[idx].load(Ordering::Acquire);
+                if tag == live {
+                    // Published this epoch: the key is valid.
+                    if self.slots[idx].load(Ordering::Relaxed) == key {
+                        return true;
+                    }
+                    break; // occupied by another key — probe on
+                }
+                if tag == live + 1 {
+                    // Another thread is inserting into this slot right now;
+                    // its key may be ours, so wait for publication.
+                    std::hint::spin_loop();
+                    continue;
+                }
+                // Stale (any tag from an earlier epoch): claim it.
+                match self.tags[idx].compare_exchange_weak(
+                    tag,
+                    live + 1,
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        self.slots[idx].store(key, Ordering::Relaxed);
+                        self.tags[idx].store(live, Ordering::Release);
+                        self.occupied.fetch_add(1, Ordering::Relaxed);
+                        return false;
+                    }
+                    Err(_) => continue, // lost the claim race — re-examine
+                }
+            }
+            idx = (idx + self.step(it)) & self.mask;
+        }
+        panic!("EpochHashSet full: size the table for the expected key count");
+    }
+
+    /// `true` if `key` is in the set in the current epoch (no insertion).
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        let live = self.epoch.load(Ordering::Relaxed) * 2;
+        let mut idx = (hash64(key) as usize) & self.mask;
+        for it in 1..=self.slots.len() {
+            loop {
+                let tag = self.tags[idx].load(Ordering::Acquire);
+                if tag == live {
+                    if self.slots[idx].load(Ordering::Relaxed) == key {
+                        return true;
+                    }
+                    break;
+                }
+                if tag == live + 1 {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                return false; // stale slot ends the probe chain
+            }
+            idx = (idx + self.step(it)) & self.mask;
+        }
+        false
+    }
+
+    /// Reset the set to empty: an O(1) epoch bump. Must not race other
+    /// operations.
+    pub fn clear(&mut self) {
+        self.clear_shared();
+    }
+
+    /// As [`EpochHashSet::clear`] through a shared reference.
+    pub fn clear_shared(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+        self.occupied.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for EpochHashSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochHashSet")
+            .field("table_size", &self.table_size())
+            .field("len", &self.len())
+            .field("epoch", &self.epoch())
+            .field("probe", &self.probe)
+            .finish()
+    }
+}
+
+/// Epoch-stamped concurrent *minimum-claim* map with O(1) [`clear_shared`]:
+/// the epoch-friendly counterpart of [`crate::AtomicHashMap`].
+///
+/// [`clear_shared`]: EpochHashMap::clear_shared
+pub struct EpochHashMap {
+    keys: Box<[AtomicU64]>,
+    values: Box<[AtomicU64]>,
+    tags: Box<[AtomicU64]>,
+    epoch: AtomicU64,
+    mask: usize,
+    probe: Probe,
+}
+
+impl EpochHashMap {
+    /// Create a map able to hold at least `capacity` keys at a load factor
+    /// of at most 0.5.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_probe(capacity, Probe::Linear)
+    }
+
+    /// As [`EpochHashMap::new`] with an explicit probing strategy.
+    pub fn with_probe(capacity: usize, probe: Probe) -> Self {
+        let size = table_size_for(capacity);
+        Self {
+            keys: (0..size).map(|_| AtomicU64::new(EMPTY)).collect(),
+            values: (0..size).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            tags: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            epoch: AtomicU64::new(1),
+            mask: size - 1,
+            probe,
+        }
+    }
+
+    /// Number of slots in the backing array.
+    #[inline]
+    pub fn table_size(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The probing strategy this table was built with.
+    #[inline]
+    pub fn probe(&self) -> Probe {
+        self.probe
+    }
+
+    /// Current epoch (starts at 1; each clear increments it).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn step(&self, iteration: usize) -> usize {
+        match self.probe {
+            Probe::Linear => 1,
+            Probe::Quadratic => iteration,
+        }
+    }
+
+    /// Insert `key` if absent in the current epoch and lower its value to
+    /// `value` if smaller. Like [`crate::AtomicHashMap::claim_min`], the
+    /// settled value is the minimum over all claims — independent of thread
+    /// interleaving.
+    ///
+    /// Panics if the table is full or `key == EMPTY`.
+    #[inline]
+    pub fn claim_min(&self, key: u64, value: u64) {
+        assert_ne!(key, EMPTY, "the sentinel key cannot be stored");
+        let live = self.epoch.load(Ordering::Relaxed) * 2;
+        let mut idx = (hash64(key) as usize) & self.mask;
+        for it in 1..=self.keys.len() {
+            loop {
+                let tag = self.tags[idx].load(Ordering::Acquire);
+                if tag == live {
+                    if self.keys[idx].load(Ordering::Relaxed) == key {
+                        self.values[idx].fetch_min(value, Ordering::Relaxed);
+                        return;
+                    }
+                    break;
+                }
+                if tag == live + 1 {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                match self.tags[idx].compare_exchange_weak(
+                    tag,
+                    live + 1,
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        self.keys[idx].store(key, Ordering::Relaxed);
+                        self.values[idx].store(value, Ordering::Relaxed);
+                        self.tags[idx].store(live, Ordering::Release);
+                        return;
+                    }
+                    Err(_) => continue,
+                }
+            }
+            idx = (idx + self.step(it)) & self.mask;
+        }
+        panic!("EpochHashMap full: size the table for the expected key count");
+    }
+
+    /// The minimum value claimed for `key` in the current epoch, or `None`
+    /// if the key is absent.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let live = self.epoch.load(Ordering::Relaxed) * 2;
+        let mut idx = (hash64(key) as usize) & self.mask;
+        for it in 1..=self.keys.len() {
+            loop {
+                let tag = self.tags[idx].load(Ordering::Acquire);
+                if tag == live {
+                    if self.keys[idx].load(Ordering::Relaxed) == key {
+                        return Some(self.values[idx].load(Ordering::Relaxed));
+                    }
+                    break;
+                }
+                if tag == live + 1 {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                return None;
+            }
+            idx = (idx + self.step(it)) & self.mask;
+        }
+        None
+    }
+
+    /// Reset the map to empty: an O(1) epoch bump. Must not race other
+    /// operations.
+    pub fn clear_shared(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for EpochHashMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochHashMap")
+            .field("table_size", &self.table_size())
+            .field("epoch", &self.epoch())
+            .field("probe", &self.probe)
+            .finish()
+    }
+}
+
+// Unit and multithreaded stress coverage lives in
+// `crates/conchash/tests/epoch_stress.rs` (an integration-test target, so
+// it runs even in environments where the proptest-based lib tests cannot
+// be built).

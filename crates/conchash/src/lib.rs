@@ -15,8 +15,12 @@
 //! * **Probing**: linear by default; quadratic (triangular-step) probing is
 //!   available for ablation benchmarks. Both visit every slot before
 //!   declaring the table full.
-//! * **No deletion**: the swap algorithm rebuilds the table each iteration
-//!   (`clear` is a parallel fill), so tombstones are unnecessary.
+//! * **No deletion**: the swap algorithm re-registers the current edge set
+//!   each iteration rather than deleting individual keys, so tombstones are
+//!   unnecessary. Emptying the table between iterations is an O(1) epoch
+//!   bump with the [`EpochHashSet`]/[`EpochHashMap`] variants (the swap hot
+//!   path uses these); the plain tables below clear with a parallel fill
+//!   and remain for callers that never clear in a hot loop.
 //! * The hash is the SplitMix64 finalizer — a bijection on `u64`, so distinct
 //!   keys never alias before reduction to a table index.
 
@@ -31,6 +35,10 @@
 //! assert!(set.test_and_set(42));   // already present
 //! assert!(set.contains(42));
 //! ```
+
+pub mod epoch;
+
+pub use epoch::{EpochHashMap, EpochHashSet};
 
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -59,7 +67,7 @@ pub struct AtomicHashSet {
 
 /// Bijective 64-bit hash (SplitMix64 finalizer).
 #[inline]
-fn hash64(mut z: u64) -> u64 {
+pub(crate) fn hash64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

@@ -1,0 +1,197 @@
+//! Multithreaded stress tests for the epoch-stamped tables, mirroring the
+//! `threads_racing_*` stress tests of the plain tables: keys from epoch `k`
+//! must never be visible in epoch `k + 1`, and `test_and_set` / `claim_min`
+//! semantics must be unchanged across repeated epoch bumps.
+
+use conchash::{EpochHashMap, EpochHashSet, Probe, EMPTY};
+use rayon::prelude::*;
+use std::collections::HashSet;
+
+#[test]
+fn basic_insert_lookup_and_epoch_clear() {
+    let set = EpochHashSet::new(100);
+    assert!(!set.test_and_set(42));
+    assert!(set.test_and_set(42));
+    assert!(set.contains(42));
+    assert_eq!(set.len(), 1);
+    let e0 = set.epoch();
+    set.clear_shared();
+    assert_eq!(set.epoch(), e0 + 1);
+    assert_eq!(set.len(), 0);
+    assert!(!set.contains(42));
+    assert!(!set.test_and_set(42), "key must read as fresh after clear");
+}
+
+#[test]
+fn matches_hashset_across_epochs() {
+    let set = EpochHashSet::new(512);
+    for epoch in 0..5u64 {
+        let mut reference = HashSet::new();
+        for i in 0..512u64 {
+            // Overlapping key universes across epochs, shifted so stale
+            // residue would be detected.
+            let k = (i % 300) * 7 + epoch;
+            assert_eq!(set.test_and_set(k), !reference.insert(k), "key {k}");
+        }
+        assert_eq!(set.len(), reference.len());
+        for &k in &reference {
+            assert!(set.contains(k));
+        }
+        set.clear_shared();
+    }
+}
+
+#[test]
+fn quadratic_probe_fills_capacity_every_epoch() {
+    let set = EpochHashSet::with_probe(1000, Probe::Quadratic);
+    for round in 0..3u64 {
+        for k in 0..1000u64 {
+            assert!(!set.test_and_set(k * 16 + round), "round {round} key {k}");
+        }
+        assert_eq!(set.len(), 1000);
+        set.clear_shared();
+    }
+}
+
+#[test]
+#[should_panic(expected = "sentinel")]
+fn sentinel_rejected() {
+    let set = EpochHashSet::new(4);
+    set.test_and_set(EMPTY);
+}
+
+/// True threads racing `test_and_set` on overlapping key sets, repeated
+/// over four epochs: within each epoch every distinct key must report
+/// "absent" exactly once across all threads, and keys inserted in earlier
+/// epochs must be invisible.
+#[test]
+fn concurrent_inserts_exactly_once_per_epoch() {
+    let distinct = 8_192u64;
+    let threads = 8usize;
+    let set = EpochHashSet::new(distinct as usize);
+    for epoch in 0..4u64 {
+        let barrier = std::sync::Barrier::new(threads);
+        let fresh_total: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let set = &set;
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        barrier.wait();
+                        let mut fresh = 0usize;
+                        for i in 0..distinct {
+                            let k =
+                                (i * 2654435761 + t as u64 * 7919) % distinct + epoch * distinct;
+                            fresh += usize::from(!set.test_and_set(k));
+                        }
+                        fresh
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(
+            fresh_total, distinct as usize,
+            "epoch {epoch}: a key was double-counted or lost"
+        );
+        assert_eq!(set.len(), distinct as usize);
+        // Keys of this epoch visible, previous epoch's keys invisible.
+        assert!(set.contains(epoch * distinct));
+        if epoch > 0 {
+            assert!(
+                !set.contains((epoch - 1) * distinct),
+                "epoch {epoch} sees a key from epoch {}",
+                epoch - 1
+            );
+        }
+        set.clear_shared();
+    }
+}
+
+#[test]
+fn map_min_claim_semantics_per_epoch() {
+    let map = EpochHashMap::new(64);
+    map.claim_min(7, 30);
+    map.claim_min(7, 12);
+    map.claim_min(7, 99); // larger claim must not raise the value
+    assert_eq!(map.get(7), Some(12));
+    map.claim_min(8, 1);
+    assert_eq!(map.get(8), Some(1));
+    map.clear_shared();
+    assert_eq!(map.get(7), None);
+    assert_eq!(map.get(8), None);
+    map.claim_min(7, 50);
+    assert_eq!(map.get(7), Some(50), "fresh epoch must not see the old min");
+}
+
+/// Concurrent `claim_min` from true threads, repeated over four epochs.
+/// Per-epoch value offsets make any leaked minimum from a previous epoch
+/// strictly smaller than every legal claim, so leakage fails the assert.
+#[test]
+fn map_concurrent_claims_keep_minimum_across_epochs() {
+    let distinct = 4_096u64;
+    let threads = 8usize;
+    let map = EpochHashMap::new(distinct as usize);
+    for epoch in 0..4u64 {
+        let barrier = std::sync::Barrier::new(threads);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let map = &map;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..distinct {
+                        let k = (i * 48271 + t as u64) % distinct;
+                        map.claim_min(k, epoch * 1_000_000 + k * threads as u64 + t as u64);
+                    }
+                });
+            }
+        });
+        for k in 0..distinct {
+            assert_eq!(
+                map.get(k),
+                Some(epoch * 1_000_000 + k * threads as u64),
+                "epoch {epoch} key {k}"
+            );
+        }
+        map.clear_shared();
+    }
+}
+
+#[test]
+fn rayon_contention_with_interleaved_clears() {
+    // Stress the claim protocol under the rayon pool with duplicate-heavy
+    // keys, then verify the next epoch is pristine.
+    let set = EpochHashSet::new(5_000);
+    for _ in 0..3 {
+        let fresh: usize = (0..20_000u64)
+            .into_par_iter()
+            .map(|i| usize::from(!set.test_and_set(i % 5_000 + 1)))
+            .sum();
+        assert_eq!(fresh, 5_000);
+        set.clear_shared();
+        assert!(set.is_empty());
+        assert!(!set.contains(1));
+    }
+}
+
+/// The epoch tables must agree with the plain tables on every operation
+/// sequence (differential check over a deterministic pseudo-random stream).
+#[test]
+fn differential_against_plain_tables() {
+    let epoch_set = EpochHashSet::new(2_000);
+    for round in 0..4u64 {
+        let plain = conchash::AtomicHashSet::new(2_000);
+        let mut x = 0x243F_6A88_85A3_08D3u64 ^ round;
+        for _ in 0..6_000 {
+            // xorshift stream; narrow key space forces duplicates.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = x % 1_500 + 1;
+            assert_eq!(epoch_set.test_and_set(k), plain.test_and_set(k));
+        }
+        assert_eq!(epoch_set.len(), plain.len());
+        epoch_set.clear_shared();
+    }
+}

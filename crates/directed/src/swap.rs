@@ -8,8 +8,10 @@
 //! antiparallel edges have distinct keys and are legal.
 
 use crate::digraph::{DiEdge, DiEdgeList};
-use conchash::{AtomicHashSet, Probe};
-use parutil::permute::{apply_darts_serial, darts, parallel_permute_with_darts};
+use conchash::{EpochHashSet, Probe};
+use parutil::permute::{
+    apply_darts_serial, darts_into, parallel_permute_with_darts_using, PermuteScratch,
+};
 use parutil::rng::mix64;
 use rayon::prelude::*;
 
@@ -69,11 +71,16 @@ fn run(graph: &mut DiEdgeList, cfg: &DirectedSwapConfig, parallel: bool) -> Dire
     if m < 2 || cfg.iterations == 0 {
         return stats;
     }
-    let mut table = AtomicHashSet::with_probe(2 * m, cfg.probe);
+    // Accepted swaps insert their replacement keys alongside the m
+    // registered edges, so size for 2m; the epoch-stamped table makes the
+    // per-iteration clear an O(1) generation bump.
+    let table = EpochHashSet::with_probe(2 * m, cfg.probe);
+    let mut h = vec![0u32; m];
+    let mut scratch = PermuteScratch::new();
 
     for iter in 0..cfg.iterations {
         let iter_seed = mix64(cfg.seed ^ (iter as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        table.clear();
+        table.clear_shared();
         {
             let edges = graph.edges();
             if parallel {
@@ -86,10 +93,10 @@ fn run(graph: &mut DiEdgeList, cfg: &DirectedSwapConfig, parallel: bool) -> Dire
                 }
             }
         }
-        let h = darts(m, iter_seed);
+        darts_into(&mut h, iter_seed);
         let edges = graph.edges_mut();
         if parallel {
-            parallel_permute_with_darts(edges, &h);
+            parallel_permute_with_darts_using(edges, &h, &mut scratch);
         } else {
             apply_darts_serial(edges, &h);
         }
@@ -107,7 +114,7 @@ fn run(graph: &mut DiEdgeList, cfg: &DirectedSwapConfig, parallel: bool) -> Dire
 }
 
 #[inline]
-fn attempt(pair: &mut [DiEdge], table: &AtomicHashSet) -> u64 {
+fn attempt(pair: &mut [DiEdge], table: &EpochHashSet) -> u64 {
     if pair.len() < 2 {
         return 0;
     }

@@ -6,35 +6,40 @@
 //! baselines — the applications the paper's introduction lists). This
 //! module packages that workflow.
 
-use crate::{generate_from_edge_list, GeneratorConfig};
+use crate::{generate_from_edge_list_with_workspace, GeneratorConfig};
 use graphcore::{DegreeDistribution, EdgeList};
 use parutil::rng::mix64;
+use swap::SwapWorkspace;
 
 /// Generate `count` independent uniform samples from a degree distribution
-/// (each sample uses a distinct derived seed).
+/// (each sample uses a distinct derived seed). One swap workspace serves
+/// every sample, so sample `k + 1` reuses the buffers sample `k` grew.
 pub fn ensemble_from_distribution(
     dist: &DegreeDistribution,
     cfg: &GeneratorConfig,
     count: usize,
 ) -> Vec<EdgeList> {
+    let mut ws = SwapWorkspace::new();
     (0..count)
         .map(|k| {
             let sub = GeneratorConfig {
                 seed: mix64(cfg.seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                 ..cfg.clone()
             };
-            crate::generate_from_distribution(dist, &sub).graph
+            crate::generate_from_distribution_with_workspace(dist, &sub, &mut ws).graph
         })
         .collect()
 }
 
 /// Generate `count` independent uniform mixes of an observed edge list
-/// (the exact-degree-sequence null space, paper problem 1).
+/// (the exact-degree-sequence null space, paper problem 1). All mixes share
+/// one swap workspace.
 pub fn ensemble_from_edge_list(
     observed: &EdgeList,
     cfg: &GeneratorConfig,
     count: usize,
 ) -> Vec<EdgeList> {
+    let mut ws = SwapWorkspace::new();
     (0..count)
         .map(|k| {
             let mut g = observed.clone();
@@ -42,7 +47,7 @@ pub fn ensemble_from_edge_list(
                 seed: mix64(cfg.seed ^ (k as u64).wrapping_mul(0xA076_1D64_78BD_642F)),
                 ..cfg.clone()
             };
-            generate_from_edge_list(&mut g, &sub);
+            generate_from_edge_list_with_workspace(&mut g, &sub, &mut ws);
             g
         })
         .collect()

@@ -50,7 +50,7 @@ pub use validate::ValidationReport;
 
 use graphcore::{DegreeDistribution, EdgeList};
 use std::time::Instant;
-use swap::{SwapConfig, SwapStats};
+use swap::{SwapConfig, SwapStats, SwapWorkspace};
 
 /// Configuration for the end-to-end generator.
 #[derive(Clone, Debug)]
@@ -121,6 +121,17 @@ pub fn generate_from_distribution(
     dist: &DegreeDistribution,
     cfg: &GeneratorConfig,
 ) -> GeneratedGraph {
+    generate_from_distribution_with_workspace(dist, cfg, &mut SwapWorkspace::new())
+}
+
+/// As [`generate_from_distribution`], reusing caller-owned swap buffers
+/// (one workspace serves a whole ensemble). Output is byte-identical to the
+/// fresh-workspace entry point.
+pub fn generate_from_distribution_with_workspace(
+    dist: &DegreeDistribution,
+    cfg: &GeneratorConfig,
+    ws: &mut SwapWorkspace,
+) -> GeneratedGraph {
     let mut timings = PhaseTimings::default();
 
     let t0 = Instant::now();
@@ -139,7 +150,7 @@ pub fn generate_from_distribution(
     let t2 = Instant::now();
     let mut swap_cfg = SwapConfig::new(cfg.swap_iterations, parutil::rng::mix64(cfg.seed ^ 0x5A9));
     swap_cfg.track_violations = cfg.track_violations;
-    let swap_stats = swap::swap_edges(&mut graph, &swap_cfg);
+    let swap_stats = swap::swap_edges_with_workspace(&mut graph, &swap_cfg, ws);
     timings.swapping = t2.elapsed();
 
     GeneratedGraph {
@@ -157,11 +168,20 @@ pub fn generate_from_edge_list(
     graph: &mut EdgeList,
     cfg: &GeneratorConfig,
 ) -> (SwapStats, PhaseTimings) {
+    generate_from_edge_list_with_workspace(graph, cfg, &mut SwapWorkspace::new())
+}
+
+/// As [`generate_from_edge_list`], reusing caller-owned swap buffers.
+pub fn generate_from_edge_list_with_workspace(
+    graph: &mut EdgeList,
+    cfg: &GeneratorConfig,
+    ws: &mut SwapWorkspace,
+) -> (SwapStats, PhaseTimings) {
     let mut timings = PhaseTimings::default();
     let t = Instant::now();
     let mut swap_cfg = SwapConfig::new(cfg.swap_iterations, parutil::rng::mix64(cfg.seed ^ 0x5A9));
     swap_cfg.track_violations = cfg.track_violations;
-    let stats = swap::swap_edges(graph, &swap_cfg);
+    let stats = swap::swap_edges_with_workspace(graph, &swap_cfg, ws);
     timings.swapping = t.elapsed();
     (stats, timings)
 }
@@ -174,8 +194,18 @@ pub fn uniform_reference(
     iterations: usize,
     seed: u64,
 ) -> Option<EdgeList> {
+    uniform_reference_with_workspace(dist, iterations, seed, &mut SwapWorkspace::new())
+}
+
+/// As [`uniform_reference`], reusing caller-owned swap buffers.
+pub fn uniform_reference_with_workspace(
+    dist: &DegreeDistribution,
+    iterations: usize,
+    seed: u64,
+    ws: &mut SwapWorkspace,
+) -> Option<EdgeList> {
     let mut graph = generators::havel_hakimi(dist)?;
-    swap::swap_edges(&mut graph, &SwapConfig::new(iterations, seed));
+    swap::swap_edges_with_workspace(&mut graph, &SwapConfig::new(iterations, seed), ws);
     Some(graph)
 }
 

@@ -29,16 +29,24 @@ pub fn fisher_yates<T>(data: &mut [T], rng: &mut Xoshiro256pp) {
 /// Generate the dart array for a permutation of length `n`: `darts[i]` is
 /// uniform in `[0, i]`. Darts are derived per-chunk from independent streams,
 /// so the array is deterministic for a fixed `(seed, n)` regardless of thread
-/// count.
+/// count. Allocates; hot loops should reuse a buffer via [`darts_into`].
 pub fn darts(n: usize, seed: u64) -> Vec<u32> {
-    assert!(n < u32::MAX as usize, "permutation length must fit in u32");
-    if n == 0 {
-        return Vec::new();
-    }
     let mut out = vec![0u32; n];
+    darts_into(&mut out, seed);
+    out
+}
+
+/// Fill a caller-provided buffer with the dart array for a permutation of
+/// length `out.len()` (allocation-free variant of [`darts`]; the filled
+/// array is identical for the same `(len, seed)`).
+pub fn darts_into(out: &mut [u32], seed: u64) {
+    assert!(
+        out.len() < u32::MAX as usize,
+        "permutation length must fit in u32"
+    );
     // Fixed chunk size: boundaries (and therefore the derived RNG streams)
     // do not depend on the rayon pool size, so the dart array is a pure
-    // function of (n, seed).
+    // function of (len, seed).
     const STEP: usize = 1 << 16;
     let step = STEP;
     out.par_chunks_mut(step).enumerate().for_each(|(k, slice)| {
@@ -51,7 +59,6 @@ pub fn darts(n: usize, seed: u64) -> Vec<u32> {
             *d = rng.next_below(i as u64 + 1) as u32;
         }
     });
-    out
 }
 
 /// Apply a dart array serially (reference implementation of the Knuth
@@ -70,6 +77,39 @@ pub fn parallel_permute<T: Send>(data: &mut [T], seed: u64) {
     parallel_permute_with_darts(data, &h);
 }
 
+/// Reusable buffers for [`parallel_permute_with_darts_using`]: the
+/// reservation-cell array and the two round worklists. Allocated on first
+/// use (or growth) and reused across shuffles, so a permutation in a hot
+/// loop performs no heap allocation.
+#[derive(Default)]
+pub struct PermuteScratch {
+    /// Reservation cells; all zero between shuffles.
+    res: Vec<AtomicU32>,
+    /// Unfinished iterations of the current round.
+    cur: Vec<u32>,
+    /// Losers of the current round (next round's worklist).
+    next: Vec<u32>,
+}
+
+impl PermuteScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size every buffer for permutations of length up to `n`.
+    pub fn reserve(&mut self, n: usize) {
+        if self.res.len() < n {
+            self.res.clear();
+            self.res.resize_with(n, || AtomicU32::new(0));
+        }
+        let want = n.saturating_sub(self.cur.len());
+        self.cur.reserve(want);
+        let want = n.saturating_sub(self.next.len());
+        self.next.reserve(want);
+    }
+}
+
 /// Reservation-based parallel application of a dart array.
 ///
 /// Each round, every unfinished iteration `i` writes its priority into the
@@ -78,54 +118,83 @@ pub fn parallel_permute<T: Send>(data: &mut [T], seed: u64) {
 /// iterations from the same round touch disjoint position pairs, so their
 /// swaps can run in parallel. The highest remaining iteration always wins,
 /// guaranteeing progress; the expected round count is logarithmic.
+///
+/// Allocates its working buffers; hot loops should hold a
+/// [`PermuteScratch`] and call [`parallel_permute_with_darts_using`].
 pub fn parallel_permute_with_darts<T: Send>(data: &mut [T], darts: &[u32]) {
+    let mut scratch = PermuteScratch::new();
+    parallel_permute_with_darts_using(data, darts, &mut scratch);
+}
+
+/// As [`parallel_permute_with_darts`], reusing caller-owned scratch buffers
+/// (allocation-free once the scratch has grown to `data.len()`). Produces
+/// exactly the permutation [`apply_darts_serial`] yields for the same darts.
+pub fn parallel_permute_with_darts_using<T: Send>(
+    data: &mut [T],
+    darts: &[u32],
+    scratch: &mut PermuteScratch,
+) {
     let n = data.len();
     assert_eq!(n, darts.len());
     if n < 2 {
         return;
     }
-    // Small inputs: the serial shuffle is faster than round bookkeeping.
-    if n < 1 << 12 {
+    // Small inputs — or a pool with no actual parallelism — make the round
+    // bookkeeping pure overhead; the serial application yields the identical
+    // permutation (it is a pure function of the darts), so dispatching on
+    // the pool size does not affect determinism.
+    if n < 1 << 12 || rayon::current_num_threads() <= 1 {
         apply_darts_serial(data, darts);
         return;
     }
-
+    scratch.reserve(n);
+    let PermuteScratch { res, cur, next } = scratch;
     // Reservation cells; 0 = empty, iteration i reserves with priority i
-    // (iteration 0 is always a no-op swap and is excluded).
-    let res: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
-    let mut remaining: Vec<u32> = (1..n as u32).collect();
+    // (iteration 0 is always a no-op swap and is excluded). `res` is all
+    // zero here: it starts zeroed and every round clears what it touched.
+    let res = &res[..n];
+    cur.clear();
+    cur.extend(1..n as u32);
     let ptr = SendPtr(data.as_mut_ptr());
 
-    while !remaining.is_empty() {
+    while !cur.is_empty() {
+        let wins = |i: u32| {
+            let d = darts[i as usize];
+            res[i as usize].load(Ordering::Relaxed) == i
+                && res[d as usize].load(Ordering::Relaxed) == i
+        };
         // Phase 1: reserve.
-        remaining.par_iter().for_each(|&i| {
+        cur.par_iter().for_each(|&i| {
             let d = darts[i as usize];
             res[i as usize].fetch_max(i, Ordering::Relaxed);
             res[d as usize].fetch_max(i, Ordering::Relaxed);
         });
-        // Phase 2: commit winners, keep losers.
-        let (commit, rest): (Vec<u32>, Vec<u32>) = remaining.par_iter().partition(|&&i| {
-            let d = darts[i as usize];
-            res[i as usize].load(Ordering::Relaxed) == i
-                && res[d as usize].load(Ordering::Relaxed) == i
-        });
-        commit.par_iter().for_each(|&i| {
-            let p = ptr; // capture the Send+Sync wrapper, not the raw field
-            let d = darts[i as usize] as usize;
-            let i = i as usize;
-            if i != d {
-                // SAFETY: committed iterations hold both reservation cells,
-                // so their {i, darts[i]} position pairs are pairwise
-                // disjoint; no two threads touch the same element.
-                unsafe { std::ptr::swap(p.0.add(i), p.0.add(d)) };
+        // Phase 2: commit winners in parallel.
+        cur.par_iter().for_each(|&i| {
+            if wins(i) {
+                let p = ptr; // capture the Send+Sync wrapper, not the raw field
+                let d = darts[i as usize] as usize;
+                let i = i as usize;
+                if i != d {
+                    // SAFETY: committed iterations hold both reservation
+                    // cells, so their {i, darts[i]} position pairs are
+                    // pairwise disjoint; no two threads touch the same
+                    // element.
+                    unsafe { std::ptr::swap(p.0.add(i), p.0.add(d)) };
+                }
             }
         });
-        // Phase 3: clear touched reservations for the next round.
-        remaining.par_iter().for_each(|&i| {
+        // Phase 3: losers form the next round's worklist (in-place filter
+        // into the sibling buffer — round sizes decay geometrically, so the
+        // serial pass totals O(n) over the whole shuffle).
+        next.clear();
+        next.extend(cur.iter().copied().filter(|&i| !wins(i)));
+        // Phase 4: clear touched reservations for the next round.
+        cur.par_iter().for_each(|&i| {
             res[i as usize].store(0, Ordering::Relaxed);
             res[darts[i as usize] as usize].store(0, Ordering::Relaxed);
         });
-        remaining = rest;
+        std::mem::swap(cur, next);
     }
 }
 

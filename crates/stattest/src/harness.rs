@@ -25,6 +25,7 @@ use parutil::rng::mix64;
 use rayon::prelude::*;
 use std::collections::HashSet;
 use std::fmt;
+use swap::SwapWorkspace;
 
 /// Which sampler a uniformity run drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -257,23 +258,33 @@ impl SwapUniformityHarness {
         for rep in 0..cfg.replicates {
             let rep_seed = mix64(cfg.base_seed ^ mix64(rep as u64 ^ 0x9E37_79B9_7F4A_7C15));
             // Trials are embarrassingly parallel; each derives its own seed
-            // so the histogram is independent of execution order.
-            let indices: Vec<Option<usize>> = (0..cfg.trials)
+            // so the histogram is independent of execution order. `fold`
+            // gives every rayon split one long-lived swap workspace, so
+            // consecutive trials on a thread reuse the same buffers.
+            let indices: Vec<(u64, Option<usize>)> = (0..cfg.trials)
                 .into_par_iter()
-                .map(|trial| {
-                    let seed = mix64(rep_seed ^ mix64(trial ^ 0xD1B5_4A32_D192_ED03));
-                    let mask = self.sample(kind, cfg.sweeps, seed);
-                    self.support.index_of(mask)
-                })
+                .fold(
+                    || (SwapWorkspace::new(), Vec::new()),
+                    |(mut ws, mut acc), trial| {
+                        let seed = mix64(rep_seed ^ mix64(trial ^ 0xD1B5_4A32_D192_ED03));
+                        let mask = self.sample(kind, cfg.sweeps, seed, &mut ws);
+                        acc.push((trial, self.support.index_of(mask)));
+                        (ws, acc)
+                    },
+                )
+                .map(|(_, acc)| acc)
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flatten()
                 .collect();
             let mut counts = vec![0u64; support_size];
-            for (trial, idx) in indices.into_iter().enumerate() {
+            for (trial, idx) in indices.into_iter() {
                 match idx {
                     Some(i) => counts[i] += 1,
                     None => {
                         return Err(HarnessError::SampleOutsideSupport {
                             replicate: rep,
-                            trial: trial as u64,
+                            trial,
                         })
                     }
                 }
@@ -298,14 +309,18 @@ impl SwapUniformityHarness {
     }
 
     /// Draw one chain sample and encode it as a support mask.
-    fn sample(&self, kind: SamplerKind, sweeps: usize, seed: u64) -> u32 {
+    fn sample(&self, kind: SamplerKind, sweeps: usize, seed: u64, ws: &mut SwapWorkspace) -> u32 {
         let mut g = self.start.clone();
         match kind {
             SamplerKind::SwapParallel => {
-                swap::swap_edges(&mut g, &swap::SwapConfig::new(sweeps, seed));
+                swap::swap_edges_with_workspace(&mut g, &swap::SwapConfig::new(sweeps, seed), ws);
             }
             SamplerKind::SwapSerial => {
-                swap::swap_edges_serial(&mut g, &swap::SwapConfig::new(sweeps, seed));
+                swap::swap_edges_serial_with_workspace(
+                    &mut g,
+                    &swap::SwapConfig::new(sweeps, seed),
+                    ws,
+                );
             }
             SamplerKind::BiasedNoPermutation => {
                 biased_fixed_pairing_sweeps(&mut g, sweeps, seed);

@@ -13,7 +13,7 @@
 //! Connectivity is evaluated over the non-isolated vertices: degree-0
 //! vertices can never participate in a swap and are ignored.
 
-use crate::{swap_edges, SwapConfig, SwapStats};
+use crate::{swap_edges_with_workspace, SwapConfig, SwapStats, SwapWorkspace};
 use graphcore::analysis::connected_components;
 use graphcore::EdgeList;
 use parutil::rng::mix64;
@@ -95,16 +95,28 @@ pub fn swap_edges_connected(
     graph: &mut EdgeList,
     cfg: &ConnectedSwapConfig,
 ) -> Result<SwapStats, ConnectedSwapError> {
+    swap_edges_connected_with_workspace(graph, cfg, &mut SwapWorkspace::new())
+}
+
+/// As [`swap_edges_connected`], reusing caller-owned swap buffers across
+/// the sweeps and their rollback retries.
+pub fn swap_edges_connected_with_workspace(
+    graph: &mut EdgeList,
+    cfg: &ConnectedSwapConfig,
+    ws: &mut SwapWorkspace,
+) -> Result<SwapStats, ConnectedSwapError> {
     if !is_connected_ignoring_isolated(graph) {
         return Err(ConnectedSwapError::InputDisconnected);
     }
     let mut stats = SwapStats::default();
+    let mut snapshot: Vec<graphcore::Edge> = Vec::new();
     for iter in 0..cfg.iterations {
-        let snapshot: Vec<graphcore::Edge> = graph.edges().to_vec();
+        snapshot.clear();
+        snapshot.extend_from_slice(graph.edges());
         let mut accepted = false;
         for attempt in 0..=cfg.max_retries_per_iteration {
             let salt = mix64(cfg.seed ^ ((iter as u64) << 20) ^ attempt as u64);
-            let sweep = swap_edges(graph, &SwapConfig::new(1, salt));
+            let sweep = swap_edges_with_workspace(graph, &SwapConfig::new(1, salt), ws);
             if is_connected_ignoring_isolated(graph) {
                 stats.iterations.extend(sweep.iterations.iter().copied());
                 accepted = true;

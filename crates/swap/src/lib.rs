@@ -9,8 +9,10 @@
 //!
 //! Each iteration of the parallel algorithm:
 //!
-//! 1. rebuilds a concurrent hash table containing every current edge key
-//!    (thread-safe `TestAndSet` insertions);
+//! 1. registers every current edge key in a concurrent hash table
+//!    (thread-safe `TestAndSet` insertions; the table is an epoch-stamped
+//!    [`conchash::EpochHashSet`], so emptying it between sweeps is an O(1)
+//!    generation bump rather than a fill);
 //! 2. randomly permutes the edge list (reservation-based parallel shuffle);
 //! 3. attempts, in parallel, to swap every adjacent pair `(E[2i], E[2i+1])`
 //!    of the permuted list, accepting a swap only when neither replacement
@@ -21,7 +23,7 @@
 //! proposal/proposal conflicts by whichever thread's `TestAndSet` lands
 //! first (so results depend on scheduling), this implementation runs a
 //! claim phase — every pair writes its pair index into a min-claim hash map
-//! ([`conchash::AtomicHashMap`]) under both replacement keys — followed,
+//! ([`conchash::EpochHashMap`]) under both replacement keys — followed,
 //! after a barrier, by a commit phase in which a pair succeeds iff it holds
 //! the minimum claim on both keys. Minimum is a commutative-associative
 //! reduction, so the winner set (and hence the whole run) is a pure
@@ -39,7 +41,19 @@
 //! eliminated, because a successful swap of one copy of a duplicated edge
 //! replaces it with fresh edges (the paper uses exactly this to "simplify"
 //! `O(m)` Chung-Lu output).
-
+//!
+//! # Workspace reuse
+//!
+//! All buffers and tables of a run live in a [`SwapWorkspace`]. The
+//! `*_with_workspace` entry points accept one explicitly so that ensembles,
+//! retry loops and statistical harnesses reuse a single set of buffers
+//! across many runs; the plain entry points allocate a fresh workspace and
+//! produce byte-identical results. Once the workspace has grown, a sweep
+//! performs no heap allocation (see `crates/swap/tests/alloc_free.rs`) and
+//! pays only O(changes) for its bookkeeping: the `ever_swapped` mixing
+//! statistic is a relaxed counter bumped on first-swap commits, and the
+//! optional violation counts are maintained incrementally from the edges a
+//! successful swap actually changed instead of re-sorting the edge list.
 //!
 //! # Example
 //!
@@ -57,15 +71,23 @@
 
 pub mod connected;
 pub mod stats;
+mod workspace;
 
-pub use connected::{swap_edges_connected, ConnectedSwapConfig, ConnectedSwapError};
+pub use connected::{
+    swap_edges_connected, swap_edges_connected_with_workspace, ConnectedSwapConfig,
+    ConnectedSwapError,
+};
 pub use stats::{IterationStats, SwapStats};
+pub use workspace::SwapWorkspace;
 
-use conchash::{AtomicHashMap, AtomicHashSet, Probe};
+use conchash::EpochHashSet;
 use graphcore::{Edge, EdgeList};
-use parutil::permute::{apply_darts_serial, darts, parallel_permute_with_darts};
+use parutil::permute::{apply_darts_serial, darts_into, parallel_permute_with_darts_using};
 use parutil::rng::mix64;
 use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use workspace::Slot;
 
 /// Configuration for a swap run.
 #[derive(Clone, Debug)]
@@ -79,10 +101,13 @@ pub struct SwapConfig {
     /// Hash-table probing strategy.
     pub probe: Probe,
     /// When `true`, each iteration's [`IterationStats`] also counts the
-    /// remaining self loops and multi-edges (adds an `O(m log m)` sort per
-    /// iteration; off by default).
+    /// remaining self loops and multi-edges. Counts are maintained
+    /// incrementally (one multiplicity census at run start, then O(1)
+    /// updates per committed swap); off by default.
     pub track_violations: bool,
 }
+
+pub use conchash::Probe;
 
 impl SwapConfig {
     /// `iterations` swap sweeps with the given seed and default options.
@@ -96,25 +121,35 @@ impl SwapConfig {
     }
 }
 
-/// An edge plus a flag recording whether it has ever been produced by a
-/// successful swap — the paper's empirical mixing criterion is "all edges
-/// successfully swapped at least once".
-#[derive(Clone, Copy, Debug)]
-struct Slot {
-    edge: Edge,
-    swapped: bool,
-}
-
 /// Run parallel double-edge swaps in place. Returns per-iteration statistics.
 pub fn swap_edges(graph: &mut EdgeList, cfg: &SwapConfig) -> SwapStats {
-    run(graph, cfg, true)
+    swap_edges_with_workspace(graph, cfg, &mut SwapWorkspace::new())
+}
+
+/// As [`swap_edges`], reusing caller-owned buffers. Results are
+/// byte-identical to a run with a fresh workspace.
+pub fn swap_edges_with_workspace(
+    graph: &mut EdgeList,
+    cfg: &SwapConfig,
+    ws: &mut SwapWorkspace,
+) -> SwapStats {
+    run_until(graph, cfg, true, &|_| false, ws)
 }
 
 /// Serial reference implementation of the identical algorithm (same darts,
 /// same pair order, same claim semantics). [`swap_edges`] produces
 /// byte-identical output on a rayon pool of any size.
 pub fn swap_edges_serial(graph: &mut EdgeList, cfg: &SwapConfig) -> SwapStats {
-    run(graph, cfg, false)
+    swap_edges_serial_with_workspace(graph, cfg, &mut SwapWorkspace::new())
+}
+
+/// As [`swap_edges_serial`], reusing caller-owned buffers.
+pub fn swap_edges_serial_with_workspace(
+    graph: &mut EdgeList,
+    cfg: &SwapConfig,
+    ws: &mut SwapWorkspace,
+) -> SwapStats {
+    run_until(graph, cfg, false, &|_| false, ws)
 }
 
 /// Swap until the paper's empirical mixing criterion is met: the fraction
@@ -131,17 +166,108 @@ pub fn swap_until_mixed(
     max_iterations: usize,
     seed: u64,
 ) -> SwapStats {
+    swap_until_mixed_with_workspace(
+        graph,
+        threshold,
+        max_iterations,
+        seed,
+        &mut SwapWorkspace::new(),
+    )
+}
+
+/// As [`swap_until_mixed`], reusing caller-owned buffers.
+pub fn swap_until_mixed_with_workspace(
+    graph: &mut EdgeList,
+    threshold: f64,
+    max_iterations: usize,
+    seed: u64,
+    ws: &mut SwapWorkspace,
+) -> SwapStats {
     let mut cfg = SwapConfig::new(max_iterations, seed);
     cfg.track_violations = !graph.is_simple();
     let needs_simplify = cfg.track_violations;
-    run_until(graph, &cfg, true, &|it: &IterationStats| {
-        it.ever_swapped_fraction >= threshold
-            && (!needs_simplify || (it.self_loops == 0 && it.multi_edges == 0))
-    })
+    run_until(
+        graph,
+        &cfg,
+        true,
+        &|it: &IterationStats| {
+            it.ever_swapped_fraction >= threshold
+                && (!needs_simplify || (it.self_loops == 0 && it.multi_edges == 0))
+        },
+        ws,
+    )
 }
 
-fn run(graph: &mut EdgeList, cfg: &SwapConfig, parallel: bool) -> SwapStats {
-    run_until(graph, cfg, parallel, &|_| false)
+/// Incremental simplicity-violation counters.
+///
+/// At run start a single census records the self-loop count and, for every
+/// key occurring `c ≥ 2` times, its multiplicity (`multi_edges` is the sum
+/// of the extras `c - 1`, exactly as `EdgeList::simplicity_report`
+/// computes it). A committed swap can only *remove* violations — proposals
+/// rejecting self loops and table hits mean no added edge ever duplicates a
+/// live key or closes a loop — so per-commit updates are decrements on the
+/// two removed edges: the self-loop counter drops for each removed loop,
+/// and the multiplicity of a removed key drops, shedding one `multi_edges`
+/// extra while copies remain. The committed-pair set is deterministic, so
+/// the counters are too, on any pool size.
+struct ViolationCounters {
+    self_loops: AtomicU64,
+    multi_edges: AtomicU64,
+    /// Remaining multiplicity per initially-duplicated key. Keys added by
+    /// swaps are never duplicated, so the map never grows after the census.
+    multiplicity: HashMap<u64, AtomicU64>,
+}
+
+impl ViolationCounters {
+    fn census(slots: &[Slot]) -> Self {
+        let mut self_loops = 0u64;
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for s in slots {
+            self_loops += u64::from(s.edge.is_self_loop());
+            *counts.entry(s.edge.key()).or_insert(0) += 1;
+        }
+        let mut multi_edges = 0u64;
+        let multiplicity: HashMap<u64, AtomicU64> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= 2)
+            .map(|(k, c)| {
+                multi_edges += c - 1;
+                (k, AtomicU64::new(c))
+            })
+            .collect();
+        Self {
+            self_loops: AtomicU64::new(self_loops),
+            multi_edges: AtomicU64::new(multi_edges),
+            multiplicity,
+        }
+    }
+
+    /// Account for the removal of `edge` by a committed swap.
+    #[inline]
+    fn on_removed(&self, edge: &Edge) {
+        if edge.is_self_loop() {
+            self.self_loops.fetch_sub(1, Ordering::Relaxed);
+        }
+        let Some(c) = self.multiplicity.get(&edge.key()) else {
+            return;
+        };
+        // Saturating decrement: a key fully drained and later re-added by a
+        // swap (legal once no copy is live) must not underflow. Which commit
+        // observes which predecessor value is scheduling-dependent, but the
+        // *number* of decrements from 2 or above is not.
+        let mut cur = c.load(Ordering::Relaxed);
+        while cur > 0 {
+            match c.compare_exchange_weak(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(prev) => {
+                    if prev >= 2 {
+                        self.multi_edges.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    break;
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
 }
 
 fn run_until(
@@ -149,28 +275,44 @@ fn run_until(
     cfg: &SwapConfig,
     parallel: bool,
     stop_when: &dyn Fn(&IterationStats) -> bool,
+    ws: &mut SwapWorkspace,
 ) -> SwapStats {
     let m = graph.len();
     let mut stats = SwapStats::default();
     if m < 2 || cfg.iterations == 0 {
         return stats;
     }
-    let mut slots: Vec<Slot> = graph
-        .edges()
-        .iter()
-        .map(|&edge| Slot {
-            edge,
-            swapped: false,
-        })
-        .collect();
-    // The edge table holds exactly the m current edges; the claim map holds
-    // at most two replacement keys per pair (= m keys).
-    let mut table = AtomicHashSet::with_probe(m, cfg.probe);
-    let claims = AtomicHashMap::with_probe(m, cfg.probe);
+    stats.iterations.reserve(cfg.iterations.min(1 << 12));
+    ws.prepare(m, cfg.probe);
+    let SwapWorkspace {
+        slots,
+        darts,
+        proposals,
+        permute,
+        table,
+        claims,
+        ..
+    } = ws;
+    let table: &EpochHashSet = table.as_ref().expect("prepare populates the table");
+    let claims = claims.as_ref().expect("prepare populates the claim map");
+    slots.clear();
+    slots.extend(graph.edges().iter().map(|&edge| Slot {
+        edge,
+        swapped: false,
+    }));
+
+    let violations = cfg
+        .track_violations
+        .then(|| ViolationCounters::census(slots));
+    // Mixing statistic: slots that have ever held a successfully swapped
+    // edge. Commits bump the counter for each slot flipping for the first
+    // time; every slot flips at most once, so the relaxed sum is exact and
+    // deterministic (it replaces a full O(m) rescan per sweep).
+    let ever = AtomicU64::new(0);
 
     for iter in 0..cfg.iterations {
         let iter_seed = mix64(cfg.seed ^ (iter as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        table.clear();
+        table.clear_shared();
         claims.clear_shared();
 
         // Phase 1: register all current edges.
@@ -179,34 +321,38 @@ fn run_until(
                 table.test_and_set(s.edge.key());
             });
         } else {
-            for s in &slots {
+            for s in slots.iter() {
                 table.test_and_set(s.edge.key());
             }
         }
 
         // Phase 2: permute.
-        let h = darts(m, iter_seed);
+        darts_into(darts, iter_seed);
         if parallel {
-            parallel_permute_with_darts(&mut slots, &h);
+            parallel_permute_with_darts_using(slots, darts, permute);
         } else {
-            apply_darts_serial(&mut slots, &h);
+            apply_darts_serial(slots, darts);
         }
 
         // Phase 3a: deterministic proposals, checked against the current
         // edge set only (never against other pairs' proposals).
-        let proposals: Vec<Option<(Edge, Edge)>> = if parallel {
-            slots
-                .par_chunks(2)
-                .enumerate()
-                .map(|(pair_idx, pair)| propose_swap(pair, pair_idx, iter_seed, &table))
-                .collect()
-        } else {
-            slots
-                .chunks(2)
-                .enumerate()
-                .map(|(pair_idx, pair)| propose_swap(pair, pair_idx, iter_seed, &table))
-                .collect()
-        };
+        {
+            let slots: &[Slot] = slots;
+            if parallel {
+                proposals
+                    .par_iter_mut()
+                    .enumerate()
+                    .for_each(|(pair_idx, out)| {
+                        let lo = pair_idx * 2;
+                        *out = propose_swap(&slots[lo..m.min(lo + 2)], pair_idx, iter_seed, table);
+                    });
+            } else {
+                for (pair_idx, out) in proposals.iter_mut().enumerate() {
+                    let lo = pair_idx * 2;
+                    *out = propose_swap(&slots[lo..m.min(lo + 2)], pair_idx, iter_seed, table);
+                }
+            }
+        }
 
         // Phase 3b: every live proposal claims both replacement keys with
         // its pair index; the surviving claim per key is the minimum index,
@@ -229,24 +375,32 @@ fn run_until(
 
         // Phase 3c: a pair commits iff it holds the minimum claim on both
         // of its replacement keys.
+        let proposals: &[Option<(Edge, Edge)>] = proposals;
         let commit = |pair_idx: usize, pair: &mut [Slot]| -> u64 {
             let Some((g, h)) = proposals[pair_idx] else {
                 return 0;
             };
             let i = pair_idx as u64;
-            if claims.get(g.key()) == Some(i) && claims.get(h.key()) == Some(i) {
-                pair[0] = Slot {
-                    edge: g,
-                    swapped: true,
-                };
-                pair[1] = Slot {
-                    edge: h,
-                    swapped: true,
-                };
-                1
-            } else {
-                0
+            if claims.get(g.key()) != Some(i) || claims.get(h.key()) != Some(i) {
+                return 0;
             }
+            let newly = u64::from(!pair[0].swapped) + u64::from(!pair[1].swapped);
+            if newly > 0 {
+                ever.fetch_add(newly, Ordering::Relaxed);
+            }
+            if let Some(v) = &violations {
+                v.on_removed(&pair[0].edge);
+                v.on_removed(&pair[1].edge);
+            }
+            pair[0] = Slot {
+                edge: g,
+                swapped: true,
+            };
+            pair[1] = Slot {
+                edge: h,
+                swapped: true,
+            };
+            1
         };
         let successes: u64 = if parallel {
             slots
@@ -262,25 +416,16 @@ fn run_until(
                 .sum()
         };
 
-        let ever_swapped = if parallel {
-            slots.par_iter().filter(|s| s.swapped).count()
-        } else {
-            slots.iter().filter(|s| s.swapped).count()
-        };
-
         let mut it_stats = IterationStats {
             attempted_pairs: (m / 2) as u64,
             successful_swaps: successes,
-            ever_swapped_fraction: ever_swapped as f64 / m as f64,
+            ever_swapped_fraction: ever.load(Ordering::Relaxed) as f64 / m as f64,
             self_loops: 0,
             multi_edges: 0,
         };
-        if cfg.track_violations {
-            let current =
-                EdgeList::from_edges(graph.num_vertices(), slots.iter().map(|s| s.edge).collect());
-            let report = current.simplicity_report();
-            it_stats.self_loops = report.self_loops;
-            it_stats.multi_edges = report.multi_edges;
+        if let Some(v) = &violations {
+            it_stats.self_loops = v.self_loops.load(Ordering::Relaxed);
+            it_stats.multi_edges = v.multi_edges.load(Ordering::Relaxed);
         }
         let stop = stop_when(&it_stats);
         stats.iterations.push(it_stats);
@@ -293,7 +438,7 @@ fn run_until(
     graph
         .edges_mut()
         .iter_mut()
-        .zip(&slots)
+        .zip(slots.iter())
         .for_each(|(e, s)| *e = s.edge);
     stats
 }
@@ -307,7 +452,7 @@ fn propose_swap(
     pair: &[Slot],
     pair_idx: usize,
     iter_seed: u64,
-    table: &AtomicHashSet,
+    table: &EpochHashSet,
 ) -> Option<(Edge, Edge)> {
     if pair.len() < 2 {
         return None;

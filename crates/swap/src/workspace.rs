@@ -1,0 +1,109 @@
+//! Reusable per-run state for the swap kernel: the zero-allocation sweep
+//! loop.
+//!
+//! Every sweep of the original loop heap-allocated a dart array and a
+//! proposal buffer, and cleared two hash tables with full parallel fills
+//! over their slot arrays — per-sweep cost proportional to table *capacity*
+//! rather than to the work a sweep actually performs. A [`SwapWorkspace`]
+//! owns all of that state across sweeps (and across runs): buffers are
+//! grown once and reused, and the tables are the epoch-stamped variants
+//! whose clear is an O(1) generation bump. In the steady state a sweep
+//! performs **no heap allocation** (asserted by
+//! `crates/swap/tests/alloc_free.rs`).
+//!
+//! Pass a workspace explicitly to [`crate::swap_edges_with_workspace`] (or
+//! its serial / mixing counterparts) when running many swap batches — an
+//! ensemble, a connectivity-retry loop, a statistical harness — so
+//! successive runs share one set of buffers. The plain
+//! [`crate::swap_edges`] entry points create a fresh workspace internally
+//! and remain byte-for-byte equivalent.
+
+use conchash::{EpochHashMap, EpochHashSet, Probe};
+use graphcore::Edge;
+use parutil::permute::PermuteScratch;
+
+/// An edge plus a flag recording whether it has ever been produced by a
+/// successful swap — the paper's empirical mixing criterion is "all edges
+/// successfully swapped at least once".
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Slot {
+    pub(crate) edge: Edge,
+    pub(crate) swapped: bool,
+}
+
+/// Reusable buffers and tables for swap runs. See the module docs.
+///
+/// A single workspace may serve runs of different sizes and configurations
+/// back to back; buffers grow monotonically and the hash tables are
+/// rebuilt only when a run needs more capacity (or a different probing
+/// strategy) than they were built with. Results are byte-identical whether
+/// a run uses a fresh or a reused workspace.
+#[derive(Default)]
+pub struct SwapWorkspace {
+    /// Working copy of the edge list, permuted in place each sweep.
+    pub(crate) slots: Vec<Slot>,
+    /// Dart array of the current sweep's permutation.
+    pub(crate) darts: Vec<u32>,
+    /// Per-pair swap proposals of the current sweep.
+    pub(crate) proposals: Vec<Option<(Edge, Edge)>>,
+    /// Scratch for the reservation-based parallel shuffle.
+    pub(crate) permute: PermuteScratch,
+    /// Edge-membership table of the current sweep (epoch-cleared).
+    pub(crate) table: Option<EpochHashSet>,
+    /// Minimum-index claim map for deterministic conflict resolution
+    /// (epoch-cleared).
+    pub(crate) claims: Option<EpochHashMap>,
+    /// Capacity the tables were created for (they are rebuilt when a run
+    /// exceeds it).
+    pub(crate) table_capacity: usize,
+}
+
+impl SwapWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace pre-sized for graphs of up to `m` edges.
+    pub fn with_capacity(m: usize) -> Self {
+        let mut ws = Self::new();
+        ws.prepare(m, Probe::Linear);
+        ws
+    }
+
+    /// Grow every buffer and table for a run over `m` edges with the given
+    /// probing strategy. Idempotent and cheap when already large enough
+    /// (the tables are epoch-cleared, not refilled).
+    pub(crate) fn prepare(&mut self, m: usize, probe: Probe) {
+        self.darts.resize(m, 0);
+        self.proposals.resize(m.div_ceil(2), None);
+        self.permute.reserve(m);
+        let rebuild = match (&self.table, &self.claims) {
+            (Some(t), Some(c)) => {
+                m > self.table_capacity || t.probe() != probe || c.probe() != probe
+            }
+            _ => true,
+        };
+        if rebuild {
+            // The edge table holds exactly the m current edges; the claim
+            // map holds at most two replacement keys per pair (= m keys),
+            // and at most one key per slot during the violation-tracking
+            // registration (= m keys).
+            self.table = Some(EpochHashSet::with_probe(m, probe));
+            self.claims = Some(EpochHashMap::with_probe(m, probe));
+            self.table_capacity = m;
+        } else {
+            self.table.as_ref().unwrap().clear_shared();
+            self.claims.as_ref().unwrap().clear_shared();
+        }
+    }
+}
+
+impl std::fmt::Debug for SwapWorkspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwapWorkspace")
+            .field("slot_capacity", &self.slots.capacity())
+            .field("table_capacity", &self.table_capacity)
+            .finish()
+    }
+}

@@ -1,0 +1,128 @@
+//! Counting-allocator proof that the sweep loop is allocation-free in the
+//! steady state: once a [`swap::SwapWorkspace`] has grown to the run size,
+//! adding sweeps to a run adds **zero** heap allocations (serial path,
+//! strict equality) and at most a small constant per sweep on the parallel
+//! path (rayon pool plumbing, if any).
+
+use graphcore::EdgeList;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use swap::{swap_edges_serial_with_workspace, swap_edges_with_workspace};
+use swap::{SwapConfig, SwapWorkspace};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn ring(n: u32) -> EdgeList {
+    EdgeList::from_pairs((0..n).map(|i| (i, (i + 1) % n)))
+}
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    f();
+    ALLOC_CALLS.load(Ordering::Relaxed) - before
+}
+
+/// Runs with 5 and 50 sweeps over a warmed workspace must perform the SAME
+/// number of allocations (the per-run constant: the returned stats buffer).
+/// Any per-sweep allocation would scale with the sweep count and break the
+/// equality.
+#[test]
+fn serial_sweeps_allocate_nothing_in_steady_state() {
+    const N: u32 = 2_000;
+    let mut ws = SwapWorkspace::new();
+    // Warm-up grows every buffer and table to the run size.
+    let mut warm = ring(N);
+    swap_edges_serial_with_workspace(&mut warm, &SwapConfig::new(2, 1), &mut ws);
+
+    let mut g5 = ring(N);
+    let mut g50 = ring(N);
+    let a5 = allocs_during(|| {
+        swap_edges_serial_with_workspace(&mut g5, &SwapConfig::new(5, 42), &mut ws);
+    });
+    let a50 = allocs_during(|| {
+        swap_edges_serial_with_workspace(&mut g50, &SwapConfig::new(50, 42), &mut ws);
+    });
+    assert_eq!(
+        a5, a50,
+        "sweep count changed the allocation count: 5 sweeps -> {a5} allocs, \
+         50 sweeps -> {a50} allocs (steady state must be allocation-free)"
+    );
+    // The per-run constant itself is tiny (stats buffer + iteration vec).
+    assert!(a5 <= 4, "per-run allocation constant too high: {a5}");
+}
+
+/// Parallel path: identical budget on a sequential pool; on a real
+/// multi-thread pool any rayon-internal allocation must stay O(1) per
+/// sweep, far below the former per-sweep buffers.
+#[test]
+fn parallel_sweeps_allocation_bounded() {
+    const N: u32 = 2_000;
+    let mut ws = SwapWorkspace::new();
+    let mut warm = ring(N);
+    swap_edges_with_workspace(&mut warm, &SwapConfig::new(2, 1), &mut ws);
+
+    let mut g5 = ring(N);
+    let mut g50 = ring(N);
+    let a5 = allocs_during(|| {
+        swap_edges_with_workspace(&mut g5, &SwapConfig::new(5, 42), &mut ws);
+    });
+    let a50 = allocs_during(|| {
+        swap_edges_with_workspace(&mut g50, &SwapConfig::new(50, 42), &mut ws);
+    });
+    let per_sweep = (a50.saturating_sub(a5)) as f64 / 45.0;
+    assert!(
+        per_sweep <= 8.0,
+        "parallel path allocates {per_sweep:.1} times per sweep \
+         (5 sweeps -> {a5}, 50 sweeps -> {a50})"
+    );
+}
+
+/// Violation tracking allocates only its one-time census, not per sweep.
+#[test]
+fn violation_tracking_census_is_per_run_not_per_sweep() {
+    let mut edges: Vec<(u32, u32)> = (0..1000).map(|i| (i, (i + 1) % 1000)).collect();
+    edges.push((0, 1));
+    edges.push((7, 7));
+    let mut ws = SwapWorkspace::new();
+    let mut warm = EdgeList::from_pairs(edges.clone());
+    let mut cfg = SwapConfig::new(2, 1);
+    cfg.track_violations = true;
+    swap_edges_serial_with_workspace(&mut warm, &cfg, &mut ws);
+
+    let mut g5 = EdgeList::from_pairs(edges.clone());
+    let mut g50 = EdgeList::from_pairs(edges);
+    let mut cfg5 = SwapConfig::new(5, 42);
+    cfg5.track_violations = true;
+    let mut cfg50 = SwapConfig::new(50, 42);
+    cfg50.track_violations = true;
+    let a5 = allocs_during(|| {
+        swap_edges_serial_with_workspace(&mut g5, &cfg5, &mut ws);
+    });
+    let a50 = allocs_during(|| {
+        swap_edges_serial_with_workspace(&mut g50, &cfg50, &mut ws);
+    });
+    assert_eq!(
+        a5, a50,
+        "violation tracking must not allocate per sweep: \
+         5 sweeps -> {a5}, 50 sweeps -> {a50}"
+    );
+}
