@@ -47,7 +47,15 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Known boolean flags (everything else starting with `--` takes a value).
-const FLAGS: &[&str] = &["track", "quiet", "verbose", "strict", "json", "control"];
+const FLAGS: &[&str] = &[
+    "track",
+    "quiet",
+    "verbose",
+    "strict",
+    "json",
+    "control",
+    "until-mixed",
+];
 
 impl Parsed {
     /// Parse raw arguments.

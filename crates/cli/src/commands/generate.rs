@@ -4,7 +4,7 @@
 use super::CliError;
 use crate::args::Parsed;
 use graphcore::io;
-use nullmodel::{generate_from_distribution, GeneratorConfig, ValidationReport};
+use nullmodel::{try_generate_from_distribution, GeneratorConfig, ValidationReport};
 
 /// Run the command.
 pub fn run(args: &Parsed) -> Result<(), CliError> {
@@ -15,10 +15,13 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
     let refine: usize = args.get_or("refine", 0)?;
 
     let dist = io::read_distribution(std::fs::File::open(dist_path)?)?;
-    let cfg = GeneratorConfig::new(seed)
+    let mut cfg = GeneratorConfig::new(seed)
         .with_swap_iterations(swaps)
         .with_refine_rounds(refine);
-    let out = generate_from_distribution(&dist, &cfg);
+    if args.get("refine-tol").is_some() {
+        cfg = cfg.with_refine_tolerance(args.require_parsed("refine-tol")?);
+    }
+    let out = try_generate_from_distribution(&dist, &cfg)?;
     io::save_edge_list(&out.graph, out_path)?;
 
     if !args.flag("quiet") {
@@ -33,6 +36,12 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
             "probability residual: {:.3}%",
             100.0 * out.probability_residual
         );
+        if let Some(r) = &out.refine {
+            println!(
+                "refinement: residual {:.6} <= tolerance {:.6} after {} rounds",
+                r.residual, r.tolerance, r.rounds_run
+            );
+        }
         println!("{}", ValidationReport::measure(&out.graph, &dist));
     }
     Ok(())

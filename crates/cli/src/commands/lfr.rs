@@ -37,7 +37,7 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
         swap_iterations: swaps,
         seed,
     };
-    let out = generate_lfr(&cfg).map_err(|e| CliError::Domain(e.to_string()))?;
+    let out = generate_lfr(&cfg).map_err(|e| CliError::Gen(e.into()))?;
     io::save_edge_list(&out.graph, out_path)?;
 
     if let Some(comm_path) = args.get("communities") {

@@ -4,6 +4,8 @@ use super::CliError;
 use crate::args::Parsed;
 use graphcore::io;
 use nullmodel::GeneratorConfig;
+use std::time::Duration;
+use swap::MixingBudget;
 
 /// Run the command.
 pub fn run(args: &Parsed) -> Result<(), CliError> {
@@ -14,23 +16,50 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
 
     let mut graph = io::load_edge_list(in_path)?;
     let before = graph.degree_distribution();
-    let cfg = GeneratorConfig {
-        swap_iterations: iterations,
-        seed,
-        refine_rounds: 0,
-        track_violations: args.flag("track"),
+    let (stats, timings) = if args.flag("until-mixed") {
+        // --iterations is a sweep *budget*: exhausting it without reaching
+        // the mixing threshold is a typed failure, and the partial result is
+        // still written out for inspection.
+        let threshold: f64 = args.get_or("threshold", 0.99)?;
+        let budget = MixingBudget {
+            max_sweeps: iterations,
+            max_wall: match args.get_or("budget-ms", 0u64)? {
+                0 => None,
+                ms => Some(Duration::from_millis(ms)),
+            },
+        };
+        match swap::try_swap_until_mixed(&mut graph, threshold, &budget, seed) {
+            Ok(stats) => (stats, nullmodel::PhaseTimings::default()),
+            Err(e) => {
+                io::save_edge_list(&graph, out_path)?;
+                eprintln!("partial result written to {out_path}");
+                return Err(e.into());
+            }
+        }
+    } else {
+        let cfg = GeneratorConfig {
+            swap_iterations: iterations,
+            seed,
+            refine_rounds: 0,
+            refine_tolerance: None,
+            track_violations: args.flag("track"),
+        };
+        nullmodel::try_generate_from_edge_list(&mut graph, &cfg)?
     };
-    let (stats, timings) = nullmodel::generate_from_edge_list(&mut graph, &cfg);
     debug_assert_eq!(graph.degree_distribution(), before);
     io::save_edge_list(&graph, out_path)?;
 
     if !args.flag("quiet") {
         println!(
-            "mixed {} edges: {} accepted swaps over {iterations} iterations ({})",
+            "mixed {} edges: {} accepted swaps over {} sweeps ({})",
             graph.len(),
             stats.total_successful(),
+            stats.iterations.len(),
             timings
         );
+        for ev in &stats.events {
+            println!("recovery: {ev}");
+        }
         if let Some(last) = stats.iterations.last() {
             println!(
                 "{:.2}% of edges ever swapped; simple = {}",

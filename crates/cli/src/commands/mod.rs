@@ -9,6 +9,7 @@ pub mod profile;
 pub mod stats;
 pub mod verify;
 
+use fault::GenError;
 use std::fmt;
 
 /// Unified command error.
@@ -20,6 +21,31 @@ pub enum CliError {
     Io(std::io::Error),
     /// Anything domain-specific (bad distribution, unrealizable input...).
     Domain(String),
+    /// A typed pipeline failure; carries its own exit and error codes.
+    Gen(GenError),
+}
+
+impl CliError {
+    /// Machine-greppable identifier printed on stderr as `error_code=<name>`.
+    pub fn error_code(&self) -> &'static str {
+        match self {
+            Self::Args(_) => "usage",
+            Self::Io(_) => "io",
+            Self::Domain(_) => "domain",
+            Self::Gen(e) => e.error_code(),
+        }
+    }
+
+    /// Process exit code: 2 usage, 3 IO, 1 generic domain failure, and the
+    /// per-variant [`GenError::exit_code`] (4–8) for typed pipeline errors.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            Self::Args(_) => 2,
+            Self::Io(_) => 3,
+            Self::Domain(_) => 1,
+            Self::Gen(e) => e.exit_code(),
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -28,6 +54,7 @@ impl fmt::Display for CliError {
             Self::Args(e) => write!(f, "{e}"),
             Self::Io(e) => write!(f, "{e}"),
             Self::Domain(msg) => write!(f, "{msg}"),
+            Self::Gen(e) => write!(f, "{e}"),
         }
     }
 }
@@ -42,6 +69,24 @@ impl From<crate::args::ArgError> for CliError {
 
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
+        // A malformed input file is a pipeline-level bad input (exit 4),
+        // not an IO failure (exit 3): surface the parse diagnostics.
+        if let Some(p) = e
+            .get_ref()
+            .and_then(|inner| inner.downcast_ref::<graphcore::io::ParseError>())
+        {
+            return Self::Gen(GenError::BadInput {
+                line: p.line_number,
+                text: p.line.clone(),
+                reason: p.reason.clone(),
+            });
+        }
         Self::Io(e)
+    }
+}
+
+impl From<GenError> for CliError {
+    fn from(e: GenError) -> Self {
+        Self::Gen(e)
     }
 }

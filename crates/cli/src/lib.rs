@@ -27,7 +27,7 @@ pub fn run(argv: &[String]) -> i32 {
     let parsed = match Parsed::parse(rest) {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("error: {e} error_code=usage");
             return 2;
         }
     };
@@ -52,8 +52,8 @@ pub fn run(argv: &[String]) -> i32 {
     match result {
         Ok(()) => 0,
         Err(e) => {
-            eprintln!("error: {e}");
-            1
+            eprintln!("error: {e} error_code={}", e.error_code());
+            e.exit_code()
         }
     }
 }
@@ -64,12 +64,20 @@ pub fn usage() -> &'static str {
 
 USAGE:
   nullgraph generate --dist <file> --out <file> [--seed N] [--swaps N] [--refine N]
+            [--refine-tol F]
       Generate a uniformly-random simple graph from a degree distribution
-      (one 'degree count' pair per line).
+      (one 'degree count' pair per line). With --refine-tol the probability
+      refinement must converge below F or the run fails with
+      error_code=solver_not_converged.
 
   nullgraph mix --input <file> --out <file> [--iterations N] [--seed N]
+            [--until-mixed] [--threshold F] [--budget-ms N]
       Uniformly mix an existing edge list ('u v' per line) with parallel
-      double-edge swaps; degrees are preserved exactly.
+      double-edge swaps; degrees are preserved exactly. With --until-mixed,
+      --iterations becomes a sweep budget: the run stops once the fraction
+      of edges ever swapped reaches --threshold (default 0.99), and fails
+      with error_code=mixing_budget_exceeded if the budget (or the optional
+      --budget-ms wall clock) runs out first.
 
   nullgraph lfr --dist <file> --mu F --min-comm N --max-comm N
             [--exponent F] [--swaps N] [--seed N] --out <file> [--communities <file>]
@@ -124,7 +132,8 @@ mod tests {
 
     #[test]
     fn missing_required_option_fails() {
-        assert_eq!(run(&argv(&["generate"])), 1);
+        // Argument problems are usage errors (exit 2), not generic failures.
+        assert_eq!(run(&argv(&["generate"])), 2);
     }
 
     #[test]

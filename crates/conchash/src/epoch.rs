@@ -24,7 +24,7 @@
 //! with any other operation (same contract as the non-epoch tables, where a
 //! racing clear could drop concurrent insertions).
 
-use crate::{hash64, Probe, EMPTY};
+use crate::{hash64, Probe, TableFullError, EMPTY};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Number of backing slots for `capacity` keys at a load factor of at most
@@ -114,9 +114,23 @@ impl EpochHashSet {
     /// the current epoch (the `TestAndSet` convention of
     /// [`crate::AtomicHashSet::test_and_set`]).
     ///
-    /// Panics if the table is full or `key == EMPTY`.
+    /// Panics if the table is full or `key == EMPTY`. Prefer
+    /// [`EpochHashSet::try_test_and_set`] in code that must survive
+    /// mis-sized tables; this panicking wrapper remains for
+    /// statically-sized callers and is slated for eventual removal.
     #[inline]
     pub fn test_and_set(&self, key: u64) -> bool {
+        match self.try_test_and_set(key) {
+            Ok(present) => present,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`EpochHashSet::test_and_set`]: returns
+    /// `Err(TableFullError)` instead of panicking when every slot is live
+    /// in the current epoch.
+    #[inline]
+    pub fn try_test_and_set(&self, key: u64) -> Result<bool, TableFullError> {
         assert_ne!(key, EMPTY, "the sentinel key cannot be stored");
         let live = self.epoch.load(Ordering::Relaxed) * 2;
         let mut idx = (hash64(key) as usize) & self.mask;
@@ -126,7 +140,7 @@ impl EpochHashSet {
                 if tag == live {
                     // Published this epoch: the key is valid.
                     if self.slots[idx].load(Ordering::Relaxed) == key {
-                        return true;
+                        return Ok(true);
                     }
                     break; // occupied by another key — probe on
                 }
@@ -147,14 +161,18 @@ impl EpochHashSet {
                         self.slots[idx].store(key, Ordering::Relaxed);
                         self.tags[idx].store(live, Ordering::Release);
                         self.occupied.fetch_add(1, Ordering::Relaxed);
-                        return false;
+                        return Ok(false);
                     }
                     Err(_) => continue, // lost the claim race — re-examine
                 }
             }
             idx = (idx + self.step(it)) & self.mask;
         }
-        panic!("EpochHashSet full: size the table for the expected key count");
+        Err(TableFullError {
+            table: "EpochHashSet",
+            occupancy: self.len(),
+            capacity: self.table_size(),
+        })
     }
 
     /// `true` if `key` is in the set in the current epoch (no insertion).
@@ -217,6 +235,7 @@ pub struct EpochHashMap {
     epoch: AtomicU64,
     mask: usize,
     probe: Probe,
+    occupied: AtomicUsize,
 }
 
 impl EpochHashMap {
@@ -236,6 +255,7 @@ impl EpochHashMap {
             epoch: AtomicU64::new(1),
             mask: size - 1,
             probe,
+            occupied: AtomicUsize::new(0),
         }
     }
 
@@ -243,6 +263,18 @@ impl EpochHashMap {
     #[inline]
     pub fn table_size(&self) -> usize {
         self.keys.len()
+    }
+
+    /// Number of distinct keys stored in the current epoch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.occupied.load(Ordering::Relaxed)
+    }
+
+    /// `true` if no keys are stored in the current epoch.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// The probing strategy this table was built with.
@@ -270,9 +302,21 @@ impl EpochHashMap {
     /// settled value is the minimum over all claims — independent of thread
     /// interleaving.
     ///
-    /// Panics if the table is full or `key == EMPTY`.
+    /// Panics if the table is full or `key == EMPTY`. Prefer
+    /// [`EpochHashMap::try_claim_min`] in code that must survive mis-sized
+    /// tables; this panicking wrapper remains for statically-sized callers
+    /// and is slated for eventual removal.
     #[inline]
     pub fn claim_min(&self, key: u64, value: u64) {
+        if let Err(e) = self.try_claim_min(key, value) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`EpochHashMap::claim_min`]: returns `Err(TableFullError)`
+    /// instead of panicking when every slot is live in the current epoch.
+    #[inline]
+    pub fn try_claim_min(&self, key: u64, value: u64) -> Result<(), TableFullError> {
         assert_ne!(key, EMPTY, "the sentinel key cannot be stored");
         let live = self.epoch.load(Ordering::Relaxed) * 2;
         let mut idx = (hash64(key) as usize) & self.mask;
@@ -282,7 +326,7 @@ impl EpochHashMap {
                 if tag == live {
                     if self.keys[idx].load(Ordering::Relaxed) == key {
                         self.values[idx].fetch_min(value, Ordering::Relaxed);
-                        return;
+                        return Ok(());
                     }
                     break;
                 }
@@ -300,14 +344,19 @@ impl EpochHashMap {
                         self.keys[idx].store(key, Ordering::Relaxed);
                         self.values[idx].store(value, Ordering::Relaxed);
                         self.tags[idx].store(live, Ordering::Release);
-                        return;
+                        self.occupied.fetch_add(1, Ordering::Relaxed);
+                        return Ok(());
                     }
                     Err(_) => continue,
                 }
             }
             idx = (idx + self.step(it)) & self.mask;
         }
-        panic!("EpochHashMap full: size the table for the expected key count");
+        Err(TableFullError {
+            table: "EpochHashMap",
+            occupancy: self.len(),
+            capacity: self.table_size(),
+        })
     }
 
     /// The minimum value claimed for `key` in the current epoch, or `None`
@@ -340,6 +389,7 @@ impl EpochHashMap {
     /// operations.
     pub fn clear_shared(&self) {
         self.epoch.fetch_add(1, Ordering::Release);
+        self.occupied.store(0, Ordering::Relaxed);
     }
 }
 

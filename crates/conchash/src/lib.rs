@@ -46,6 +46,34 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 /// Sentinel marking an empty slot. Keys equal to this value are rejected.
 pub const EMPTY: u64 = u64::MAX;
 
+/// Error returned by the fallible table operations (`try_test_and_set`,
+/// `try_claim_min`): every slot was probed and none could accept the key.
+///
+/// Carries the occupancy observed at failure time so callers can size the
+/// replacement table (the swap workspace's grow-and-retry policy doubles
+/// capacity until the run fits).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableFullError {
+    /// The table type that filled (`"AtomicHashSet"`, `"EpochHashMap"`, ...).
+    pub table: &'static str,
+    /// Keys stored at the time of failure.
+    pub occupancy: usize,
+    /// Total slots in the backing array.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for TableFullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} full ({} keys in {} slots): size the table for the expected key count",
+            self.table, self.occupancy, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for TableFullError {}
+
 /// Probing strategy for collision resolution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Probe {
@@ -127,34 +155,54 @@ impl AtomicHashSet {
     ///
     /// Lock-free: one CAS in the common case. Panics if the table is full
     /// (callers size the table for a <=0.5 load factor) or if `key == EMPTY`.
+    ///
+    /// Prefer [`AtomicHashSet::try_test_and_set`] in code that must survive
+    /// mis-sized tables; this panicking wrapper remains for callers that
+    /// size tables statically and is slated for eventual removal.
     #[inline]
     pub fn test_and_set(&self, key: u64) -> bool {
+        match self.try_test_and_set(key) {
+            Ok(present) => present,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`AtomicHashSet::test_and_set`]: returns
+    /// `Err(TableFullError)` instead of panicking when every slot is
+    /// occupied. Still panics on the reserved sentinel key (a programming
+    /// error, not a capacity condition).
+    #[inline]
+    pub fn try_test_and_set(&self, key: u64) -> Result<bool, TableFullError> {
         assert_ne!(key, EMPTY, "the sentinel key cannot be stored");
         let mut idx = (hash64(key) as usize) & self.mask;
         for it in 1..=self.slots.len() {
             let slot = &self.slots[idx];
             let cur = slot.load(Ordering::Relaxed);
             if cur == key {
-                return true;
+                return Ok(true);
             }
             if cur == EMPTY {
                 match slot.compare_exchange(EMPTY, key, Ordering::Relaxed, Ordering::Relaxed) {
                     Ok(_) => {
                         self.occupied.fetch_add(1, Ordering::Relaxed);
-                        return false;
+                        return Ok(false);
                     }
                     // Another thread claimed this slot; if it stored our key
                     // we are done, otherwise keep probing from this slot.
                     Err(existing) => {
                         if existing == key {
-                            return true;
+                            return Ok(true);
                         }
                     }
                 }
             }
             idx = (idx + self.step(it)) & self.mask;
         }
-        panic!("AtomicHashSet full: size the table for the expected key count");
+        Err(TableFullError {
+            table: "AtomicHashSet",
+            occupancy: self.len(),
+            capacity: self.table_size(),
+        })
     }
 
     /// `true` if `key` is in the set (no insertion).
@@ -210,6 +258,7 @@ pub struct AtomicHashMap {
     values: Box<[AtomicU64]>,
     mask: usize,
     probe: Probe,
+    occupied: AtomicUsize,
 }
 
 impl AtomicHashMap {
@@ -229,6 +278,7 @@ impl AtomicHashMap {
             values,
             mask: size - 1,
             probe,
+            occupied: AtomicUsize::new(0),
         }
     }
 
@@ -236,6 +286,18 @@ impl AtomicHashMap {
     #[inline]
     pub fn table_size(&self) -> usize {
         self.keys.len()
+    }
+
+    /// Number of distinct keys currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.occupied.load(Ordering::Relaxed)
+    }
+
+    /// `true` if no keys are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     #[inline]
@@ -250,9 +312,21 @@ impl AtomicHashMap {
     /// Thread-safe and order-independent: after all claims complete, the
     /// stored value is the minimum claimed value for the key.
     ///
-    /// Panics if the table is full or `key == EMPTY`.
+    /// Panics if the table is full or `key == EMPTY`. Prefer
+    /// [`AtomicHashMap::try_claim_min`] in code that must survive mis-sized
+    /// tables; this panicking wrapper remains for statically-sized callers
+    /// and is slated for eventual removal.
     #[inline]
     pub fn claim_min(&self, key: u64, value: u64) {
+        if let Err(e) = self.try_claim_min(key, value) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`AtomicHashMap::claim_min`]: returns `Err(TableFullError)`
+    /// instead of panicking when every slot is occupied.
+    #[inline]
+    pub fn try_claim_min(&self, key: u64, value: u64) -> Result<(), TableFullError> {
         assert_ne!(key, EMPTY, "the sentinel key cannot be stored");
         let mut idx = (hash64(key) as usize) & self.mask;
         for it in 1..=self.keys.len() {
@@ -262,16 +336,23 @@ impl AtomicHashMap {
                 || (cur == EMPTY
                     && match slot.compare_exchange(EMPTY, key, Ordering::Relaxed, Ordering::Relaxed)
                     {
-                        Ok(_) => true,
+                        Ok(_) => {
+                            self.occupied.fetch_add(1, Ordering::Relaxed);
+                            true
+                        }
                         Err(existing) => existing == key,
                     });
             if owned {
                 self.values[idx].fetch_min(value, Ordering::Relaxed);
-                return;
+                return Ok(());
             }
             idx = (idx + self.step(it)) & self.mask;
         }
-        panic!("AtomicHashMap full: size the table for the expected key count");
+        Err(TableFullError {
+            table: "AtomicHashMap",
+            occupancy: self.len(),
+            capacity: self.table_size(),
+        })
     }
 
     /// The minimum value claimed for `key`, or `None` if the key is absent.
@@ -300,6 +381,7 @@ impl AtomicHashMap {
         self.values
             .par_iter()
             .for_each(|s| s.store(u64::MAX, Ordering::Relaxed));
+        self.occupied.store(0, Ordering::Relaxed);
     }
 }
 
@@ -535,6 +617,68 @@ mod tests {
     fn map_sentinel_rejected() {
         let map = AtomicHashMap::new(4);
         map.claim_min(EMPTY, 0);
+    }
+
+    #[test]
+    fn try_test_and_set_reports_full_with_occupancy() {
+        let set = AtomicHashSet::new(7);
+        let size = set.table_size();
+        for k in 0..size as u64 {
+            assert_eq!(set.try_test_and_set(k), Ok(false), "key {k}");
+        }
+        let err = set.try_test_and_set(size as u64 + 1).unwrap_err();
+        assert_eq!(err.table, "AtomicHashSet");
+        assert_eq!(err.occupancy, size);
+        assert_eq!(err.capacity, size);
+        // Re-testing a present key still succeeds on a full table.
+        assert_eq!(set.try_test_and_set(3), Ok(true));
+    }
+
+    #[test]
+    fn try_claim_min_reports_full_and_len_tracks() {
+        let map = AtomicHashMap::new(7);
+        let size = map.table_size();
+        assert!(map.is_empty());
+        for k in 0..size as u64 {
+            map.try_claim_min(k, k + 100).unwrap();
+        }
+        assert_eq!(map.len(), size);
+        let err = map.try_claim_min(size as u64 + 1, 0).unwrap_err();
+        assert_eq!(
+            (err.table, err.occupancy, err.capacity),
+            ("AtomicHashMap", size, size)
+        );
+        // Claims on existing keys still land.
+        map.try_claim_min(3, 1).unwrap();
+        assert_eq!(map.get(3), Some(1));
+        map.clear_shared();
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn epoch_tables_try_paths_recover_after_clear() {
+        let set = EpochHashSet::new(7);
+        let size = set.table_size();
+        for k in 0..size as u64 {
+            assert_eq!(set.try_test_and_set(k), Ok(false));
+        }
+        let err = set.try_test_and_set(size as u64 + 1).unwrap_err();
+        assert_eq!((err.table, err.occupancy), ("EpochHashSet", size));
+        set.clear_shared();
+        assert_eq!(set.try_test_and_set(size as u64 + 1), Ok(false));
+
+        let map = EpochHashMap::new(7);
+        let msize = map.table_size();
+        for k in 0..msize as u64 {
+            map.try_claim_min(k, k).unwrap();
+        }
+        assert_eq!(map.len(), msize);
+        let err = map.try_claim_min(msize as u64 + 1, 0).unwrap_err();
+        assert_eq!((err.table, err.occupancy), ("EpochHashMap", msize));
+        map.clear_shared();
+        assert!(map.is_empty());
+        map.try_claim_min(msize as u64 + 1, 9).unwrap();
+        assert_eq!(map.get(msize as u64 + 1), Some(9));
     }
 
     proptest! {

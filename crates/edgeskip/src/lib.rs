@@ -70,12 +70,35 @@ struct Task {
 /// self pairs are never enumerated). Deterministic for a fixed seed,
 /// independent of thread count.
 pub fn generate(probs: &ProbMatrix, dist: &DegreeDistribution, seed: u64) -> EdgeList {
+    match try_generate(probs, dist, seed) {
+        Ok(g) => g,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`generate`]: rejects a probability matrix whose class count
+/// does not match the distribution's, and inputs whose vertex ids overflow
+/// `u32`, with a typed [`fault::GenError::BadInput`] instead of panicking.
+pub fn try_generate(
+    probs: &ProbMatrix,
+    dist: &DegreeDistribution,
+    seed: u64,
+) -> Result<EdgeList, fault::GenError> {
     let dcount = dist.num_classes();
-    assert_eq!(probs.num_classes(), dcount);
+    if probs.num_classes() != dcount {
+        return Err(fault::GenError::bad_input(format!(
+            "probability matrix covers {} degree classes but the distribution has {dcount}",
+            probs.num_classes()
+        )));
+    }
     let offsets = dist.class_offsets();
     let counts = dist.counts();
     let n = dist.num_vertices();
-    assert!(n < u32::MAX as u64, "vertex ids must fit in u32");
+    if n >= u32::MAX as u64 {
+        return Err(fault::GenError::bad_input(format!(
+            "{n} vertices exceed the u32 vertex-id space"
+        )));
+    }
 
     // Build the deterministic task list.
     let mut tasks = Vec::new();
@@ -119,7 +142,7 @@ pub fn generate(probs: &ProbMatrix, dist: &DegreeDistribution, seed: u64) -> Edg
     for mut chunk in per_task {
         edges.append(&mut chunk);
     }
-    EdgeList::from_edges(n as usize, edges)
+    Ok(EdgeList::from_edges(n as usize, edges))
 }
 
 /// Number of candidate pairs in the `(a, b)` space.

@@ -1,0 +1,155 @@
+//! Deliberate-fault fixtures for the fault-injection harness.
+//!
+//! A [`FaultPlan`] describes one injected failure condition — an
+//! undersized concurrent table, a starved grow budget, a too-small mixing
+//! budget — plus the recovery outcome the harness must observe. The free
+//! functions build adversarial degree sequences and garbled input files.
+//! Everything here is deterministic: the harness asserts *byte-identical*
+//! recovery, so the fixtures themselves must not introduce randomness.
+
+/// What the harness expects a faulted run to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expectation {
+    /// The run must succeed and produce byte-identical output to the
+    /// non-faulted reference (determinism-preserving recovery).
+    RecoversIdentically,
+    /// The run must fail with the named [`crate::GenError::error_code`].
+    FailsWith(&'static str),
+}
+
+/// One injected fault: how to undersize/starve the pipeline and what must
+/// happen. Constructed by the harness, consumed by `swap`'s workspace and
+/// budget knobs.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Human-readable fixture name (shows up in assertion messages).
+    pub name: &'static str,
+    /// Build the swap workspace's tables for this many keys instead of the
+    /// edge count (`None` = size correctly).
+    pub table_capacity: Option<usize>,
+    /// Grow-and-retry attempts the recovery policy may spend.
+    pub max_grows: u32,
+    /// Whether the policy may degrade parallel sweeps to serial.
+    pub serial_fallback: bool,
+    /// Sweep budget override for mixing runs (`None` = caller default).
+    pub max_sweeps: Option<usize>,
+    /// Expected outcome.
+    pub expect: Expectation,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the reference run).
+    pub fn reference(name: &'static str) -> Self {
+        Self {
+            name,
+            table_capacity: None,
+            max_grows: 4,
+            serial_fallback: true,
+            max_sweeps: None,
+            expect: Expectation::RecoversIdentically,
+        }
+    }
+
+    /// Undersize the concurrent tables to `capacity` keys, with the default
+    /// grow budget: the run must grow its way back to an identical result.
+    pub fn undersized_tables(name: &'static str, capacity: usize) -> Self {
+        Self {
+            table_capacity: Some(capacity),
+            ..Self::reference(name)
+        }
+    }
+
+    /// Undersize the tables *and* forbid recovery: the run must fail with
+    /// `table_full`.
+    pub fn undersized_without_recovery(name: &'static str, capacity: usize) -> Self {
+        Self {
+            table_capacity: Some(capacity),
+            max_grows: 0,
+            serial_fallback: false,
+            expect: Expectation::FailsWith("table_full"),
+            ..Self::reference(name)
+        }
+    }
+
+    /// Cap a mixing run at `sweeps` sweeps, expecting
+    /// `mixing_budget_exceeded`.
+    pub fn starved_mixing_budget(name: &'static str, sweeps: usize) -> Self {
+        Self {
+            max_sweeps: Some(sweeps),
+            expect: Expectation::FailsWith("mixing_budget_exceeded"),
+            ..Self::reference(name)
+        }
+    }
+}
+
+/// Adversarial per-vertex degree sequences that no simple graph realizes,
+/// as `(name, degrees)` pairs: a star whose hub wants more partners than
+/// exist (`max degree ≥ n`), an all-odd sequence with an odd stub sum, and
+/// an even-sum sequence failing the Erdős–Gallai condition.
+pub fn non_graphical_sequences() -> Vec<(&'static str, Vec<u32>)> {
+    vec![
+        ("star_hub_exceeds_n", vec![5, 1, 1, 1]),
+        ("odd_stub_sum", vec![3, 3, 3]),
+        // Even sum (14) but the top two vertices demand more neighbor slots
+        // than the remaining low-degree vertices can offer.
+        ("erdos_gallai_violation", vec![5, 5, 1, 1, 1, 1]),
+    ]
+}
+
+/// Truncate `contents` mid-token: cut at byte `at` (clamped), leaving a
+/// dangling partial line.
+pub fn truncate(contents: &str, at: usize) -> String {
+    let mut cut = at.min(contents.len());
+    while cut > 0 && !contents.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    contents[..cut].to_string()
+}
+
+/// Replace line `line` (0-based, comments and blanks count) of `contents`
+/// with `garbage`.
+pub fn garble_line(contents: &str, line: usize, garbage: &str) -> String {
+    contents
+        .lines()
+        .enumerate()
+        .map(|(i, l)| if i == line { garbage } else { l })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_compose() {
+        let p = FaultPlan::undersized_tables("tiny", 8);
+        assert_eq!(p.table_capacity, Some(8));
+        assert_eq!(p.expect, Expectation::RecoversIdentically);
+        let q = FaultPlan::undersized_without_recovery("dead", 8);
+        assert_eq!(q.max_grows, 0);
+        assert_eq!(q.expect, Expectation::FailsWith("table_full"));
+        let r = FaultPlan::starved_mixing_budget("starved", 2);
+        assert_eq!(r.max_sweeps, Some(2));
+    }
+
+    #[test]
+    fn sequences_are_non_graphical_shapes() {
+        for (name, seq) in non_graphical_sequences() {
+            let sum: u64 = seq.iter().map(|&d| u64::from(d)).sum();
+            let n = seq.len() as u32;
+            let max = seq.iter().copied().max().unwrap_or(0);
+            assert!(
+                sum % 2 == 1 || max >= n || name == "erdos_gallai_violation",
+                "{name} is not obviously non-graphical"
+            );
+        }
+    }
+
+    #[test]
+    fn garblers_are_deterministic() {
+        let text = "0 1\n1 2\n2 3\n";
+        assert_eq!(truncate(text, 5), "0 1\n1");
+        assert_eq!(garble_line(text, 1, "1 x"), "0 1\n1 x\n2 3");
+    }
+}

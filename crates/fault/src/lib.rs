@@ -1,0 +1,329 @@
+//! Typed failure taxonomy and fault-injection support for the generation
+//! pipeline.
+//!
+//! The paper's pipeline (probabilities → edge skipping → double-edge swaps)
+//! has a small set of well-understood failure modes: a concurrent table
+//! sized for the wrong key count, a degree input no simple graph realizes, a
+//! malformed input file, a mixing run that exhausts its budget before the
+//! empirical criterion is met, and a probability refinement that stalls
+//! above its tolerance. Under a long-running service none of these may
+//! abort the process; each must surface as a *typed*, recoverable error (or
+//! a documented degraded success). This crate is the shared vocabulary:
+//!
+//! * [`GenError`] — the error type every public pipeline entry point
+//!   returns, with one variant per failure mode, a stable machine-greppable
+//!   [`GenError::error_code`] and a distinct process [`GenError::exit_code`];
+//! * [`FaultEvent`] — recovery events (table grow-and-retry, parallel →
+//!   serial degradation) logged into a run's statistics so degraded runs
+//!   are observable, not silent;
+//! * [`inject`] — adversarial fixtures ([`FaultPlan`], non-graphical degree
+//!   sequences, file garblers) used by the fault-injection harness
+//!   (`tests/fault_injection.rs`) to prove each recovery path.
+//!
+//! The enum is hand-rolled (`Display` + `std::error::Error`) rather than
+//! derived: the workspace carries no `thiserror` dependency, and the match
+//! arms double as the single source of truth for exit codes.
+
+pub mod inject;
+
+pub use inject::FaultPlan;
+
+use conchash::TableFullError;
+use std::fmt;
+
+/// Every failure mode of the generation pipeline, one variant each.
+///
+/// Public entry points (`nullmodel::try_generate_from_distribution`,
+/// `swap::try_swap_edges`, `swap::try_swap_until_mixed`, the CLI commands)
+/// return `Result<_, GenError>`; no input — undersized tables,
+/// non-graphical degrees, malformed files, exhausted budgets — reaches a
+/// `panic!` or `unwrap` through them.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GenError {
+    /// A concurrent hash table ran out of slots and the bounded
+    /// grow-and-retry policy could not (or was not allowed to) recover.
+    TableFull {
+        /// Which table type filled (`"EpochHashSet"`, `"AtomicHashMap"`, ...).
+        table: &'static str,
+        /// Keys stored when the insertion failed.
+        occupancy: usize,
+        /// Slots in the backing array at failure time.
+        capacity: usize,
+        /// Grow-and-retry attempts performed before giving up.
+        grows_attempted: u32,
+    },
+    /// No simple graph realizes the requested degree input.
+    NonGraphical {
+        /// Why: odd stub sum, maximum degree ≥ vertex count, or an
+        /// Erdős–Gallai violation.
+        reason: String,
+    },
+    /// A mixing run stopped at its sweep or wall-clock budget before the
+    /// empirical mixing criterion was met. The graph holds the partial
+    /// result (every completed sweep is applied); the fields are the
+    /// partial-result report.
+    MixingBudgetExceeded {
+        /// Sweeps fully applied before the budget ran out.
+        sweeps_completed: usize,
+        /// The sweep budget that was exhausted.
+        max_sweeps: usize,
+        /// Mixing fraction reached (target is the caller's threshold).
+        ever_swapped_fraction: f64,
+        /// Self loops still present (0 when the input was simple).
+        self_loops: u64,
+        /// Multi-edge extras still present (0 when the input was simple).
+        multi_edges: u64,
+        /// `true` when the wall-clock watchdog, not the sweep cap, fired.
+        wall_clock_exceeded: bool,
+    },
+    /// Probability refinement stalled above the requested tolerance.
+    SolverNotConverged {
+        /// Maximum relative degree-system residual after the final round.
+        residual: f64,
+        /// The tolerance that was requested.
+        tolerance: f64,
+        /// Refinement rounds actually run.
+        rounds: usize,
+    },
+    /// An input file or in-memory input failed validation.
+    BadInput {
+        /// 1-based line number when the problem is tied to a line.
+        line: Option<u64>,
+        /// The offending line's text (empty when not line-based).
+        text: String,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl GenError {
+    /// Stable machine-greppable identifier, printed by the CLI as
+    /// `error_code=<name>`.
+    pub fn error_code(&self) -> &'static str {
+        match self {
+            Self::TableFull { .. } => "table_full",
+            Self::NonGraphical { .. } => "non_graphical",
+            Self::MixingBudgetExceeded { .. } => "mixing_budget_exceeded",
+            Self::SolverNotConverged { .. } => "solver_not_converged",
+            Self::BadInput { .. } => "bad_input",
+        }
+    }
+
+    /// Distinct nonzero process exit code per variant (documented in the
+    /// repository README). Codes 0–3 are reserved for success, generic
+    /// failure, usage errors and IO errors respectively.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            Self::BadInput { .. } => 4,
+            Self::NonGraphical { .. } => 5,
+            Self::TableFull { .. } => 6,
+            Self::MixingBudgetExceeded { .. } => 7,
+            Self::SolverNotConverged { .. } => 8,
+        }
+    }
+
+    /// Convenience constructor for non-line-based input problems.
+    pub fn bad_input(reason: impl Into<String>) -> Self {
+        Self::BadInput {
+            line: None,
+            text: String::new(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TableFull {
+                table,
+                occupancy,
+                capacity,
+                grows_attempted,
+            } => write!(
+                f,
+                "{table} full ({occupancy} keys in {capacity} slots) after \
+                 {grows_attempted} grow-and-retry attempts"
+            ),
+            Self::NonGraphical { reason } => {
+                write!(f, "no simple graph realizes the degree input: {reason}")
+            }
+            Self::MixingBudgetExceeded {
+                sweeps_completed,
+                max_sweeps,
+                ever_swapped_fraction,
+                self_loops,
+                multi_edges,
+                wall_clock_exceeded,
+            } => {
+                write!(
+                    f,
+                    "mixing budget exhausted ({} cap): {sweeps_completed}/{max_sweeps} sweeps \
+                     completed, {:.1}% of edges ever swapped, {self_loops} self loops and \
+                     {multi_edges} multi-edges remain",
+                    if *wall_clock_exceeded {
+                        "wall-clock"
+                    } else {
+                        "sweep"
+                    },
+                    100.0 * ever_swapped_fraction,
+                )
+            }
+            Self::SolverNotConverged {
+                residual,
+                tolerance,
+                rounds,
+            } => write!(
+                f,
+                "probability refinement did not converge: residual {residual:.6} > \
+                 tolerance {tolerance:.6} after {rounds} rounds"
+            ),
+            Self::BadInput { line, text, reason } => {
+                write!(f, "bad input")?;
+                if let Some(n) = line {
+                    write!(f, " at line {n}")?;
+                }
+                if !text.is_empty() {
+                    write!(f, " ('{text}')")?;
+                }
+                write!(f, ": {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+impl From<TableFullError> for GenError {
+    fn from(e: TableFullError) -> Self {
+        Self::TableFull {
+            table: e.table,
+            occupancy: e.occupancy,
+            capacity: e.capacity,
+            grows_attempted: 0,
+        }
+    }
+}
+
+/// A recovery action taken by a degraded-but-successful run, logged into
+/// the run's statistics (`swap::SwapStats::events`) so operators can see
+/// that capacity was wrong or contention forced serialization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A full concurrent table was reallocated at double capacity and the
+    /// run was replayed from its recorded seed.
+    TableGrown {
+        /// Which table type filled.
+        table: &'static str,
+        /// Keys stored when the insertion failed.
+        occupancy: usize,
+        /// Slot count before the grow.
+        old_capacity: usize,
+        /// Key capacity after the grow.
+        new_capacity: usize,
+        /// 1-based grow attempt number within the run.
+        attempt: u32,
+    },
+    /// The parallel sweep path was abandoned and the run replayed serially
+    /// (same algorithm, same seed, byte-identical trajectory).
+    SerialFallback {
+        /// Grow attempts that had been spent before degrading.
+        after_grows: u32,
+    },
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TableGrown {
+                table,
+                occupancy,
+                old_capacity,
+                new_capacity,
+                attempt,
+            } => write!(
+                f,
+                "grow-and-retry #{attempt}: {table} held {occupancy} keys in {old_capacity} \
+                 slots; rebuilt for {new_capacity} keys and replayed"
+            ),
+            Self::SerialFallback { after_grows } => write!(
+                f,
+                "parallel sweeps degraded to serial after {after_grows} grow attempts"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_distinct_and_stable() {
+        let errs = [
+            GenError::TableFull {
+                table: "EpochHashSet",
+                occupancy: 32,
+                capacity: 32,
+                grows_attempted: 4,
+            },
+            GenError::NonGraphical {
+                reason: "odd".into(),
+            },
+            GenError::MixingBudgetExceeded {
+                sweeps_completed: 3,
+                max_sweeps: 3,
+                ever_swapped_fraction: 0.5,
+                self_loops: 0,
+                multi_edges: 0,
+                wall_clock_exceeded: false,
+            },
+            GenError::SolverNotConverged {
+                residual: 0.2,
+                tolerance: 0.01,
+                rounds: 64,
+            },
+            GenError::bad_input("x"),
+        ];
+        let mut exits: Vec<i32> = errs.iter().map(GenError::exit_code).collect();
+        let mut names: Vec<&str> = errs.iter().map(GenError::error_code).collect();
+        exits.sort_unstable();
+        exits.dedup();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(exits.len(), errs.len(), "exit codes collide");
+        assert_eq!(names.len(), errs.len(), "error codes collide");
+        assert!(exits.iter().all(|&c| c > 3), "codes 0-3 are reserved");
+    }
+
+    #[test]
+    fn table_full_conversion_keeps_fields() {
+        let e: GenError = TableFullError {
+            table: "AtomicHashSet",
+            occupancy: 7,
+            capacity: 16,
+        }
+        .into();
+        assert_eq!(
+            e,
+            GenError::TableFull {
+                table: "AtomicHashSet",
+                occupancy: 7,
+                capacity: 16,
+                grows_attempted: 0,
+            }
+        );
+        assert_eq!(e.error_code(), "table_full");
+    }
+
+    #[test]
+    fn display_carries_diagnostics() {
+        let e = GenError::BadInput {
+            line: Some(12),
+            text: "3 x".into(),
+            reason: "not a valid vertex id".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 12") && s.contains("3 x"), "{s}");
+    }
+}

@@ -39,8 +39,9 @@ impl AliasTable {
                 large.push(i as u32);
             }
         }
-        while !small.is_empty() && !large.is_empty() {
-            let (s, l) = (small.pop().unwrap(), large.pop().unwrap());
+        while let (Some(s), Some(l)) = (small.last().copied(), large.last().copied()) {
+            small.pop();
+            large.pop();
             prob[s as usize] = mass[s as usize];
             alias[s as usize] = l;
             mass[l as usize] = (mass[l as usize] + mass[s as usize]) - 1.0;

@@ -248,6 +248,50 @@ pub fn sinkhorn_refine(probs: &mut ProbMatrix, dist: &DegreeDistribution, rounds
     max_relative_residual(probs, dist)
 }
 
+/// Outcome of a tolerance-targeted refinement run
+/// ([`sinkhorn_refine_to_tolerance`]).
+///
+/// `converged` is the verdict; the other fields are the diagnostics a
+/// caller needs to build a useful non-convergence error (the pipeline maps
+/// a stalled refinement to `fault::GenError::SolverNotConverged`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SinkhornReport {
+    /// Refinement rounds actually run (may be fewer than the cap when the
+    /// tolerance was met early).
+    pub rounds_run: usize,
+    /// Maximum relative degree-system residual after the final round.
+    pub residual: f64,
+    /// The tolerance that was requested.
+    pub tolerance: f64,
+    /// `true` iff `residual <= tolerance`.
+    pub converged: bool,
+}
+
+/// As [`sinkhorn_refine`], but targeting a residual `tolerance`: rounds run
+/// until the residual drops to the tolerance or `max_rounds` is exhausted,
+/// whichever comes first. Returns a [`SinkhornReport`] stating how far the
+/// refinement got, so non-convergence can be reported as a typed error
+/// instead of being silently accepted.
+pub fn sinkhorn_refine_to_tolerance(
+    probs: &mut ProbMatrix,
+    dist: &DegreeDistribution,
+    max_rounds: usize,
+    tolerance: f64,
+) -> SinkhornReport {
+    let mut residual = max_relative_residual(probs, dist);
+    let mut rounds_run = 0;
+    while residual > tolerance && rounds_run < max_rounds {
+        residual = sinkhorn_refine(probs, dist, 1);
+        rounds_run += 1;
+    }
+    SinkhornReport {
+        rounds_run,
+        residual,
+        tolerance,
+        converged: residual <= tolerance,
+    }
+}
+
 /// Maximum over classes of `|E_j − d_j| / d_j` (zero-degree classes are
 /// skipped), where `E_j` is the expected degree induced by `probs`.
 pub fn max_relative_residual(probs: &ProbMatrix, dist: &DegreeDistribution) -> f64 {
@@ -343,6 +387,33 @@ mod tests {
             "refinement went backwards: {before} -> {after}"
         );
         assert!(after < 0.02, "after refinement residual {after}");
+    }
+
+    #[test]
+    fn refine_to_tolerance_stops_early_or_reports_stall() {
+        let d = dist(&[
+            (1, 600),
+            (2, 200),
+            (3, 100),
+            (5, 40),
+            (10, 12),
+            (20, 5),
+            (40, 1),
+        ]);
+        // Achievable tolerance: converges and stops before the round cap.
+        let mut p = heuristic_probabilities(&d);
+        let report = sinkhorn_refine_to_tolerance(&mut p, &d, 200, 0.02);
+        assert!(report.converged, "residual {}", report.residual);
+        assert!(report.residual <= 0.02);
+        assert!(report.rounds_run < 200, "used {} rounds", report.rounds_run);
+
+        // Unachievable tolerance: the report says so instead of lying.
+        let mut q = heuristic_probabilities(&d);
+        let stalled = sinkhorn_refine_to_tolerance(&mut q, &d, 3, 0.0);
+        assert!(!stalled.converged);
+        assert_eq!(stalled.rounds_run, 3);
+        assert!(stalled.residual > 0.0);
+        assert_eq!(stalled.tolerance, 0.0);
     }
 
     #[test]

@@ -11,10 +11,69 @@ use crate::edgelist::EdgeList;
 use std::io::{self, BufRead, BufWriter, Write};
 use std::path::Path;
 
+/// A malformed or unusable input, with enough context to fix it: the
+/// offending line's number and verbatim text (when the problem is tied to a
+/// line) and what was wrong.
+///
+/// Carried as the inner error of the `io::ErrorKind::InvalidData` errors
+/// this module returns, so callers can either print the `io::Error` (whose
+/// message includes everything below) or downcast to map the failure to a
+/// typed pipeline error:
+///
+/// ```
+/// use graphcore::io::{read_edge_list, ParseError};
+/// let err = read_edge_list("0 1\n2 x\n".as_bytes()).unwrap_err();
+/// let parse = err.get_ref().and_then(|e| e.downcast_ref::<ParseError>()).unwrap();
+/// assert_eq!(parse.line_number, Some(2));
+/// assert_eq!(parse.line, "2 x");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number, `None` for whole-file problems (e.g. no edges).
+    pub line_number: Option<u64>,
+    /// The offending line's text, verbatim (empty for whole-file problems).
+    pub line: String,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.line_number {
+            Some(n) => write!(f, "line {n} ('{}'): {}", self.line, self.reason),
+            None => write!(f, "{}", self.reason),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl ParseError {
+    fn whole_file(reason: impl Into<String>) -> io::Error {
+        Self {
+            line_number: None,
+            line: String::new(),
+            reason: reason.into(),
+        }
+        .into_io()
+    }
+
+    fn into_io(self) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, self)
+    }
+}
+
 /// Parse an edge list from a reader (whitespace-separated `u v` per line).
+///
+/// Inputs that cannot feed the pipeline are rejected with a
+/// [`ParseError`]-carrying error: malformed lines (with the line's text),
+/// files containing no edges at all, and files whose every edge is a self
+/// loop (no swappable structure — almost always a mangled file rather than
+/// an intentional input).
 pub fn read_edge_list(reader: impl io::Read) -> io::Result<EdgeList> {
     let buf = io::BufReader::new(reader);
     let mut pairs = Vec::new();
+    let mut non_loops = 0usize;
     for (lineno, line) in buf.lines().enumerate() {
         let line = line?;
         let t = line.trim();
@@ -22,14 +81,28 @@ pub fn read_edge_list(reader: impl io::Read) -> io::Result<EdgeList> {
             continue;
         }
         let mut it = t.split_whitespace();
-        let parse = |tok: Option<&str>| -> io::Result<u32> {
-            tok.ok_or_else(|| bad_line(lineno))?
-                .parse::<u32>()
-                .map_err(|_| bad_line(lineno))
+        let parse = |tok: Option<&str>| -> Result<u32, String> {
+            let tok = tok.ok_or("expected two vertex ids, found one")?;
+            tok.parse::<u32>()
+                .map_err(|_| format!("'{tok}' is not a valid vertex id"))
         };
-        let u = parse(it.next())?;
-        let v = parse(it.next())?;
+        let (u, v) = match parse(it.next()).and_then(|u| Ok((u, parse(it.next())?))) {
+            Ok(pair) => pair,
+            Err(reason) => return Err(bad_line(lineno, t, reason)),
+        };
+        non_loops += usize::from(u != v);
         pairs.push((u, v));
+    }
+    if pairs.is_empty() {
+        return Err(ParseError::whole_file(
+            "edge list contains no edges (only comments or blank lines)",
+        ));
+    }
+    if non_loops == 0 {
+        return Err(ParseError::whole_file(format!(
+            "every one of the {} edges is a self loop; nothing can be generated from this",
+            pairs.len()
+        )));
     }
     Ok(EdgeList::from_pairs(pairs))
 }
@@ -70,20 +143,23 @@ pub fn read_distribution(reader: impl io::Read) -> io::Result<DegreeDistribution
             continue;
         }
         let mut it = t.split_whitespace();
-        let d: u32 = it
-            .next()
-            .ok_or_else(|| bad_line(lineno))?
-            .parse()
-            .map_err(|_| bad_line(lineno))?;
-        let c: u64 = it
-            .next()
-            .ok_or_else(|| bad_line(lineno))?
-            .parse()
-            .map_err(|_| bad_line(lineno))?;
-        pairs.push((d, c));
+        let mut field = |what: &str| -> Result<u64, String> {
+            let tok = it
+                .next()
+                .ok_or_else(|| format!("expected 'degree count', missing {what}"))?;
+            tok.parse::<u64>()
+                .map_err(|_| format!("'{tok}' is not a valid {what}"))
+        };
+        let parsed = field("degree").and_then(|d| {
+            let d = u32::try_from(d).map_err(|_| format!("degree {d} exceeds u32"))?;
+            Ok((d, field("count")?))
+        });
+        match parsed {
+            Ok(pair) => pairs.push(pair),
+            Err(reason) => return Err(bad_line(lineno, t, reason)),
+        }
     }
-    DegreeDistribution::from_pairs(pairs)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    DegreeDistribution::from_pairs(pairs).map_err(|e| ParseError::whole_file(e.to_string()))
 }
 
 /// Write a degree distribution (`degree count` per line).
@@ -112,11 +188,13 @@ pub fn save_distribution(dist: &DegreeDistribution, path: impl AsRef<Path>) -> i
     write_distribution(dist, std::fs::File::create(path)?)
 }
 
-fn bad_line(lineno: usize) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("malformed input at line {}", lineno + 1),
-    )
+fn bad_line(lineno: usize, text: &str, reason: impl Into<String>) -> io::Error {
+    ParseError {
+        line_number: Some(lineno as u64 + 1),
+        line: text.to_string(),
+        reason: reason.into(),
+    }
+    .into_io()
 }
 
 #[cfg(test)]
@@ -142,8 +220,62 @@ mod tests {
 
     #[test]
     fn edge_list_rejects_garbage() {
-        assert!(read_edge_list("0 x\n".as_bytes()).is_err());
-        assert!(read_edge_list("0\n".as_bytes()).is_err());
+        assert!(read_edge_list("0 1\n0 x\n".as_bytes()).is_err());
+        assert!(read_edge_list("0 1\n0\n".as_bytes()).is_err());
+    }
+
+    fn parse_error(err: &io::Error) -> &ParseError {
+        err.get_ref()
+            .and_then(|e| e.downcast_ref::<ParseError>())
+            .unwrap_or_else(|| panic!("not a ParseError: {err}"))
+    }
+
+    #[test]
+    fn malformed_line_reports_its_number_and_text() {
+        let err = read_edge_list("# ok\n0 1\n7 banana\n2 3\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let p = parse_error(&err);
+        assert_eq!(p.line_number, Some(3));
+        assert_eq!(p.line, "7 banana");
+        assert!(p.reason.contains("banana"), "reason: {}", p.reason);
+        let msg = err.to_string();
+        assert!(msg.contains("line 3") && msg.contains("7 banana"), "{msg}");
+    }
+
+    #[test]
+    fn truncated_file_reports_the_dangling_line() {
+        // A file cut mid-token: the last line has only one vertex id.
+        let err = read_edge_list("0 1\n1 2\n2".as_bytes()).unwrap_err();
+        let p = parse_error(&err);
+        assert_eq!(p.line_number, Some(3));
+        assert_eq!(p.line, "2");
+        assert!(p.reason.contains("found one"), "reason: {}", p.reason);
+    }
+
+    #[test]
+    fn zero_edge_input_rejected() {
+        let err = read_edge_list("# nothing here\n\n".as_bytes()).unwrap_err();
+        let p = parse_error(&err);
+        assert_eq!(p.line_number, None);
+        assert!(p.reason.contains("no edges"), "reason: {}", p.reason);
+    }
+
+    #[test]
+    fn self_loop_only_input_rejected() {
+        let err = read_edge_list("3 3\n5 5\n".as_bytes()).unwrap_err();
+        let p = parse_error(&err);
+        assert!(p.reason.contains("self loop"), "reason: {}", p.reason);
+        // A mix of loops and real edges is legal (swaps eliminate loops).
+        assert!(read_edge_list("3 3\n0 1\n".as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn distribution_errors_carry_line_text() {
+        let err = read_distribution("1 2\n2 two\n".as_bytes()).unwrap_err();
+        let p = parse_error(&err);
+        assert_eq!(p.line_number, Some(2));
+        assert_eq!(p.line, "2 two");
+        assert!(p.reason.contains("two"), "reason: {}", p.reason);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! baselines — the applications the paper's introduction lists). This
 //! module packages that workflow.
 
-use crate::{generate_from_edge_list_with_workspace, GeneratorConfig};
+use crate::{try_generate_from_edge_list_with_workspace, GenError, GeneratorConfig};
 use graphcore::{DegreeDistribution, EdgeList};
 use parutil::rng::mix64;
 use swap::SwapWorkspace;
@@ -14,11 +14,27 @@ use swap::SwapWorkspace;
 /// Generate `count` independent uniform samples from a degree distribution
 /// (each sample uses a distinct derived seed). One swap workspace serves
 /// every sample, so sample `k + 1` reuses the buffers sample `k` grew.
+///
+/// Panics on the failure modes [`try_ensemble_from_distribution`] reports
+/// as typed errors.
 pub fn ensemble_from_distribution(
     dist: &DegreeDistribution,
     cfg: &GeneratorConfig,
     count: usize,
 ) -> Vec<EdgeList> {
+    match try_ensemble_from_distribution(dist, cfg, count) {
+        Ok(graphs) => graphs,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`ensemble_from_distribution`]: the first failing sample aborts
+/// the ensemble with its typed error.
+pub fn try_ensemble_from_distribution(
+    dist: &DegreeDistribution,
+    cfg: &GeneratorConfig,
+    count: usize,
+) -> Result<Vec<EdgeList>, GenError> {
     let mut ws = SwapWorkspace::new();
     (0..count)
         .map(|k| {
@@ -26,7 +42,8 @@ pub fn ensemble_from_distribution(
                 seed: mix64(cfg.seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                 ..cfg.clone()
             };
-            crate::generate_from_distribution_with_workspace(dist, &sub, &mut ws).graph
+            crate::try_generate_from_distribution_with_workspace(dist, &sub, &mut ws)
+                .map(|out| out.graph)
         })
         .collect()
 }
@@ -34,11 +51,27 @@ pub fn ensemble_from_distribution(
 /// Generate `count` independent uniform mixes of an observed edge list
 /// (the exact-degree-sequence null space, paper problem 1). All mixes share
 /// one swap workspace.
+///
+/// Panics on the failure modes [`try_ensemble_from_edge_list`] reports as
+/// typed errors.
 pub fn ensemble_from_edge_list(
     observed: &EdgeList,
     cfg: &GeneratorConfig,
     count: usize,
 ) -> Vec<EdgeList> {
+    match try_ensemble_from_edge_list(observed, cfg, count) {
+        Ok(graphs) => graphs,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`ensemble_from_edge_list`]: the first failing mix aborts the
+/// ensemble with its typed error.
+pub fn try_ensemble_from_edge_list(
+    observed: &EdgeList,
+    cfg: &GeneratorConfig,
+    count: usize,
+) -> Result<Vec<EdgeList>, GenError> {
     let mut ws = SwapWorkspace::new();
     (0..count)
         .map(|k| {
@@ -47,8 +80,8 @@ pub fn ensemble_from_edge_list(
                 seed: mix64(cfg.seed ^ (k as u64).wrapping_mul(0xA076_1D64_78BD_642F)),
                 ..cfg.clone()
             };
-            generate_from_edge_list_with_workspace(&mut g, &sub, &mut ws);
-            g
+            try_generate_from_edge_list_with_workspace(&mut g, &sub, &mut ws)?;
+            Ok(g)
         })
         .collect()
 }

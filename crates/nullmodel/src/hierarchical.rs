@@ -62,6 +62,15 @@ impl std::fmt::Display for LayerError {
 
 impl std::error::Error for LayerError {}
 
+impl From<LayerError> for fault::GenError {
+    /// Layer-specification problems are input problems: map them to
+    /// [`fault::GenError::BadInput`] so the CLI (and any other pipeline
+    /// caller) reports them under the `bad_input` error code.
+    fn from(e: LayerError) -> Self {
+        fault::GenError::bad_input(e.to_string())
+    }
+}
+
 /// Output of [`generate_layered`].
 #[derive(Clone, Debug)]
 pub struct LayeredGraph {

@@ -42,15 +42,21 @@ pub mod validate;
 
 pub use ensemble::{
     ensemble_from_distribution, ensemble_from_edge_list, significance_against_null,
-    SignificanceReport,
+    try_ensemble_from_distribution, try_ensemble_from_edge_list, SignificanceReport,
 };
+pub use fault::GenError;
 pub use hierarchical::{generate_layered, generate_lfr, Layer, LfrConfig, LfrGraph};
 pub use phases::PhaseTimings;
 pub use validate::ValidationReport;
 
+use genprob::SinkhornReport;
 use graphcore::{DegreeDistribution, EdgeList};
 use std::time::Instant;
-use swap::{SwapConfig, SwapStats, SwapWorkspace};
+use swap::{RecoveryPolicy, SwapConfig, SwapStats, SwapWorkspace};
+
+/// Refinement-round cap used when a tolerance is requested without an
+/// explicit round budget ([`GeneratorConfig::refine_tolerance`]).
+const DEFAULT_REFINE_ROUNDS: usize = 64;
 
 /// Configuration for the end-to-end generator.
 #[derive(Clone, Debug)]
@@ -68,6 +74,12 @@ pub struct GeneratorConfig {
     pub refine_rounds: usize,
     /// Track per-iteration simplicity violations during swaps (costly).
     pub track_violations: bool,
+    /// When set, refinement must reach this residual tolerance: rounds run
+    /// until the degree-system residual drops to the tolerance (up to
+    /// `refine_rounds`, or a default cap when that is 0), and a stalled
+    /// refinement is a typed [`GenError::SolverNotConverged`] from the
+    /// `try_*` entry points instead of a silently-accepted residual.
+    pub refine_tolerance: Option<f64>,
 }
 
 impl GeneratorConfig {
@@ -78,6 +90,7 @@ impl GeneratorConfig {
             seed,
             refine_rounds: 0,
             track_violations: false,
+            refine_tolerance: None,
         }
     }
 
@@ -90,6 +103,13 @@ impl GeneratorConfig {
     /// Set the Sinkhorn refinement rounds.
     pub fn with_refine_rounds(mut self, rounds: usize) -> Self {
         self.refine_rounds = rounds;
+        self
+    }
+
+    /// Require refinement to reach `tolerance` (see
+    /// [`GeneratorConfig::refine_tolerance`]).
+    pub fn with_refine_tolerance(mut self, tolerance: f64) -> Self {
+        self.refine_tolerance = Some(tolerance);
         self
     }
 }
@@ -112,11 +132,18 @@ pub struct GeneratedGraph {
     /// Maximum relative residual of the probability matrix against the
     /// degree system (how well the target is matched *in expectation*).
     pub probability_residual: f64,
+    /// Refinement report when a tolerance was requested
+    /// ([`GeneratorConfig::refine_tolerance`]); `None` otherwise.
+    pub refine: Option<SinkhornReport>,
 }
 
 /// Generate a uniformly-random simple graph from a degree distribution
 /// (Algorithm IV.1). The output matches the distribution in expectation;
 /// it is always simple.
+///
+/// Panics on the failure modes [`try_generate_from_distribution`] reports
+/// as typed errors; prefer the `try_*` entry point in code that must
+/// survive bad inputs or mis-sized workspaces.
 pub fn generate_from_distribution(
     dist: &DegreeDistribution,
     cfg: &GeneratorConfig,
@@ -132,11 +159,65 @@ pub fn generate_from_distribution_with_workspace(
     cfg: &GeneratorConfig,
     ws: &mut SwapWorkspace,
 ) -> GeneratedGraph {
+    match try_generate_from_distribution_with_workspace(dist, cfg, ws) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`generate_from_distribution`]: every failure mode is a typed
+/// [`GenError`] — an unservable degree distribution (`NonGraphical`), a
+/// refinement that misses its requested tolerance (`SolverNotConverged`),
+/// or a table fault the swap recovery could not absorb (`TableFull`).
+pub fn try_generate_from_distribution(
+    dist: &DegreeDistribution,
+    cfg: &GeneratorConfig,
+) -> Result<GeneratedGraph, GenError> {
+    try_generate_from_distribution_with_workspace(dist, cfg, &mut SwapWorkspace::new())
+}
+
+/// As [`try_generate_from_distribution`], reusing caller-owned swap buffers.
+pub fn try_generate_from_distribution_with_workspace(
+    dist: &DegreeDistribution,
+    cfg: &GeneratorConfig,
+    ws: &mut SwapWorkspace,
+) -> Result<GeneratedGraph, GenError> {
+    // The pipeline matches the distribution only in expectation, so full
+    // graphicality is not required — but a class whose degree exceeds the
+    // available partner count is unservable even in expectation.
+    if let (Some(&max_d), n) = (dist.degrees().last(), dist.num_vertices()) {
+        if u64::from(max_d) >= n && n > 0 {
+            return Err(GenError::NonGraphical {
+                reason: format!(
+                    "degree {max_d} needs {max_d} distinct partners but only {} other \
+                     vertices exist",
+                    n - 1
+                ),
+            });
+        }
+    }
     let mut timings = PhaseTimings::default();
 
     let t0 = Instant::now();
     let mut probs = genprob::heuristic_probabilities(dist);
-    let probability_residual = if cfg.refine_rounds > 0 {
+    let mut refine = None;
+    let probability_residual = if let Some(tolerance) = cfg.refine_tolerance {
+        let max_rounds = if cfg.refine_rounds > 0 {
+            cfg.refine_rounds
+        } else {
+            DEFAULT_REFINE_ROUNDS
+        };
+        let report = genprob::sinkhorn_refine_to_tolerance(&mut probs, dist, max_rounds, tolerance);
+        if !report.converged {
+            return Err(GenError::SolverNotConverged {
+                residual: report.residual,
+                tolerance,
+                rounds: report.rounds_run,
+            });
+        }
+        refine = Some(report);
+        report.residual
+    } else if cfg.refine_rounds > 0 {
         genprob::sinkhorn_refine(&mut probs, dist, cfg.refine_rounds)
     } else {
         genprob::max_relative_residual(&probs, dist)
@@ -144,21 +225,23 @@ pub fn generate_from_distribution_with_workspace(
     timings.probabilities = t0.elapsed();
 
     let t1 = Instant::now();
-    let mut graph = edgeskip::generate(&probs, dist, parutil::rng::mix64(cfg.seed ^ 0xE5CE));
+    let mut graph = edgeskip::try_generate(&probs, dist, parutil::rng::mix64(cfg.seed ^ 0xE5CE))?;
     timings.edge_generation = t1.elapsed();
 
     let t2 = Instant::now();
     let mut swap_cfg = SwapConfig::new(cfg.swap_iterations, parutil::rng::mix64(cfg.seed ^ 0x5A9));
     swap_cfg.track_violations = cfg.track_violations;
-    let swap_stats = swap::swap_edges_with_workspace(&mut graph, &swap_cfg, ws);
+    let swap_stats =
+        swap::try_swap_edges_with_workspace(&mut graph, &swap_cfg, ws, &RecoveryPolicy::default())?;
     timings.swapping = t2.elapsed();
 
-    GeneratedGraph {
+    Ok(GeneratedGraph {
         graph,
         timings,
         swap_stats,
         probability_residual,
-    }
+        refine,
+    })
 }
 
 /// Uniformly mix an existing edge list in place (the paper's problem 1).
@@ -177,18 +260,42 @@ pub fn generate_from_edge_list_with_workspace(
     cfg: &GeneratorConfig,
     ws: &mut SwapWorkspace,
 ) -> (SwapStats, PhaseTimings) {
+    match try_generate_from_edge_list_with_workspace(graph, cfg, ws) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`generate_from_edge_list`]: table faults beyond the swap
+/// recovery policy surface as typed errors, with the input edge list left
+/// untouched.
+pub fn try_generate_from_edge_list(
+    graph: &mut EdgeList,
+    cfg: &GeneratorConfig,
+) -> Result<(SwapStats, PhaseTimings), GenError> {
+    try_generate_from_edge_list_with_workspace(graph, cfg, &mut SwapWorkspace::new())
+}
+
+/// As [`try_generate_from_edge_list`], reusing caller-owned swap buffers.
+pub fn try_generate_from_edge_list_with_workspace(
+    graph: &mut EdgeList,
+    cfg: &GeneratorConfig,
+    ws: &mut SwapWorkspace,
+) -> Result<(SwapStats, PhaseTimings), GenError> {
     let mut timings = PhaseTimings::default();
     let t = Instant::now();
     let mut swap_cfg = SwapConfig::new(cfg.swap_iterations, parutil::rng::mix64(cfg.seed ^ 0x5A9));
     swap_cfg.track_violations = cfg.track_violations;
-    let stats = swap::swap_edges_with_workspace(graph, &swap_cfg, ws);
+    let stats =
+        swap::try_swap_edges_with_workspace(graph, &swap_cfg, ws, &RecoveryPolicy::default())?;
     timings.swapping = t.elapsed();
-    (stats, timings)
+    Ok((stats, timings))
 }
 
 /// The paper's uniform-random reference sampler: a Havel-Hakimi realization
 /// followed by `iterations` full swap sweeps (the paper uses 128). Returns
-/// `None` when the distribution is not graphical.
+/// `None` when the distribution is not graphical; for a typed error naming
+/// *why* it is not graphical, use [`try_uniform_reference`].
 pub fn uniform_reference(
     dist: &DegreeDistribution,
     iterations: usize,
@@ -204,9 +311,60 @@ pub fn uniform_reference_with_workspace(
     seed: u64,
     ws: &mut SwapWorkspace,
 ) -> Option<EdgeList> {
-    let mut graph = generators::havel_hakimi(dist)?;
-    swap::swap_edges_with_workspace(&mut graph, &SwapConfig::new(iterations, seed), ws);
-    Some(graph)
+    try_uniform_reference_with_workspace(dist, iterations, seed, ws).ok()
+}
+
+/// Fallible [`uniform_reference`]: a non-graphical distribution yields
+/// [`GenError::NonGraphical`] with a reason naming the violated condition
+/// (odd stub sum, degree ≥ vertex count, or the Erdős–Gallai inequality).
+pub fn try_uniform_reference(
+    dist: &DegreeDistribution,
+    iterations: usize,
+    seed: u64,
+) -> Result<EdgeList, GenError> {
+    try_uniform_reference_with_workspace(dist, iterations, seed, &mut SwapWorkspace::new())
+}
+
+/// As [`try_uniform_reference`], reusing caller-owned swap buffers.
+pub fn try_uniform_reference_with_workspace(
+    dist: &DegreeDistribution,
+    iterations: usize,
+    seed: u64,
+    ws: &mut SwapWorkspace,
+) -> Result<EdgeList, GenError> {
+    let Some(mut graph) = generators::havel_hakimi(dist) else {
+        return Err(non_graphical(dist));
+    };
+    swap::try_swap_edges_with_workspace(
+        &mut graph,
+        &SwapConfig::new(iterations, seed),
+        ws,
+        &RecoveryPolicy::default(),
+    )?;
+    Ok(graph)
+}
+
+/// A [`GenError::NonGraphical`] naming the specific condition `dist`
+/// violates, checked in order of cheapness: stub-sum parity, then the
+/// maximum-degree bound, then (by elimination) the Erdős–Gallai inequality.
+fn non_graphical(dist: &DegreeDistribution) -> GenError {
+    let stubs = dist.stub_sum();
+    let n = dist.num_vertices();
+    let max_d = dist.degrees().last().copied().unwrap_or(0);
+    let reason = if stubs % 2 == 1 {
+        format!("the degree sum {stubs} is odd, so the stubs cannot pair into edges")
+    } else if u64::from(max_d) >= n && n > 0 {
+        format!(
+            "degree {max_d} needs {max_d} distinct partners but only {} other vertices exist",
+            n - 1
+        )
+    } else {
+        format!(
+            "the sequence fails the Erd\u{151}s\u{2013}Gallai condition: the high-degree \
+             classes demand more edge endpoints than the remaining {n} vertices can supply"
+        )
+    };
+    GenError::NonGraphical { reason }
 }
 
 #[cfg(test)]
@@ -263,6 +421,66 @@ mod tests {
         let d = DegreeDistribution::from_pairs(vec![(1, 2), (10, 2)]).unwrap();
         assert!(!d.is_graphical());
         assert!(uniform_reference(&d, 4, 1).is_none());
+    }
+
+    #[test]
+    fn try_uniform_reference_names_the_violation() {
+        // Max degree ≥ n: 4 vertices, one wants 10 partners.
+        let d = DegreeDistribution::from_pairs(vec![(1, 2), (10, 2)]).unwrap();
+        let err = try_uniform_reference(&d, 4, 1).unwrap_err();
+        assert_eq!(err.error_code(), "non_graphical");
+        let GenError::NonGraphical { reason } = &err else {
+            panic!("unexpected error: {err}");
+        };
+        assert!(reason.contains("partners"), "reason: {reason}");
+
+        // Even sum but Erdős–Gallai fails: [5,5,1,1,1,1].
+        let d = DegreeDistribution::from_pairs(vec![(1, 4), (5, 2)]).unwrap();
+        assert!(!d.is_graphical());
+        let err = try_uniform_reference(&d, 4, 1).unwrap_err();
+        let GenError::NonGraphical { reason } = &err else {
+            panic!("unexpected error: {err}");
+        };
+        assert!(reason.contains("Erd"), "reason: {reason}");
+    }
+
+    #[test]
+    fn try_generate_rejects_unservable_distribution() {
+        let d = DegreeDistribution::from_pairs(vec![(1, 2), (10, 2)]).unwrap();
+        let err = try_generate_from_distribution(&d, &GeneratorConfig::new(1)).unwrap_err();
+        assert_eq!(err.error_code(), "non_graphical");
+    }
+
+    #[test]
+    fn refine_tolerance_reported_or_typed_error() {
+        let d = dist(&[(1, 400), (2, 150), (4, 60), (10, 12), (30, 4)]);
+        // Achievable tolerance: success, with the report attached.
+        let ok = try_generate_from_distribution(
+            &d,
+            &GeneratorConfig::new(5).with_refine_tolerance(0.05),
+        )
+        .expect("5% tolerance is achievable");
+        let report = ok.refine.expect("tolerance requested, report expected");
+        assert!(report.converged);
+        assert!(ok.probability_residual <= 0.05);
+
+        // Unachievable tolerance: typed error with the actual residual.
+        let err = try_generate_from_distribution(
+            &d,
+            &GeneratorConfig::new(5)
+                .with_refine_rounds(3)
+                .with_refine_tolerance(0.0),
+        )
+        .unwrap_err();
+        assert_eq!(err.error_code(), "solver_not_converged");
+        let GenError::SolverNotConverged {
+            residual, rounds, ..
+        } = err
+        else {
+            panic!("unexpected error: {err}");
+        };
+        assert!(residual > 0.0);
+        assert_eq!(rounds, 3);
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub fn parallel_histogram(values: &[u32]) -> Vec<u64> {
     if values.is_empty() {
         return Vec::new();
     }
-    let max = *values.par_iter().max().unwrap() as usize;
+    let max = values.par_iter().max().copied().unwrap_or(0) as usize;
     let buckets = max + 1;
     if values.len() < 1 << 15 {
         let mut counts = vec![0u64; buckets];

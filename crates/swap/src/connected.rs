@@ -135,6 +135,7 @@ pub fn swap_edges_connected_with_workspace(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::swap_edges;
     use graphcore::DegreeDistribution;
 
     fn ring(n: u32) -> EdgeList {

@@ -77,16 +77,18 @@ pub use connected::{
     swap_edges_connected, swap_edges_connected_with_workspace, ConnectedSwapConfig,
     ConnectedSwapError,
 };
+pub use fault::{FaultEvent, GenError};
 pub use stats::{IterationStats, SwapStats};
 pub use workspace::SwapWorkspace;
 
-use conchash::EpochHashSet;
+use conchash::{EpochHashSet, TableFullError};
 use graphcore::{Edge, EdgeList};
 use parutil::permute::{apply_darts_serial, darts_into, parallel_permute_with_darts_using};
 use parutil::rng::mix64;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 use workspace::Slot;
 
 /// Configuration for a swap run.
@@ -121,7 +123,68 @@ impl SwapConfig {
     }
 }
 
+/// How a run may recover from a full concurrent table.
+///
+/// A `TableFull` fault aborts the sweep *before* any edge is written back,
+/// so the graph is untouched and the whole run can be replayed from its
+/// recorded seed. Table capacity never influences a swap decision, which
+/// makes the replay byte-identical to a run that was sized correctly from
+/// the start. The policy bounds how much recovery is attempted: each grow
+/// doubles the table capacity, and the last resort is one serial replay
+/// (single-threaded sweeps cannot stall on another thread's in-flight
+/// insertion). Every action taken is logged into [`SwapStats::events`].
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryPolicy {
+    /// Maximum number of 2× table reallocations (0 = fail on first fault).
+    pub max_grows: u32,
+    /// Whether to attempt one serial replay after the grow budget is spent.
+    pub serial_fallback: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_grows: 4,
+            serial_fallback: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Fail on the first fault instead of recovering.
+    pub fn none() -> Self {
+        Self {
+            max_grows: 0,
+            serial_fallback: false,
+        }
+    }
+}
+
+/// Watchdog budget for a mixing run ([`try_swap_until_mixed`]): the sweep
+/// cap, plus an optional wall-clock deadline checked between sweeps.
+#[derive(Clone, Copy, Debug)]
+pub struct MixingBudget {
+    /// Maximum number of permute-and-swap sweeps.
+    pub max_sweeps: usize,
+    /// Optional wall-clock limit for the whole run.
+    pub max_wall: Option<Duration>,
+}
+
+impl MixingBudget {
+    /// A budget of `max_sweeps` sweeps with no wall-clock limit.
+    pub fn sweeps(max_sweeps: usize) -> Self {
+        Self {
+            max_sweeps,
+            max_wall: None,
+        }
+    }
+}
+
 /// Run parallel double-edge swaps in place. Returns per-iteration statistics.
+///
+/// Panics if a concurrent table faults even after the default
+/// [`RecoveryPolicy`]; prefer [`try_swap_edges`] in code that must survive
+/// mis-sized workspaces.
 pub fn swap_edges(graph: &mut EdgeList, cfg: &SwapConfig) -> SwapStats {
     swap_edges_with_workspace(graph, cfg, &mut SwapWorkspace::new())
 }
@@ -133,7 +196,32 @@ pub fn swap_edges_with_workspace(
     cfg: &SwapConfig,
     ws: &mut SwapWorkspace,
 ) -> SwapStats {
-    run_until(graph, cfg, true, &|_| false, ws)
+    match try_swap_edges_with_workspace(graph, cfg, ws, &RecoveryPolicy::default()) {
+        Ok(stats) => stats,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`swap_edges`]: returns a typed [`GenError`] instead of
+/// panicking when a concurrent table faults beyond recovery.
+pub fn try_swap_edges(graph: &mut EdgeList, cfg: &SwapConfig) -> Result<SwapStats, GenError> {
+    try_swap_edges_with_workspace(
+        graph,
+        cfg,
+        &mut SwapWorkspace::new(),
+        &RecoveryPolicy::default(),
+    )
+}
+
+/// As [`try_swap_edges`], reusing caller-owned buffers under an explicit
+/// recovery policy.
+pub fn try_swap_edges_with_workspace(
+    graph: &mut EdgeList,
+    cfg: &SwapConfig,
+    ws: &mut SwapWorkspace,
+    policy: &RecoveryPolicy,
+) -> Result<SwapStats, GenError> {
+    run_recovering(graph, cfg, true, &|_| false, None, ws, policy)
 }
 
 /// Serial reference implementation of the identical algorithm (same darts,
@@ -149,7 +237,29 @@ pub fn swap_edges_serial_with_workspace(
     cfg: &SwapConfig,
     ws: &mut SwapWorkspace,
 ) -> SwapStats {
-    run_until(graph, cfg, false, &|_| false, ws)
+    match run_recovering(
+        graph,
+        cfg,
+        false,
+        &|_| false,
+        None,
+        ws,
+        &RecoveryPolicy::default(),
+    ) {
+        Ok(stats) => stats,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`swap_edges_serial`] with caller-owned buffers and an explicit
+/// recovery policy.
+pub fn try_swap_edges_serial_with_workspace(
+    graph: &mut EdgeList,
+    cfg: &SwapConfig,
+    ws: &mut SwapWorkspace,
+    policy: &RecoveryPolicy,
+) -> Result<SwapStats, GenError> {
+    run_recovering(graph, cfg, false, &|_| false, None, ws, policy)
 }
 
 /// Swap until the paper's empirical mixing criterion is met: the fraction
@@ -159,7 +269,9 @@ pub fn swap_edges_serial_with_workspace(
 /// eliminated (tracking is enabled automatically in that case).
 ///
 /// Returns the collected statistics; [`SwapStats::iterations_to_mix`] tells
-/// whether (and when) the threshold was reached.
+/// whether (and when) the threshold was reached. For a typed error when the
+/// budget runs out (plus a wall-clock watchdog), use
+/// [`try_swap_until_mixed`].
 pub fn swap_until_mixed(
     graph: &mut EdgeList,
     threshold: f64,
@@ -183,19 +295,146 @@ pub fn swap_until_mixed_with_workspace(
     seed: u64,
     ws: &mut SwapWorkspace,
 ) -> SwapStats {
-    let mut cfg = SwapConfig::new(max_iterations, seed);
+    match mixing_run(
+        graph,
+        threshold,
+        &MixingBudget::sweeps(max_iterations),
+        seed,
+        ws,
+        &RecoveryPolicy::default(),
+    ) {
+        Ok((stats, _mixed)) => stats,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Watchdog-guarded [`swap_until_mixed`]: mix up to `budget.max_sweeps`
+/// sweeps (and, when set, `budget.max_wall` wall-clock time).
+///
+/// When the budget runs out before the criterion is met the graph keeps the
+/// partial result — every completed sweep is applied, a valid (if
+/// under-mixed) degree-preserving state — and the run fails with
+/// [`GenError::MixingBudgetExceeded`] reporting exactly how far it got.
+pub fn try_swap_until_mixed(
+    graph: &mut EdgeList,
+    threshold: f64,
+    budget: &MixingBudget,
+    seed: u64,
+) -> Result<SwapStats, GenError> {
+    try_swap_until_mixed_with_workspace(
+        graph,
+        threshold,
+        budget,
+        seed,
+        &mut SwapWorkspace::new(),
+        &RecoveryPolicy::default(),
+    )
+}
+
+/// As [`try_swap_until_mixed`], reusing caller-owned buffers under an
+/// explicit recovery policy.
+pub fn try_swap_until_mixed_with_workspace(
+    graph: &mut EdgeList,
+    threshold: f64,
+    budget: &MixingBudget,
+    seed: u64,
+    ws: &mut SwapWorkspace,
+    policy: &RecoveryPolicy,
+) -> Result<SwapStats, GenError> {
+    let (stats, mixed) = mixing_run(graph, threshold, budget, seed, ws, policy)?;
+    if mixed {
+        return Ok(stats);
+    }
+    let last = stats.iterations.last().copied().unwrap_or_default();
+    Err(GenError::MixingBudgetExceeded {
+        sweeps_completed: stats.iterations.len(),
+        max_sweeps: budget.max_sweeps,
+        ever_swapped_fraction: last.ever_swapped_fraction,
+        self_loops: last.self_loops,
+        multi_edges: last.multi_edges,
+        wall_clock_exceeded: stats.wall_clock_exceeded,
+    })
+}
+
+/// Shared mixing-run core: runs under the budget and reports whether the
+/// stop criterion was met alongside the stats.
+fn mixing_run(
+    graph: &mut EdgeList,
+    threshold: f64,
+    budget: &MixingBudget,
+    seed: u64,
+    ws: &mut SwapWorkspace,
+    policy: &RecoveryPolicy,
+) -> Result<(SwapStats, bool), GenError> {
+    let mut cfg = SwapConfig::new(budget.max_sweeps, seed);
     cfg.track_violations = !graph.is_simple();
     let needs_simplify = cfg.track_violations;
-    run_until(
-        graph,
-        &cfg,
-        true,
-        &|it: &IterationStats| {
-            it.ever_swapped_fraction >= threshold
-                && (!needs_simplify || (it.self_loops == 0 && it.multi_edges == 0))
-        },
-        ws,
-    )
+    let criterion = move |it: &IterationStats| {
+        it.ever_swapped_fraction >= threshold
+            && (!needs_simplify || (it.self_loops == 0 && it.multi_edges == 0))
+    };
+    let deadline = budget.max_wall.map(|d| Instant::now() + d);
+    let stats = run_recovering(graph, &cfg, true, &criterion, deadline, ws, policy)?;
+    // A graph too small to swap (m < 2) has nothing to mix; treat it as
+    // trivially mixed rather than forever over budget.
+    let mixed = graph.len() < 2 || stats.iterations.last().is_some_and(&criterion);
+    Ok((stats, mixed))
+}
+
+/// Bounded grow-and-retry driver around [`run_until`].
+///
+/// A `TableFull` fault leaves the graph untouched (edges are written back
+/// only after the final sweep), so recovery replays the *whole run* from
+/// the same seed over larger tables: first up to `policy.max_grows` 2×
+/// grows, then — because a single thread can always make progress — one
+/// serial replay, then a typed [`GenError::TableFull`]. Each recovery step
+/// is recorded in the returned [`SwapStats::events`].
+#[allow(clippy::too_many_arguments)]
+fn run_recovering(
+    graph: &mut EdgeList,
+    cfg: &SwapConfig,
+    parallel: bool,
+    stop_when: &(dyn Fn(&IterationStats) -> bool + Sync),
+    deadline: Option<Instant>,
+    ws: &mut SwapWorkspace,
+    policy: &RecoveryPolicy,
+) -> Result<SwapStats, GenError> {
+    let mut events: Vec<FaultEvent> = Vec::new();
+    let mut grows = 0u32;
+    let mut degraded = false;
+    loop {
+        match run_until(graph, cfg, parallel && !degraded, stop_when, deadline, ws) {
+            Ok(mut stats) => {
+                stats.events = events;
+                return Ok(stats);
+            }
+            Err(fault) => {
+                if grows < policy.max_grows {
+                    grows += 1;
+                    let new_capacity = ws.grow_tables();
+                    events.push(FaultEvent::TableGrown {
+                        table: fault.table,
+                        occupancy: fault.occupancy,
+                        old_capacity: fault.capacity,
+                        new_capacity,
+                        attempt: grows,
+                    });
+                    continue;
+                }
+                if policy.serial_fallback && parallel && !degraded {
+                    degraded = true;
+                    events.push(FaultEvent::SerialFallback { after_grows: grows });
+                    continue;
+                }
+                return Err(GenError::TableFull {
+                    table: fault.table,
+                    occupancy: fault.occupancy,
+                    capacity: fault.capacity,
+                    grows_attempted: grows,
+                });
+            }
+        }
+    }
 }
 
 /// Incremental simplicity-violation counters.
@@ -270,17 +509,22 @@ impl ViolationCounters {
     }
 }
 
+/// One complete swap run: all sweeps, then a single write-back of the final
+/// edges into `graph`. On `Err` (a full concurrent table) **nothing has
+/// been written back** — the graph still holds its input state, which is
+/// what makes the grow-and-retry replay in [`run_recovering`] exact.
 fn run_until(
     graph: &mut EdgeList,
     cfg: &SwapConfig,
     parallel: bool,
-    stop_when: &dyn Fn(&IterationStats) -> bool,
+    stop_when: &(dyn Fn(&IterationStats) -> bool + Sync),
+    deadline: Option<Instant>,
     ws: &mut SwapWorkspace,
-) -> SwapStats {
+) -> Result<SwapStats, TableFullError> {
     let m = graph.len();
     let mut stats = SwapStats::default();
     if m < 2 || cfg.iterations == 0 {
-        return stats;
+        return Ok(stats);
     }
     stats.iterations.reserve(cfg.iterations.min(1 << 12));
     ws.prepare(m, cfg.probe);
@@ -311,18 +555,25 @@ fn run_until(
     let ever = AtomicU64::new(0);
 
     for iter in 0..cfg.iterations {
+        // Watchdog: the wall-clock deadline is checked between sweeps (a
+        // sweep is never interrupted mid-flight, so the edge list stays a
+        // valid degree-preserving state).
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            stats.wall_clock_exceeded = true;
+            break;
+        }
         let iter_seed = mix64(cfg.seed ^ (iter as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         table.clear_shared();
         claims.clear_shared();
 
         // Phase 1: register all current edges.
         if parallel {
-            slots.par_iter().for_each(|s| {
-                table.test_and_set(s.edge.key());
-            });
+            slots
+                .par_iter()
+                .try_for_each(|s| table.try_test_and_set(s.edge.key()).map(drop))?;
         } else {
             for s in slots.iter() {
-                table.test_and_set(s.edge.key());
+                table.try_test_and_set(s.edge.key())?;
             }
         }
 
@@ -358,17 +609,18 @@ fn run_until(
         // its pair index; the surviving claim per key is the minimum index,
         // regardless of scheduling.
         if parallel {
-            proposals.par_iter().enumerate().for_each(|(i, p)| {
+            proposals.par_iter().enumerate().try_for_each(|(i, p)| {
                 if let Some((g, h)) = p {
-                    claims.claim_min(g.key(), i as u64);
-                    claims.claim_min(h.key(), i as u64);
+                    claims.try_claim_min(g.key(), i as u64)?;
+                    claims.try_claim_min(h.key(), i as u64)?;
                 }
-            });
+                Ok(())
+            })?;
         } else {
             for (i, p) in proposals.iter().enumerate() {
                 if let Some((g, h)) = p {
-                    claims.claim_min(g.key(), i as u64);
-                    claims.claim_min(h.key(), i as u64);
+                    claims.try_claim_min(g.key(), i as u64)?;
+                    claims.try_claim_min(h.key(), i as u64)?;
                 }
             }
         }
@@ -440,7 +692,7 @@ fn run_until(
         .iter_mut()
         .zip(slots.iter())
         .for_each(|(e, s)| *e = s.edge);
-    stats
+    Ok(stats)
 }
 
 /// Propose the double-edge swap for one adjacent pair of the permuted list.
@@ -658,6 +910,111 @@ mod tests {
         // For the sequences used here support is small (< 20), so 45 is a
         // generous universal bound.
         assert!(chi2 < 45.0, "chi2 = {chi2} over {} states", support.len());
+    }
+
+    #[test]
+    fn undersized_workspace_grows_and_recovers_identically() {
+        let cfg = SwapConfig::new(4, 77);
+        let mut want = ring(300);
+        swap_edges(&mut want, &cfg);
+
+        let mut got = ring(300);
+        let mut ws = SwapWorkspace::with_table_capacity(64);
+        let stats =
+            try_swap_edges_with_workspace(&mut got, &cfg, &mut ws, &RecoveryPolicy::default())
+                .expect("grow-and-retry should recover");
+        assert_eq!(got, want, "recovered run must be byte-identical");
+        assert!(
+            stats
+                .events
+                .iter()
+                .any(|e| matches!(e, FaultEvent::TableGrown { .. })),
+            "recovery must be logged, got {:?}",
+            stats.events
+        );
+    }
+
+    #[test]
+    fn recovery_disabled_reports_table_full_and_leaves_graph_untouched() {
+        let mut g = ring(300);
+        let mut ws = SwapWorkspace::with_table_capacity(16);
+        let err = try_swap_edges_with_workspace(
+            &mut g,
+            &SwapConfig::new(2, 5),
+            &mut ws,
+            &RecoveryPolicy::none(),
+        )
+        .expect_err("16-key tables cannot hold 300 edges");
+        assert_eq!(err.error_code(), "table_full");
+        match err {
+            GenError::TableFull {
+                occupancy,
+                capacity,
+                grows_attempted,
+                ..
+            } => {
+                assert_eq!(grows_attempted, 0);
+                assert!(occupancy <= capacity, "{occupancy} > {capacity}");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        assert_eq!(g, ring(300), "aborted run must not write back");
+    }
+
+    #[test]
+    fn watchdog_reports_accurate_sweep_counts() {
+        // The 2-edge path can never swap (one pairing recreates the same
+        // edges, the other makes a self loop), so any threshold > 0 runs
+        // the full budget — deterministically.
+        let mut g = EdgeList::from_pairs([(0, 1), (1, 2)]);
+        let err = try_swap_until_mixed(&mut g, 0.5, &MixingBudget::sweeps(3), 9)
+            .expect_err("an unswappable graph cannot mix");
+        match err {
+            GenError::MixingBudgetExceeded {
+                sweeps_completed,
+                max_sweeps,
+                ever_swapped_fraction,
+                wall_clock_exceeded,
+                ..
+            } => {
+                assert_eq!(sweeps_completed, 3);
+                assert_eq!(max_sweeps, 3);
+                assert_eq!(ever_swapped_fraction, 0.0);
+                assert!(!wall_clock_exceeded);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_wall_clock_deadline_fires() {
+        let mut g = ring(400);
+        let budget = MixingBudget {
+            max_sweeps: 1000,
+            max_wall: Some(std::time::Duration::ZERO),
+        };
+        let err = try_swap_until_mixed(&mut g, 0.999, &budget, 3)
+            .expect_err("an already-expired deadline must fail");
+        match err {
+            GenError::MixingBudgetExceeded {
+                sweeps_completed,
+                wall_clock_exceeded,
+                ..
+            } => {
+                assert_eq!(sweeps_completed, 0);
+                assert!(wall_clock_exceeded);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        assert_eq!(g, ring(400), "no sweep ran, so the graph is unchanged");
+    }
+
+    #[test]
+    fn trivial_graphs_are_trivially_mixed() {
+        let mut g = EdgeList::from_pairs([(0, 1)]);
+        let stats = try_swap_until_mixed(&mut g, 0.999, &MixingBudget::sweeps(5), 1)
+            .expect("m < 2 has nothing to mix");
+        assert_eq!(stats.total_successful(), 0);
     }
 
     #[test]

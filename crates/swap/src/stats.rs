@@ -1,5 +1,7 @@
 //! Per-iteration statistics and mixing diagnostics for swap runs.
 
+use fault::FaultEvent;
+
 /// Statistics for one permute-and-swap iteration.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct IterationStats {
@@ -34,6 +36,14 @@ impl IterationStats {
 pub struct SwapStats {
     /// One entry per iteration, in order.
     pub iterations: Vec<IterationStats>,
+    /// Recovery actions taken while producing this result (table
+    /// grow-and-retry, parallel → serial degradation). Empty for a run that
+    /// needed no recovery; a non-empty list means the result is valid but
+    /// the run was degraded and the caller's sizing was wrong.
+    pub events: Vec<FaultEvent>,
+    /// `true` when the run was cut short by its wall-clock deadline rather
+    /// than finishing its sweep budget or meeting its stop criterion.
+    pub wall_clock_exceeded: bool,
 }
 
 impl SwapStats {
@@ -96,6 +106,7 @@ mod tests {
                     multi_edges: 0,
                 },
             ],
+            ..Default::default()
         };
         assert_eq!(stats.total_successful(), 9);
         assert_eq!(stats.iterations_to_mix(0.95), Some(2));

@@ -56,6 +56,10 @@ pub struct SwapWorkspace {
     /// Capacity the tables were created for (they are rebuilt when a run
     /// exceeds it).
     pub(crate) table_capacity: usize,
+    /// When set, tables are built for exactly this many keys instead of the
+    /// run's edge count — the fault-injection knob (undersized tables) and
+    /// the lever the grow-and-retry policy pulls to recover from them.
+    pub(crate) forced_capacity: Option<usize>,
 }
 
 impl SwapWorkspace {
@@ -71,6 +75,20 @@ impl SwapWorkspace {
         ws
     }
 
+    /// A workspace whose hash tables are pinned to exactly `keys` keys,
+    /// regardless of the runs' edge counts.
+    ///
+    /// This is the fault-injection knob: pinning the capacity below a run's
+    /// edge count guarantees the sweep's registration phase overflows the
+    /// table, exercising the grow-and-retry recovery path (or, when
+    /// recovery is disabled, a typed `table_full` error). The pin is
+    /// released by [`SwapWorkspace::grow_tables`] doubling it past the need.
+    pub fn with_table_capacity(keys: usize) -> Self {
+        let mut ws = Self::new();
+        ws.forced_capacity = Some(keys);
+        ws
+    }
+
     /// Grow every buffer and table for a run over `m` edges with the given
     /// probing strategy. Idempotent and cheap when already large enough
     /// (the tables are epoch-cleared, not refilled).
@@ -78,9 +96,15 @@ impl SwapWorkspace {
         self.darts.resize(m, 0);
         self.proposals.resize(m.div_ceil(2), None);
         self.permute.reserve(m);
+        let want = self.forced_capacity.unwrap_or(m);
         let rebuild = match (&self.table, &self.claims) {
             (Some(t), Some(c)) => {
-                m > self.table_capacity || t.probe() != probe || c.probe() != probe
+                let outgrown = match self.forced_capacity {
+                    // A pinned capacity is honored exactly (even downward).
+                    Some(cap) => cap != self.table_capacity,
+                    None => m > self.table_capacity,
+                };
+                outgrown || t.probe() != probe || c.probe() != probe
             }
             _ => true,
         };
@@ -89,13 +113,26 @@ impl SwapWorkspace {
             // map holds at most two replacement keys per pair (= m keys),
             // and at most one key per slot during the violation-tracking
             // registration (= m keys).
-            self.table = Some(EpochHashSet::with_probe(m, probe));
-            self.claims = Some(EpochHashMap::with_probe(m, probe));
-            self.table_capacity = m;
-        } else {
-            self.table.as_ref().unwrap().clear_shared();
-            self.claims.as_ref().unwrap().clear_shared();
+            self.table = Some(EpochHashSet::with_probe(want, probe));
+            self.claims = Some(EpochHashMap::with_probe(want, probe));
+            self.table_capacity = want;
+        } else if let (Some(t), Some(c)) = (&self.table, &self.claims) {
+            t.clear_shared();
+            c.clear_shared();
         }
+    }
+
+    /// Double the table capacity (the grow half of grow-and-retry) and
+    /// force a rebuild on the next [`SwapWorkspace::prepare`]. Returns the
+    /// new key capacity. Table capacity never influences swap decisions, so
+    /// a replayed run over grown tables is byte-identical to a run that was
+    /// sized correctly from the start.
+    pub(crate) fn grow_tables(&mut self) -> usize {
+        let new_cap = self.table_capacity.max(1) * 2;
+        self.forced_capacity = Some(new_cap);
+        self.table = None;
+        self.claims = None;
+        new_cap
     }
 }
 

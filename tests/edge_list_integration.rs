@@ -39,6 +39,7 @@ fn multigraph_input_gets_simplified() {
         swap_iterations: 30,
         seed: 8,
         refine_rounds: 0,
+        refine_tolerance: None,
         track_violations: true,
     };
     let (stats, _) = generate_from_edge_list(&mut g, &cfg);
