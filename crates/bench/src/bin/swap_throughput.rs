@@ -20,6 +20,7 @@
 
 use graphcore::EdgeList;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 use swap::{SwapConfig, SwapWorkspace};
 
@@ -97,10 +98,15 @@ fn main() {
     let sweeps = env_usize("NULLGRAPH_SWEEPS", 8);
     let threads = rayon::current_num_threads();
     let mut rows: Vec<Row> = Vec::new();
+    // One registry across every measured configuration: atomic relaxed adds
+    // are noise next to a sweep, and the aggregate snapshot (accept ratio,
+    // reject causes, probe lengths) lands next to the throughput JSON.
+    let metrics = Arc::new(obs::Metrics::default());
 
     for m in sizes() {
         let base = ring(m);
         let mut ws = SwapWorkspace::with_capacity(m);
+        ws.set_metrics(Some(metrics.clone()));
         for (mode, serial) in [("serial", true), ("parallel", false)] {
             let fresh = run_fresh(&base, sweeps, serial);
             let reuse = run_reuse(&base, sweeps, serial, &mut ws);
@@ -163,4 +169,15 @@ fn main() {
     let out = std::env::var("NULLGRAPH_BENCH_OUT").unwrap_or_else(|_| "BENCH_swap.json".into());
     std::fs::write(&out, &json).expect("write BENCH_swap.json");
     println!("\nwrote {out}");
+
+    // Counter snapshot of every workspace-reuse run, written next to the
+    // throughput numbers (`BENCH_swap.json` → `BENCH_swap_metrics.json`).
+    let metrics_out = match out.strip_suffix(".json") {
+        Some(stem) => format!("{stem}_metrics.json"),
+        None => format!("{out}.metrics.json"),
+    };
+    let mut snap = metrics.snapshot().to_json();
+    snap.push('\n');
+    std::fs::write(&metrics_out, snap).expect("write bench metrics snapshot");
+    println!("wrote {metrics_out}");
 }

@@ -15,13 +15,21 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
     let refine: usize = args.get_or("refine", 0)?;
 
     let dist = io::read_distribution(std::fs::File::open(dist_path)?)?;
+    let metrics = super::metrics_registry(args)?;
     let mut cfg = GeneratorConfig::new(seed)
         .with_swap_iterations(swaps)
         .with_refine_rounds(refine);
     if args.get("refine-tol").is_some() {
         cfg = cfg.with_refine_tolerance(args.require_parsed("refine-tol")?);
     }
-    let out = try_generate_from_distribution(&dist, &cfg)?;
+    if let Some(m) = &metrics {
+        cfg = cfg.with_metrics(m.clone());
+    }
+    let result = try_generate_from_distribution(&dist, &cfg);
+    // The snapshot is written even when generation fails: partial phase
+    // counters are exactly what a failure post-mortem needs.
+    super::write_metrics_snapshot(args, metrics.as_ref())?;
+    let out = result?;
     io::save_edge_list(&out.graph, out_path)?;
 
     if !args.flag("quiet") {

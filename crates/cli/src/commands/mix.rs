@@ -5,7 +5,34 @@ use crate::args::Parsed;
 use graphcore::io;
 use nullmodel::GeneratorConfig;
 use std::time::Duration;
-use swap::MixingBudget;
+use swap::{MixingBudget, RecoveryPolicy, SwapWorkspace};
+
+/// The `--metrics` document for `mix`: the obs snapshot plus the exact
+/// per-sweep counts from [`swap::SwapStats`], so external tooling can
+/// cross-check the aggregated counters against the authoritative stats.
+fn metrics_json(metrics: &obs::Metrics, stats: &swap::SwapStats) -> String {
+    use std::fmt::Write as _;
+    let mut json = String::new();
+    json.push_str("{\n  \"snapshot\": ");
+    json.push_str(&metrics.snapshot().to_json());
+    json.push_str(",\n  \"sweeps\": [");
+    for (i, it) in stats.iterations.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"attempted_pairs\":{},\"successful_swaps\":{},\"ever_swapped_fraction\":{}}}",
+            it.attempted_pairs, it.successful_swaps, it.ever_swapped_fraction
+        );
+    }
+    let _ = write!(
+        json,
+        "],\n  \"wall_clock_exceeded\": {}\n}}\n",
+        stats.wall_clock_exceeded
+    );
+    json
+}
 
 /// Run the command.
 pub fn run(args: &Parsed) -> Result<(), CliError> {
@@ -13,6 +40,7 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
     let out_path = args.require("out")?;
     let iterations: usize = args.get_or("iterations", 10)?;
     let seed: u64 = args.get_or("seed", 0)?;
+    let metrics = super::metrics_registry(args)?;
 
     let mut graph = io::load_edge_list(in_path)?;
     let before = graph.degree_distribution();
@@ -23,16 +51,31 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
         let threshold: f64 = args.get_or("threshold", 0.99)?;
         let budget = MixingBudget {
             max_sweeps: iterations,
-            max_wall: match args.get_or("budget-ms", 0u64)? {
-                0 => None,
-                ms => Some(Duration::from_millis(ms)),
+            // `--budget-ms 0` is an already-expired deadline (the run fails
+            // with mixing_budget_exceeded after zero sweeps); only *omitting*
+            // the flag disables the wall clock.
+            max_wall: match args.get("budget-ms") {
+                None => None,
+                Some(_) => Some(Duration::from_millis(args.require_parsed("budget-ms")?)),
             },
         };
-        match swap::try_swap_until_mixed(&mut graph, threshold, &budget, seed) {
+        let mut ws = SwapWorkspace::new();
+        ws.set_metrics(metrics.clone());
+        match swap::try_swap_until_mixed_with_workspace(
+            &mut graph,
+            threshold,
+            &budget,
+            seed,
+            &mut ws,
+            &RecoveryPolicy::default(),
+        ) {
             Ok(stats) => (stats, nullmodel::PhaseTimings::default()),
             Err(e) => {
                 io::save_edge_list(&graph, out_path)?;
                 eprintln!("partial result written to {out_path}");
+                // Whatever was counted before the budget ran out is exactly
+                // what a post-mortem needs.
+                super::write_metrics_snapshot(args, metrics.as_ref())?;
                 return Err(e.into());
             }
         }
@@ -43,11 +86,15 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
             refine_rounds: 0,
             refine_tolerance: None,
             track_violations: args.flag("track"),
+            metrics: metrics.clone(),
         };
         nullmodel::try_generate_from_edge_list(&mut graph, &cfg)?
     };
     debug_assert_eq!(graph.degree_distribution(), before);
     io::save_edge_list(&graph, out_path)?;
+    if let (Some(path), Some(m)) = (args.get("metrics"), &metrics) {
+        std::fs::write(path, metrics_json(m, &stats))?;
+    }
 
     if !args.flag("quiet") {
         println!(

@@ -9,8 +9,38 @@ pub mod profile;
 pub mod stats;
 pub mod verify;
 
+use crate::args::Parsed;
 use fault::GenError;
 use std::fmt;
+use std::sync::Arc;
+
+/// `--metrics <path>` plumbing shared by `generate`, `mix` and `verify`:
+/// a fresh [`obs::Metrics`] registry when the flag was given, else `None`
+/// (instrumented code paths then skip every tally). A `--metrics` with an
+/// empty value is a usage error, caught before any work runs.
+pub(crate) fn metrics_registry(args: &Parsed) -> Result<Option<Arc<obs::Metrics>>, CliError> {
+    match args.get("metrics") {
+        None => Ok(None),
+        Some(_) => {
+            args.require("metrics")?;
+            Ok(Some(Arc::new(obs::Metrics::default())))
+        }
+    }
+}
+
+/// Write the registry's [`obs::MetricsSnapshot`] as JSON to the path the
+/// user gave via `--metrics`. No-op when the flag was absent.
+pub(crate) fn write_metrics_snapshot(
+    args: &Parsed,
+    metrics: Option<&Arc<obs::Metrics>>,
+) -> Result<(), CliError> {
+    if let (Some(path), Some(m)) = (args.get("metrics"), metrics) {
+        let mut json = m.snapshot().to_json();
+        json.push('\n');
+        std::fs::write(path, json)?;
+    }
+    Ok(())
+}
 
 /// Unified command error.
 #[derive(Debug)]

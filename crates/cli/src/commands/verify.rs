@@ -40,6 +40,7 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
     };
     let json = args.flag("json");
     let quiet = args.flag("quiet");
+    let metrics = super::metrics_registry(args)?;
 
     let sequences: Vec<Vec<u32>> = match args.get("sequence") {
         Some(raw) => vec![parse_sequence(raw)?],
@@ -51,7 +52,7 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
         let harness = SwapUniformityHarness::new(seq)
             .map_err(|e| CliError::Domain(format!("sequence {seq:?}: {e}")))?;
         let verdict = harness
-            .run(SamplerKind::SwapParallel, &cfg)
+            .run_with_metrics(SamplerKind::SwapParallel, &cfg, metrics.as_ref())
             .map_err(|e| CliError::Domain(e.to_string()))?;
         if json {
             println!("{}", verdict.to_json());
@@ -65,6 +66,9 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
             ));
         }
         if args.flag("control") {
+            // The biased control chain is deliberately left out of the
+            // metrics registry: its proposals would pollute the real
+            // chain's accept/reject profile.
             let control = harness
                 .run(SamplerKind::BiasedNoPermutation, &cfg)
                 .map_err(|e| CliError::Domain(e.to_string()))?;
@@ -90,7 +94,8 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
         alpha: cfg.alpha,
         base_seed: cfg.base_seed ^ 0xE5CA_FE00,
     };
-    let verdict = EdgeSkipExpectationHarness::new(dist).run(&expect_cfg);
+    let verdict =
+        EdgeSkipExpectationHarness::new(dist).run_with_metrics(&expect_cfg, metrics.as_deref());
     if json {
         println!("{}", verdict.to_json());
     } else if !quiet {
@@ -102,6 +107,10 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
             verdict.min_p
         ));
     }
+
+    // The snapshot covers the whole battery (all sequences, all trials),
+    // and is written whether or not anything was rejected.
+    super::write_metrics_snapshot(args, metrics.as_ref())?;
 
     if rejections.is_empty() {
         if !quiet {

@@ -64,20 +64,23 @@ pub fn usage() -> &'static str {
 
 USAGE:
   nullgraph generate --dist <file> --out <file> [--seed N] [--swaps N] [--refine N]
-            [--refine-tol F]
+            [--refine-tol F] [--metrics <file>]
       Generate a uniformly-random simple graph from a degree distribution
       (one 'degree count' pair per line). With --refine-tol the probability
       refinement must converge below F or the run fails with
-      error_code=solver_not_converged.
+      error_code=solver_not_converged. --metrics writes a JSON
+      MetricsSnapshot of pipeline counters and phase timings.
 
   nullgraph mix --input <file> --out <file> [--iterations N] [--seed N]
-            [--until-mixed] [--threshold F] [--budget-ms N]
+            [--until-mixed] [--threshold F] [--budget-ms N] [--metrics <file>]
       Uniformly mix an existing edge list ('u v' per line) with parallel
       double-edge swaps; degrees are preserved exactly. With --until-mixed,
       --iterations becomes a sweep budget: the run stops once the fraction
       of edges ever swapped reaches --threshold (default 0.99), and fails
       with error_code=mixing_budget_exceeded if the budget (or the optional
-      --budget-ms wall clock) runs out first.
+      --budget-ms wall clock) runs out first. --budget-ms 0 is an already-
+      expired deadline, not 'no deadline'. --metrics writes the counter
+      snapshot plus exact per-sweep accept counts as JSON.
 
   nullgraph lfr --dist <file> --mu F --min-comm N --max-comm N
             [--exponent F] [--swaps N] [--seed N] --out <file> [--communities <file>]
@@ -95,6 +98,7 @@ USAGE:
 
   nullgraph verify [--sequence d1,d2,...] [--trials N] [--sweeps N]
             [--replicates N] [--alpha F] [--seed N] [--json] [--control]
+            [--metrics <file>]
       Statistically verify the swap chain's uniformity against the exactly
       enumerated realizations of small degree sequences (chi-square,
       Bonferroni-corrected) and the edge-skip generator's per-pair edge

@@ -141,6 +141,173 @@ fn starved_mixing_budget_is_exit_7_and_writes_partial_result() {
 }
 
 #[test]
+fn budget_ms_zero_is_an_expired_deadline_exit_7() {
+    // `--budget-ms 0` must mean "deadline already passed" — zero completed
+    // sweeps, exit 7, and the untouched input written as the partial result.
+    // (It used to be silently conflated with the flag being absent.)
+    let input = write("zero_budget.txt", "0 1\n2 3\n4 5\n6 7\n");
+    let out = tmp("zero_budget_out.txt");
+    std::fs::remove_file(&out).ok();
+    let r = nullgraph(&[
+        "mix",
+        "--input",
+        input.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+        "--until-mixed",
+        "--iterations",
+        "50",
+        "--budget-ms",
+        "0",
+        "--seed",
+        "1",
+    ]);
+    assert_eq!(r.status.code(), Some(7), "stderr: {}", stderr(&r));
+    let err = stderr(&r);
+    assert!(err.contains("error_code=mixing_budget_exceeded"), "{err}");
+    assert!(err.contains("0/50 sweeps"), "zero sweeps completed: {err}");
+    assert!(out.exists(), "partial result must still be written");
+}
+
+#[test]
+fn absent_budget_ms_means_no_deadline() {
+    // Without --budget-ms the same easily-mixed input succeeds: absence of
+    // the flag (not a zero value) is what disables the wall clock.
+    let input = write("no_budget.txt", "0 1\n2 3\n4 5\n6 7\n");
+    let out = tmp("no_budget_out.txt");
+    let r = nullgraph(&[
+        "mix",
+        "--input",
+        input.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+        "--until-mixed",
+        "--iterations",
+        "200",
+        "--threshold",
+        "0.5",
+        "--seed",
+        "1",
+    ]);
+    assert_eq!(r.status.code(), Some(0), "stderr: {}", stderr(&r));
+}
+
+#[test]
+fn non_numeric_budget_ms_is_usage_exit_2() {
+    let input = write("bad_budget.txt", "0 1\n2 3\n");
+    let r = nullgraph(&[
+        "mix",
+        "--input",
+        input.to_str().unwrap(),
+        "--out",
+        tmp("bad_budget_out.txt").to_str().unwrap(),
+        "--until-mixed",
+        "--budget-ms",
+        "soon",
+    ]);
+    assert_eq!(r.status.code(), Some(2), "stderr: {}", stderr(&r));
+    assert!(stderr(&r).contains("error_code=usage"), "{}", stderr(&r));
+}
+
+#[test]
+fn generate_metrics_writes_snapshot_json() {
+    let dist = write("metrics_dist.txt", "2 30\n4 10\n");
+    let out = tmp("metrics_graph.txt");
+    let metrics = tmp("metrics_generate.json");
+    std::fs::remove_file(&metrics).ok();
+    let r = nullgraph(&[
+        "generate",
+        "--dist",
+        dist.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+        "--seed",
+        "3",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert_eq!(r.status.code(), Some(0), "stderr: {}", stderr(&r));
+    let json = std::fs::read_to_string(&metrics).expect("metrics file");
+    for key in [
+        "\"schema\": \"metrics_snapshot_v1\"",
+        "\"swap\"",
+        "\"proposals\"",
+        "\"edgeskip\"",
+        "\"sinkhorn\"",
+        "\"phases_ns\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}
+
+#[test]
+fn mix_metrics_embeds_per_sweep_stats() {
+    let input = write("metrics_mix_in.txt", "0 1\n2 3\n4 5\n6 7\n1 2\n");
+    let out = tmp("metrics_mix_out.txt");
+    let metrics = tmp("metrics_mix.json");
+    std::fs::remove_file(&metrics).ok();
+    let r = nullgraph(&[
+        "mix",
+        "--input",
+        input.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+        "--iterations",
+        "3",
+        "--seed",
+        "9",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert_eq!(r.status.code(), Some(0), "stderr: {}", stderr(&r));
+    let json = std::fs::read_to_string(&metrics).expect("metrics file");
+    assert!(json.contains("\"snapshot\""), "{json}");
+    assert!(json.contains("\"sweeps\""), "{json}");
+    assert!(json.contains("\"successful_swaps\""), "{json}");
+    assert!(json.contains("\"wall_clock_exceeded\": false"), "{json}");
+}
+
+#[test]
+fn mix_metrics_written_even_when_budget_expires() {
+    let input = write("metrics_partial_in.txt", "0 1\n1 2\n");
+    let out = tmp("metrics_partial_out.txt");
+    let metrics = tmp("metrics_partial.json");
+    std::fs::remove_file(&metrics).ok();
+    let r = nullgraph(&[
+        "mix",
+        "--input",
+        input.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+        "--until-mixed",
+        "--iterations",
+        "2",
+        "--threshold",
+        "0.5",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert_eq!(r.status.code(), Some(7), "stderr: {}", stderr(&r));
+    let json = std::fs::read_to_string(&metrics).expect("post-mortem snapshot");
+    assert!(json.contains("\"metrics_snapshot_v1\""), "{json}");
+}
+
+#[test]
+fn empty_metrics_path_is_usage_exit_2() {
+    let dist = write("metrics_empty_dist.txt", "2 10\n");
+    let r = nullgraph(&[
+        "generate",
+        "--dist",
+        dist.to_str().unwrap(),
+        "--out",
+        tmp("metrics_empty_out.txt").to_str().unwrap(),
+        "--metrics",
+    ]);
+    assert_eq!(r.status.code(), Some(2), "stderr: {}", stderr(&r));
+    assert!(stderr(&r).contains("error_code=usage"), "{}", stderr(&r));
+}
+
+#[test]
 fn stalled_refinement_is_exit_8() {
     // Heavy-tailed enough that three Sinkhorn rounds leave a real residual.
     let dist = write("stall_dist.txt", "1 400\n2 150\n4 60\n10 12\n30 4\n");

@@ -26,6 +26,7 @@
 
 use crate::{hash64, Probe, TableFullError, EMPTY};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Number of backing slots for `capacity` keys at a load factor of at most
 /// 0.5 (shared sizing rule of every table in this crate).
@@ -48,6 +49,10 @@ pub struct EpochHashSet {
     mask: usize,
     probe: Probe,
     occupied: AtomicUsize,
+    /// When attached, successful insertions record their probe length
+    /// (number of slots examined); recording is a relaxed atomic add and
+    /// never changes table behavior.
+    probe_hist: Option<Arc<obs::Histogram>>,
 }
 
 impl EpochHashSet {
@@ -69,7 +74,14 @@ impl EpochHashSet {
             mask: size - 1,
             probe,
             occupied: AtomicUsize::new(0),
+            probe_hist: None,
         }
+    }
+
+    /// Attach (or detach, with `None`) a histogram recording the probe
+    /// length of every successful insertion.
+    pub fn set_probe_histogram(&mut self, hist: Option<Arc<obs::Histogram>>) {
+        self.probe_hist = hist;
     }
 
     /// Number of slots in the backing array.
@@ -161,6 +173,9 @@ impl EpochHashSet {
                         self.slots[idx].store(key, Ordering::Relaxed);
                         self.tags[idx].store(live, Ordering::Release);
                         self.occupied.fetch_add(1, Ordering::Relaxed);
+                        if let Some(h) = &self.probe_hist {
+                            h.record(it as u64);
+                        }
                         return Ok(false);
                     }
                     Err(_) => continue, // lost the claim race — re-examine
@@ -236,6 +251,8 @@ pub struct EpochHashMap {
     mask: usize,
     probe: Probe,
     occupied: AtomicUsize,
+    /// As [`EpochHashSet`]: probe lengths of successful first claims.
+    probe_hist: Option<Arc<obs::Histogram>>,
 }
 
 impl EpochHashMap {
@@ -256,7 +273,14 @@ impl EpochHashMap {
             mask: size - 1,
             probe,
             occupied: AtomicUsize::new(0),
+            probe_hist: None,
         }
+    }
+
+    /// Attach (or detach, with `None`) a histogram recording the probe
+    /// length of every first claim of a key.
+    pub fn set_probe_histogram(&mut self, hist: Option<Arc<obs::Histogram>>) {
+        self.probe_hist = hist;
     }
 
     /// Number of slots in the backing array.
@@ -345,6 +369,9 @@ impl EpochHashMap {
                         self.values[idx].store(value, Ordering::Relaxed);
                         self.tags[idx].store(live, Ordering::Release);
                         self.occupied.fetch_add(1, Ordering::Relaxed);
+                        if let Some(h) = &self.probe_hist {
+                            h.record(it as u64);
+                        }
                         return Ok(());
                     }
                     Err(_) => continue,

@@ -407,7 +407,7 @@ impl std::fmt::Debug for AtomicHashSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use proptest_lite::prelude::*;
     use std::collections::HashSet;
 
     #[test]
@@ -684,7 +684,7 @@ mod tests {
     proptest! {
         #[test]
         fn prop_map_holds_minimum(
-            claims in proptest::collection::vec((0u64..64, 0u64..1000), 0..500)
+            claims in proptest_lite::collection::vec((0u64..64, 0u64..1000), 0..500)
         ) {
             let map = AtomicHashMap::new(64);
             let mut reference = std::collections::HashMap::new();
@@ -699,7 +699,7 @@ mod tests {
         }
 
         #[test]
-        fn prop_set_semantics(keys in proptest::collection::vec(0u64..1000, 0..2000)) {
+        fn prop_set_semantics(keys in proptest_lite::collection::vec(0u64..1000, 0..2000)) {
             let set = AtomicHashSet::new(keys.len().max(1));
             let mut reference = HashSet::new();
             for &k in &keys {
@@ -713,7 +713,7 @@ mod tests {
         }
 
         #[test]
-        fn prop_contains_negative(keys in proptest::collection::hash_set(0u64..1_000_000, 1..500), probe_q in any::<bool>()) {
+        fn prop_contains_negative(keys in proptest_lite::collection::hash_set(0u64..1_000_000, 1..500), probe_q in any::<bool>()) {
             let probe = if probe_q { Probe::Quadratic } else { Probe::Linear };
             let set = AtomicHashSet::with_probe(keys.len(), probe);
             for &k in &keys {

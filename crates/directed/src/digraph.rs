@@ -302,7 +302,7 @@ impl DiDegreeDistribution {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use proptest_lite::prelude::*;
 
     #[test]
     fn diedge_basics() {
@@ -407,7 +407,7 @@ mod tests {
     proptest! {
         #[test]
         fn prop_joint_distribution_consistent(
-            joint in proptest::collection::vec((0u32..5, 0u32..5), 1..50)
+            joint in proptest_lite::collection::vec((0u32..5, 0u32..5), 1..50)
         ) {
             let dist = DiDegreeDistribution::from_joint_degrees(&joint);
             prop_assert_eq!(dist.num_vertices() as usize, joint.len());

@@ -135,7 +135,7 @@ fn attempt(pair: &mut [DiEdge], table: &EpochHashSet) -> u64 {
 mod tests {
     use super::*;
     use crate::havel_hakimi_directed;
-    use proptest::prelude::*;
+    use proptest_lite::prelude::*;
 
     fn ring(n: u32) -> DiEdgeList {
         DiEdgeList::from_edges(
@@ -207,7 +207,7 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(48))]
         #[test]
         fn prop_swaps_preserve_degrees_and_simplicity(
-            seq in proptest::collection::vec((0u32..4, 0u32..4), 6..40),
+            seq in proptest_lite::collection::vec((0u32..4, 0u32..4), 6..40),
             seed in any::<u64>()
         ) {
             // Balance the sequence so it has a chance of realizing.

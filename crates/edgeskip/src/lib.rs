@@ -84,6 +84,18 @@ pub fn try_generate(
     dist: &DegreeDistribution,
     seed: u64,
 ) -> Result<EdgeList, fault::GenError> {
+    try_generate_with_metrics(probs, dist, seed, None)
+}
+
+/// As [`try_generate`], tallying `edgeskip_edges` / `edgeskip_skips` into
+/// `metrics` when attached (one pair of atomic adds per parallel task;
+/// counting never alters the sampled edges).
+pub fn try_generate_with_metrics(
+    probs: &ProbMatrix,
+    dist: &DegreeDistribution,
+    seed: u64,
+    metrics: Option<&obs::Metrics>,
+) -> Result<EdgeList, fault::GenError> {
     let dcount = dist.num_classes();
     if probs.num_classes() != dcount {
         return Err(fault::GenError::bad_input(format!(
@@ -135,7 +147,15 @@ pub fn try_generate(
     let per_task: Vec<Vec<Edge>> = tasks
         .par_iter()
         .enumerate()
-        .map(|(t, task)| run_task(task, probs, counts, &offsets, seed, t as u64))
+        .map(|(t, task)| {
+            let edges = run_task(task, probs, counts, &offsets, seed, t as u64);
+            if let Some(m) = metrics {
+                let span = task.end - task.start + 1;
+                m.edgeskip_edges.add(edges.len() as u64);
+                m.edgeskip_skips.add(span - edges.len() as u64);
+            }
+            edges
+        })
         .collect();
     let total: usize = per_task.iter().map(Vec::len).sum();
     let mut edges = Vec::with_capacity(total);
@@ -372,13 +392,13 @@ mod tests {
 
     mod property {
         use super::*;
-        use proptest::prelude::*;
+        use proptest_lite::prelude::*;
 
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(48))]
             #[test]
             fn prop_output_simple_and_in_range(
-                classes in proptest::collection::btree_map(1u32..20, 1u64..30, 1..5),
+                classes in proptest_lite::collection::btree_map(1u32..20, 1u64..30, 1..5),
                 seed in any::<u64>()
             ) {
                 let pairs: Vec<(u32, u64)> = classes.into_iter().collect();

@@ -89,7 +89,7 @@ fn tri(u: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use proptest_lite::prelude::*;
 
     #[test]
     fn triangular_decode_first_positions() {

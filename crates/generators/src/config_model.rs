@@ -54,7 +54,7 @@ pub fn repeated_configuration(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use proptest_lite::prelude::*;
 
     fn dist(pairs: &[(u32, u64)]) -> DegreeDistribution {
         DegreeDistribution::from_pairs(pairs.to_vec()).unwrap()
@@ -94,7 +94,7 @@ mod tests {
     proptest! {
         #[test]
         fn prop_degrees_always_exact(
-            pairs in proptest::collection::btree_map(1u32..8, 1u64..12, 1..5),
+            pairs in proptest_lite::collection::btree_map(1u32..8, 1u64..12, 1..5),
             seed in any::<u64>()
         ) {
             let mut pairs: Vec<(u32, u64)> = pairs.into_iter().collect();

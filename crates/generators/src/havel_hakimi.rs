@@ -66,7 +66,7 @@ pub fn havel_hakimi_sequence(seq: &DegreeSequence) -> Option<EdgeList> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use proptest_lite::prelude::*;
 
     #[test]
     fn realizes_regular_graph() {
@@ -120,7 +120,7 @@ mod tests {
     proptest! {
         #[test]
         fn prop_agrees_with_erdos_gallai(
-            degs in proptest::collection::vec(0u32..10, 1..60)
+            degs in proptest_lite::collection::vec(0u32..10, 1..60)
         ) {
             let seq = DegreeSequence::new(degs);
             let realized = havel_hakimi_sequence(&seq);

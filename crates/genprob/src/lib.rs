@@ -248,6 +248,23 @@ pub fn sinkhorn_refine(probs: &mut ProbMatrix, dist: &DegreeDistribution, rounds
     max_relative_residual(probs, dist)
 }
 
+/// As [`sinkhorn_refine`], recording the rounds run and the final residual
+/// into `metrics` when attached (`sinkhorn_rounds` counter,
+/// `sinkhorn_residual` gauge). Recording never alters the refinement.
+pub fn sinkhorn_refine_with_metrics(
+    probs: &mut ProbMatrix,
+    dist: &DegreeDistribution,
+    rounds: usize,
+    metrics: Option<&obs::Metrics>,
+) -> f64 {
+    let residual = sinkhorn_refine(probs, dist, rounds);
+    if let Some(m) = metrics {
+        m.sinkhorn_rounds.add(rounds as u64);
+        m.sinkhorn_residual.set(residual);
+    }
+    residual
+}
+
 /// Outcome of a tolerance-targeted refinement run
 /// ([`sinkhorn_refine_to_tolerance`]).
 ///
@@ -290,6 +307,23 @@ pub fn sinkhorn_refine_to_tolerance(
         tolerance,
         converged: residual <= tolerance,
     }
+}
+
+/// As [`sinkhorn_refine_to_tolerance`], recording the rounds run and the
+/// final residual into `metrics` when attached.
+pub fn sinkhorn_refine_to_tolerance_with_metrics(
+    probs: &mut ProbMatrix,
+    dist: &DegreeDistribution,
+    max_rounds: usize,
+    tolerance: f64,
+    metrics: Option<&obs::Metrics>,
+) -> SinkhornReport {
+    let report = sinkhorn_refine_to_tolerance(probs, dist, max_rounds, tolerance);
+    if let Some(m) = metrics {
+        m.sinkhorn_rounds.add(report.rounds_run as u64);
+        m.sinkhorn_residual.set(report.residual);
+    }
+    report
 }
 
 /// Maximum over classes of `|E_j − d_j| / d_j` (zero-degree classes are
@@ -494,12 +528,12 @@ mod tests {
 
     mod property {
         use super::*;
-        use proptest::prelude::*;
+        use proptest_lite::prelude::*;
 
         /// Random valid degree distributions: ascending unique degrees with
         /// positive counts, parity fixed.
         fn arb_distribution() -> impl Strategy<Value = DegreeDistribution> {
-            proptest::collection::btree_map(1u32..40, 1u64..50, 1..8).prop_map(|map| {
+            proptest_lite::collection::btree_map(1u32..40, 1u64..50, 1..8).prop_map(|map| {
                 let mut pairs: Vec<(u32, u64)> = map.into_iter().collect();
                 let stubs: u64 = pairs.iter().map(|&(d, c)| d as u64 * c).sum();
                 if stubs % 2 == 1 {

@@ -295,7 +295,7 @@ impl DegreeDistribution {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use proptest_lite::prelude::*;
 
     #[test]
     fn sequence_basics() {
@@ -402,7 +402,7 @@ mod tests {
     proptest! {
         #[test]
         fn prop_distribution_graphical_equals_sequence(
-            degs in proptest::collection::vec(0u32..12, 1..40)
+            degs in proptest_lite::collection::vec(0u32..12, 1..40)
         ) {
             let seq = DegreeSequence::new(degs);
             let dist = seq.distribution();
@@ -411,7 +411,7 @@ mod tests {
 
         #[test]
         fn prop_expand_round_trips(
-            pairs in proptest::collection::btree_map(1u32..30, 1u64..20, 1..10)
+            pairs in proptest_lite::collection::btree_map(1u32..30, 1u64..20, 1..10)
         ) {
             let mut pairs: Vec<(u32, u64)> = pairs.into_iter().collect();
             // Fix parity by bumping a count.

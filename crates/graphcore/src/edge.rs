@@ -90,7 +90,7 @@ impl std::fmt::Display for Edge {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use proptest_lite::prelude::*;
 
     #[test]
     fn canonical_order() {

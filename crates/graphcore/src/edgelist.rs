@@ -206,7 +206,7 @@ impl FromIterator<Edge> for EdgeList {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use proptest_lite::prelude::*;
 
     fn triangle() -> EdgeList {
         EdgeList::from_pairs([(0, 1), (1, 2), (0, 2)])
@@ -294,7 +294,7 @@ mod tests {
     proptest! {
         #[test]
         fn prop_induced_subgraph_degrees_bounded(
-            pairs in proptest::collection::vec((0u32..20, 0u32..20), 1..100),
+            pairs in proptest_lite::collection::vec((0u32..20, 0u32..20), 1..100),
             take in 1usize..15
         ) {
             let g = EdgeList::from_pairs(pairs);
@@ -311,7 +311,7 @@ mod tests {
 
         #[test]
         fn prop_degree_sum_is_twice_edges(
-            pairs in proptest::collection::vec((0u32..50, 0u32..50), 0..200)
+            pairs in proptest_lite::collection::vec((0u32..50, 0u32..50), 0..200)
         ) {
             let g = EdgeList::from_pairs(pairs);
             let total: u64 = g.degree_sequence().degrees().iter().map(|&d| d as u64).sum();
@@ -320,7 +320,7 @@ mod tests {
 
         #[test]
         fn prop_erase_makes_simple(
-            pairs in proptest::collection::vec((0u32..30, 0u32..30), 0..300)
+            pairs in proptest_lite::collection::vec((0u32..30, 0u32..30), 0..300)
         ) {
             let mut g = EdgeList::from_pairs(pairs);
             g.erase_violations();
@@ -330,7 +330,7 @@ mod tests {
 
         #[test]
         fn prop_report_agrees_with_is_simple(
-            pairs in proptest::collection::vec((0u32..20, 0u32..20), 0..150)
+            pairs in proptest_lite::collection::vec((0u32..20, 0u32..20), 0..150)
         ) {
             let g = EdgeList::from_pairs(pairs);
             prop_assert_eq!(g.is_simple(), g.simplicity_report().is_simple());

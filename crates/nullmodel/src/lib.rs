@@ -51,6 +51,7 @@ pub use validate::ValidationReport;
 
 use genprob::SinkhornReport;
 use graphcore::{DegreeDistribution, EdgeList};
+use std::sync::Arc;
 use std::time::Instant;
 use swap::{RecoveryPolicy, SwapConfig, SwapStats, SwapWorkspace};
 
@@ -80,6 +81,11 @@ pub struct GeneratorConfig {
     /// refinement is a typed [`GenError::SolverNotConverged`] from the
     /// `try_*` entry points instead of a silently-accepted residual.
     pub refine_tolerance: Option<f64>,
+    /// When set, the run records counters, probe-length histograms and
+    /// per-phase span timers into this shared registry (see the `obs`
+    /// crate). Instrumentation is read-only: the generated graph is
+    /// byte-identical with or without it.
+    pub metrics: Option<Arc<obs::Metrics>>,
 }
 
 impl GeneratorConfig {
@@ -91,6 +97,7 @@ impl GeneratorConfig {
             refine_rounds: 0,
             track_violations: false,
             refine_tolerance: None,
+            metrics: None,
         }
     }
 
@@ -110,6 +117,12 @@ impl GeneratorConfig {
     /// [`GeneratorConfig::refine_tolerance`]).
     pub fn with_refine_tolerance(mut self, tolerance: f64) -> Self {
         self.refine_tolerance = Some(tolerance);
+        self
+    }
+
+    /// Record metrics into `registry` (see [`GeneratorConfig::metrics`]).
+    pub fn with_metrics(mut self, registry: Arc<obs::Metrics>) -> Self {
+        self.metrics = Some(registry);
         self
     }
 }
@@ -197,8 +210,12 @@ pub fn try_generate_from_distribution_with_workspace(
         }
     }
     let mut timings = PhaseTimings::default();
+    attach_metrics(cfg, ws);
+    let metrics = ws.metrics().cloned();
+    let metrics = metrics.as_deref();
 
     let t0 = Instant::now();
+    let probability_span = metrics.map(|m| m.phase_probabilities_ns.start_span());
     let mut probs = genprob::heuristic_probabilities(dist);
     let mut refine = None;
     let probability_residual = if let Some(tolerance) = cfg.refine_tolerance {
@@ -207,7 +224,9 @@ pub fn try_generate_from_distribution_with_workspace(
         } else {
             DEFAULT_REFINE_ROUNDS
         };
-        let report = genprob::sinkhorn_refine_to_tolerance(&mut probs, dist, max_rounds, tolerance);
+        let report = genprob::sinkhorn_refine_to_tolerance_with_metrics(
+            &mut probs, dist, max_rounds, tolerance, metrics,
+        );
         if !report.converged {
             return Err(GenError::SolverNotConverged {
                 residual: report.residual,
@@ -218,14 +237,26 @@ pub fn try_generate_from_distribution_with_workspace(
         refine = Some(report);
         report.residual
     } else if cfg.refine_rounds > 0 {
-        genprob::sinkhorn_refine(&mut probs, dist, cfg.refine_rounds)
+        genprob::sinkhorn_refine_with_metrics(&mut probs, dist, cfg.refine_rounds, metrics)
     } else {
-        genprob::max_relative_residual(&probs, dist)
+        let residual = genprob::max_relative_residual(&probs, dist);
+        if let Some(m) = metrics {
+            m.sinkhorn_residual.set(residual);
+        }
+        residual
     };
+    drop(probability_span);
     timings.probabilities = t0.elapsed();
 
     let t1 = Instant::now();
-    let mut graph = edgeskip::try_generate(&probs, dist, parutil::rng::mix64(cfg.seed ^ 0xE5CE))?;
+    let edge_span = metrics.map(|m| m.phase_edge_generation_ns.start_span());
+    let mut graph = edgeskip::try_generate_with_metrics(
+        &probs,
+        dist,
+        parutil::rng::mix64(cfg.seed ^ 0xE5CE),
+        metrics,
+    )?;
+    drop(edge_span);
     timings.edge_generation = t1.elapsed();
 
     let t2 = Instant::now();
@@ -283,6 +314,7 @@ pub fn try_generate_from_edge_list_with_workspace(
     ws: &mut SwapWorkspace,
 ) -> Result<(SwapStats, PhaseTimings), GenError> {
     let mut timings = PhaseTimings::default();
+    attach_metrics(cfg, ws);
     let t = Instant::now();
     let mut swap_cfg = SwapConfig::new(cfg.swap_iterations, parutil::rng::mix64(cfg.seed ^ 0x5A9));
     swap_cfg.track_violations = cfg.track_violations;
@@ -342,6 +374,16 @@ pub fn try_uniform_reference_with_workspace(
         &RecoveryPolicy::default(),
     )?;
     Ok(graph)
+}
+
+/// Propagate a config-supplied metrics registry into the swap workspace
+/// (which owns the instrumentation hooks of the swap phase). A config
+/// without metrics leaves any registry already attached to the workspace in
+/// place, so callers may wire metrics through either route.
+fn attach_metrics(cfg: &GeneratorConfig, ws: &mut SwapWorkspace) {
+    if cfg.metrics.is_some() {
+        ws.set_metrics(cfg.metrics.clone());
+    }
 }
 
 /// A [`GenError::NonGraphical`] naming the specific condition `dist`

@@ -49,7 +49,7 @@ pub fn parallel_histogram(values: &[u32]) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use proptest_lite::prelude::*;
 
     fn serial_histogram(values: &[u32]) -> Vec<u64> {
         if values.is_empty() {
@@ -85,7 +85,7 @@ mod tests {
 
     proptest! {
         #[test]
-        fn prop_matches_serial(values in proptest::collection::vec(0u32..500, 0..5000)) {
+        fn prop_matches_serial(values in proptest_lite::collection::vec(0u32..500, 0..5000)) {
             prop_assert_eq!(parallel_histogram(&values), serial_histogram(&values));
         }
     }

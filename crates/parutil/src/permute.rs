@@ -238,7 +238,7 @@ unsafe impl<T> Sync for SendPtr<T> {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use proptest_lite::prelude::*;
 
     fn is_permutation(v: &[u32], n: usize) -> bool {
         let mut seen = vec![false; n];

@@ -80,7 +80,7 @@ unsafe impl<T> Sync for SendPtr<T> {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use proptest_lite::prelude::*;
 
     #[test]
     fn exclusive_basic() {
@@ -115,7 +115,7 @@ mod tests {
 
     proptest! {
         #[test]
-        fn prop_parallel_equals_serial(values in proptest::collection::vec(0u64..1_000_000, 0..20_000)) {
+        fn prop_parallel_equals_serial(values in proptest_lite::collection::vec(0u64..1_000_000, 0..20_000)) {
             prop_assert_eq!(
                 parallel_exclusive_prefix_sum(&values),
                 exclusive_prefix_sum(&values)
@@ -123,7 +123,7 @@ mod tests {
         }
 
         #[test]
-        fn prop_exclusive_monotone_and_total(values in proptest::collection::vec(0u64..1000, 0..500)) {
+        fn prop_exclusive_monotone_and_total(values in proptest_lite::collection::vec(0u64..1000, 0..500)) {
             let out = exclusive_prefix_sum(&values);
             prop_assert_eq!(out.len(), values.len() + 1);
             for w in out.windows(2) {

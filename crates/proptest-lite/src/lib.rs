@@ -1,0 +1,655 @@
+//! A deterministic, dependency-free property-testing kit exposing the
+//! subset of the `proptest` macro surface this workspace uses.
+//!
+//! The vendored `proptest` stub in the offline build environment has no
+//! `prelude` module and no `proptest!` macro, which left every property
+//! test in the workspace unable to compile. This crate replaces it with a
+//! small, fully in-repo implementation of the same call-site syntax:
+//!
+//! ```
+//! use proptest_lite::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(64))]
+//!     #[test]
+//!     fn addition_commutes(a in 0u32..1000, b in any::<u32>()) {
+//!         prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+//!     }
+//! }
+//! ```
+//!
+//! Differences from real `proptest`, by design:
+//!
+//! * **Deterministic**: the case stream is a pure function of the test's
+//!   module path and name (FNV-1a hashed into a SplitMix64 stream), so a
+//!   failure reproduces on every run and on every machine. Set
+//!   `PROPTEST_LITE_SEED=<n>` to re-seed the whole stream.
+//! * **No shrinking**: a failing case reports its exact inputs instead of
+//!   searching for a smaller one. Inputs here are small (the strategies are
+//!   ranges, tuples and bounded collections), so raw inputs are readable.
+//! * **Strategies are generators**: [`Strategy`] is a plain "sample a value
+//!   from an RNG" trait; there is no intermediate value tree.
+//!
+//! Supported surface: integer range / range-inclusive strategies, tuples,
+//! [`any`], `prop_map`, [`collection::vec`], [`collection::btree_map`],
+//! [`collection::hash_set`], [`Just`], and the `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!` macros with an
+//! optional `#![proptest_config(...)]` header.
+
+// The module-level usage example necessarily contains `#[test]`: it shows
+// the `proptest!` call-site syntax, and the macro requires the attribute.
+#![allow(clippy::test_attr_in_doctest)]
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+/// Everything a `proptest!` call site needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRng,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic per-case RNG (SplitMix64): every generated value is a pure
+/// function of the case seed, independent of thread scheduling.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG starting from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniformly-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero. The modulo
+    /// bias is at most `bound / 2^64` — irrelevant at test-input scales.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// FNV-1a over the test's full path: the per-test base seed.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A source of random test inputs. Unlike real proptest there is no value
+/// tree: a strategy samples a final value directly from the RNG.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value: fmt::Debug;
+
+    /// Sample one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every sampled value with `f` (the `proptest` combinator of
+    /// the same name).
+    fn prop_map<U: fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, U: fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// A strategy producing one fixed value (cloned per case).
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {self:?}");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy {self:?}");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                // A full-domain inclusive range wraps the span; the raw
+                // draw is already uniform over the whole domain then.
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategies {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {self:?}");
+                // 53 random bits -> uniform in [0, 1); exact in f64 and
+                // never rounds up to 1.0, so the end stays exclusive.
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = self.start as f64 + (self.end as f64 - self.start as f64) * unit;
+                if (v as $t) < self.end { v as $t } else { self.start }
+            }
+        }
+    )+};
+}
+
+float_range_strategies!(f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+// ---------------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Sample a uniformly-random value over the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T` (`any::<u64>()`, `any::<bool>()`, ...).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Size ranges for collections
+// ---------------------------------------------------------------------------
+
+/// Number-of-elements bound for collection strategies: `[lo, hi)`, matching
+/// proptest's convention that `1..60` means 1 to 59 elements.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.lo < self.hi, "empty collection size range");
+        self.lo + rng.below((self.hi - self.lo) as u64) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi: r.end().saturating_add(1),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config, case outcome, runner
+// ---------------------------------------------------------------------------
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Successful (non-rejected) cases to run per test.
+    pub cases: u32,
+    /// Total `prop_assume!` rejections tolerated before the test fails as
+    /// too sparse.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// `cases` successful cases with the default rejection budget.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            max_global_rejects: cases.saturating_mul(64).max(1024),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self::with_cases(256)
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the message describes it.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case does not count.
+    Reject(String),
+}
+
+/// What a case body returns (`Ok(())` on success; `prop_assert!` and
+/// `prop_assume!` early-return the error variants).
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Format a value's `Debug` into a string buffer (macro plumbing).
+#[doc(hidden)]
+pub fn __fmt_debug(out: &mut String, value: &impl fmt::Debug) {
+    let _ = write!(out, "{value:?}");
+}
+
+/// Drive one property test: keep sampling cases until `config.cases`
+/// accepted cases passed, a case failed, or the rejection budget ran out.
+///
+/// This is the expansion target of [`proptest!`]; call sites never invoke
+/// it directly. The case closure receives the per-case RNG and a buffer it
+/// fills with the case's rendered inputs (so panics from inside the body
+/// can still report them).
+pub fn run_cases<F>(config: &ProptestConfig, test_path: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng, &mut String) -> TestCaseResult,
+{
+    let base_seed = std::env::var("PROPTEST_LITE_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fnv1a(test_path));
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut case_idx = 0u64;
+    let mut inputs = String::new();
+    while accepted < config.cases {
+        let case_seed =
+            TestRng::new(base_seed ^ case_idx.wrapping_mul(0xA076_1D64_78BD_642F)).next_u64();
+        let mut rng = TestRng::new(case_seed);
+        inputs.clear();
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng, &mut inputs)));
+        match outcome {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(TestCaseError::Reject(why))) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "{test_path}: gave up after {rejected} rejected cases \
+                         ({accepted} accepted); last rejection: {why}"
+                    );
+                }
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "{test_path}: case {case_idx} failed: {msg}\n\
+                     inputs:\n{inputs}\
+                     (deterministic; re-run the test to reproduce, or set \
+                     PROPTEST_LITE_SEED={base_seed} explicitly)"
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "{test_path}: case {case_idx} panicked\ninputs:\n{inputs}\
+                     (deterministic; re-run the test to reproduce)"
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+        case_idx += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests: `proptest! { #[test] fn name(x in strategy) { body } }`
+/// with an optional `#![proptest_config(...)]` first line. Each test keeps
+/// drawing inputs from its strategies until the configured number of cases
+/// passes; `prop_assert*` failures report the exact inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(
+                &config,
+                concat!(module_path!(), "::", stringify!($name)),
+                |rng: &mut $crate::TestRng, rendered: &mut String| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                    $(
+                        rendered.push_str(concat!("  ", stringify!($arg), " = "));
+                        $crate::__fmt_debug(rendered, &$arg);
+                        rendered.push('\n');
+                    )+
+                    let case = move || -> $crate::TestCaseResult {
+                        $body
+                        Ok(())
+                    };
+                    case()
+                },
+            );
+        }
+    )*};
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`: fail the
+/// current case (reporting its inputs) without panicking mid-body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)`: fail the case when `left != right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+/// `prop_assert_ne!(left, right)`: fail the case when `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// `prop_assume!(cond)`: reject the current case (it does not count toward
+/// the case budget) when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..10_000 {
+            let v = Strategy::generate(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let w = Strategy::generate(&(-5i32..5), &mut rng);
+            assert!((-5..5).contains(&w));
+            let x = Strategy::generate(&(0u64..=10), &mut rng);
+            assert!(x <= 10);
+        }
+    }
+
+    #[test]
+    fn range_hits_every_value() {
+        let mut rng = TestRng::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[Strategy::generate(&(0usize..8), &mut rng)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "some values never sampled: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            let v = Strategy::generate(&crate::collection::vec(0u32..10, 1..6), &mut rng);
+            assert!((1..6).contains(&v.len()));
+            let m: BTreeMap<u32, u64> = Strategy::generate(
+                &crate::collection::btree_map(1u32..8, 1u64..12, 1..5),
+                &mut rng,
+            );
+            assert!(
+                (1..5).contains(&m.len()),
+                "map size {} out of range",
+                m.len()
+            );
+            let s = Strategy::generate(&crate::collection::hash_set(0u64..1000, 1..20), &mut rng);
+            assert!((1..20).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let strat = (1u32..5).prop_map(|v| v * 10);
+        let mut rng = TestRng::new(1);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failing_property_panics_with_inputs() {
+        crate::run_cases(
+            &ProptestConfig::with_cases(16),
+            "proptest_lite::self_test",
+            |rng, rendered| {
+                let v = Strategy::generate(&(0u32..100), rng);
+                rendered.push_str(&format!("  v = {v}\n"));
+                if v >= 50 {
+                    return Err(TestCaseError::Fail("v too large".into()));
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected")]
+    fn impossible_assumption_gives_up() {
+        let cfg = ProptestConfig {
+            cases: 4,
+            max_global_rejects: 10,
+        };
+        crate::run_cases(&cfg, "proptest_lite::reject_test", |_, _| {
+            Err(TestCaseError::Reject("never satisfiable".into()))
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn macro_surface_end_to_end(
+            xs in crate::collection::vec(0u32..100, 0..50),
+            seed in any::<u64>(),
+            flip in any::<bool>()
+        ) {
+            prop_assume!(seed != 0);
+            let total: u64 = xs.iter().map(|&x| u64::from(x)).sum();
+            prop_assert!(total <= 100 * 50, "total {} out of bounds", total);
+            let mut ys = xs.clone();
+            if flip {
+                ys.reverse();
+                ys.reverse();
+            }
+            prop_assert_eq!(xs, ys);
+            prop_assert_ne!(seed, 0);
+        }
+    }
+}

@@ -25,6 +25,7 @@ use parutil::rng::mix64;
 use rayon::prelude::*;
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 use swap::SwapWorkspace;
 
 /// Which sampler a uniformity run drives.
@@ -251,6 +252,19 @@ impl SwapUniformityHarness {
         kind: SamplerKind,
         cfg: &UniformityConfig,
     ) -> Result<UniformityVerdict, HarnessError> {
+        self.run_with_metrics(kind, cfg, None)
+    }
+
+    /// As [`run`](Self::run), attaching an [`obs::Metrics`] registry to
+    /// every per-thread swap workspace so the whole battery's proposals,
+    /// accepts and reject causes accumulate in one place. Counting is
+    /// read-only: verdicts are identical with or without a registry.
+    pub fn run_with_metrics(
+        &self,
+        kind: SamplerKind,
+        cfg: &UniformityConfig,
+        metrics: Option<&Arc<obs::Metrics>>,
+    ) -> Result<UniformityVerdict, HarnessError> {
         let support_size = self.support.support_size();
         let per_replicate_alpha = cfg.alpha / cfg.replicates.max(1) as f64;
         let mut replicates = Vec::with_capacity(cfg.replicates);
@@ -264,7 +278,11 @@ impl SwapUniformityHarness {
             let indices: Vec<(u64, Option<usize>)> = (0..cfg.trials)
                 .into_par_iter()
                 .fold(
-                    || (SwapWorkspace::new(), Vec::new()),
+                    || {
+                        let mut ws = SwapWorkspace::new();
+                        ws.set_metrics(metrics.cloned());
+                        (ws, Vec::new())
+                    },
                     |(mut ws, mut acc), trial| {
                         let seed = mix64(rep_seed ^ mix64(trial ^ 0xD1B5_4A32_D192_ED03));
                         let mask = self.sample(kind, cfg.sweeps, seed, &mut ws);
@@ -501,7 +519,17 @@ impl EdgeSkipExpectationHarness {
     /// pair, and binomially test each count against its class-pair
     /// probability with Bonferroni correction.
     pub fn run(&self, cfg: &ExpectationConfig) -> ExpectationVerdict {
-        self.run_against(cfg, &self.probs)
+        self.run_against_with_metrics(cfg, &self.probs, None)
+    }
+
+    /// As [`run`](Self::run), tallying generated edges and skip jumps into
+    /// `metrics` for every trial graph.
+    pub fn run_with_metrics(
+        &self,
+        cfg: &ExpectationConfig,
+        metrics: Option<&obs::Metrics>,
+    ) -> ExpectationVerdict {
+        self.run_against_with_metrics(cfg, &self.probs, metrics)
     }
 
     /// Like [`run`](Self::run), but test the observed counts against an
@@ -513,6 +541,16 @@ impl EdgeSkipExpectationHarness {
         cfg: &ExpectationConfig,
         test_probs: &genprob::ProbMatrix,
     ) -> ExpectationVerdict {
+        self.run_against_with_metrics(cfg, test_probs, None)
+    }
+
+    /// [`run_against`](Self::run_against) with an optional metrics registry.
+    pub fn run_against_with_metrics(
+        &self,
+        cfg: &ExpectationConfig,
+        test_probs: &genprob::ProbMatrix,
+        metrics: Option<&obs::Metrics>,
+    ) -> ExpectationVerdict {
         let n = self.class_of.len();
         let num_pairs = n * (n - 1) / 2;
         assert!(num_pairs > 0, "need at least two vertices");
@@ -520,7 +558,13 @@ impl EdgeSkipExpectationHarness {
         let counts: Vec<u64> = (0..cfg.trials)
             .into_par_iter()
             .map(|trial| {
-                let g = edgeskip::generate(&self.probs, &self.dist, mix64(cfg.base_seed ^ trial));
+                let g = edgeskip::try_generate_with_metrics(
+                    &self.probs,
+                    &self.dist,
+                    mix64(cfg.base_seed ^ trial),
+                    metrics,
+                )
+                .expect("harness probabilities and distribution are consistent");
                 let mut local = vec![0u64; num_pairs];
                 for e in g.edges() {
                     local[pair_index(n, e.u() as usize, e.v() as usize)] += 1;

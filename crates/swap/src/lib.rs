@@ -89,7 +89,7 @@ use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
-use workspace::Slot;
+use workspace::{Proposal, Slot};
 
 /// Configuration for a swap run.
 #[derive(Clone, Debug)]
@@ -405,6 +405,9 @@ fn run_recovering(
     loop {
         match run_until(graph, cfg, parallel && !degraded, stop_when, deadline, ws) {
             Ok(mut stats) => {
+                if let Some(m) = ws.metrics() {
+                    m.fault_events.add(events.len() as u64);
+                }
                 stats.events = events;
                 return Ok(stats);
             }
@@ -412,6 +415,9 @@ fn run_recovering(
                 if grows < policy.max_grows {
                     grows += 1;
                     let new_capacity = ws.grow_tables();
+                    if let Some(m) = ws.metrics() {
+                        m.swap_grow_retries.incr();
+                    }
                     events.push(FaultEvent::TableGrown {
                         table: fault.table,
                         occupancy: fault.occupancy,
@@ -423,6 +429,9 @@ fn run_recovering(
                 }
                 if policy.serial_fallback && parallel && !degraded {
                     degraded = true;
+                    if let Some(m) = ws.metrics() {
+                        m.swap_serial_fallbacks.incr();
+                    }
                     events.push(FaultEvent::SerialFallback { after_grows: grows });
                     continue;
                 }
@@ -535,8 +544,10 @@ fn run_until(
         permute,
         table,
         claims,
+        metrics,
         ..
     } = ws;
+    let metrics = metrics.as_deref();
     let table: &EpochHashSet = table.as_ref().expect("prepare populates the table");
     let claims = claims.as_ref().expect("prepare populates the claim map");
     slots.clear();
@@ -566,24 +577,33 @@ fn run_until(
         table.clear_shared();
         claims.clear_shared();
 
-        // Phase 1: register all current edges.
-        if parallel {
-            slots
-                .par_iter()
-                .try_for_each(|s| table.try_test_and_set(s.edge.key()).map(drop))?;
-        } else {
-            for s in slots.iter() {
-                table.try_test_and_set(s.edge.key())?;
+        // Phase 1: register all current edges. (Timed into the sweep
+        // counter: the sweep span below restarts after the permute, so the
+        // two spans together cover everything but the permute.)
+        {
+            let _span = metrics.map(|m| m.phase_sweep_ns.start_span());
+            if parallel {
+                slots
+                    .par_iter()
+                    .try_for_each(|s| table.try_test_and_set(s.edge.key()).map(drop))?;
+            } else {
+                for s in slots.iter() {
+                    table.try_test_and_set(s.edge.key())?;
+                }
             }
         }
 
         // Phase 2: permute.
-        darts_into(darts, iter_seed);
-        if parallel {
-            parallel_permute_with_darts_using(slots, darts, permute);
-        } else {
-            apply_darts_serial(slots, darts);
+        {
+            let _span = metrics.map(|m| m.phase_permute_ns.start_span());
+            darts_into(darts, iter_seed);
+            if parallel {
+                parallel_permute_with_darts_using(slots, darts, permute);
+            } else {
+                apply_darts_serial(slots, darts);
+            }
         }
+        let _sweep_span = metrics.map(|m| m.phase_sweep_ns.start_span());
 
         // Phase 3a: deterministic proposals, checked against the current
         // edge set only (never against other pairs' proposals).
@@ -610,7 +630,7 @@ fn run_until(
         // regardless of scheduling.
         if parallel {
             proposals.par_iter().enumerate().try_for_each(|(i, p)| {
-                if let Some((g, h)) = p {
+                if let Proposal::Accept(g, h) = p {
                     claims.try_claim_min(g.key(), i as u64)?;
                     claims.try_claim_min(h.key(), i as u64)?;
                 }
@@ -618,7 +638,7 @@ fn run_until(
             })?;
         } else {
             for (i, p) in proposals.iter().enumerate() {
-                if let Some((g, h)) = p {
+                if let Proposal::Accept(g, h) = p {
                     claims.try_claim_min(g.key(), i as u64)?;
                     claims.try_claim_min(h.key(), i as u64)?;
                 }
@@ -627,9 +647,9 @@ fn run_until(
 
         // Phase 3c: a pair commits iff it holds the minimum claim on both
         // of its replacement keys.
-        let proposals: &[Option<(Edge, Edge)>] = proposals;
+        let proposals: &[Proposal] = proposals;
         let commit = |pair_idx: usize, pair: &mut [Slot]| -> u64 {
-            let Some((g, h)) = proposals[pair_idx] else {
+            let Proposal::Accept(g, h) = proposals[pair_idx] else {
                 return 0;
             };
             let i = pair_idx as u64;
@@ -668,6 +688,34 @@ fn run_until(
                 .sum()
         };
 
+        if let Some(mx) = metrics {
+            // One pass over the (1-byte-tag) proposal buffer tallies the
+            // causes; conflict rejections are the candidates that survived
+            // proposal but lost the min-claim race at commit.
+            let mut candidates = 0u64;
+            let mut self_loop = 0u64;
+            let mut duplicate = 0u64;
+            let mut exists = 0u64;
+            let mut singleton = 0u64;
+            for p in proposals {
+                match p {
+                    Proposal::Accept(..) => candidates += 1,
+                    Proposal::RejectSelfLoop => self_loop += 1,
+                    Proposal::RejectDuplicate => duplicate += 1,
+                    Proposal::RejectExists => exists += 1,
+                    Proposal::RejectSingleton => singleton += 1,
+                }
+            }
+            mx.swap_sweeps.incr();
+            mx.swap_proposals.add(proposals.len() as u64);
+            mx.swap_accepts.add(successes);
+            mx.swap_reject_self_loop.add(self_loop);
+            mx.swap_reject_duplicate.add(duplicate);
+            mx.swap_reject_exists.add(exists);
+            mx.swap_reject_singleton.add(singleton);
+            mx.swap_reject_conflict.add(candidates - successes);
+        }
+
         let mut it_stats = IterationStats {
             attempted_pairs: (m / 2) as u64,
             successful_swaps: successes,
@@ -696,18 +744,13 @@ fn run_until(
 }
 
 /// Propose the double-edge swap for one adjacent pair of the permuted list.
-/// Returns `None` when the pair must self-transition: trailing singleton,
-/// self-loop replacement, duplicate replacement pair, or a replacement that
-/// already exists in the current edge set.
+/// Returns a rejection when the pair must self-transition: trailing
+/// singleton, self-loop replacement, duplicate replacement pair, or a
+/// replacement that already exists in the current edge set.
 #[inline]
-fn propose_swap(
-    pair: &[Slot],
-    pair_idx: usize,
-    iter_seed: u64,
-    table: &EpochHashSet,
-) -> Option<(Edge, Edge)> {
+fn propose_swap(pair: &[Slot], pair_idx: usize, iter_seed: u64, table: &EpochHashSet) -> Proposal {
     if pair.len() < 2 {
-        return None;
+        return Proposal::RejectSingleton;
     }
     let e = pair[0].edge;
     let f = pair[1].edge;
@@ -716,20 +759,23 @@ fn propose_swap(
     // execution order.
     let side = mix64(iter_seed ^ (pair_idx as u64) ^ 0xD1B5_4A32_D192_ED03) & 1 == 1;
     let (g, h) = e.swap_with(&f, side);
-    if g.is_self_loop() || h.is_self_loop() || g.key() == h.key() {
-        return None;
+    if g.is_self_loop() || h.is_self_loop() {
+        return Proposal::RejectSelfLoop;
+    }
+    if g.key() == h.key() {
+        return Proposal::RejectDuplicate;
     }
     if table.contains(g.key()) || table.contains(h.key()) {
-        return None;
+        return Proposal::RejectExists;
     }
-    Some((g, h))
+    Proposal::Accept(g, h)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use graphcore::DegreeDistribution;
-    use proptest::prelude::*;
+    use proptest_lite::prelude::*;
     use std::collections::HashMap;
 
     fn ring(n: u32) -> EdgeList {
@@ -1064,7 +1110,7 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
         fn prop_swaps_preserve_degrees_and_simplicity(
-            degs in proptest::collection::vec(0u32..8, 4..40),
+            degs in proptest_lite::collection::vec(0u32..8, 4..40),
             seed in any::<u64>()
         ) {
             let seq = graphcore::DegreeSequence::new(degs);

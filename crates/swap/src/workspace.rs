@@ -21,6 +21,7 @@
 use conchash::{EpochHashMap, EpochHashSet, Probe};
 use graphcore::Edge;
 use parutil::permute::PermuteScratch;
+use std::sync::Arc;
 
 /// An edge plus a flag recording whether it has ever been produced by a
 /// successful swap — the paper's empirical mixing criterion is "all edges
@@ -29,6 +30,25 @@ use parutil::permute::PermuteScratch;
 pub(crate) struct Slot {
     pub(crate) edge: Edge,
     pub(crate) swapped: bool,
+}
+
+/// Outcome of proposing a swap for one adjacent pair of the permuted edge
+/// list: either the two replacement edges, or the reason the pair must
+/// self-transition. Carrying the cause (instead of a bare `None`) lets an
+/// attached [`obs::Metrics`] tally rejections by cause with one pass over
+/// the proposal buffer — the proposal phase itself stays branch-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Proposal {
+    /// The pair may rewire to these two edges (pending the claim phase).
+    Accept(Edge, Edge),
+    /// Trailing singleton of an odd-length list: no partner to swap with.
+    RejectSingleton,
+    /// A replacement edge would be a self loop.
+    RejectSelfLoop,
+    /// Both replacement edges are the same edge.
+    RejectDuplicate,
+    /// A replacement edge already exists in the current edge set.
+    RejectExists,
 }
 
 /// Reusable buffers and tables for swap runs. See the module docs.
@@ -45,7 +65,7 @@ pub struct SwapWorkspace {
     /// Dart array of the current sweep's permutation.
     pub(crate) darts: Vec<u32>,
     /// Per-pair swap proposals of the current sweep.
-    pub(crate) proposals: Vec<Option<(Edge, Edge)>>,
+    pub(crate) proposals: Vec<Proposal>,
     /// Scratch for the reservation-based parallel shuffle.
     pub(crate) permute: PermuteScratch,
     /// Edge-membership table of the current sweep (epoch-cleared).
@@ -60,6 +80,10 @@ pub struct SwapWorkspace {
     /// run's edge count — the fault-injection knob (undersized tables) and
     /// the lever the grow-and-retry policy pulls to recover from them.
     pub(crate) forced_capacity: Option<usize>,
+    /// When attached, runs over this workspace tally sweep/proposal/reject
+    /// counters and probe lengths into the shared registry. Instrumentation
+    /// is read-only: attached or not, runs are byte-identical.
+    pub(crate) metrics: Option<Arc<obs::Metrics>>,
 }
 
 impl SwapWorkspace {
@@ -89,12 +113,32 @@ impl SwapWorkspace {
         ws
     }
 
+    /// Attach (or detach, with `None`) a metrics registry. Subsequent runs
+    /// over this workspace count sweeps, proposals, accepts, rejections by
+    /// cause, recovery events, and hash-table probe lengths into it.
+    pub fn set_metrics(&mut self, metrics: Option<Arc<obs::Metrics>>) {
+        self.metrics = metrics;
+        let hist = self.metrics.as_ref().map(|m| m.probe_handle());
+        if let Some(t) = &mut self.table {
+            t.set_probe_histogram(hist.clone());
+        }
+        if let Some(c) = &mut self.claims {
+            c.set_probe_histogram(hist);
+        }
+    }
+
+    /// The metrics registry currently attached, if any.
+    pub fn metrics(&self) -> Option<&Arc<obs::Metrics>> {
+        self.metrics.as_ref()
+    }
+
     /// Grow every buffer and table for a run over `m` edges with the given
     /// probing strategy. Idempotent and cheap when already large enough
     /// (the tables are epoch-cleared, not refilled).
     pub(crate) fn prepare(&mut self, m: usize, probe: Probe) {
         self.darts.resize(m, 0);
-        self.proposals.resize(m.div_ceil(2), None);
+        self.proposals
+            .resize(m.div_ceil(2), Proposal::RejectSingleton);
         self.permute.reserve(m);
         let want = self.forced_capacity.unwrap_or(m);
         let rebuild = match (&self.table, &self.claims) {
@@ -113,8 +157,13 @@ impl SwapWorkspace {
             // map holds at most two replacement keys per pair (= m keys),
             // and at most one key per slot during the violation-tracking
             // registration (= m keys).
-            self.table = Some(EpochHashSet::with_probe(want, probe));
-            self.claims = Some(EpochHashMap::with_probe(want, probe));
+            let hist = self.metrics.as_ref().map(|m| m.probe_handle());
+            let mut table = EpochHashSet::with_probe(want, probe);
+            table.set_probe_histogram(hist.clone());
+            let mut claims = EpochHashMap::with_probe(want, probe);
+            claims.set_probe_histogram(hist);
+            self.table = Some(table);
+            self.claims = Some(claims);
             self.table_capacity = want;
         } else if let (Some(t), Some(c)) = (&self.table, &self.claims) {
             t.clear_shared();

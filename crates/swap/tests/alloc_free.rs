@@ -41,12 +41,18 @@ fn allocs_during(f: impl FnOnce()) -> u64 {
     ALLOC_CALLS.load(Ordering::Relaxed) - before
 }
 
+/// The counter is process-global, so concurrently running tests would bleed
+/// allocations into each other's measurement windows; every test holds this
+/// lock for its whole body.
+static MEASURE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Runs with 5 and 50 sweeps over a warmed workspace must perform the SAME
 /// number of allocations (the per-run constant: the returned stats buffer).
 /// Any per-sweep allocation would scale with the sweep count and break the
 /// equality.
 #[test]
 fn serial_sweeps_allocate_nothing_in_steady_state() {
+    let _serialized = MEASURE_LOCK.lock().unwrap();
     const N: u32 = 2_000;
     let mut ws = SwapWorkspace::new();
     // Warm-up grows every buffer and table to the run size.
@@ -75,6 +81,7 @@ fn serial_sweeps_allocate_nothing_in_steady_state() {
 /// sweep, far below the former per-sweep buffers.
 #[test]
 fn parallel_sweeps_allocation_bounded() {
+    let _serialized = MEASURE_LOCK.lock().unwrap();
     const N: u32 = 2_000;
     let mut ws = SwapWorkspace::new();
     let mut warm = ring(N);
@@ -96,9 +103,44 @@ fn parallel_sweeps_allocation_bounded() {
     );
 }
 
+/// An attached metrics registry must not cost the sweep loop a single
+/// allocation: tallies are relaxed atomic adds into pre-existing counters,
+/// and the per-sweep cause scan reads the resident proposal buffer. This
+/// holds with the `metrics` feature on OR off — disabled, the registry is a
+/// set of zero-sized no-ops and the question is moot.
+#[test]
+fn metrics_attached_sweeps_allocate_nothing_in_steady_state() {
+    let _serialized = MEASURE_LOCK.lock().unwrap();
+    const N: u32 = 2_000;
+    let metrics = std::sync::Arc::new(obs::Metrics::default());
+    let mut ws = SwapWorkspace::new();
+    ws.set_metrics(Some(metrics.clone()));
+    let mut warm = ring(N);
+    swap_edges_serial_with_workspace(&mut warm, &SwapConfig::new(2, 1), &mut ws);
+
+    let mut g5 = ring(N);
+    let mut g50 = ring(N);
+    let a5 = allocs_during(|| {
+        swap_edges_serial_with_workspace(&mut g5, &SwapConfig::new(5, 42), &mut ws);
+    });
+    let a50 = allocs_during(|| {
+        swap_edges_serial_with_workspace(&mut g50, &SwapConfig::new(50, 42), &mut ws);
+    });
+    assert_eq!(
+        a5, a50,
+        "metrics tallying allocated per sweep: 5 sweeps -> {a5} allocs, \
+         50 sweeps -> {a50} allocs"
+    );
+    assert!(a5 <= 4, "per-run allocation constant too high: {a5}");
+    // And the counters were genuinely live while we measured.
+    #[cfg(feature = "metrics")]
+    assert_eq!(metrics.snapshot().swap_sweeps, 2 + 5 + 50);
+}
+
 /// Violation tracking allocates only its one-time census, not per sweep.
 #[test]
 fn violation_tracking_census_is_per_run_not_per_sweep() {
+    let _serialized = MEASURE_LOCK.lock().unwrap();
     let mut edges: Vec<(u32, u32)> = (0..1000).map(|i| (i, (i + 1) % 1000)).collect();
     edges.push((0, 1));
     edges.push((7, 7));

@@ -41,6 +41,7 @@ fn multigraph_input_gets_simplified() {
         refine_rounds: 0,
         refine_tolerance: None,
         track_violations: true,
+        metrics: None,
     };
     let (stats, _) = generate_from_edge_list(&mut g, &cfg);
     assert!(g.is_simple(), "not simplified after 30 iterations");

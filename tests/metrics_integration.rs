@@ -1,0 +1,141 @@
+//! Observability integration: the obs counter registry must agree *exactly*
+//! with the authoritative [`swap::SwapStats`], stay deterministic across
+//! thread-pool sizes, and be populated by every instrumented subsystem of
+//! the distribution pipeline. Counting is read-only, so every test also
+//! doubles as a check that attaching a registry never changes the output.
+
+use graphcore::DegreeDistribution;
+use nullmodel::{try_generate_from_distribution, try_generate_from_edge_list, GeneratorConfig};
+use std::sync::Arc;
+
+fn as20_like() -> DegreeDistribution {
+    datasets::Profile::As20.distribution(4)
+}
+
+fn mix_cfg(seed: u64, sweeps: usize, metrics: Arc<obs::Metrics>) -> GeneratorConfig {
+    GeneratorConfig::new(seed)
+        .with_swap_iterations(sweeps)
+        .with_metrics(metrics)
+}
+
+#[test]
+fn mix_counters_match_swap_stats_exactly() {
+    let mut g = generators::havel_hakimi(&as20_like()).unwrap();
+    let m = g.len() as u64;
+    let metrics = Arc::new(obs::Metrics::default());
+    let (stats, _) =
+        try_generate_from_edge_list(&mut g, &mix_cfg(11, 12, metrics.clone())).unwrap();
+    let snap = metrics.snapshot();
+
+    assert_eq!(snap.swap_sweeps as usize, stats.iterations.len());
+    assert_eq!(snap.swap_accepts, stats.total_successful());
+    // Every sweep proposes over ⌈m/2⌉ slots (the odd edge out is a counted
+    // singleton rejection), and every proposal is either accepted or
+    // rejected for exactly one cause.
+    assert_eq!(snap.swap_proposals, snap.swap_sweeps * m.div_ceil(2));
+    assert_eq!(
+        snap.swap_proposals,
+        snap.swap_accepts + snap.swap_rejects_total()
+    );
+    // The per-sweep odd-edge singleton accounting reconciles against the
+    // stats' ⌊m/2⌋ attempted pairs.
+    let attempted: u64 = stats.iterations.iter().map(|i| i.attempted_pairs).sum();
+    assert_eq!(snap.swap_proposals - attempted, snap.swap_sweeps * (m % 2));
+}
+
+#[test]
+fn attaching_metrics_does_not_change_the_output() {
+    let dist = as20_like();
+    let mut plain = generators::havel_hakimi(&dist).unwrap();
+    let mut counted = plain.clone();
+    let cfg = GeneratorConfig::new(21).with_swap_iterations(8);
+    try_generate_from_edge_list(&mut plain, &cfg).unwrap();
+    let metrics = Arc::new(obs::Metrics::default());
+    try_generate_from_edge_list(&mut counted, &mix_cfg(21, 8, metrics)).unwrap();
+    assert_eq!(plain, counted, "instrumentation must be read-only");
+}
+
+#[test]
+fn distribution_pipeline_populates_every_subsystem() {
+    let dist = as20_like();
+    let metrics = Arc::new(obs::Metrics::default());
+    let cfg = GeneratorConfig::new(5)
+        .with_swap_iterations(10)
+        .with_refine_rounds(3)
+        .with_metrics(metrics.clone());
+    let out = try_generate_from_distribution(&dist, &cfg).unwrap();
+    let snap = metrics.snapshot();
+
+    // Edge-skip generated exactly the edges the final graph carries (swaps
+    // preserve edge count), and skipped the rest of the pair space.
+    assert_eq!(snap.edgeskip_edges, out.graph.len() as u64);
+    assert!(snap.edgeskip_skips > 0);
+    // Sinkhorn ran its configured refinement rounds and left a residual.
+    assert!(snap.sinkhorn_rounds >= 3);
+    assert!(snap.sinkhorn_residual.is_finite());
+    // The concurrent hash tables recorded probe lengths while swapping.
+    assert!(snap.probe_count > 0);
+    assert_eq!(
+        snap.probe_count,
+        snap.probe_buckets.iter().sum::<u64>(),
+        "histogram buckets must sum to the recorded count"
+    );
+    // Every pipeline phase accumulated wall time.
+    assert!(snap.phase_probabilities_ns > 0);
+    assert!(snap.phase_edge_generation_ns > 0);
+    assert!(snap.phase_permute_ns > 0);
+    assert!(snap.phase_sweep_ns > 0);
+    // And the swap invariants hold end-to-end here too.
+    assert_eq!(snap.swap_accepts, out.swap_stats.total_successful());
+    assert_eq!(
+        snap.swap_proposals,
+        snap.swap_accepts + snap.swap_rejects_total()
+    );
+}
+
+/// The timing fields legitimately differ run to run; everything else must
+/// be identical for identical seeds, whatever the pool size.
+fn counted_run(seed: u64, threads: usize) -> obs::MetricsSnapshot {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        let metrics = Arc::new(obs::Metrics::default());
+        let mut g = generators::havel_hakimi(&as20_like()).unwrap();
+        try_generate_from_edge_list(&mut g, &mix_cfg(seed, 10, metrics.clone())).unwrap();
+        metrics.snapshot()
+    })
+}
+
+#[test]
+fn snapshot_deterministic_across_thread_pool_sizes() {
+    let reference = counted_run(33, 1).deterministic_part();
+    for threads in [2usize, 8] {
+        let snap = counted_run(33, threads).deterministic_part();
+        assert_eq!(
+            snap, reference,
+            "counters diverged on a {threads}-thread pool"
+        );
+    }
+}
+
+#[test]
+fn identical_runs_produce_identical_snapshots() {
+    let a = counted_run(47, 4).deterministic_part();
+    let b = counted_run(47, 4).deterministic_part();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn snapshot_json_round_trips_key_values() {
+    let metrics = Arc::new(obs::Metrics::default());
+    let mut g = generators::havel_hakimi(&as20_like()).unwrap();
+    try_generate_from_edge_list(&mut g, &mix_cfg(3, 5, metrics.clone())).unwrap();
+    let snap = metrics.snapshot();
+    let json = snap.to_json();
+    // Spot-check that the documented keys carry the live counter values.
+    assert!(json.contains(&format!("\"proposals\": {}", snap.swap_proposals)));
+    assert!(json.contains(&format!("\"accepts\": {}", snap.swap_accepts)));
+    assert!(json.contains("\"schema\": \"metrics_snapshot_v1\""));
+}
