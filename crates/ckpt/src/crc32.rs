@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3, the zlib/PNG polynomial), hand-rolled because the
+//! workspace carries no compression or hashing dependency.
+//!
+//! A CRC is the right integrity check for a checkpoint: it detects every
+//! single-bit error and every burst shorter than 32 bits, it is cheap
+//! enough to run on multi-megabyte payloads at memory speed, and —
+//! unlike a keyed hash — it makes no pretense of protecting against an
+//! *adversary*, which a local checkpoint file does not need.
+
+/// One lazily-computed lookup table (256 × u32), byte-at-a-time variant.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (init `0xFFFF_FFFF`, reflected, final xor) — matches
+/// zlib's `crc32(0, data)`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn any_single_bit_flip_changes_the_crc() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let clean = crc32(&data);
+        for bit in 0..data.len() * 8 {
+            let mut dirty = data.clone();
+            dirty[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32(&dirty), clean, "bit {bit} not detected");
+        }
+    }
+}

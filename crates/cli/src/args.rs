@@ -28,6 +28,14 @@ pub enum ArgError {
         /// Expected type description.
         expected: &'static str,
     },
+    /// Two options that cannot be combined (e.g. `--resume` with `--seed`:
+    /// the checkpoint already fixes the seed).
+    Conflict {
+        /// The offending option.
+        key: String,
+        /// The option it clashes with.
+        other: String,
+    },
 }
 
 impl fmt::Display for ArgError {
@@ -40,6 +48,9 @@ impl fmt::Display for ArgError {
                 value,
                 expected,
             } => write!(f, "option --{key}: '{value}' is not a valid {expected}"),
+            Self::Conflict { key, other } => {
+                write!(f, "option --{key} cannot be combined with --{other}")
+            }
         }
     }
 }

@@ -1,16 +1,37 @@
 //! `nullgraph mix` — problem 1: uniformly mix an existing edge list.
+//!
+//! Two execution paths share the printing and metrics plumbing:
+//!
+//! * the **legacy** path (no checkpoint flags, no `--until-mixed`) runs
+//!   the phase-timed `nullmodel` pipeline exactly as before;
+//! * the **resumable** path drives [`swap::try_mix_resumable`] /
+//!   [`swap::resume_from`] with an interrupt flag from
+//!   [`crate::signal`], a [`CheckpointPolicy`] cadence, and a sink that
+//!   persists `ckpt_v1` snapshots atomically. Any ending other than
+//!   completion leaves a checkpoint next to the partial result and
+//!   prints the exact `--resume` invocation that continues the run.
 
 use super::CliError;
-use crate::args::Parsed;
-use graphcore::io;
+use crate::args::{ArgError, Parsed};
+use ckpt::{Snapshot, SwapCounters};
+use graphcore::{io, EdgeList};
 use nullmodel::GeneratorConfig;
-use std::time::Duration;
-use swap::{MixingBudget, RecoveryPolicy, SwapWorkspace};
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use swap::{
+    CheckpointPolicy, GenError, MixControl, MixOutcome, MixReport, MixState, MixingBudget,
+    RecoveryPolicy, StopRule, SwapStats, SwapWorkspace,
+};
+
+/// Cadence used when `--checkpoint` is given without `--checkpoint-every`.
+const DEFAULT_CHECKPOINT_WALL: Duration = Duration::from_secs(5);
 
 /// The `--metrics` document for `mix`: the obs snapshot plus the exact
 /// per-sweep counts from [`swap::SwapStats`], so external tooling can
 /// cross-check the aggregated counters against the authoritative stats.
-fn metrics_json(metrics: &obs::Metrics, stats: &swap::SwapStats) -> String {
+fn metrics_json(metrics: &obs::Metrics, stats: &SwapStats) -> String {
     use std::fmt::Write as _;
     let mut json = String::new();
     json.push_str("{\n  \"snapshot\": ");
@@ -36,103 +57,296 @@ fn metrics_json(metrics: &obs::Metrics, stats: &swap::SwapStats) -> String {
 
 /// Run the command.
 pub fn run(args: &Parsed) -> Result<(), CliError> {
+    let out_path = args.require("out")?.to_string();
+    let resumable = args.get("resume").is_some()
+        || args.get("checkpoint").is_some()
+        || args.get("checkpoint-every").is_some()
+        || args.flag("until-mixed");
+    if resumable {
+        return run_resumable(args, &out_path);
+    }
+
     let in_path = args.require("input")?;
-    let out_path = args.require("out")?;
     let iterations: usize = args.get_or("iterations", 10)?;
     let seed: u64 = args.get_or("seed", 0)?;
     let metrics = super::metrics_registry(args)?;
 
     let mut graph = io::load_edge_list(in_path)?;
     let before = graph.degree_distribution();
-    let (stats, timings) = if args.flag("until-mixed") {
-        // --iterations is a sweep *budget*: exhausting it without reaching
-        // the mixing threshold is a typed failure, and the partial result is
-        // still written out for inspection.
-        let threshold: f64 = args.get_or("threshold", 0.99)?;
-        let budget = MixingBudget {
-            max_sweeps: iterations,
-            // `--budget-ms 0` is an already-expired deadline (the run fails
-            // with mixing_budget_exceeded after zero sweeps); only *omitting*
-            // the flag disables the wall clock.
-            max_wall: match args.get("budget-ms") {
-                None => None,
-                Some(_) => Some(Duration::from_millis(args.require_parsed("budget-ms")?)),
-            },
-        };
-        let mut ws = SwapWorkspace::new();
-        ws.set_metrics(metrics.clone());
-        match swap::try_swap_until_mixed_with_workspace(
-            &mut graph,
-            threshold,
-            &budget,
-            seed,
-            &mut ws,
-            &RecoveryPolicy::default(),
-        ) {
-            Ok(stats) => (stats, nullmodel::PhaseTimings::default()),
-            Err(e) => {
-                io::save_edge_list(&graph, out_path)?;
-                eprintln!("partial result written to {out_path}");
-                // Whatever was counted before the budget ran out is exactly
-                // what a post-mortem needs.
-                super::write_metrics_snapshot(args, metrics.as_ref())?;
-                return Err(e.into());
-            }
-        }
-    } else {
-        let cfg = GeneratorConfig {
-            swap_iterations: iterations,
-            seed,
-            refine_rounds: 0,
-            refine_tolerance: None,
-            track_violations: args.flag("track"),
-            metrics: metrics.clone(),
-        };
-        nullmodel::try_generate_from_edge_list(&mut graph, &cfg)?
+    let cfg = GeneratorConfig {
+        swap_iterations: iterations,
+        seed,
+        refine_rounds: 0,
+        refine_tolerance: None,
+        track_violations: args.flag("track"),
+        metrics: metrics.clone(),
     };
+    let (stats, timings) = nullmodel::try_generate_from_edge_list(&mut graph, &cfg)?;
     debug_assert_eq!(graph.degree_distribution(), before);
-    io::save_edge_list(&graph, out_path)?;
+    io::save_edge_list(&graph, &out_path)?;
     if let (Some(path), Some(m)) = (args.get("metrics"), &metrics) {
         std::fs::write(path, metrics_json(m, &stats))?;
     }
+    print_summary(args, &graph, &stats, &timings.to_string());
+    Ok(())
+}
 
-    if !args.flag("quiet") {
-        println!(
-            "mixed {} edges: {} accepted swaps over {} sweeps ({})",
-            graph.len(),
-            stats.total_successful(),
-            stats.iterations.len(),
-            timings
-        );
-        for ev in &stats.events {
-            println!("recovery: {ev}");
+/// Parse `--checkpoint-every`: a bare integer is a sweep cadence, an
+/// integer with an `ms`/`s` suffix is a wall-clock cadence.
+fn parse_cadence(raw: &str) -> Result<CheckpointPolicy, ArgError> {
+    let invalid = || ArgError::Invalid {
+        key: "checkpoint-every".to_string(),
+        value: raw.to_string(),
+        expected: "sweep count or duration (e.g. 50, 500ms, 2s)",
+    };
+    if let Some(ms) = raw.strip_suffix("ms") {
+        let ms: u64 = ms.parse().map_err(|_| invalid())?;
+        Ok(CheckpointPolicy::wall(Duration::from_millis(ms)))
+    } else if let Some(s) = raw.strip_suffix('s') {
+        let s: u64 = s.parse().map_err(|_| invalid())?;
+        Ok(CheckpointPolicy::wall(Duration::from_secs(s)))
+    } else {
+        let n: u64 = raw.parse().map_err(|_| invalid())?;
+        if n == 0 {
+            return Err(invalid());
         }
-        if let Some(last) = stats.iterations.last() {
-            println!(
-                "{:.2}% of edges ever swapped; simple = {}",
-                100.0 * last.ever_swapped_fraction,
-                graph.is_simple()
-            );
+        Ok(CheckpointPolicy::sweeps(n))
+    }
+}
+
+/// Persist one snapshot atomically, tallying the ckpt metrics counters.
+fn persist(
+    path: &Path,
+    state: &MixState,
+    metrics: Option<&Arc<obs::Metrics>>,
+) -> std::io::Result<usize> {
+    let snap = Snapshot {
+        state: state.clone(),
+        counters: metrics
+            .map(|m| SwapCounters::capture(m))
+            .unwrap_or_default(),
+    };
+    let t0 = Instant::now();
+    let bytes = ckpt::write_atomic(path, &snap)?;
+    if let Some(m) = metrics {
+        m.ckpt_writes.incr();
+        m.ckpt_bytes_written.add(bytes as u64);
+        m.ckpt_write_ns.add(t0.elapsed().as_nanos() as u64);
+    }
+    Ok(bytes)
+}
+
+/// The checkpoint/resume-aware mixing path.
+fn run_resumable(args: &Parsed, out_path: &str) -> Result<(), CliError> {
+    let metrics = super::metrics_registry(args)?;
+    let policy = match args.get("checkpoint-every") {
+        Some(_) => Some(parse_cadence(args.require("checkpoint-every")?)?),
+        None if args.get("checkpoint").is_some() => {
+            Some(CheckpointPolicy::wall(DEFAULT_CHECKPOINT_WALL))
         }
-        if args.flag("track") {
-            for (i, it) in stats.iterations.iter().enumerate() {
-                println!(
-                    "  iter {:>2}: {} swaps, {} self loops, {} multi-edges remain",
-                    i + 1,
-                    it.successful_swaps,
-                    it.self_loops,
-                    it.multi_edges
+        None => None,
+    };
+    let ckpt_path: PathBuf = match args.get("checkpoint") {
+        Some(_) => PathBuf::from(args.require("checkpoint")?),
+        None => PathBuf::from(format!("{out_path}.ckpt")),
+    };
+    let max_wall = match args.get("budget-ms") {
+        None => None,
+        // `--budget-ms 0` is an already-expired deadline (the run fails
+        // with mixing_budget_exceeded after zero sweeps); only *omitting*
+        // the flag disables the wall clock.
+        Some(_) => Some(Duration::from_millis(args.require_parsed("budget-ms")?)),
+    };
+
+    // Either a fresh run from --input, or a continuation of a checkpoint.
+    let resumed: Option<Snapshot> = match args.get("resume") {
+        None => None,
+        Some(_) => {
+            // The checkpoint already fixes these; accepting them here
+            // would silently change the trajectory mid-run.
+            for fixed in ["input", "seed", "threshold"] {
+                if args.get(fixed).is_some() {
+                    return Err(ArgError::Conflict {
+                        key: fixed.to_string(),
+                        other: "resume".to_string(),
+                    }
+                    .into());
+                }
+            }
+            if args.flag("until-mixed") {
+                return Err(ArgError::Conflict {
+                    key: "until-mixed".to_string(),
+                    other: "resume".to_string(),
+                }
+                .into());
+            }
+            let resume_path = args.require("resume")?;
+            let t0 = Instant::now();
+            let snap = ckpt::load(Path::new(resume_path)).map_err(CliError::from)?;
+            if let Some(m) = &metrics {
+                // A fresh registry seeded with the checkpoint's totals
+                // reports run-lifetime counters, as if never interrupted.
+                snap.counters.restore(m);
+                m.ckpt_loads.incr();
+                m.ckpt_load_ns.add(t0.elapsed().as_nanos() as u64);
+            }
+            Some(snap)
+        }
+    };
+
+    let max_sweeps: usize = match (&resumed, args.get("iterations")) {
+        // An explicit --iterations raises (or lowers) the stored absolute
+        // sweep cap; without it the checkpoint's own budget carries over.
+        (_, Some(_)) => args.require_parsed("iterations")?,
+        (Some(snap), None) => usize::try_from(snap.state.sweep_budget).unwrap_or(usize::MAX),
+        (None, None) => 10,
+    };
+    let budget = MixingBudget {
+        max_sweeps,
+        max_wall,
+    };
+
+    let interrupt = crate::signal::install_interrupt_flag();
+    // A checkpoint the sink cannot write is a hard failure (the operator
+    // asked for durability), but `GenError` has no IO variant — stash the
+    // real error and surface it as exit 3 after the run unwinds.
+    let sink_io: RefCell<Option<std::io::Error>> = RefCell::new(None);
+    let metrics_for_sink = metrics.clone();
+    let ckpt_for_sink = ckpt_path.clone();
+    let mut sink = |state: &MixState| -> Result<(), GenError> {
+        match persist(&ckpt_for_sink, state, metrics_for_sink.as_ref()) {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                let msg = format!(
+                    "checkpoint write to '{}' failed: {e}",
+                    ckpt_for_sink.display()
                 );
+                *sink_io.borrow_mut() = Some(e);
+                Err(GenError::bad_input(msg))
             }
         }
+    };
+    let mut ctl = MixControl {
+        interrupt,
+        policy,
+        sink: Some(&mut sink),
+    };
+
+    let mut ws = SwapWorkspace::new();
+    ws.set_metrics(metrics.clone());
+    let recovery = RecoveryPolicy::default();
+    let run_result: Result<(EdgeList, MixReport), GenError> = match &resumed {
+        Some(snap) => swap::resume_from(&snap.state, &budget, &mut ctl, &mut ws, &recovery),
+        None => {
+            let in_path = args.require("input")?;
+            let seed: u64 = args.get_or("seed", 0)?;
+            let stop = if args.flag("until-mixed") {
+                StopRule::Threshold(args.get_or("threshold", 0.99)?)
+            } else {
+                StopRule::FixedSweeps
+            };
+            let mut graph = io::load_edge_list(in_path)?;
+            swap::try_mix_resumable(
+                &mut graph, stop, &budget, seed, &mut ctl, &mut ws, &recovery,
+            )
+            .map(|report| (graph, report))
+        }
+    };
+    let (graph, report) = match run_result {
+        Ok(x) => x,
+        Err(e) => {
+            if let Some(io_err) = sink_io.borrow_mut().take() {
+                return Err(CliError::Io(io_err));
+            }
+            return Err(e.into());
+        }
+    };
+
+    // The partial (or final) graph and the metrics post-mortem are written
+    // whatever the outcome; the checkpoint only when there is more to do.
+    io::save_edge_list(&graph, out_path)?;
+    if let (Some(path), Some(m)) = (args.get("metrics"), &metrics) {
+        std::fs::write(path, metrics_json(m, &report.stats))?;
     }
-    Ok(())
+    let resume_hint = |ckpt: &Path| {
+        format!(
+            "nullgraph mix --resume {} --out {}",
+            ckpt.display(),
+            out_path
+        )
+    };
+    match report.outcome {
+        MixOutcome::Completed => {
+            // A cadence checkpoint of a now-finished run would invite a
+            // pointless (if harmless) resume; drop it.
+            if policy.is_some() && ckpt_path.exists() {
+                std::fs::remove_file(&ckpt_path)?;
+            }
+            print_summary(args, &graph, &report.stats, "resumable");
+            Ok(())
+        }
+        MixOutcome::Interrupted => {
+            if let Some(state) = &report.checkpoint {
+                persist(&ckpt_path, state, metrics.as_ref())?;
+            }
+            eprintln!("partial result written to {out_path}");
+            Err(CliError::Interrupted {
+                resume_hint: Some(resume_hint(&ckpt_path)),
+            })
+        }
+        MixOutcome::BudgetExhausted => {
+            if let Some(state) = &report.checkpoint {
+                persist(&ckpt_path, state, metrics.as_ref())?;
+            }
+            eprintln!("partial result written to {out_path}");
+            eprintln!("resume with: {}", resume_hint(&ckpt_path));
+            Err(report.budget_error(&budget).into())
+        }
+    }
+}
+
+fn print_summary(args: &Parsed, graph: &EdgeList, stats: &SwapStats, timings: &str) {
+    if args.flag("quiet") {
+        return;
+    }
+    println!(
+        "mixed {} edges: {} accepted swaps over {} sweeps ({})",
+        graph.len(),
+        stats.total_successful(),
+        stats.iterations.len(),
+        timings
+    );
+    for ev in &stats.events {
+        println!("recovery: {ev}");
+    }
+    if let Some(last) = stats.iterations.last() {
+        println!(
+            "{:.2}% of edges ever swapped; simple = {}",
+            100.0 * last.ever_swapped_fraction,
+            graph.is_simple()
+        );
+    }
+    if args.flag("track") {
+        for (i, it) in stats.iterations.iter().enumerate() {
+            println!(
+                "  iter {:>2}: {} swaps, {} self loops, {} multi-edges remain",
+                i + 1,
+                it.successful_swaps,
+                it.self_loops,
+                it.multi_edges
+            );
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use graphcore::DegreeDistribution;
+
+    fn parse(argv: &[&str]) -> Parsed {
+        Parsed::parse(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
 
     #[test]
     fn mix_preserves_degrees() {
@@ -143,20 +357,111 @@ mod tests {
         let dist = DegreeDistribution::from_pairs(vec![(2, 40), (3, 20)]).unwrap();
         let g = generators::havel_hakimi(&dist).unwrap();
         io::save_edge_list(&g, &inp).unwrap();
-        let args = Parsed::parse(&[
-            "--input".into(),
-            inp.to_str().unwrap().into(),
-            "--out".into(),
-            outp.to_str().unwrap().into(),
-            "--iterations".into(),
-            "4".into(),
-            "--track".into(),
-        ])
-        .unwrap();
+        let args = parse(&[
+            "--input",
+            inp.to_str().unwrap(),
+            "--out",
+            outp.to_str().unwrap(),
+            "--iterations",
+            "4",
+            "--track",
+        ]);
         run(&args).unwrap();
         let mixed = io::load_edge_list(&outp).unwrap();
         assert_eq!(mixed.degree_distribution(), dist);
         assert!(mixed.is_simple());
         assert_ne!(mixed, g);
+    }
+
+    #[test]
+    fn cadence_parses_sweeps_and_durations() {
+        assert_eq!(parse_cadence("50").unwrap(), CheckpointPolicy::sweeps(50));
+        assert_eq!(
+            parse_cadence("500ms").unwrap(),
+            CheckpointPolicy::wall(Duration::from_millis(500))
+        );
+        assert_eq!(
+            parse_cadence("2s").unwrap(),
+            CheckpointPolicy::wall(Duration::from_secs(2))
+        );
+        for bad in ["", "0", "-3", "fast", "5m"] {
+            assert!(parse_cadence(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_conflicting_flags() {
+        for extra in [
+            &["--seed", "3"][..],
+            &["--input", "x.txt"][..],
+            &["--threshold", "0.5"][..],
+            &["--until-mixed"][..],
+        ] {
+            let mut argv = vec!["--resume", "missing.ckpt", "--out", "o.txt"];
+            argv.extend_from_slice(extra);
+            let err = run(&parse(&argv)).unwrap_err();
+            assert!(
+                matches!(err, CliError::Args(ArgError::Conflict { .. })),
+                "{extra:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_flags_round_trip_through_a_real_interruptionless_run() {
+        // A fixed-sweeps run with a tight checkpoint cadence must finish,
+        // delete its own checkpoint, and produce the same output as the
+        // same resumable run whose cadence never fires: persisting
+        // snapshots must not perturb the trajectory.
+        let dir = std::env::temp_dir().join("nullgraph_cli_mix_ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inp = dir.join("in.txt");
+        let plain = dir.join("plain.txt");
+        let ckptd = dir.join("ckptd.txt");
+        let ckpt_file = dir.join("run.ckpt");
+        let dist = DegreeDistribution::from_pairs(vec![(2, 30), (4, 10)]).unwrap();
+        let g = generators::havel_hakimi(&dist).unwrap();
+        io::save_edge_list(&g, &inp).unwrap();
+        run(&parse(&[
+            "--input",
+            inp.to_str().unwrap(),
+            "--out",
+            plain.to_str().unwrap(),
+            "--iterations",
+            "6",
+            "--seed",
+            "11",
+            "--checkpoint",
+            dir.join("never.ckpt").to_str().unwrap(),
+            "--checkpoint-every",
+            "1000000",
+            "--quiet",
+        ]))
+        .unwrap();
+        run(&parse(&[
+            "--input",
+            inp.to_str().unwrap(),
+            "--out",
+            ckptd.to_str().unwrap(),
+            "--iterations",
+            "6",
+            "--seed",
+            "11",
+            "--checkpoint",
+            ckpt_file.to_str().unwrap(),
+            "--checkpoint-every",
+            "2",
+            "--quiet",
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&plain).unwrap(),
+            std::fs::read_to_string(&ckptd).unwrap(),
+            "checkpoint cadence must not perturb the trajectory"
+        );
+        assert!(
+            !ckpt_file.exists(),
+            "completed run must remove its cadence checkpoint"
+        );
     }
 }

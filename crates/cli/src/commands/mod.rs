@@ -53,6 +53,9 @@ pub enum CliError {
     Domain(String),
     /// A typed pipeline failure; carries its own exit and error codes.
     Gen(GenError),
+    /// The run was stopped by SIGINT/SIGTERM after draining the sweep in
+    /// flight; `resume_hint` is the command line that continues it.
+    Interrupted { resume_hint: Option<String> },
 }
 
 impl CliError {
@@ -63,17 +66,20 @@ impl CliError {
             Self::Io(_) => "io",
             Self::Domain(_) => "domain",
             Self::Gen(e) => e.error_code(),
+            Self::Interrupted { .. } => "interrupted",
         }
     }
 
-    /// Process exit code: 2 usage, 3 IO, 1 generic domain failure, and the
-    /// per-variant [`GenError::exit_code`] (4–8) for typed pipeline errors.
+    /// Process exit code: 2 usage, 3 IO, 1 generic domain failure, the
+    /// per-variant [`GenError::exit_code`] (4–9) for typed pipeline errors,
+    /// and 10 for a signal-interrupted (checkpointed) run.
     pub fn exit_code(&self) -> i32 {
         match self {
             Self::Args(_) => 2,
             Self::Io(_) => 3,
             Self::Domain(_) => 1,
             Self::Gen(e) => e.exit_code(),
+            Self::Interrupted { .. } => 10,
         }
     }
 }
@@ -85,6 +91,13 @@ impl fmt::Display for CliError {
             Self::Io(e) => write!(f, "{e}"),
             Self::Domain(msg) => write!(f, "{msg}"),
             Self::Gen(e) => write!(f, "{e}"),
+            Self::Interrupted { resume_hint } => {
+                write!(f, "interrupted by signal; state checkpointed")?;
+                if let Some(hint) = resume_hint {
+                    write!(f, " — resume with: {hint}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -118,5 +131,16 @@ impl From<std::io::Error> for CliError {
 impl From<GenError> for CliError {
     fn from(e: GenError) -> Self {
         Self::Gen(e)
+    }
+}
+
+impl From<ckpt::LoadError> for CliError {
+    fn from(e: ckpt::LoadError) -> Self {
+        match e {
+            // An unreadable file is exit 3; a file that reads but fails
+            // validation is the typed corrupt_checkpoint error (exit 9).
+            ckpt::LoadError::Io(io) => Self::Io(io),
+            ckpt::LoadError::Corrupt(g) => Self::Gen(g),
+        }
     }
 }

@@ -15,6 +15,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod signal;
 
 use args::Parsed;
 
@@ -73,6 +74,7 @@ USAGE:
 
   nullgraph mix --input <file> --out <file> [--iterations N] [--seed N]
             [--until-mixed] [--threshold F] [--budget-ms N] [--metrics <file>]
+            [--checkpoint <file>] [--checkpoint-every <N|Nms|Ns>]
       Uniformly mix an existing edge list ('u v' per line) with parallel
       double-edge swaps; degrees are preserved exactly. With --until-mixed,
       --iterations becomes a sweep budget: the run stops once the fraction
@@ -81,6 +83,24 @@ USAGE:
       --budget-ms wall clock) runs out first. --budget-ms 0 is an already-
       expired deadline, not 'no deadline'. --metrics writes the counter
       snapshot plus exact per-sweep accept counts as JSON.
+      --checkpoint writes crash-consistent ckpt_v1 snapshots to <file>
+      (default cadence: every 5s of wall clock; --checkpoint-every takes a
+      sweep count or an ms/s duration). Any run with checkpointing, or any
+      --until-mixed run, also writes a final checkpoint (default path
+      <out>.ckpt) when the budget expires or a SIGINT/SIGTERM arrives; the
+      signal case drains the sweep in flight and exits with code 10
+      (error_code=interrupted). Stderr then names the exact --resume
+      command that continues the run.
+
+  nullgraph mix --resume <ckpt> --out <file> [--iterations N] [--budget-ms N]
+            [--checkpoint <file>] [--checkpoint-every <N|Nms|Ns>] [--metrics <file>]
+      Continue a checkpointed run. Seed, stop rule, threshold and input are
+      fixed by the checkpoint (passing --input/--seed/--threshold is a
+      usage error); --iterations overrides the stored absolute sweep cap.
+      The continuation replays the exact trajectory of an uninterrupted
+      run — byte-identical output, on any thread count. A corrupt or
+      version-skewed checkpoint fails with error_code=corrupt_checkpoint
+      (exit 9) and a byte-offset diagnostic.
 
   nullgraph lfr --dist <file> --mu F --min-comm N --max-comm N
             [--exponent F] [--swaps N] [--seed N] --out <file> [--communities <file>]

@@ -343,3 +343,31 @@ fn table_full_maps_to_exit_6_in_process() {
     assert_eq!(e.exit_code(), 6);
     assert_eq!(e.error_code(), "table_full");
 }
+
+#[test]
+fn corrupt_checkpoint_maps_to_exit_9_in_process() {
+    // The spawned-binary version (a real garbled file through `--resume`)
+    // lives in kill_resume.rs; this pins the type-level mapping.
+    let e = nullgraph_cli::commands::CliError::from(fault::GenError::corrupt_checkpoint(
+        "run.ckpt",
+        20,
+        "checksum mismatch",
+    ));
+    assert_eq!(e.exit_code(), 9);
+    assert_eq!(e.error_code(), "corrupt_checkpoint");
+}
+
+#[test]
+fn interrupted_maps_to_exit_10_in_process() {
+    // The spawned-binary version (a real SIGINT) lives in kill_resume.rs.
+    let e = nullgraph_cli::commands::CliError::Interrupted {
+        resume_hint: Some("nullgraph mix --resume run.ckpt --out out.txt".into()),
+    };
+    assert_eq!(e.exit_code(), 10);
+    assert_eq!(e.error_code(), "interrupted");
+    let msg = e.to_string();
+    assert!(msg.contains("resume with:"), "{msg}");
+
+    let bare = nullgraph_cli::commands::CliError::Interrupted { resume_hint: None };
+    assert_eq!(bare.exit_code(), 10);
+}

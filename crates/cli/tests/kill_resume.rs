@@ -1,0 +1,329 @@
+//! Kill-tolerance, proven against the real binary: a `nullgraph mix` run
+//! that is SIGKILLed mid-flight (no chance to clean up), then resumed from
+//! its last crash-consistent checkpoint, must land on the byte-identical
+//! output of a never-killed run. Graceful SIGINT, corrupt checkpoints and
+//! budget exhaustion are driven through the same spawned-binary harness so
+//! the documented exit codes (7, 9, 10) are tested end to end.
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn nullgraph(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_nullgraph"))
+        .args(args)
+        .output()
+        .expect("spawn nullgraph")
+}
+
+fn spawn(args: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_nullgraph"))
+        .args(args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn nullgraph")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("nullgraph_kill_resume");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+/// A ring edge list: every vertex degree 2, every swap legal.
+fn write_ring(name: &str, n: u32) -> PathBuf {
+    let path = tmp(name);
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!("{} {}\n", i, (i + 1) % n));
+    }
+    std::fs::write(&path, text).expect("write ring");
+    path
+}
+
+/// Wait (bounded) until `path` exists and parses as a valid checkpoint —
+/// i.e. the spawned run has durably committed at least one snapshot.
+fn wait_for_checkpoint(path: &Path, deadline: Duration) -> ckpt::Snapshot {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if let Ok(snap) = ckpt::load(path) {
+            return snap;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!(
+        "no valid checkpoint appeared at {} in {deadline:?}",
+        path.display()
+    );
+}
+
+fn send_signal(pid: u32, sig: &str) {
+    let status = Command::new("/bin/sh")
+        .arg("-c")
+        .arg(format!("kill -{sig} {pid}"))
+        .status()
+        .expect("run kill");
+    assert!(status.success(), "kill -{sig} {pid} failed");
+}
+
+#[test]
+fn sigkill_then_resume_matches_the_uninterrupted_run_byte_for_byte() {
+    let input = write_ring("kill9_in.txt", 600);
+    let ckpt_file = tmp("kill9.ckpt");
+    let out_killed = tmp("kill9_out.txt");
+    let out_ref = tmp("kill9_ref.txt");
+    std::fs::remove_file(&ckpt_file).ok();
+
+    // A long fixed-sweeps run checkpointing after every sweep. SIGKILL it
+    // once a checkpoint is durably on disk — the process gets no chance to
+    // flush, drop, or clean anything up.
+    let mut child = spawn(&[
+        "mix",
+        "--input",
+        input.to_str().expect("utf8 path"),
+        "--out",
+        out_killed.to_str().expect("utf8 path"),
+        "--iterations",
+        "200000",
+        "--seed",
+        "13",
+        "--checkpoint",
+        ckpt_file.to_str().expect("utf8 path"),
+        "--checkpoint-every",
+        "1",
+        "--quiet",
+    ]);
+    let snap = wait_for_checkpoint(&ckpt_file, Duration::from_secs(30));
+    child.kill().expect("SIGKILL"); // Child::kill is SIGKILL on unix
+    let status = child.wait().expect("reap child");
+    assert!(!status.success(), "killed run must not exit cleanly");
+    let killed_at = snap.state.completed_sweeps;
+    assert!(killed_at >= 1, "at least one sweep checkpointed");
+
+    // Resume to a total just past where the kill landed; the reference is
+    // the same absolute run never interrupted. Re-read the file: the run
+    // may have committed later checkpoints between our load and the kill.
+    let resumed_from = ckpt::load(&ckpt_file).expect("post-mortem checkpoint");
+    let total = (resumed_from.state.completed_sweeps + 20).to_string();
+    let r = nullgraph(&[
+        "mix",
+        "--resume",
+        ckpt_file.to_str().expect("utf8 path"),
+        "--out",
+        out_killed.to_str().expect("utf8 path"),
+        "--iterations",
+        &total,
+        "--quiet",
+    ]);
+    assert_eq!(r.status.code(), Some(0), "resume failed: {}", stderr(&r));
+
+    let r = nullgraph(&[
+        "mix",
+        "--input",
+        input.to_str().expect("utf8 path"),
+        "--out",
+        out_ref.to_str().expect("utf8 path"),
+        "--iterations",
+        &total,
+        "--seed",
+        "13",
+        // Force the resumable code path (same trajectory family as the
+        // killed run) with a cadence that never fires.
+        "--checkpoint",
+        tmp("kill9_ref.ckpt").to_str().expect("utf8 path"),
+        "--checkpoint-every",
+        "100000000",
+        "--quiet",
+    ]);
+    assert_eq!(r.status.code(), Some(0), "reference failed: {}", stderr(&r));
+
+    let resumed = std::fs::read_to_string(&out_killed).expect("resumed output");
+    let reference = std::fs::read_to_string(&out_ref).expect("reference output");
+    assert_eq!(
+        resumed, reference,
+        "kill -9 at sweep {killed_at} + resume must replay the exact trajectory"
+    );
+}
+
+#[test]
+fn sigint_drains_the_sweep_writes_a_checkpoint_and_exits_10() {
+    let input = write_ring("sigint_in.txt", 600);
+    let ckpt_file = tmp("sigint.ckpt");
+    let out = tmp("sigint_out.txt");
+    std::fs::remove_file(&ckpt_file).ok();
+
+    let child = Command::new(env!("CARGO_BIN_EXE_nullgraph"))
+        .args([
+            "mix",
+            "--input",
+            input.to_str().expect("utf8 path"),
+            "--out",
+            out.to_str().expect("utf8 path"),
+            "--iterations",
+            "200000",
+            "--seed",
+            "5",
+            "--checkpoint",
+            ckpt_file.to_str().expect("utf8 path"),
+            "--checkpoint-every",
+            "1",
+            "--quiet",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn nullgraph");
+    wait_for_checkpoint(&ckpt_file, Duration::from_secs(30));
+    send_signal(child.id(), "INT");
+    let out_data = child.wait_with_output().expect("reap child");
+    assert_eq!(
+        out_data.status.code(),
+        Some(10),
+        "graceful interrupt exits 10; stderr: {}",
+        String::from_utf8_lossy(&out_data.stderr)
+    );
+    let err = String::from_utf8_lossy(&out_data.stderr);
+    assert!(err.contains("error_code=interrupted"), "stderr: {err}");
+    assert!(
+        err.contains("--resume"),
+        "stderr names the resume flag: {err}"
+    );
+    assert!(out.exists(), "partial result written on interrupt");
+
+    // The final checkpoint must be resumable.
+    let snap = ckpt::load(&ckpt_file).expect("final checkpoint");
+    let total = (snap.state.completed_sweeps + 5).to_string();
+    let r = nullgraph(&[
+        "mix",
+        "--resume",
+        ckpt_file.to_str().expect("utf8 path"),
+        "--out",
+        out.to_str().expect("utf8 path"),
+        "--iterations",
+        &total,
+        "--quiet",
+    ]);
+    assert_eq!(
+        r.status.code(),
+        Some(0),
+        "resume after SIGINT: {}",
+        stderr(&r)
+    );
+}
+
+#[test]
+fn corrupt_checkpoint_is_exit_9_with_byte_offset_diagnostics() {
+    // Not-a-checkpoint-at-all fails on the magic at byte 0.
+    let garbage = tmp("garbage.ckpt");
+    std::fs::write(&garbage, b"this is not a checkpoint").expect("write garbage");
+    let out = tmp("corrupt_out.txt");
+    let r = nullgraph(&[
+        "mix",
+        "--resume",
+        garbage.to_str().expect("utf8 path"),
+        "--out",
+        out.to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(r.status.code(), Some(9), "stderr: {}", stderr(&r));
+    let err = stderr(&r);
+    assert!(err.contains("error_code=corrupt_checkpoint"), "{err}");
+    assert!(err.contains("byte"), "diagnostic carries an offset: {err}");
+
+    // A real checkpoint with one flipped payload byte fails the checksum.
+    let input = write_ring("corrupt_in.txt", 40);
+    let ckpt_file = tmp("corrupt.ckpt");
+    std::fs::remove_file(&ckpt_file).ok();
+    let r = nullgraph(&[
+        "mix",
+        "--input",
+        input.to_str().expect("utf8 path"),
+        "--out",
+        out.to_str().expect("utf8 path"),
+        "--until-mixed",
+        "--iterations",
+        "1",
+        "--threshold",
+        "0.999",
+        "--seed",
+        "2",
+        "--checkpoint",
+        ckpt_file.to_str().expect("utf8 path"),
+        "--quiet",
+    ]);
+    assert_eq!(r.status.code(), Some(7), "budget starves: {}", stderr(&r));
+    let mut bytes = std::fs::read(&ckpt_file).expect("checkpoint written");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&ckpt_file, &bytes).expect("re-write corrupted");
+    let r = nullgraph(&[
+        "mix",
+        "--resume",
+        ckpt_file.to_str().expect("utf8 path"),
+        "--out",
+        out.to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(r.status.code(), Some(9), "stderr: {}", stderr(&r));
+    assert!(
+        stderr(&r).contains("error_code=corrupt_checkpoint"),
+        "{}",
+        stderr(&r)
+    );
+}
+
+#[test]
+fn budget_exhaustion_prints_the_resume_command_and_the_resume_continues_counting() {
+    // The 2-edge path can never swap, so any threshold starves the budget.
+    let input = tmp("exhaust_in.txt");
+    std::fs::write(&input, "0 1\n1 2\n").expect("write input");
+    let out = tmp("exhaust_out.txt");
+    let default_ckpt = PathBuf::from(format!("{}.ckpt", out.display()));
+    std::fs::remove_file(&default_ckpt).ok();
+    let r = nullgraph(&[
+        "mix",
+        "--input",
+        input.to_str().expect("utf8 path"),
+        "--out",
+        out.to_str().expect("utf8 path"),
+        "--until-mixed",
+        "--iterations",
+        "2",
+        "--threshold",
+        "0.5",
+        "--seed",
+        "1",
+    ]);
+    assert_eq!(r.status.code(), Some(7), "stderr: {}", stderr(&r));
+    let err = stderr(&r);
+    assert!(err.contains("error_code=mixing_budget_exceeded"), "{err}");
+    assert!(
+        err.contains("resume with: ") && err.contains("--resume"),
+        "stderr must spell out the resume command: {err}"
+    );
+    assert!(
+        default_ckpt.exists(),
+        "an --until-mixed run leaves a checkpoint next to the partial result"
+    );
+
+    // Resuming with a raised budget continues the *absolute* sweep count.
+    let r = nullgraph(&[
+        "mix",
+        "--resume",
+        default_ckpt.to_str().expect("utf8 path"),
+        "--out",
+        out.to_str().expect("utf8 path"),
+        "--iterations",
+        "4",
+    ]);
+    assert_eq!(r.status.code(), Some(7), "still unmixable: {}", stderr(&r));
+    let err = stderr(&r);
+    assert!(
+        err.contains("4/4 sweeps"),
+        "resumed run reports absolute sweep counts: {err}"
+    );
+}

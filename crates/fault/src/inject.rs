@@ -117,6 +117,24 @@ pub fn garble_line(contents: &str, line: usize, garbage: &str) -> String {
         .join("\n")
 }
 
+/// Flip one bit of a binary fixture: bit `bit % 8` of byte `bit / 8`.
+/// No-op on an empty buffer; the byte index wraps, so any `bit` value is a
+/// valid injection point (handy for exhaustive flip sweeps).
+pub fn flip_bit(bytes: &[u8], bit: usize) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if !out.is_empty() {
+        let idx = (bit / 8) % out.len();
+        out[idx] ^= 1 << (bit % 8);
+    }
+    out
+}
+
+/// Truncate a binary fixture to its first `len` bytes (clamped) — the
+/// torn-write / partial-download corruption shape.
+pub fn truncate_bytes(bytes: &[u8], len: usize) -> Vec<u8> {
+    bytes[..len.min(bytes.len())].to_vec()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +169,17 @@ mod tests {
         let text = "0 1\n1 2\n2 3\n";
         assert_eq!(truncate(text, 5), "0 1\n1");
         assert_eq!(garble_line(text, 1, "1 x"), "0 1\n1 x\n2 3");
+    }
+
+    #[test]
+    fn byte_garblers_flip_exactly_one_bit_and_clamp() {
+        let bytes = [0u8, 0, 0];
+        assert_eq!(flip_bit(&bytes, 0), vec![1, 0, 0]);
+        assert_eq!(flip_bit(&bytes, 9), vec![0, 2, 0]);
+        // Byte index wraps past the end; exactly one bit still differs.
+        assert_eq!(flip_bit(&bytes, 24), vec![1, 0, 0]);
+        assert_eq!(flip_bit(&[], 3), Vec::<u8>::new());
+        assert_eq!(truncate_bytes(&bytes, 2), vec![0, 0]);
+        assert_eq!(truncate_bytes(&bytes, 99), bytes.to_vec());
     }
 }

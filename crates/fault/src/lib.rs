@@ -16,9 +16,12 @@
 //! * [`FaultEvent`] — recovery events (table grow-and-retry, parallel →
 //!   serial degradation) logged into a run's statistics so degraded runs
 //!   are observable, not silent;
+//! * [`FaultLog`] — the bounded ring buffer those events live in, so a
+//!   retry storm cannot grow memory without bound (evictions are counted,
+//!   never silent);
 //! * [`inject`] — adversarial fixtures ([`FaultPlan`], non-graphical degree
-//!   sequences, file garblers) used by the fault-injection harness
-//!   (`tests/fault_injection.rs`) to prove each recovery path.
+//!   sequences, file and byte-level garblers) used by the fault-injection
+//!   harness (`tests/fault_injection.rs`) to prove each recovery path.
 //!
 //! The enum is hand-rolled (`Display` + `std::error::Error`) rather than
 //! derived: the workspace carries no `thiserror` dependency, and the match
@@ -94,6 +97,19 @@ pub enum GenError {
         /// What was wrong.
         reason: String,
     },
+    /// A checkpoint file failed structural validation: truncated, bit-flipped,
+    /// written by a future schema version, or recording a run configuration
+    /// that does not hash to the one it claims. The byte offset points at the
+    /// first field that failed to validate, so operators can tell a torn
+    /// header from a corrupted payload at a glance.
+    CorruptCheckpoint {
+        /// The checkpoint file (empty when decoding an in-memory buffer).
+        path: String,
+        /// Byte offset of the field that failed validation.
+        offset: u64,
+        /// What was wrong at that offset.
+        reason: String,
+    },
 }
 
 impl GenError {
@@ -106,6 +122,7 @@ impl GenError {
             Self::MixingBudgetExceeded { .. } => "mixing_budget_exceeded",
             Self::SolverNotConverged { .. } => "solver_not_converged",
             Self::BadInput { .. } => "bad_input",
+            Self::CorruptCheckpoint { .. } => "corrupt_checkpoint",
         }
     }
 
@@ -119,6 +136,7 @@ impl GenError {
             Self::TableFull { .. } => 6,
             Self::MixingBudgetExceeded { .. } => 7,
             Self::SolverNotConverged { .. } => 8,
+            Self::CorruptCheckpoint { .. } => 9,
         }
     }
 
@@ -127,6 +145,19 @@ impl GenError {
         Self::BadInput {
             line: None,
             text: String::new(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for checkpoint corruption found at `offset`.
+    pub fn corrupt_checkpoint(
+        path: impl Into<String>,
+        offset: u64,
+        reason: impl Into<String>,
+    ) -> Self {
+        Self::CorruptCheckpoint {
+            path: path.into(),
+            offset,
             reason: reason.into(),
         }
     }
@@ -187,6 +218,17 @@ impl fmt::Display for GenError {
                     write!(f, " ('{text}')")?;
                 }
                 write!(f, ": {reason}")
+            }
+            Self::CorruptCheckpoint {
+                path,
+                offset,
+                reason,
+            } => {
+                write!(f, "corrupt checkpoint")?;
+                if !path.is_empty() {
+                    write!(f, " '{path}'")?;
+                }
+                write!(f, " at byte {offset}: {reason}")
             }
         }
     }
@@ -254,6 +296,107 @@ impl fmt::Display for FaultEvent {
     }
 }
 
+/// Default number of [`FaultEvent`]s a [`FaultLog`] retains.
+pub const DEFAULT_FAULT_LOG_CAPACITY: usize = 4096;
+
+/// A bounded log of [`FaultEvent`]s.
+///
+/// A pathological retry storm (every sweep of a long run growing tables and
+/// degrading) must not grow memory without bound, so the log is a ring
+/// buffer: once `capacity` events are held, appending a new event evicts the
+/// *oldest* one and bumps [`FaultLog::dropped_events`]. The most recent
+/// events are the diagnostically useful ones — they show the state the run
+/// degraded *into* — so eviction is strictly front-first.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    events: std::collections::VecDeque<FaultEvent>,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
+impl FaultLog {
+    /// An empty log with the [`DEFAULT_FAULT_LOG_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_FAULT_LOG_CAPACITY)
+    }
+
+    /// An empty log retaining at most `capacity` events (0 retains nothing
+    /// and counts every append as dropped).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: std::collections::VecDeque::new(),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest if the log is at capacity.
+    ///
+    /// A default-constructed log (`FaultLog::default()`) has the default
+    /// capacity, not zero — `Default` exists so `SwapStats` can derive it.
+    pub fn push(&mut self, event: FaultEvent) {
+        let cap = self.capacity.unwrap_or(DEFAULT_FAULT_LOG_CAPACITY);
+        if cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() >= cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no event was ever recorded (retained *or* dropped).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.dropped == 0
+    }
+
+    /// The retention cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity.unwrap_or(DEFAULT_FAULT_LOG_CAPACITY)
+    }
+
+    /// Events evicted (or rejected, for a zero-capacity log) because the
+    /// ring was full.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever appended: retained plus dropped.
+    pub fn total_recorded(&self) -> u64 {
+        self.events.len() as u64 + self.dropped
+    }
+
+    /// Iterate over the retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a FaultLog {
+    type Item = &'a FaultEvent;
+    type IntoIter = std::collections::vec_deque::Iter<'a, FaultEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl FromIterator<FaultEvent> for FaultLog {
+    fn from_iter<I: IntoIterator<Item = FaultEvent>>(iter: I) -> Self {
+        let mut log = Self::new();
+        for e in iter {
+            log.push(e);
+        }
+        log
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +427,7 @@ mod tests {
                 rounds: 64,
             },
             GenError::bad_input("x"),
+            GenError::corrupt_checkpoint("run.ckpt", 20, "checksum mismatch"),
         ];
         let mut exits: Vec<i32> = errs.iter().map(GenError::exit_code).collect();
         let mut names: Vec<&str> = errs.iter().map(GenError::error_code).collect();
@@ -325,5 +469,63 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("line 12") && s.contains("3 x"), "{s}");
+    }
+
+    #[test]
+    fn corrupt_checkpoint_display_carries_offset() {
+        let e = GenError::corrupt_checkpoint("/tmp/run.ckpt", 24, "payload length mismatch");
+        let s = e.to_string();
+        assert!(
+            s.contains("/tmp/run.ckpt") && s.contains("byte 24") && s.contains("length mismatch"),
+            "{s}"
+        );
+        assert_eq!(e.exit_code(), 9);
+    }
+
+    fn grown(attempt: u32) -> FaultEvent {
+        FaultEvent::TableGrown {
+            table: "EpochHashSet",
+            occupancy: 8,
+            old_capacity: 8,
+            new_capacity: 16,
+            attempt,
+        }
+    }
+
+    #[test]
+    fn fault_log_caps_and_counts_drops() {
+        let mut log = FaultLog::with_capacity(3);
+        for i in 0..5 {
+            log.push(grown(i));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped_events(), 2);
+        assert_eq!(log.total_recorded(), 5);
+        // Oldest-first eviction: attempts 0 and 1 are gone, 2..5 remain.
+        let attempts: Vec<u32> = log
+            .iter()
+            .map(|e| match e {
+                FaultEvent::TableGrown { attempt, .. } => *attempt,
+                FaultEvent::SerialFallback { .. } => u32::MAX,
+            })
+            .collect();
+        assert_eq!(attempts, vec![2, 3, 4]);
+        assert!(!log.is_empty(), "dropped events still count as recorded");
+    }
+
+    #[test]
+    fn fault_log_zero_capacity_drops_everything() {
+        let mut log = FaultLog::with_capacity(0);
+        log.push(grown(1));
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.dropped_events(), 1);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn fault_log_default_matches_documented_capacity() {
+        assert_eq!(FaultLog::new().capacity(), DEFAULT_FAULT_LOG_CAPACITY);
+        assert_eq!(FaultLog::default().capacity(), DEFAULT_FAULT_LOG_CAPACITY);
+        assert!(FaultLog::default().is_empty());
     }
 }

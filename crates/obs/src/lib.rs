@@ -274,6 +274,16 @@ pub struct Metrics {
     pub sinkhorn_residual: GaugeF64,
     /// Fault events appended to the event log.
     pub fault_events: Counter,
+    /// Checkpoint snapshots written durably.
+    pub ckpt_writes: Counter,
+    /// Checkpoint snapshots loaded and validated.
+    pub ckpt_loads: Counter,
+    /// Bytes of checkpoint payload written (header included).
+    pub ckpt_bytes_written: Counter,
+    /// Nanoseconds spent encoding + atomically persisting checkpoints.
+    pub ckpt_write_ns: Counter,
+    /// Nanoseconds spent reading + validating checkpoints.
+    pub ckpt_load_ns: Counter,
     /// Nanoseconds in the probability-solve phase.
     pub phase_probabilities_ns: Counter,
     /// Nanoseconds in the edge-generation (edge-skip) phase.
@@ -326,6 +336,11 @@ impl Metrics {
             sinkhorn_rounds: self.sinkhorn_rounds.get(),
             sinkhorn_residual: self.sinkhorn_residual.get(),
             fault_events: self.fault_events.get(),
+            ckpt_writes: self.ckpt_writes.get(),
+            ckpt_loads: self.ckpt_loads.get(),
+            ckpt_bytes_written: self.ckpt_bytes_written.get(),
+            ckpt_write_ns: self.ckpt_write_ns.get(),
+            ckpt_load_ns: self.ckpt_load_ns.get(),
             phase_probabilities_ns: self.phase_probabilities_ns.get(),
             phase_edge_generation_ns: self.phase_edge_generation_ns.get(),
             phase_permute_ns: self.phase_permute_ns.get(),
@@ -373,6 +388,16 @@ pub struct MetricsSnapshot {
     pub sinkhorn_residual: f64,
     /// See [`Metrics::fault_events`].
     pub fault_events: u64,
+    /// See [`Metrics::ckpt_writes`].
+    pub ckpt_writes: u64,
+    /// See [`Metrics::ckpt_loads`].
+    pub ckpt_loads: u64,
+    /// See [`Metrics::ckpt_bytes_written`].
+    pub ckpt_bytes_written: u64,
+    /// See [`Metrics::ckpt_write_ns`].
+    pub ckpt_write_ns: u64,
+    /// See [`Metrics::ckpt_load_ns`].
+    pub ckpt_load_ns: u64,
     /// See [`Metrics::phase_probabilities_ns`].
     pub phase_probabilities_ns: u64,
     /// See [`Metrics::phase_edge_generation_ns`].
@@ -403,13 +428,19 @@ impl MetricsSnapshot {
     }
 
     /// The counters that are deterministic functions of the run (everything
-    /// except wall-clock phase timings), for equality checks across runs.
+    /// except wall-clock phase timings and checkpoint activity, whose
+    /// cadence may be wall-clock driven), for equality checks across runs.
     pub fn deterministic_part(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             phase_probabilities_ns: 0,
             phase_edge_generation_ns: 0,
             phase_permute_ns: 0,
             phase_sweep_ns: 0,
+            ckpt_writes: 0,
+            ckpt_loads: 0,
+            ckpt_bytes_written: 0,
+            ckpt_write_ns: 0,
+            ckpt_load_ns: 0,
             ..self.clone()
         }
     }
@@ -467,6 +498,13 @@ impl MetricsSnapshot {
         let _ = writeln!(j, "    \"residual\": {}", json_f64(self.sinkhorn_residual));
         let _ = writeln!(j, "  }},");
         let _ = writeln!(j, "  \"fault_events\": {},", self.fault_events);
+        let _ = writeln!(j, "  \"ckpt\": {{");
+        let _ = writeln!(j, "    \"writes\": {},", self.ckpt_writes);
+        let _ = writeln!(j, "    \"loads\": {},", self.ckpt_loads);
+        let _ = writeln!(j, "    \"bytes_written\": {},", self.ckpt_bytes_written);
+        let _ = writeln!(j, "    \"write_ns\": {},", self.ckpt_write_ns);
+        let _ = writeln!(j, "    \"load_ns\": {}", self.ckpt_load_ns);
+        let _ = writeln!(j, "  }},");
         let _ = writeln!(j, "  \"phases_ns\": {{");
         let _ = writeln!(j, "    \"probabilities\": {},", self.phase_probabilities_ns);
         let _ = writeln!(
@@ -603,6 +641,7 @@ mod tests {
             "\"edgeskip\"",
             "\"sinkhorn\"",
             "\"fault_events\"",
+            "\"ckpt\"",
             "\"phases_ns\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
@@ -633,11 +672,17 @@ mod tests {
             swap_proposals: 7,
             phase_sweep_ns: 12345,
             phase_permute_ns: 9,
+            ckpt_writes: 3,
+            ckpt_write_ns: 777,
+            ckpt_bytes_written: 4096,
             ..Default::default()
         };
         let det = snap.deterministic_part();
         assert_eq!(det.swap_proposals, 7);
         assert_eq!(det.phase_sweep_ns, 0);
         assert_eq!(det.phase_permute_ns, 0);
+        assert_eq!(det.ckpt_writes, 0);
+        assert_eq!(det.ckpt_write_ns, 0);
+        assert_eq!(det.ckpt_bytes_written, 0);
     }
 }

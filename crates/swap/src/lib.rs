@@ -70,6 +70,7 @@
 //! ```
 
 pub mod connected;
+pub mod resume;
 pub mod stats;
 mod workspace;
 
@@ -77,7 +78,8 @@ pub use connected::{
     swap_edges_connected, swap_edges_connected_with_workspace, ConnectedSwapConfig,
     ConnectedSwapError,
 };
-pub use fault::{FaultEvent, GenError};
+pub use fault::{FaultEvent, FaultLog, GenError};
+pub use resume::{CheckpointPolicy, MixControl, MixOutcome, MixReport, MixState, StopRule};
 pub use stats::{IterationStats, SwapStats};
 pub use workspace::SwapWorkspace;
 
@@ -86,6 +88,7 @@ use graphcore::{Edge, EdgeList};
 use parutil::permute::{apply_darts_serial, darts_into, parallel_permute_with_darts_using};
 use parutil::rng::mix64;
 use rayon::prelude::*;
+use resume::{SegmentCtl, SegmentMeta};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -139,6 +142,11 @@ pub struct RecoveryPolicy {
     pub max_grows: u32,
     /// Whether to attempt one serial replay after the grow budget is spent.
     pub serial_fallback: bool,
+    /// Ring-buffer cap of the run's [`SwapStats::events`] log
+    /// ([`fault::DEFAULT_FAULT_LOG_CAPACITY`] by default): the oldest
+    /// events are evicted — and counted — past this many, so a retry storm
+    /// cannot grow memory without bound.
+    pub event_capacity: usize,
 }
 
 impl Default for RecoveryPolicy {
@@ -146,6 +154,7 @@ impl Default for RecoveryPolicy {
         Self {
             max_grows: 4,
             serial_fallback: true,
+            event_capacity: fault::DEFAULT_FAULT_LOG_CAPACITY,
         }
     }
 }
@@ -156,6 +165,7 @@ impl RecoveryPolicy {
         Self {
             max_grows: 0,
             serial_fallback: false,
+            ..Self::default()
         }
     }
 }
@@ -221,7 +231,7 @@ pub fn try_swap_edges_with_workspace(
     ws: &mut SwapWorkspace,
     policy: &RecoveryPolicy,
 ) -> Result<SwapStats, GenError> {
-    run_recovering(graph, cfg, true, &|_| false, None, ws, policy)
+    run_recovering(graph, cfg, true, &|_| false, None, ws, policy, None)
 }
 
 /// Serial reference implementation of the identical algorithm (same darts,
@@ -245,6 +255,7 @@ pub fn swap_edges_serial_with_workspace(
         None,
         ws,
         &RecoveryPolicy::default(),
+        None,
     ) {
         Ok(stats) => stats,
         Err(e) => panic!("{e}"),
@@ -259,7 +270,7 @@ pub fn try_swap_edges_serial_with_workspace(
     ws: &mut SwapWorkspace,
     policy: &RecoveryPolicy,
 ) -> Result<SwapStats, GenError> {
-    run_recovering(graph, cfg, false, &|_| false, None, ws, policy)
+    run_recovering(graph, cfg, false, &|_| false, None, ws, policy, None)
 }
 
 /// Swap until the paper's empirical mixing criterion is met: the fraction
@@ -366,19 +377,166 @@ fn mixing_run(
     ws: &mut SwapWorkspace,
     policy: &RecoveryPolicy,
 ) -> Result<(SwapStats, bool), GenError> {
+    let report = mixing_core(
+        graph,
+        StopRule::Threshold(threshold),
+        budget,
+        seed,
+        None,
+        &mut MixControl::none(),
+        ws,
+        policy,
+    )?;
+    let mixed = report.outcome == MixOutcome::Completed;
+    Ok((report.stats, mixed))
+}
+
+/// Interruptible, checkpointable mixing run.
+///
+/// Behaves exactly like the non-resumable entry points — byte-identical
+/// trajectory for the same `(graph, stop, budget, seed)` on any rayon pool
+/// size — but additionally honors the [`MixControl`]: the interrupt flag is
+/// drained between sweeps, and intermediate [`MixState`]s are handed to the
+/// checkpoint sink per the [`CheckpointPolicy`]. The report says how the
+/// run ended and, unless it [`MixOutcome::Completed`], carries the state to
+/// continue from (feed it to [`resume_from`], directly or through a
+/// `ckpt_v1` round trip).
+///
+/// `budget.max_sweeps` is the *absolute* sweep cap of the logical run: a
+/// resumed continuation counts its predecessor's sweeps against the same
+/// cap.
+#[allow(clippy::too_many_arguments)]
+pub fn try_mix_resumable(
+    graph: &mut EdgeList,
+    stop: StopRule,
+    budget: &MixingBudget,
+    seed: u64,
+    ctl: &mut MixControl<'_>,
+    ws: &mut SwapWorkspace,
+    policy: &RecoveryPolicy,
+) -> Result<MixReport, GenError> {
+    mixing_core(graph, stop, budget, seed, None, ctl, ws, policy)
+}
+
+/// Continue a mixing run from a captured [`MixState`].
+///
+/// Rebuilds the graph from the state and replays the remaining sweeps; the
+/// hard invariant (enforced by `tests/checkpoint_resume.rs`) is that
+/// *interrupt → checkpoint → resume* yields output byte-identical to the
+/// uninterrupted run, across 1/2/8-thread pools. The budget is absolute —
+/// `state.completed_sweeps` already counts against `budget.max_sweeps`; to
+/// grant more work, raise the cap (the stored [`MixState::sweep_budget`]
+/// restores the original one).
+pub fn resume_from(
+    state: &MixState,
+    budget: &MixingBudget,
+    ctl: &mut MixControl<'_>,
+    ws: &mut SwapWorkspace,
+    policy: &RecoveryPolicy,
+) -> Result<(EdgeList, MixReport), GenError> {
+    state.validate()?;
+    let mut graph = EdgeList::from_edges(state.num_vertices, state.edges.clone());
+    let report = mixing_core(
+        &mut graph,
+        state.stop,
+        budget,
+        state.seed,
+        Some(state),
+        ctl,
+        ws,
+        policy,
+    )?;
+    Ok((graph, report))
+}
+
+/// The one mixing-run engine behind both the classic and the resumable
+/// entry points: builds the stop criterion, threads the segment controls
+/// into [`run_until`] via [`run_recovering`], and classifies the ending.
+#[allow(clippy::too_many_arguments)]
+fn mixing_core(
+    graph: &mut EdgeList,
+    stop: StopRule,
+    budget: &MixingBudget,
+    seed: u64,
+    prior: Option<&MixState>,
+    ctl: &mut MixControl<'_>,
+    ws: &mut SwapWorkspace,
+    policy: &RecoveryPolicy,
+) -> Result<MixReport, GenError> {
     let mut cfg = SwapConfig::new(budget.max_sweeps, seed);
-    cfg.track_violations = !graph.is_simple();
+    // Violation tracking is part of the trajectory-describing config: a
+    // fresh run derives it from the input's simplicity, a resumed run must
+    // keep what it started with (its input may have been simplified since).
+    cfg.track_violations = match prior {
+        Some(st) => st.track_violations,
+        None => !graph.is_simple(),
+    };
     let needs_simplify = cfg.track_violations;
-    let criterion = move |it: &IterationStats| {
-        it.ever_swapped_fraction >= threshold
-            && (!needs_simplify || (it.self_loops == 0 && it.multi_edges == 0))
+    let criterion = move |it: &IterationStats| match stop {
+        StopRule::Threshold(t) => {
+            it.ever_swapped_fraction >= t
+                && (!needs_simplify || (it.self_loops == 0 && it.multi_edges == 0))
+        }
+        StopRule::FixedSweeps => false,
     };
     let deadline = budget.max_wall.map(|d| Instant::now() + d);
-    let stats = run_recovering(graph, &cfg, true, &criterion, deadline, ws, policy)?;
+    let mut seg = SegmentCtl {
+        start_iter: prior.map_or(0, |st| st.completed_sweeps),
+        init_swapped: prior.map(|st| st.swapped.as_slice()),
+        prior: prior.map_or(&[][..], |st| st.iterations.as_slice()),
+        meta: SegmentMeta {
+            num_vertices: graph.num_vertices(),
+            seed,
+            sweep_budget: budget.max_sweeps as u64,
+            stop,
+            track_violations: cfg.track_violations,
+        },
+        interrupt: ctl.interrupt,
+        policy: ctl.policy,
+        sink: ctl.sink.as_deref_mut(),
+        interrupted: false,
+        sink_error: None,
+        final_state: None,
+    };
+    let stats = run_recovering(
+        graph,
+        &cfg,
+        true,
+        &criterion,
+        deadline,
+        ws,
+        policy,
+        Some(&mut seg),
+    )?;
+    if let Some(e) = seg.sink_error {
+        return Err(e);
+    }
     // A graph too small to swap (m < 2) has nothing to mix; treat it as
-    // trivially mixed rather than forever over budget.
-    let mixed = graph.len() < 2 || stats.iterations.last().is_some_and(&criterion);
-    Ok((stats, mixed))
+    // trivially complete rather than forever over budget.
+    let completed_rule = match stop {
+        StopRule::Threshold(_) => stats.iterations.last().is_some_and(&criterion),
+        StopRule::FixedSweeps => {
+            stats.iterations.len() as u64 >= budget.max_sweeps as u64
+                && !stats.wall_clock_exceeded
+                && !seg.interrupted
+        }
+    };
+    let outcome = if graph.len() < 2 || completed_rule {
+        MixOutcome::Completed
+    } else if seg.interrupted {
+        MixOutcome::Interrupted
+    } else {
+        MixOutcome::BudgetExhausted
+    };
+    let checkpoint = match outcome {
+        MixOutcome::Completed => None,
+        _ => seg.final_state,
+    };
+    Ok(MixReport {
+        stats,
+        outcome,
+        checkpoint,
+    })
 }
 
 /// Bounded grow-and-retry driver around [`run_until`].
@@ -398,15 +556,24 @@ fn run_recovering(
     deadline: Option<Instant>,
     ws: &mut SwapWorkspace,
     policy: &RecoveryPolicy,
+    mut seg: Option<&mut SegmentCtl<'_, '_>>,
 ) -> Result<SwapStats, GenError> {
-    let mut events: Vec<FaultEvent> = Vec::new();
+    let mut events = FaultLog::with_capacity(policy.event_capacity);
     let mut grows = 0u32;
     let mut degraded = false;
     loop {
-        match run_until(graph, cfg, parallel && !degraded, stop_when, deadline, ws) {
+        match run_until(
+            graph,
+            cfg,
+            parallel && !degraded,
+            stop_when,
+            deadline,
+            ws,
+            seg.as_deref_mut(),
+        ) {
             Ok(mut stats) => {
                 if let Some(m) = ws.metrics() {
-                    m.fault_events.add(events.len() as u64);
+                    m.fault_events.add(events.total_recorded());
                 }
                 stats.events = events;
                 return Ok(stats);
@@ -522,6 +689,15 @@ impl ViolationCounters {
 /// edges into `graph`. On `Err` (a full concurrent table) **nothing has
 /// been written back** — the graph still holds its input state, which is
 /// what makes the grow-and-retry replay in [`run_recovering`] exact.
+///
+/// A [`SegmentCtl`] makes the run one *segment* of a resumable trajectory:
+/// sweeps run over the absolute index range `start_iter..cfg.iterations`
+/// (every per-sweep seed derives from the absolute index, so a segment
+/// boundary is invisible to the RNG stream), slot flags and prior per-sweep
+/// stats are seeded from the previous segment, the interrupt flag is
+/// drained between sweeps, and checkpoints are handed to the sink per the
+/// policy. Segment out-fields are reset on entry, so a grow-and-retry
+/// replay of a faulted attempt stays exact.
 fn run_until(
     graph: &mut EdgeList,
     cfg: &SwapConfig,
@@ -529,13 +705,40 @@ fn run_until(
     stop_when: &(dyn Fn(&IterationStats) -> bool + Sync),
     deadline: Option<Instant>,
     ws: &mut SwapWorkspace,
+    mut seg: Option<&mut SegmentCtl<'_, '_>>,
 ) -> Result<SwapStats, TableFullError> {
     let m = graph.len();
     let mut stats = SwapStats::default();
-    if m < 2 || cfg.iterations == 0 {
+    let start = seg.as_ref().map_or(0, |s| s.start_iter);
+    let total = cfg.iterations as u64;
+    if let Some(s) = seg.as_deref_mut() {
+        s.interrupted = false;
+        s.sink_error = None;
+        s.final_state = None;
+        stats.iterations.extend_from_slice(s.prior);
+    }
+    if m < 2 || total <= start {
+        if let Some(s) = seg {
+            // Nothing to run, but the continuation state must still be
+            // well-formed (flags carried over, stats already prepended).
+            let slots: Vec<Slot> = graph
+                .edges()
+                .iter()
+                .enumerate()
+                .map(|(i, &edge)| Slot {
+                    edge,
+                    swapped: s
+                        .init_swapped
+                        .is_some_and(|f| f.get(i).copied() == Some(true)),
+                })
+                .collect();
+            s.final_state = Some(s.meta.state_from_slots(&slots, &stats.iterations));
+        }
         return Ok(stats);
     }
-    stats.iterations.reserve(cfg.iterations.min(1 << 12));
+    stats
+        .iterations
+        .reserve(((total - start) as usize).min(1 << 12));
     ws.prepare(m, cfg.probe);
     let SwapWorkspace {
         slots,
@@ -551,10 +754,22 @@ fn run_until(
     let table: &EpochHashSet = table.as_ref().expect("prepare populates the table");
     let claims = claims.as_ref().expect("prepare populates the claim map");
     slots.clear();
-    slots.extend(graph.edges().iter().map(|&edge| Slot {
-        edge,
-        swapped: false,
-    }));
+    match seg.as_ref().and_then(|s| s.init_swapped) {
+        Some(flags) => {
+            debug_assert_eq!(flags.len(), m, "resume flags must match the edge count");
+            slots.extend(
+                graph
+                    .edges()
+                    .iter()
+                    .zip(flags.iter())
+                    .map(|(&edge, &swapped)| Slot { edge, swapped }),
+            );
+        }
+        None => slots.extend(graph.edges().iter().map(|&edge| Slot {
+            edge,
+            swapped: false,
+        })),
+    }
 
     let violations = cfg
         .track_violations
@@ -562,10 +777,21 @@ fn run_until(
     // Mixing statistic: slots that have ever held a successfully swapped
     // edge. Commits bump the counter for each slot flipping for the first
     // time; every slot flips at most once, so the relaxed sum is exact and
-    // deterministic (it replaces a full O(m) rescan per sweep).
-    let ever = AtomicU64::new(0);
+    // deterministic (it replaces a full O(m) rescan per sweep). A resumed
+    // segment starts from the carried-over flag count.
+    let ever = AtomicU64::new(slots.iter().filter(|s| s.swapped).count() as u64);
+    let mut sweeps_since_ckpt = 0u64;
+    let mut last_ckpt = Instant::now();
 
-    for iter in 0..cfg.iterations {
+    for iter in start..total {
+        // Graceful shutdown: the interrupt flag is drained between sweeps,
+        // so the state captured below is always a whole-sweep boundary.
+        if let Some(s) = seg.as_deref_mut() {
+            if s.interrupt.is_some_and(|f| f.load(Ordering::Acquire)) {
+                s.interrupted = true;
+                break;
+            }
+        }
         // Watchdog: the wall-clock deadline is checked between sweeps (a
         // sweep is never interrupted mid-flight, so the edge list stays a
         // valid degree-preserving state).
@@ -573,7 +799,7 @@ fn run_until(
             stats.wall_clock_exceeded = true;
             break;
         }
-        let iter_seed = mix64(cfg.seed ^ (iter as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let iter_seed = mix64(cfg.seed ^ iter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         table.clear_shared();
         claims.clear_shared();
 
@@ -732,6 +958,25 @@ fn run_until(
         if stop {
             break;
         }
+        // Periodic checkpoint: hand the whole-sweep-boundary state to the
+        // sink. A sink failure aborts the run (durability was requested and
+        // cannot be provided); the error surfaces through the segment.
+        if let Some(s) = seg.as_deref_mut() {
+            sweeps_since_ckpt += 1;
+            if s.policy
+                .is_some_and(|p| p.due(sweeps_since_ckpt, last_ckpt))
+            {
+                if let Some(sink) = s.sink.as_mut() {
+                    let state = s.meta.state_from_slots(slots, &stats.iterations);
+                    if let Err(e) = sink(&state) {
+                        s.sink_error = Some(e);
+                        break;
+                    }
+                }
+                sweeps_since_ckpt = 0;
+                last_ckpt = Instant::now();
+            }
+        }
     }
 
     // Write the final edges back.
@@ -740,6 +985,9 @@ fn run_until(
         .iter_mut()
         .zip(slots.iter())
         .for_each(|(e, s)| *e = s.edge);
+    if let Some(s) = seg {
+        s.final_state = Some(s.meta.state_from_slots(slots, &stats.iterations));
+    }
     Ok(stats)
 }
 
@@ -1104,6 +1352,201 @@ mod tests {
         for w in totals.windows(2) {
             assert!(w[1] <= w[0], "violations increased: {totals:?}");
         }
+    }
+
+    #[test]
+    fn interrupt_checkpoint_resume_is_byte_identical() {
+        let budget = MixingBudget::sweeps(12);
+        let mut want = ring(300);
+        let want_report = try_mix_resumable(
+            &mut want,
+            StopRule::FixedSweeps,
+            &budget,
+            21,
+            &mut MixControl::none(),
+            &mut SwapWorkspace::new(),
+            &RecoveryPolicy::default(),
+        )
+        .expect("reference run");
+        assert_eq!(want_report.outcome, MixOutcome::Completed);
+        assert!(want_report.checkpoint.is_none());
+
+        // Interrupt after 4 sweeps via a self-raised flag in the sink.
+        use std::sync::atomic::AtomicBool;
+        let flag = AtomicBool::new(false);
+        let mut seen = 0u64;
+        let mut sink = |st: &MixState| {
+            seen = st.completed_sweeps;
+            if st.completed_sweeps >= 4 {
+                flag.store(true, Ordering::Release);
+            }
+            Ok(())
+        };
+        let mut ctl = MixControl {
+            interrupt: Some(&flag),
+            policy: Some(CheckpointPolicy::sweeps(1)),
+            sink: Some(&mut sink),
+        };
+        let mut got = ring(300);
+        let report = try_mix_resumable(
+            &mut got,
+            StopRule::FixedSweeps,
+            &budget,
+            21,
+            &mut ctl,
+            &mut SwapWorkspace::new(),
+            &RecoveryPolicy::default(),
+        )
+        .expect("interrupted run");
+        assert_eq!(report.outcome, MixOutcome::Interrupted);
+        let state = report.checkpoint.expect("interrupted runs carry state");
+        assert_eq!(state.completed_sweeps, 4);
+        assert_eq!(state.sweep_budget, 12);
+
+        let (resumed, final_report) = resume_from(
+            &state,
+            &budget,
+            &mut MixControl::none(),
+            &mut SwapWorkspace::new(),
+            &RecoveryPolicy::default(),
+        )
+        .expect("resume");
+        assert_eq!(final_report.outcome, MixOutcome::Completed);
+        assert_eq!(resumed, want, "resumed graph must be byte-identical");
+        assert_eq!(
+            final_report.stats.iterations, want_report.stats.iterations,
+            "stitched per-sweep stats must match the uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_checkpoint_resumes_to_same_result() {
+        let threshold = 0.999;
+        let mut want = ring(200);
+        let want_stats =
+            try_swap_until_mixed(&mut want, threshold, &MixingBudget::sweeps(200), 5).expect("ref");
+        let needed = want_stats.iterations.len();
+        assert!(needed > 1, "fixture must take several sweeps to mix");
+
+        // Starve the first run, then resume under a sufficient budget.
+        let mut got = ring(200);
+        let report = try_mix_resumable(
+            &mut got,
+            StopRule::Threshold(threshold),
+            &MixingBudget::sweeps(1),
+            5,
+            &mut MixControl::none(),
+            &mut SwapWorkspace::new(),
+            &RecoveryPolicy::default(),
+        )
+        .expect("starved run still returns a report");
+        assert_eq!(report.outcome, MixOutcome::BudgetExhausted);
+        assert_eq!(report.budget_error(&MixingBudget::sweeps(1)).exit_code(), 7);
+        let state = report.checkpoint.expect("exhausted runs carry state");
+        assert_eq!(state.completed_sweeps, 1);
+        let (resumed, final_report) = resume_from(
+            &state,
+            &MixingBudget::sweeps(200),
+            &mut MixControl::none(),
+            &mut SwapWorkspace::new(),
+            &RecoveryPolicy::default(),
+        )
+        .expect("resume");
+        assert_eq!(final_report.outcome, MixOutcome::Completed);
+        assert_eq!(resumed, want);
+        assert_eq!(final_report.stats.iterations.len(), needed);
+    }
+
+    #[test]
+    fn resume_rejects_inconsistent_state() {
+        let state = MixState {
+            num_vertices: 3,
+            edges: vec![Edge::new(0, 1), Edge::new(1, 2)],
+            swapped: vec![false],
+            completed_sweeps: 0,
+            seed: 1,
+            sweep_budget: 5,
+            stop: StopRule::FixedSweeps,
+            track_violations: false,
+            iterations: Vec::new(),
+        };
+        let err = resume_from(
+            &state,
+            &MixingBudget::sweeps(5),
+            &mut MixControl::none(),
+            &mut SwapWorkspace::new(),
+            &RecoveryPolicy::default(),
+        )
+        .expect_err("flag/edge length mismatch must be rejected");
+        assert_eq!(err.error_code(), "bad_input");
+    }
+
+    #[test]
+    fn resume_past_budget_completes_fixed_sweep_runs_without_work() {
+        let mut g = ring(50);
+        let report = try_mix_resumable(
+            &mut g,
+            StopRule::FixedSweeps,
+            &MixingBudget::sweeps(3),
+            2,
+            &mut MixControl::none(),
+            &mut SwapWorkspace::new(),
+            &RecoveryPolicy::default(),
+        )
+        .expect("run");
+        assert_eq!(report.outcome, MixOutcome::Completed);
+        // Re-running a finished trajectory (same absolute cap) is a no-op.
+        let mut interrupted = ring(50);
+        let int_report = {
+            let flag = std::sync::atomic::AtomicBool::new(true);
+            let mut ctl = MixControl {
+                interrupt: Some(&flag),
+                policy: None,
+                sink: None,
+            };
+            try_mix_resumable(
+                &mut interrupted,
+                StopRule::FixedSweeps,
+                &MixingBudget::sweeps(3),
+                2,
+                &mut ctl,
+                &mut SwapWorkspace::new(),
+                &RecoveryPolicy::default(),
+            )
+            .expect("interrupted before the first sweep")
+        };
+        assert_eq!(int_report.outcome, MixOutcome::Interrupted);
+        let state = int_report.checkpoint.expect("state");
+        assert_eq!(state.completed_sweeps, 0);
+        let (resumed, rep) = resume_from(
+            &state,
+            &MixingBudget::sweeps(3),
+            &mut MixControl::none(),
+            &mut SwapWorkspace::new(),
+            &RecoveryPolicy::default(),
+        )
+        .expect("resume");
+        assert_eq!(rep.outcome, MixOutcome::Completed);
+        assert_eq!(resumed, g);
+    }
+
+    #[test]
+    fn fault_log_capacity_honored_by_recovery() {
+        let cfg = SwapConfig::new(4, 77);
+        let mut got = ring(300);
+        let mut ws = SwapWorkspace::with_table_capacity(16);
+        let policy = RecoveryPolicy {
+            event_capacity: 1,
+            ..RecoveryPolicy::default()
+        };
+        let stats = try_swap_edges_with_workspace(&mut got, &cfg, &mut ws, &policy)
+            .expect("grow-and-retry should recover");
+        assert!(stats.events.len() <= 1);
+        assert!(
+            stats.events.total_recorded() > stats.events.len() as u64,
+            "evictions must be counted, log: {:?}",
+            stats.events
+        );
     }
 
     proptest! {

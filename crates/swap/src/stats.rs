@@ -1,9 +1,9 @@
 //! Per-iteration statistics and mixing diagnostics for swap runs.
 
-use fault::FaultEvent;
+use fault::FaultLog;
 
 /// Statistics for one permute-and-swap iteration.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct IterationStats {
     /// Number of adjacent pairs considered (`⌊m / 2⌋`).
     pub attempted_pairs: u64,
@@ -38,9 +38,11 @@ pub struct SwapStats {
     pub iterations: Vec<IterationStats>,
     /// Recovery actions taken while producing this result (table
     /// grow-and-retry, parallel → serial degradation). Empty for a run that
-    /// needed no recovery; a non-empty list means the result is valid but
-    /// the run was degraded and the caller's sizing was wrong.
-    pub events: Vec<FaultEvent>,
+    /// needed no recovery; a non-empty log means the result is valid but
+    /// the run was degraded and the caller's sizing was wrong. The log is a
+    /// bounded ring ([`crate::RecoveryPolicy::event_capacity`]); evictions
+    /// under a retry storm bump [`FaultLog::dropped_events`].
+    pub events: FaultLog,
     /// `true` when the run was cut short by its wall-clock deadline rather
     /// than finishing its sweep budget or meeting its stop criterion.
     pub wall_clock_exceeded: bool,

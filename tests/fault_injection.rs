@@ -8,7 +8,7 @@
 //! the [`fault::GenError::error_code`] or the recovery invariant.
 
 use fault::inject::{self, Expectation, FaultPlan};
-use fault::{FaultEvent, GenError};
+use fault::{FaultEvent, FaultLog, GenError};
 use graphcore::io::{read_edge_list, ParseError};
 use graphcore::{DegreeDistribution, EdgeList};
 use nullmodel::{try_generate_from_edge_list_with_workspace, GeneratorConfig};
@@ -39,6 +39,7 @@ fn policy_for(plan: &FaultPlan) -> RecoveryPolicy {
     RecoveryPolicy {
         max_grows: plan.max_grows,
         serial_fallback: plan.serial_fallback,
+        ..RecoveryPolicy::default()
     }
 }
 
@@ -50,7 +51,7 @@ fn serialize(graph: &EdgeList) -> Vec<u8> {
 
 /// Run one plan against the swap kernel and return the mixed graph's bytes
 /// (when it succeeded) or the typed error.
-fn run_plan(plan: &FaultPlan, seed: u64) -> Result<(Vec<u8>, Vec<FaultEvent>), GenError> {
+fn run_plan(plan: &FaultPlan, seed: u64) -> Result<(Vec<u8>, FaultLog), GenError> {
     let mut graph = ring(300);
     let mut ws = workspace_for(plan);
     let stats = try_swap_edges_with_workspace(
@@ -235,6 +236,48 @@ fn non_graphical_sequences_fail_typed_with_named_reasons() {
             panic!("{name}: unexpected error: {err}");
         };
         assert!(!reason.is_empty(), "{name}: reason must name the violation");
+    }
+}
+
+/// Checkpoint corruption belongs to the same taxonomy: any byte-level
+/// garbling produced by the `fault::inject` helpers must surface as the
+/// typed `corrupt_checkpoint` error (exit 9), never as a panic or a
+/// silently-wrong resume. (`crates/ckpt/tests/format_proptests.rs` sweeps
+/// *every* single-bit flip and truncation; this scenario wires the same
+/// garblers into the fault-injection harness.)
+#[test]
+fn garbled_checkpoints_fail_typed_through_the_injection_helpers() {
+    let mut graph = ring(40);
+    let mut ctl = swap::MixControl::none();
+    let report = swap::try_mix_resumable(
+        &mut graph,
+        swap::StopRule::Threshold(0.999),
+        &MixingBudget::sweeps(1),
+        9,
+        &mut ctl,
+        &mut SwapWorkspace::new(),
+        &RecoveryPolicy::default(),
+    )
+    .expect("starved run still returns a report");
+    let state = report.checkpoint.expect("budget-exhausted run checkpoints");
+    let bytes = ckpt::codec::encode(&ckpt::Snapshot::without_counters(state));
+
+    for (name, garbled) in [
+        ("flipped_header_bit", inject::flip_bit(&bytes, 17)),
+        ("flipped_payload_bit", inject::flip_bit(&bytes, 8 * 40 + 3)),
+        (
+            "truncated_half",
+            inject::truncate_bytes(&bytes, bytes.len() / 2),
+        ),
+        ("truncated_empty", inject::truncate_bytes(&bytes, 0)),
+    ] {
+        let err = ckpt::codec::decode(&garbled, name).expect_err(name);
+        assert_eq!(err.error_code(), "corrupt_checkpoint", "{name}: {err}");
+        assert_eq!(err.exit_code(), 9, "{name}");
+        assert!(
+            err.to_string().contains("byte"),
+            "{name}: diagnostic must carry a byte offset: {err}"
+        );
     }
 }
 
