@@ -1,5 +1,6 @@
-//! Per-sweep swap throughput, before/after the workspace refactor, emitted
-//! as `BENCH_swap.json` (hand-rolled JSON, no serde).
+//! Per-sweep swap throughput, before/after the workspace refactor, plus a
+//! thread-scaling sweep over the sharded two-phase path, emitted as
+//! `BENCH_swap.json` (hand-rolled JSON, no serde).
 //!
 //! Two cost profiles are compared at each size, serial and parallel:
 //!
@@ -12,9 +13,20 @@
 //!   [`swap::swap_edges_with_workspace`] call over a pre-grown
 //!   [`swap::SwapWorkspace`]: the steady-state zero-allocation path.
 //!
+//! Every result row records the rayon pool size it ran on (`threads`).
+//! With `NULLGRAPH_THREAD_SWEEP` set, the binary additionally re-times the
+//! steady-state parallel path on explicit pools of 1/2/4/8/16 threads
+//! (`variant: "thread_sweep"` rows) and summarizes per-size parallel
+//! efficiency in a `thread_scaling` section (speedup relative to the
+//! 1-thread pool at the same size). Determinism across those pool sizes is
+//! the *tested* contract (`tests/thread_scaling.rs`); this sweep is the
+//! throughput half of the story.
+//!
 //! ```text
 //! cargo run -p bench --release --bin swap_throughput
 //! # NULLGRAPH_SWEEPS=4 NULLGRAPH_SWEEP_SIZES=10000 for a quick smoke run
+//! # NULLGRAPH_THREAD_SWEEP=1        default 1,2,4,8,16 pool ladder
+//! # NULLGRAPH_THREAD_SWEEP=1,2,8    explicit pool ladder
 //! # NULLGRAPH_BENCH_OUT=/tmp/out.json to redirect the JSON
 //! ```
 
@@ -32,7 +44,8 @@ fn ring(m: usize) -> EdgeList {
 struct Row {
     m: usize,
     mode: &'static str,    // serial | parallel
-    variant: &'static str, // fresh_per_sweep | workspace_reuse
+    variant: &'static str, // fresh_per_sweep | workspace_reuse | thread_sweep
+    threads: usize,        // rayon pool size the row ran on
     sweeps: usize,
     secs_per_sweep: f64,
     edges_per_sec: f64,
@@ -54,6 +67,23 @@ fn sizes() -> Vec<usize> {
             .filter(|&s| s >= 4)
             .collect(),
         Err(_) => vec![10_000, 100_000, 1_000_000],
+    }
+}
+
+/// The pool ladder for the thread sweep: `None` when the sweep is off,
+/// the default 1/2/4/8/16 ladder for `NULLGRAPH_THREAD_SWEEP=1` (or any
+/// non-list value), an explicit ladder for a comma-separated list.
+fn thread_sweep() -> Option<Vec<usize>> {
+    let v = std::env::var("NULLGRAPH_THREAD_SWEEP").ok()?;
+    let explicit: Vec<usize> = v
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&t| (1..=1024).contains(&t))
+        .collect();
+    if explicit.len() > 1 || explicit.first().is_some_and(|&t| t > 1) {
+        Some(explicit)
+    } else {
+        Some(vec![1, 2, 4, 8, 16])
     }
 }
 
@@ -96,7 +126,7 @@ fn run_reuse(base: &EdgeList, sweeps: usize, serial: bool, ws: &mut SwapWorkspac
 
 fn main() {
     let sweeps = env_usize("NULLGRAPH_SWEEPS", 8);
-    let threads = rayon::current_num_threads();
+    let ambient_threads = rayon::current_num_threads();
     let mut rows: Vec<Row> = Vec::new();
     // One registry across every measured configuration: atomic relaxed adds
     // are noise next to a sweep, and the aggregate snapshot (accept ratio,
@@ -120,6 +150,7 @@ fn main() {
                     m,
                     mode,
                     variant,
+                    threads: ambient_threads,
                     sweeps,
                     secs_per_sweep: secs,
                     edges_per_sec: m as f64 / secs,
@@ -130,18 +161,49 @@ fn main() {
         }
     }
 
+    // Thread sweep: the steady-state parallel path on explicit pools.
+    if let Some(ladder) = thread_sweep() {
+        for m in sizes() {
+            let base = ring(m);
+            for &t in &ladder {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(t)
+                    .build()
+                    .expect("build sweep pool");
+                let mut ws = SwapWorkspace::with_capacity(m);
+                ws.set_metrics(Some(metrics.clone()));
+                let secs = pool.install(|| run_reuse(&base, sweeps, false, &mut ws));
+                println!(
+                    "m={m:>9}  parallel  thread_sweep t={t:<3}  {:>10.3} ms/sweep  \
+                     {:>12.0} edges/s",
+                    secs * 1e3,
+                    m as f64 / secs
+                );
+                rows.push(Row {
+                    m,
+                    mode: "parallel",
+                    variant: "thread_sweep",
+                    threads: t,
+                    sweeps,
+                    secs_per_sweep: secs,
+                    edges_per_sec: m as f64 / secs,
+                });
+            }
+        }
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"swap_sweep_throughput\",");
-    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"threads\": {ambient_threads},");
     let _ = writeln!(json, "  \"sweeps_per_measurement\": {sweeps},");
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"m\": {}, \"mode\": \"{}\", \"variant\": \"{}\", \"sweeps\": {}, \
-             \"secs_per_sweep\": {:.6}, \"edges_per_sec\": {:.0}}}",
-            r.m, r.mode, r.variant, r.sweeps, r.secs_per_sweep, r.edges_per_sec
+            "    {{\"m\": {}, \"mode\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \
+             \"sweeps\": {}, \"secs_per_sweep\": {:.6}, \"edges_per_sec\": {:.0}}}",
+            r.m, r.mode, r.variant, r.threads, r.sweeps, r.secs_per_sweep, r.edges_per_sec
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -164,7 +226,29 @@ fn main() {
         );
         json.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ]");
+    // Thread-scaling summary: speedup of each pool size relative to the
+    // 1-thread pool at the same m (only present when the sweep ran with a
+    // 1-thread baseline in the ladder).
+    let scaling: Vec<(usize, usize, f64)> = rows
+        .iter()
+        .filter(|r| r.variant == "thread_sweep")
+        .filter_map(|r| {
+            rows.iter()
+                .find(|b| b.variant == "thread_sweep" && b.m == r.m && b.threads == 1)
+                .map(|b| (r.m, r.threads, b.secs_per_sweep / r.secs_per_sweep))
+        })
+        .collect();
+    if scaling.is_empty() {
+        json.push_str("\n}\n");
+    } else {
+        json.push_str(",\n  \"thread_scaling\": [\n");
+        for (i, (m, t, x)) in scaling.iter().enumerate() {
+            let _ = write!(json, "    {{\"m\": {m}, \"threads\": {t}, \"x\": {x:.3}}}");
+            json.push_str(if i + 1 < scaling.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("  ]\n}\n");
+    }
 
     let out = std::env::var("NULLGRAPH_BENCH_OUT").unwrap_or_else(|_| "BENCH_swap.json".into());
     std::fs::write(&out, &json).expect("write BENCH_swap.json");

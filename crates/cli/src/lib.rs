@@ -65,7 +65,7 @@ pub fn usage() -> &'static str {
 
 USAGE:
   nullgraph generate --dist <file> --out <file> [--seed N] [--swaps N] [--refine N]
-            [--refine-tol F] [--metrics <file>]
+            [--refine-tol F] [--shards N] [--metrics <file>]
       Generate a uniformly-random simple graph from a degree distribution
       (one 'degree count' pair per line). With --refine-tol the probability
       refinement must converge below F or the run fails with
@@ -73,8 +73,8 @@ USAGE:
       MetricsSnapshot of pipeline counters and phase timings.
 
   nullgraph mix --input <file> --out <file> [--iterations N] [--seed N]
-            [--until-mixed] [--threshold F] [--budget-ms N] [--metrics <file>]
-            [--checkpoint <file>] [--checkpoint-every <N|Nms|Ns>]
+            [--until-mixed] [--threshold F] [--budget-ms N] [--shards N]
+            [--metrics <file>] [--checkpoint <file>] [--checkpoint-every <N|Nms|Ns>]
       Uniformly mix an existing edge list ('u v' per line) with parallel
       double-edge swaps; degrees are preserved exactly. With --until-mixed,
       --iterations becomes a sweep budget: the run stops once the fraction
@@ -82,7 +82,9 @@ USAGE:
       with error_code=mixing_budget_exceeded if the budget (or the optional
       --budget-ms wall clock) runs out first. --budget-ms 0 is an already-
       expired deadline, not 'no deadline'. --metrics writes the counter
-      snapshot plus exact per-sweep accept counts as JSON.
+      snapshot plus exact per-sweep accept counts as JSON. --shards sets
+      the swap tables' shard count — a performance knob only; output is
+      byte-identical at any value.
       --checkpoint writes crash-consistent ckpt_v1 snapshots to <file>
       (default cadence: every 5s of wall clock; --checkpoint-every takes a
       sweep count or an ms/s duration). Any run with checkpointing, or any

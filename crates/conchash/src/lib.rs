@@ -37,8 +37,10 @@
 //! ```
 
 pub mod epoch;
+pub mod shard;
 
 pub use epoch::{EpochHashMap, EpochHashSet};
+pub use shard::{shard_of_key, ShardedEpochHashMap, ShardedEpochHashSet, DEFAULT_SHARD_COUNT};
 
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};

@@ -1,0 +1,378 @@
+//! Key-range-sharded variants of the epoch-stamped tables.
+//!
+//! A single [`EpochHashSet`]/[`EpochHashMap`] spreads every thread's
+//! insertions across the whole slot array, so under contention each CAS
+//! ping-pongs cache lines between cores. The sharded tables split the key
+//! space into `shards` independent sub-tables selected by the **high** bits
+//! of the key's hash (the sub-tables index their slots with the *low* bits,
+//! so the two decisions never correlate). A sweep can then partition its
+//! operations by destination shard — [`parutil`'s `ShardScatter`] does this
+//! in the swap kernel — and hand each shard to one worker: every cache line
+//! of a shard is touched by a single thread for the whole phase.
+//!
+//! Each sub-table lives in its own 128-byte-aligned allocation slot, so two
+//! shards' hot metadata (epoch, occupancy counters) never share a cache
+//! line even on processors that prefetch line pairs.
+//!
+//! Determinism: shard selection is a pure function of the key, the
+//! sub-tables are the unchanged epoch tables, and the claim reduction is a
+//! commutative minimum — so table contents after a round of operations are
+//! independent of the shard count, the thread count, and all
+//! interleavings. A shard reporting [`TableFullError`] is likewise a pure
+//! function of the key set (each probe chain visits every slot of its
+//! shard), which keeps the grow-and-retry recovery path byte-identical.
+//!
+//! [`parutil`'s `ShardScatter`]: https://docs.rs/parutil
+
+use crate::epoch::{EpochHashMap, EpochHashSet};
+use crate::{hash64, Probe, TableFullError};
+use std::sync::Arc;
+
+/// Default shard count for the swap workspace tables: enough to keep a
+/// 16-thread pool's workers on distinct shards with low collision
+/// probability while keeping per-shard slack memory negligible.
+pub const DEFAULT_SHARD_COUNT: usize = 16;
+
+/// One sub-table in its own cache-line-pair-aligned slot.
+#[repr(align(128))]
+struct Padded<T>(T);
+
+/// Map a key to its shard: a fixed-point scaling of the key's hash
+/// (`fastrange`), which consumes the hash's high bits — the sub-tables mask
+/// with the low bits, so shard choice and in-shard slot are uncorrelated.
+/// Pure function of `(key, shards)`; any `shards >= 1` is valid.
+#[inline]
+pub fn shard_of_key(key: u64, shards: usize) -> usize {
+    (((hash64(key) as u128) * (shards as u128)) >> 64) as usize
+}
+
+/// Per-shard capacity for a whole-table capacity: an even split plus 25%
+/// slack for hash-placement imbalance. Shard fill is not an error (the swap
+/// workspace grows and retries deterministically); the slack just makes it
+/// rare.
+#[inline]
+fn shard_capacity(capacity: usize, shards: usize) -> usize {
+    (capacity.div_ceil(shards) * 5).div_ceil(4)
+}
+
+/// [`EpochHashSet`] split into independent key-range shards.
+pub struct ShardedEpochHashSet {
+    shards: Box<[Padded<EpochHashSet>]>,
+}
+
+impl ShardedEpochHashSet {
+    /// Create a set of [`DEFAULT_SHARD_COUNT`] shards holding at least
+    /// `capacity` keys in total (same 0.5 load-factor rule as the
+    /// unsharded tables, applied per shard).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, Probe::Linear, DEFAULT_SHARD_COUNT)
+    }
+
+    /// As [`ShardedEpochHashSet::new`] with an explicit probing strategy.
+    pub fn with_probe(capacity: usize, probe: Probe) -> Self {
+        Self::with_shards(capacity, probe, DEFAULT_SHARD_COUNT)
+    }
+
+    /// Fully explicit constructor; `shards` may be any positive count.
+    pub fn with_shards(capacity: usize, probe: Probe, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = shard_capacity(capacity, shards);
+        Self {
+            shards: (0..shards)
+                .map(|_| Padded(EpochHashSet::with_probe(per_shard, probe)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns `key`.
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        shard_of_key(key, self.shards.len())
+    }
+
+    /// Direct access to shard `s`, for phases that partition work by shard.
+    #[inline]
+    pub fn shard(&self, s: usize) -> &EpochHashSet {
+        &self.shards[s].0
+    }
+
+    /// Total slots across all shards.
+    pub fn table_size(&self) -> usize {
+        self.shards.iter().map(|s| s.0.table_size()).sum()
+    }
+
+    /// Total keys stored in the current epoch across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.0.len()).sum()
+    }
+
+    /// `true` if no keys are stored in the current epoch.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.0.is_empty())
+    }
+
+    /// The probing strategy the shards were built with.
+    #[inline]
+    pub fn probe(&self) -> Probe {
+        self.shards[0].0.probe()
+    }
+
+    /// Attach (or detach) a probe-length histogram; all shards record into
+    /// the same histogram, so the distribution covers the whole key space.
+    pub fn set_probe_histogram(&mut self, hist: Option<Arc<obs::Histogram>>) {
+        for s in self.shards.iter_mut() {
+            s.0.set_probe_histogram(hist.clone());
+        }
+    }
+
+    /// Insert `key` into its shard; `Ok(true)` if already present this
+    /// epoch. On a full shard the error is relabeled with the sharded type
+    /// and that shard's occupancy/capacity (the numbers the grow policy
+    /// needs).
+    #[inline]
+    pub fn try_test_and_set(&self, key: u64) -> Result<bool, TableFullError> {
+        self.shards[self.shard_of(key)]
+            .0
+            .try_test_and_set(key)
+            .map_err(|e| TableFullError {
+                table: "ShardedEpochHashSet",
+                ..e
+            })
+    }
+
+    /// `true` if `key` is present in the current epoch.
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.shards[self.shard_of(key)].0.contains(key)
+    }
+
+    /// Reset every shard to empty: O(shards) epoch bumps. Must not race
+    /// other operations (same contract as the unsharded tables).
+    pub fn clear_shared(&self) {
+        for s in self.shards.iter() {
+            s.0.clear_shared();
+        }
+    }
+
+    /// As [`ShardedEpochHashSet::clear_shared`] for exclusive owners.
+    pub fn clear(&mut self) {
+        self.clear_shared();
+    }
+}
+
+impl std::fmt::Debug for ShardedEpochHashSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEpochHashSet")
+            .field("shards", &self.shard_count())
+            .field("table_size", &self.table_size())
+            .field("len", &self.len())
+            .field("probe", &self.probe())
+            .finish()
+    }
+}
+
+/// [`EpochHashMap`] split into independent key-range shards; the
+/// minimum-claim reduction is commutative, so sharding is unobservable in
+/// the settled values.
+pub struct ShardedEpochHashMap {
+    shards: Box<[Padded<EpochHashMap>]>,
+}
+
+impl ShardedEpochHashMap {
+    /// Create a map of [`DEFAULT_SHARD_COUNT`] shards holding at least
+    /// `capacity` keys in total.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, Probe::Linear, DEFAULT_SHARD_COUNT)
+    }
+
+    /// As [`ShardedEpochHashMap::new`] with an explicit probing strategy.
+    pub fn with_probe(capacity: usize, probe: Probe) -> Self {
+        Self::with_shards(capacity, probe, DEFAULT_SHARD_COUNT)
+    }
+
+    /// Fully explicit constructor; `shards` may be any positive count.
+    pub fn with_shards(capacity: usize, probe: Probe, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = shard_capacity(capacity, shards);
+        Self {
+            shards: (0..shards)
+                .map(|_| Padded(EpochHashMap::with_probe(per_shard, probe)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns `key`.
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        shard_of_key(key, self.shards.len())
+    }
+
+    /// Direct access to shard `s`, for phases that partition claims by
+    /// shard. Callers must route only keys with `shard_of(key) == s` here,
+    /// or lookups through the sharded facade will miss them.
+    #[inline]
+    pub fn shard(&self, s: usize) -> &EpochHashMap {
+        &self.shards[s].0
+    }
+
+    /// Total slots across all shards.
+    pub fn table_size(&self) -> usize {
+        self.shards.iter().map(|s| s.0.table_size()).sum()
+    }
+
+    /// Total distinct keys stored in the current epoch across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.0.len()).sum()
+    }
+
+    /// `true` if no keys are stored in the current epoch.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.0.is_empty())
+    }
+
+    /// The probing strategy the shards were built with.
+    #[inline]
+    pub fn probe(&self) -> Probe {
+        self.shards[0].0.probe()
+    }
+
+    /// Attach (or detach) a probe-length histogram shared by all shards.
+    pub fn set_probe_histogram(&mut self, hist: Option<Arc<obs::Histogram>>) {
+        for s in self.shards.iter_mut() {
+            s.0.set_probe_histogram(hist.clone());
+        }
+    }
+
+    /// Claim `key` with `value` in its shard; the settled value is the
+    /// minimum over all claims this epoch, independent of interleaving,
+    /// shard count, and thread count.
+    #[inline]
+    pub fn try_claim_min(&self, key: u64, value: u64) -> Result<(), TableFullError> {
+        self.shards[self.shard_of(key)]
+            .0
+            .try_claim_min(key, value)
+            .map_err(|e| TableFullError {
+                table: "ShardedEpochHashMap",
+                ..e
+            })
+    }
+
+    /// The minimum value claimed for `key` this epoch, or `None`.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.shards[self.shard_of(key)].0.get(key)
+    }
+
+    /// Reset every shard to empty: O(shards) epoch bumps. Must not race
+    /// other operations.
+    pub fn clear_shared(&self) {
+        for s in self.shards.iter() {
+            s.0.clear_shared();
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedEpochHashMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEpochHashMap")
+            .field("shards", &self.shard_count())
+            .field("table_size", &self.table_size())
+            .field("len", &self.len())
+            .field("probe", &self.probe())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_key_is_in_range_and_stable() {
+        for shards in [1usize, 2, 3, 8, 16, 64] {
+            for k in 0..10_000u64 {
+                let s = shard_of_key(k, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of_key(k, shards), "pure function");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_set_matches_unsharded_semantics() {
+        let sharded = ShardedEpochHashSet::with_shards(1000, Probe::Linear, 8);
+        let plain = EpochHashSet::new(1000);
+        for k in (0..1000u64).map(|i| i * 31 + 7) {
+            assert_eq!(
+                sharded.try_test_and_set(k).ok(),
+                plain.try_test_and_set(k).ok(),
+                "first insert of {k}"
+            );
+        }
+        for k in (0..1000u64).map(|i| i * 31 + 7) {
+            assert!(sharded.contains(k));
+            assert_eq!(sharded.try_test_and_set(k), Ok(true));
+        }
+        assert!(!sharded.contains(5));
+        assert_eq!(sharded.len(), plain.len());
+        sharded.clear_shared();
+        assert!(sharded.is_empty());
+        assert!(!sharded.contains(7));
+    }
+
+    #[test]
+    fn sharded_map_holds_minimum_across_shards() {
+        let map = ShardedEpochHashMap::with_shards(256, Probe::Linear, 16);
+        for k in 0..256u64 {
+            for v in [k + 50, k, k + 9] {
+                map.try_claim_min(k, v).unwrap();
+            }
+        }
+        for k in 0..256u64 {
+            assert_eq!(map.get(k), Some(k));
+        }
+        map.clear_shared();
+        for k in 0..256u64 {
+            assert_eq!(map.get(k), None);
+        }
+    }
+
+    #[test]
+    fn full_shard_reports_sharded_label_and_shard_capacity() {
+        // One shard, tiny capacity: fill every slot of the single shard.
+        let set = ShardedEpochHashSet::with_shards(4, Probe::Linear, 1);
+        let size = set.table_size();
+        for k in 0..size as u64 {
+            set.try_test_and_set(k).unwrap();
+        }
+        let err = set.try_test_and_set(size as u64 + 1).unwrap_err();
+        assert_eq!(err.table, "ShardedEpochHashSet");
+        assert!(err.occupancy <= err.capacity);
+        assert_eq!(err.capacity, size);
+    }
+
+    #[test]
+    fn per_shard_access_agrees_with_facade() {
+        let map = ShardedEpochHashMap::with_shards(64, Probe::Linear, 4);
+        for k in 0..64u64 {
+            let s = map.shard_of(k);
+            map.shard(s).try_claim_min(k, k + 1).unwrap();
+        }
+        for k in 0..64u64 {
+            assert_eq!(map.get(k), Some(k + 1));
+        }
+        assert_eq!((0..4).map(|s| map.shard(s).len()).sum::<usize>(), map.len());
+    }
+}

@@ -1,0 +1,265 @@
+//! Property tests for the sharded epoch tables: the sharded facade must be
+//! observationally equivalent to one flat table, and the claim reduction
+//! must be a commutative minimum — any interleaving, any assignment of keys
+//! to shards, any number of epoch clears, same answers.
+//!
+//! These are the determinism preconditions the two-phase sweep in `swap`
+//! leans on: if min-claims commute and shards never change membership
+//! answers, then shard count and scheduling order cannot change which swaps
+//! are accepted.
+
+use conchash::{
+    shard_of_key, EpochHashMap, EpochHashSet, Probe, ShardedEpochHashMap, ShardedEpochHashSet,
+    EMPTY,
+};
+use proptest_lite::prelude::*;
+use proptest_lite::TestRng;
+use std::collections::{HashMap, HashSet};
+
+/// A deterministic batch of keys with duplicates and near-boundary values.
+fn key_batch(rng: &mut TestRng, len: usize) -> Vec<u64> {
+    (0..len)
+        .map(|_| match rng.below(10) {
+            // Dense small keys: many duplicates, shard collisions.
+            0..=5 => rng.below(64),
+            // Spread keys: exercise every shard.
+            6..=8 => rng.next_u64() >> 1,
+            // Near-sentinel keys: EMPTY - 1 is valid and must shard cleanly.
+            _ => EMPTY - 1 - rng.below(4),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn prop_shard_of_key_is_total_and_stable(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        for shards in [1usize, 2, 3, 7, 16, 64] {
+            for _ in 0..64 {
+                let k = if rng.below(4) == 0 { EMPTY - 1 - rng.below(3) } else { rng.next_u64() >> 1 };
+                let s = shard_of_key(k, shards);
+                prop_assert!(s < shards, "key {} landed in shard {}/{}", k, s, shards);
+                prop_assert_eq!(s, shard_of_key(k, shards), "shard_of_key must be pure");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn prop_sharded_set_equals_flat_set(seed in any::<u64>()) {
+        // Same insert sequence into a flat epoch set, sharded sets of
+        // several widths, and a std reference: all four must agree on every
+        // test_and_set answer and on final membership.
+        let mut rng = TestRng::new(seed);
+        let keys = key_batch(&mut rng, 300);
+        let flat = EpochHashSet::new(keys.len());
+        let sharded: Vec<_> = [1usize, 4, 16]
+            .iter()
+            .map(|&s| ShardedEpochHashSet::with_shards(keys.len(), Probe::Linear, s))
+            .collect();
+        let mut reference = HashSet::new();
+        for &k in &keys {
+            let want = !reference.insert(k);
+            prop_assert_eq!(flat.try_test_and_set(k).expect("flat sized for batch"), want);
+            for t in &sharded {
+                prop_assert_eq!(
+                    t.try_test_and_set(k).expect("sharded sized for batch"),
+                    want,
+                    "{} shards disagreed on key {}",
+                    t.shard_count(),
+                    k
+                );
+            }
+        }
+        for t in &sharded {
+            prop_assert_eq!(t.len(), reference.len());
+            for &k in &reference {
+                prop_assert!(t.contains(k));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn prop_claim_min_commutes_across_interleavings(seed in any::<u64>()) {
+        // Apply the same (key, value) claim records in forward order,
+        // reverse order, and a shuffled order, to maps of different shard
+        // widths: every ordering must settle on the per-key minimum.
+        let mut rng = TestRng::new(seed);
+        let n = 200usize;
+        let keys = key_batch(&mut rng, n);
+        let records: Vec<(u64, u64)> = keys
+            .iter()
+            .map(|&k| (k, rng.below(1 << 20)))
+            .collect();
+        let mut want: HashMap<u64, u64> = HashMap::new();
+        for &(k, v) in &records {
+            want.entry(k).and_modify(|m| *m = (*m).min(v)).or_insert(v);
+        }
+
+        let mut shuffled = records.clone();
+        // Fisher–Yates with the test rng: an arbitrary interleaving.
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        let orders: [Vec<(u64, u64)>; 3] = [
+            records.clone(),
+            records.iter().rev().copied().collect(),
+            shuffled,
+        ];
+        for shards in [1usize, 3, 16] {
+            for order in &orders {
+                let map = ShardedEpochHashMap::with_shards(n, Probe::Linear, shards);
+                for &(k, v) in order {
+                    map.try_claim_min(k, v).expect("sized for batch");
+                }
+                for (&k, &m) in &want {
+                    prop_assert_eq!(
+                        map.get(k),
+                        Some(m),
+                        "{} shards: key {} settled wrong",
+                        shards,
+                        k
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn prop_sharded_map_equals_flat_map(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let n = 250usize;
+        let flat = EpochHashMap::new(n);
+        let sharded = ShardedEpochHashMap::with_shards(n, Probe::Linear, 8);
+        let keys = key_batch(&mut rng, n);
+        for &k in &keys {
+            let v = rng.below(1 << 30);
+            flat.try_claim_min(k, v).expect("flat sized");
+            sharded.try_claim_min(k, v).expect("sharded sized");
+        }
+        for &k in &keys {
+            prop_assert_eq!(sharded.get(k), flat.get(k), "key {} differs", k);
+        }
+        prop_assert_eq!(sharded.len(), flat.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn prop_epoch_clear_wipes_every_shard(seed in any::<u64>()) {
+        // Overlapping key universes across epochs: residue from epoch k
+        // must be invisible in epoch k+1 in *every* shard, for both the
+        // set and the map.
+        let mut rng = TestRng::new(seed);
+        let set = ShardedEpochHashSet::with_shards(300, Probe::Linear, 16);
+        let map = ShardedEpochHashMap::with_shards(300, Probe::Linear, 16);
+        for epoch in 0..4u64 {
+            let keys = key_batch(&mut rng, 300);
+            let mut reference = HashSet::new();
+            for &k in &keys {
+                prop_assert_eq!(
+                    set.try_test_and_set(k).expect("sized"),
+                    !reference.insert(k),
+                    "epoch {}: stale answer for key {}",
+                    epoch,
+                    k
+                );
+                map.try_claim_min(k, epoch).expect("sized");
+            }
+            prop_assert_eq!(set.len(), reference.len());
+            prop_assert_eq!(map.len(), reference.len());
+            for &k in &reference {
+                prop_assert_eq!(map.get(k), Some(epoch));
+            }
+            set.clear_shared();
+            map.clear_shared();
+            prop_assert!(set.is_empty(), "epoch {}: set not cleared", epoch);
+            prop_assert!(map.is_empty(), "epoch {}: map not cleared", epoch);
+            for &k in &reference {
+                prop_assert!(!set.contains(k), "epoch {}: stale member {}", epoch, k);
+                prop_assert_eq!(map.get(k), None, "epoch {}: stale claim {}", epoch, k);
+            }
+        }
+    }
+}
+
+/// True threads racing claims on overlapping keys through the sharded
+/// facade: the settled value must be the global minimum per key no matter
+/// how the scheduler interleaves threads and shards.
+#[test]
+fn threads_racing_sharded_claims_settle_on_minimum() {
+    let n_keys = 1_024u64;
+    let threads = 8usize;
+    let map = ShardedEpochHashMap::with_shards(n_keys as usize, Probe::Linear, 16);
+    for round in 0..3u64 {
+        std::thread::scope(|s| {
+            for t in 0..threads as u64 {
+                let map = &map;
+                s.spawn(move || {
+                    // Each thread claims every key with a distinct value;
+                    // stripe the iteration origin so threads collide.
+                    for i in 0..n_keys {
+                        let k = (i + t * 131) % n_keys + 1;
+                        map.try_claim_min(k, t * n_keys + i).expect("sized");
+                    }
+                });
+            }
+        });
+        // Per key, the winning value must be the minimum over all threads'
+        // claims for that key: thread t claims key k with value
+        // t*n_keys + ((k - 1 - t*131) mod n_keys).
+        for k in 1..=n_keys {
+            let want = (0..threads as u64)
+                .map(|t| t * n_keys + (k + n_keys - 1 + n_keys * 131 - t * 131) % n_keys)
+                .min()
+                .expect("at least one thread");
+            assert_eq!(map.get(k), Some(want), "round {round}: key {k}");
+        }
+        map.clear_shared();
+    }
+}
+
+/// Racing test_and_set through the facade: each distinct key reads
+/// "absent" exactly once per epoch across all threads and shards.
+#[test]
+fn threads_racing_sharded_inserts_exactly_once_per_epoch() {
+    let distinct = 4_096u64;
+    let threads = 8usize;
+    let set = ShardedEpochHashSet::with_shards(distinct as usize, Probe::Linear, 16);
+    for epoch in 0..3u64 {
+        let fresh_total: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|t| {
+                    let set = &set;
+                    s.spawn(move || {
+                        let mut fresh = 0usize;
+                        for i in 0..distinct {
+                            let k = (i + t * 977) % distinct + epoch * distinct + 1;
+                            if !set.try_test_and_set(k).expect("sized") {
+                                fresh += 1;
+                            }
+                        }
+                        fresh
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("join")).sum()
+        });
+        assert_eq!(
+            fresh_total, distinct as usize,
+            "epoch {epoch}: each key must be fresh exactly once"
+        );
+        assert_eq!(set.len(), distinct as usize);
+        set.clear_shared();
+    }
+}

@@ -1,7 +1,6 @@
 //! Degree sequences and degree distributions.
 
 use parutil::hist::parallel_histogram;
-use serde::{Deserialize, Serialize};
 
 /// Per-vertex degrees: `degrees()[v]` is the degree of vertex `v`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -113,7 +112,7 @@ impl DegreeSequence {
 /// the canonical class layout used by the probability matrix (`genprob`) and
 /// the edge-skipping generator (`edgeskip`): class `c` owns the contiguous
 /// vertex-id block given by the exclusive prefix sum of `counts`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DegreeDistribution {
     degrees: Vec<u32>,
     counts: Vec<u64>,

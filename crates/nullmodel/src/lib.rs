@@ -86,6 +86,12 @@ pub struct GeneratorConfig {
     /// crate). Instrumentation is read-only: the generated graph is
     /// byte-identical with or without it.
     pub metrics: Option<Arc<obs::Metrics>>,
+    /// Shard count for the swap phase's concurrent tables (`None` = the
+    /// swap crate's default). A pure performance lever: the claim/commit
+    /// protocol resolves conflicts with a commutative per-key minimum, so
+    /// any shard count yields the byte-identical graph (asserted by
+    /// `tests/thread_scaling.rs`).
+    pub swap_shards: Option<usize>,
 }
 
 impl GeneratorConfig {
@@ -98,6 +104,7 @@ impl GeneratorConfig {
             track_violations: false,
             refine_tolerance: None,
             metrics: None,
+            swap_shards: None,
         }
     }
 
@@ -123,6 +130,13 @@ impl GeneratorConfig {
     /// Record metrics into `registry` (see [`GeneratorConfig::metrics`]).
     pub fn with_metrics(mut self, registry: Arc<obs::Metrics>) -> Self {
         self.metrics = Some(registry);
+        self
+    }
+
+    /// Split the swap phase's concurrent tables into `shards` shards (see
+    /// [`GeneratorConfig::swap_shards`]).
+    pub fn with_swap_shards(mut self, shards: usize) -> Self {
+        self.swap_shards = Some(shards);
         self
     }
 }
@@ -210,7 +224,7 @@ pub fn try_generate_from_distribution_with_workspace(
         }
     }
     let mut timings = PhaseTimings::default();
-    attach_metrics(cfg, ws);
+    configure_workspace(cfg, ws);
     let metrics = ws.metrics().cloned();
     let metrics = metrics.as_deref();
 
@@ -314,7 +328,7 @@ pub fn try_generate_from_edge_list_with_workspace(
     ws: &mut SwapWorkspace,
 ) -> Result<(SwapStats, PhaseTimings), GenError> {
     let mut timings = PhaseTimings::default();
-    attach_metrics(cfg, ws);
+    configure_workspace(cfg, ws);
     let t = Instant::now();
     let mut swap_cfg = SwapConfig::new(cfg.swap_iterations, parutil::rng::mix64(cfg.seed ^ 0x5A9));
     swap_cfg.track_violations = cfg.track_violations;
@@ -376,13 +390,18 @@ pub fn try_uniform_reference_with_workspace(
     Ok(graph)
 }
 
-/// Propagate a config-supplied metrics registry into the swap workspace
-/// (which owns the instrumentation hooks of the swap phase). A config
-/// without metrics leaves any registry already attached to the workspace in
-/// place, so callers may wire metrics through either route.
-fn attach_metrics(cfg: &GeneratorConfig, ws: &mut SwapWorkspace) {
+/// Propagate config-supplied workspace settings into the swap workspace:
+/// the metrics registry (which owns the instrumentation hooks of the swap
+/// phase) and the table shard count. A config without metrics leaves any
+/// registry already attached to the workspace in place, so callers may wire
+/// metrics through either route; likewise an unset shard count leaves a
+/// caller-configured workspace alone.
+fn configure_workspace(cfg: &GeneratorConfig, ws: &mut SwapWorkspace) {
     if cfg.metrics.is_some() {
         ws.set_metrics(cfg.metrics.clone());
+    }
+    if let Some(shards) = cfg.swap_shards {
+        ws.set_shards(shards);
     }
 }
 

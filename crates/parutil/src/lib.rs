@@ -35,8 +35,10 @@ pub mod hist;
 pub mod permute;
 pub mod prefix;
 pub mod rng;
+pub mod scatter;
 
 pub use chunk::even_chunks;
 pub use permute::{fisher_yates, parallel_permute, random_permutation};
 pub use prefix::{exclusive_prefix_sum, inclusive_prefix_sum};
 pub use rng::{SplitMix64, Xoshiro256pp};
+pub use scatter::ShardScatter;

@@ -18,6 +18,8 @@
 //! SplitMix64 is used only to expand seeds into xoshiro state; xoshiro256++
 //! is the workhorse generator (fast, passes BigCrush, 2^256 period).
 
+use rayon::prelude::*;
+
 /// SplitMix64 generator (Steele, Lea, Flood 2014).
 ///
 /// Primarily used to derive well-distributed state for [`Xoshiro256pp`]
@@ -151,6 +153,25 @@ impl Xoshiro256pp {
             *w = self.next_u64();
         }
     }
+}
+
+/// Batch-fill one decision bit per index: `out[i] = mix64(seed ^ i ^ salt) & 1`.
+///
+/// The swap kernel draws one partner-choice bit per edge pair each sweep
+/// (Algorithm III.1 line 11). Computing those bits one-at-a-time inside the
+/// proposal loop interleaves an RNG mix into otherwise memory-bound work;
+/// this fills the whole sweep's bits into a contiguous slab up front, in
+/// fixed 64Ki-index chunks. The value at each index is a pure function of
+/// `(seed, salt, i)` — identical to the inline draw it replaces — so the
+/// filled slab is deterministic regardless of the rayon pool size.
+pub fn mix_bits_into(out: &mut [u8], seed: u64, salt: u64) {
+    const STEP: usize = 1 << 16;
+    out.par_chunks_mut(STEP).enumerate().for_each(|(k, chunk)| {
+        let start = k * STEP;
+        for (off, b) in chunk.iter_mut().enumerate() {
+            *b = (mix64(seed ^ ((start + off) as u64) ^ salt) & 1) as u8;
+        }
+    });
 }
 
 #[cfg(test)]

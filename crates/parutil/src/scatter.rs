@@ -1,0 +1,283 @@
+//! Deterministic shard-partitioning of key records: the bulk half of the
+//! swap kernel's two-phase claim/commit sweep.
+//!
+//! The sweep's claim phase used to fire one CAS per replacement key at the
+//! shared claim table — per-edge ping-pong on whatever cache lines the keys
+//! hashed to. [`ShardScatter`] instead groups a whole sweep's claim records
+//! *by destination shard* in two cheap passes (count, then scatter into a
+//! shard-major output), so a later phase can hand each shard's records to a
+//! single worker: all writes to one shard's cache lines come from one
+//! thread, and the claim reduction runs as a tight uncontended loop.
+//! Bhuiyan et al. (arXiv:1708.07290) and Alam–Khan use the same
+//! partition-then-resolve discipline for their distributed edge-swap
+//! conflict resolution.
+//!
+//! Determinism: blocks are fixed-size index ranges of the input (never
+//! derived from the thread count), each block's records keep their input
+//! order inside every shard run, and the per-(block, shard) output offsets
+//! come from a serial prefix sum — so the scattered layout is a pure
+//! function of `(keys, shard_of)`, independent of the rayon pool size. The
+//! claim reduction is a commutative minimum, which would tolerate any
+//! order; the fixed layout keeps the *whole* pipeline replayable anyway.
+//!
+//! All buffers live in the scratch and are reused across sweeps; a scatter
+//! over inputs the scratch has already grown to performs no heap
+//! allocation.
+
+use rayon::prelude::*;
+
+/// Records per counting/scatter block. Fixed (not pool-derived) so the
+/// output layout is deterministic; 32Ki records ≈ 256 KiB of key reads per
+/// block, a comfortable L2-resident unit.
+pub const SCATTER_BLOCK: usize = 1 << 15;
+
+/// Reusable scratch for partitioning `(key, index)` records by shard.
+/// See the module docs; use one instance per hot loop and call
+/// [`ShardScatter::scatter`] once per round.
+#[derive(Default)]
+pub struct ShardScatter {
+    /// Per-(block, shard) write cursors, row-major by block. Starts as the
+    /// prefix-summed offsets; the scatter pass advances them.
+    cursors: Vec<u32>,
+    /// Start offset of each shard's run in the output (+ total sentinel).
+    shard_starts: Vec<u32>,
+    /// Scattered keys, shard-major.
+    keys_out: Vec<u64>,
+    /// Original input index of each scattered key, same layout.
+    idx_out: Vec<u64>,
+    /// Shard count of the most recent scatter.
+    shards: usize,
+}
+
+/// `*mut T` wrapper for disjoint-range parallel writes (same pattern as the
+/// reservation shuffle in [`crate::permute`]).
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl ShardScatter {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size every buffer for inputs of up to `n` records over up to
+    /// `shards` shards.
+    pub fn reserve(&mut self, n: usize, shards: usize) {
+        let blocks = n.div_ceil(SCATTER_BLOCK).max(1);
+        reserve_to(&mut self.cursors, blocks * shards);
+        reserve_to(&mut self.shard_starts, shards + 1);
+        reserve_to(&mut self.keys_out, n);
+        reserve_to(&mut self.idx_out, n);
+    }
+
+    /// Partition the records `(keys[i], i)` by `shard_of(keys[i])`,
+    /// dropping records whose key equals `skip`. After the call,
+    /// [`ShardScatter::shard_slice`] exposes each shard's records as one
+    /// contiguous run.
+    ///
+    /// `shard_of` must return values in `0..shards` for every non-`skip`
+    /// key; out-of-range shards panic in debug and corrupt the partition in
+    /// release, exactly like an out-of-bounds index.
+    pub fn scatter(
+        &mut self,
+        keys: &[u64],
+        skip: u64,
+        shards: usize,
+        shard_of: impl Fn(u64) -> usize + Sync,
+    ) {
+        assert!(shards >= 1, "at least one shard is required");
+        assert!(
+            keys.len() < u32::MAX as usize,
+            "scatter input must fit u32 offsets"
+        );
+        self.shards = shards;
+        let n = keys.len();
+        let blocks = n.div_ceil(SCATTER_BLOCK).max(1);
+
+        // Pass 1: count records per (block, shard).
+        self.cursors.clear();
+        self.cursors.resize(blocks * shards, 0);
+        self.cursors
+            .par_chunks_mut(shards)
+            .enumerate()
+            .for_each(|(b, row)| {
+                let lo = b * SCATTER_BLOCK;
+                let hi = n.min(lo + SCATTER_BLOCK);
+                for &k in &keys[lo..hi] {
+                    if k != skip {
+                        row[shard_of(k)] += 1;
+                    }
+                }
+            });
+
+        // Serial prefix in shard-major order: shard s's records occupy one
+        // contiguous run, ordered by block inside it. O(blocks * shards),
+        // negligible next to the scans.
+        self.shard_starts.clear();
+        self.shard_starts.resize(shards + 1, 0);
+        let mut acc = 0u32;
+        for s in 0..shards {
+            self.shard_starts[s] = acc;
+            for b in 0..blocks {
+                let c = self.cursors[b * shards + s];
+                self.cursors[b * shards + s] = acc;
+                acc += c;
+            }
+        }
+        self.shard_starts[shards] = acc;
+        let total = acc as usize;
+
+        // Pass 2: scatter. Every (block, shard) cell owns the disjoint
+        // output range its prefix assigned, so blocks write in parallel.
+        self.keys_out.clear();
+        self.keys_out.resize(total, 0);
+        self.idx_out.clear();
+        self.idx_out.resize(total, 0);
+        let kp = SendPtr(self.keys_out.as_mut_ptr());
+        let ip = SendPtr(self.idx_out.as_mut_ptr());
+        self.cursors
+            .par_chunks_mut(shards)
+            .enumerate()
+            .for_each(|(b, cur)| {
+                let lo = b * SCATTER_BLOCK;
+                let hi = n.min(lo + SCATTER_BLOCK);
+                for (i, &k) in keys.iter().enumerate().take(hi).skip(lo) {
+                    if k == skip {
+                        continue;
+                    }
+                    let dst = cur[shard_of(k)] as usize;
+                    cur[shard_of(k)] += 1;
+                    let (kp, ip) = (kp, ip); // capture the Send wrappers
+                                             // SAFETY: `dst` lies in the (block, shard) range the
+                                             // prefix sum reserved for this block, and those ranges
+                                             // are pairwise disjoint across blocks and shards; both
+                                             // vectors were resized to the total record count.
+                    unsafe {
+                        kp.0.add(dst).write(k);
+                        ip.0.add(dst).write(i as u64);
+                    }
+                }
+            });
+    }
+
+    /// Shard count of the most recent [`ShardScatter::scatter`].
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Total records kept (non-`skip`) by the most recent scatter.
+    pub fn len(&self) -> usize {
+        self.keys_out.len()
+    }
+
+    /// `true` when the most recent scatter kept no records.
+    pub fn is_empty(&self) -> bool {
+        self.keys_out.is_empty()
+    }
+
+    /// Shard `s`'s records from the most recent scatter: parallel slices of
+    /// keys and their original input indices.
+    pub fn shard_slice(&self, s: usize) -> (&[u64], &[u64]) {
+        let lo = self.shard_starts[s] as usize;
+        let hi = self.shard_starts[s + 1] as usize;
+        (&self.keys_out[lo..hi], &self.idx_out[lo..hi])
+    }
+}
+
+/// Grow a vector's capacity to at least `n` without changing its length.
+fn reserve_to<T>(v: &mut Vec<T>, n: usize) {
+    if v.capacity() < n {
+        v.reserve(n - v.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn check(keys: &[u64], skip: u64, shards: usize) {
+        let shard_of = |k: u64| (k % shards as u64) as usize;
+        let mut sc = ShardScatter::new();
+        sc.scatter(keys, skip, shards, shard_of);
+        // Reference: per-shard (key, index) lists in input order per block —
+        // with one block, exactly input order.
+        let mut want: HashMap<usize, Vec<(u64, u64)>> = HashMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            if k != skip {
+                want.entry(shard_of(k)).or_default().push((k, i as u64));
+            }
+        }
+        let mut total = 0;
+        for s in 0..shards {
+            let (ks, is) = sc.shard_slice(s);
+            let got: Vec<(u64, u64)> = ks.iter().copied().zip(is.iter().copied()).collect();
+            assert_eq!(got, want.remove(&s).unwrap_or_default(), "shard {s}");
+            total += ks.len();
+        }
+        assert_eq!(total, sc.len());
+    }
+
+    #[test]
+    fn partitions_exactly_small() {
+        check(&[5, 3, 8, 13, 21, 34, 2, 0, 7], u64::MAX, 4);
+        check(&[], u64::MAX, 3);
+        check(&[9, 9, 9], u64::MAX, 1);
+    }
+
+    #[test]
+    fn drops_skip_sentinel() {
+        let keys = [1u64, u64::MAX, 2, u64::MAX, 3];
+        let mut sc = ShardScatter::new();
+        sc.scatter(&keys, u64::MAX, 2, |k| (k % 2) as usize);
+        assert_eq!(sc.len(), 3);
+        assert_eq!(sc.shard_slice(0).0, &[2]);
+        assert_eq!(sc.shard_slice(1).0, &[1, 3]);
+        assert_eq!(sc.shard_slice(1).1, &[0, 4]);
+    }
+
+    #[test]
+    fn multi_block_layout_is_block_ordered_and_thread_independent() {
+        // Enough records to span several blocks; layout must equal the
+        // single-threaded reference (block-major inside each shard run).
+        let n = SCATTER_BLOCK * 3 + 17;
+        let keys: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let shards = 8;
+        let shard_of = |k: u64| (k % shards as u64) as usize;
+        let mut sc = ShardScatter::new();
+        sc.scatter(&keys, u64::MAX, shards, shard_of);
+        for s in 0..shards {
+            let (ks, is) = sc.shard_slice(s);
+            assert_eq!(ks.len(), is.len());
+            // Inside one shard, indices ascend within each block and blocks
+            // appear in order — i.e. indices are globally ascending.
+            for w in is.windows(2) {
+                assert!(w[0] < w[1], "shard {s} not block-ordered: {w:?}");
+            }
+            for (k, i) in ks.iter().zip(is) {
+                assert_eq!(shard_of(*k), s);
+                assert_eq!(keys[*i as usize], *k);
+            }
+        }
+        assert_eq!(sc.len(), n);
+    }
+
+    #[test]
+    fn reuse_shrinks_and_grows_without_stale_state() {
+        let mut sc = ShardScatter::new();
+        sc.scatter(&[1, 2, 3, 4, 5, 6], u64::MAX, 4, |k| (k % 4) as usize);
+        assert_eq!(sc.len(), 6);
+        sc.scatter(&[7], u64::MAX, 2, |k| (k % 2) as usize);
+        assert_eq!(sc.len(), 1);
+        assert_eq!(sc.shard_count(), 2);
+        assert_eq!(sc.shard_slice(1).0, &[7]);
+        assert!(sc.shard_slice(0).0.is_empty());
+    }
+}

@@ -83,16 +83,33 @@ pub use resume::{CheckpointPolicy, MixControl, MixOutcome, MixReport, MixState, 
 pub use stats::{IterationStats, SwapStats};
 pub use workspace::SwapWorkspace;
 
-use conchash::{EpochHashSet, TableFullError};
+use conchash::{ShardedEpochHashSet, TableFullError, EMPTY};
 use graphcore::{Edge, EdgeList};
 use parutil::permute::{apply_darts_serial, darts_into, parallel_permute_with_darts_using};
-use parutil::rng::mix64;
+use parutil::rng::{mix64, mix_bits_into};
 use rayon::prelude::*;
 use resume::{SegmentCtl, SegmentMeta};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use workspace::{Proposal, Slot};
+
+/// Salt of the per-pair partner-choice bit stream: `side(pair) =
+/// mix64(iter_seed ^ pair_idx ^ SIDE_SALT) & 1`. A pure function of
+/// `(seed, sweep, pair index)`, so the stream is identical whether the bits
+/// are drawn inline or batch-filled, serially or in parallel.
+const SIDE_SALT: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// Edges per task in the registration phase. Fixed (not pool-derived):
+/// the registration order is irrelevant (set insertion is idempotent), but
+/// a fixed block keeps per-task overhead amortized identically everywhere.
+const REG_BLOCK: usize = 1 << 14;
+
+/// Pairs per task in the proposal and commit phases. Each task fills a
+/// contiguous slab of the proposal buffer and the claim-key buffer —
+/// batching the sweep's bookkeeping writes instead of scheduling one rayon
+/// item per pair.
+const PAIR_BLOCK: usize = 1 << 13;
 
 /// Configuration for a swap run.
 #[derive(Clone, Debug)]
@@ -744,6 +761,9 @@ fn run_until(
         slots,
         darts,
         proposals,
+        sides,
+        claim_keys,
+        scatter,
         permute,
         table,
         claims,
@@ -751,8 +771,9 @@ fn run_until(
         ..
     } = ws;
     let metrics = metrics.as_deref();
-    let table: &EpochHashSet = table.as_ref().expect("prepare populates the table");
+    let table: &ShardedEpochHashSet = table.as_ref().expect("prepare populates the table");
     let claims = claims.as_ref().expect("prepare populates the claim map");
+    let shard_count = claims.shard_count();
     slots.clear();
     match seg.as_ref().and_then(|s| s.init_swapped) {
         Some(flags) => {
@@ -803,15 +824,20 @@ fn run_until(
         table.clear_shared();
         claims.clear_shared();
 
-        // Phase 1: register all current edges. (Timed into the sweep
-        // counter: the sweep span below restarts after the permute, so the
-        // two spans together cover everything but the permute.)
+        // Phase 1: register all current edges, in fixed-size blocks (order
+        // is irrelevant — insertion is idempotent and the table is sharded
+        // by key, not by thread). (Timed into the sweep counter: the sweep
+        // span below restarts after the permute, so the two spans together
+        // cover everything but the permute.)
         {
             let _span = metrics.map(|m| m.phase_sweep_ns.start_span());
             if parallel {
-                slots
-                    .par_iter()
-                    .try_for_each(|s| table.try_test_and_set(s.edge.key()).map(drop))?;
+                slots.par_chunks(REG_BLOCK).try_for_each(|block| {
+                    for s in block {
+                        table.try_test_and_set(s.edge.key())?;
+                    }
+                    Ok(())
+                })?;
             } else {
                 for s in slots.iter() {
                     table.try_test_and_set(s.edge.key())?;
@@ -819,7 +845,9 @@ fn run_until(
             }
         }
 
-        // Phase 2: permute.
+        // Phase 2: permute, and batch-fill the sweep's partner-choice bits
+        // (same per-index formula as the historical inline draw, so the
+        // proposal stream is unchanged).
         {
             let _span = metrics.map(|m| m.phase_permute_ns.start_span());
             darts_into(darts, iter_seed);
@@ -828,37 +856,70 @@ fn run_until(
             } else {
                 apply_darts_serial(slots, darts);
             }
+            mix_bits_into(sides, iter_seed, SIDE_SALT);
         }
         let _sweep_span = metrics.map(|m| m.phase_sweep_ns.start_span());
 
         // Phase 3a: deterministic proposals, checked against the current
-        // edge set only (never against other pairs' proposals).
+        // edge set only (never against other pairs' proposals). Each task
+        // fills one contiguous slab of proposals plus the matching slab of
+        // claim keys (`EMPTY` marks pairs with nothing to claim), so the
+        // claim phase below can work from a dense key array.
+        let npairs = m / 2;
         {
             let slots: &[Slot] = slots;
-            if parallel {
-                proposals
-                    .par_iter_mut()
-                    .enumerate()
-                    .for_each(|(pair_idx, out)| {
-                        let lo = pair_idx * 2;
-                        *out = propose_swap(&slots[lo..m.min(lo + 2)], pair_idx, iter_seed, table);
-                    });
-            } else {
-                for (pair_idx, out) in proposals.iter_mut().enumerate() {
+            let sides: &[u8] = sides;
+            let fill = |base: usize, props: &mut [Proposal], cks: &mut [u64]| {
+                for (j, out) in props.iter_mut().enumerate() {
+                    let pair_idx = base + j;
                     let lo = pair_idx * 2;
-                    *out = propose_swap(&slots[lo..m.min(lo + 2)], pair_idx, iter_seed, table);
+                    let p = propose_swap(&slots[lo..lo + 2], sides[pair_idx] != 0, table);
+                    *out = p;
+                    let (k0, k1) = match p {
+                        Proposal::Accept(g, h) => (g.key(), h.key()),
+                        _ => (EMPTY, EMPTY),
+                    };
+                    cks[2 * j] = k0;
+                    cks[2 * j + 1] = k1;
                 }
+            };
+            if parallel {
+                proposals[..npairs]
+                    .par_chunks_mut(PAIR_BLOCK)
+                    .zip(claim_keys.par_chunks_mut(2 * PAIR_BLOCK))
+                    .enumerate()
+                    .for_each(|(b, (props, cks))| fill(b * PAIR_BLOCK, props, cks));
+            } else {
+                fill(0, &mut proposals[..npairs], claim_keys);
+            }
+            // Odd edge count: the trailing singleton has no partner and
+            // self-transitions unconditionally.
+            if let Some(last) = proposals.get_mut(npairs) {
+                *last = Proposal::RejectSingleton;
             }
         }
 
         // Phase 3b: every live proposal claims both replacement keys with
         // its pair index; the surviving claim per key is the minimum index,
-        // regardless of scheduling.
+        // regardless of scheduling. In parallel the claims are first
+        // partitioned by destination shard (two deterministic bulk passes),
+        // then one worker per shard applies its run as a tight uncontended
+        // loop — replacing the per-key CAS ping-pong on shared cache lines
+        // with single-writer sweeps. Minimum is commutative and
+        // associative, so the settled claim map is identical to the serial
+        // facade loop below, for every shard count and pool size.
         if parallel {
-            proposals.par_iter().enumerate().try_for_each(|(i, p)| {
-                if let Proposal::Accept(g, h) = p {
-                    claims.try_claim_min(g.key(), i as u64)?;
-                    claims.try_claim_min(h.key(), i as u64)?;
+            scatter.scatter(claim_keys, EMPTY, shard_count, |k| claims.shard_of(k));
+            (0..shard_count).into_par_iter().try_for_each(|s| {
+                let (keys, idxs) = scatter.shard_slice(s);
+                let shard = claims.shard(s);
+                for (&k, &i) in keys.iter().zip(idxs) {
+                    // The claim-key buffer holds two keys per pair, so the
+                    // record index maps back to its pair as `i / 2`.
+                    shard.try_claim_min(k, i >> 1).map_err(|e| TableFullError {
+                        table: "ShardedEpochHashMap",
+                        ..e
+                    })?;
                 }
                 Ok(())
             })?;
@@ -901,10 +962,19 @@ fn run_until(
             1
         };
         let successes: u64 = if parallel {
+            // Blocked like phase 3a: each task commits a contiguous slab of
+            // pairs and accumulates its successes locally.
             slots
-                .par_chunks_mut(2)
+                .par_chunks_mut(2 * PAIR_BLOCK)
                 .enumerate()
-                .map(|(pair_idx, pair)| commit(pair_idx, pair))
+                .map(|(b, block)| {
+                    let base = b * PAIR_BLOCK;
+                    block
+                        .chunks_mut(2)
+                        .enumerate()
+                        .map(|(j, pair)| commit(base + j, pair))
+                        .sum::<u64>()
+                })
                 .sum()
         } else {
             slots
@@ -995,17 +1065,18 @@ fn run_until(
 /// Returns a rejection when the pair must self-transition: trailing
 /// singleton, self-loop replacement, duplicate replacement pair, or a
 /// replacement that already exists in the current edge set.
+///
+/// `side` is the pair's partner-choice bit (Alg. III.1 line 11), batch-drawn
+/// from the [`SIDE_SALT`] stream before the proposal phase; it is a pure
+/// function of `(seed, sweep, pair index)`, so proposals are independent of
+/// execution order.
 #[inline]
-fn propose_swap(pair: &[Slot], pair_idx: usize, iter_seed: u64, table: &EpochHashSet) -> Proposal {
+fn propose_swap(pair: &[Slot], side: bool, table: &ShardedEpochHashSet) -> Proposal {
     if pair.len() < 2 {
         return Proposal::RejectSingleton;
     }
     let e = pair[0].edge;
     let f = pair[1].edge;
-    // One random bit per pair selects the swap partnering (Alg. III.1
-    // line 11); derived from the pair index so the choice is independent of
-    // execution order.
-    let side = mix64(iter_seed ^ (pair_idx as u64) ^ 0xD1B5_4A32_D192_ED03) & 1 == 1;
     let (g, h) = e.swap_with(&f, side);
     if g.is_self_loop() || h.is_self_loop() {
         return Proposal::RejectSelfLoop;

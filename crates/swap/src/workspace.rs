@@ -18,9 +18,10 @@
 //! [`crate::swap_edges`] entry points create a fresh workspace internally
 //! and remain byte-for-byte equivalent.
 
-use conchash::{EpochHashMap, EpochHashSet, Probe};
+use conchash::{Probe, ShardedEpochHashMap, ShardedEpochHashSet, DEFAULT_SHARD_COUNT};
 use graphcore::Edge;
 use parutil::permute::PermuteScratch;
+use parutil::ShardScatter;
 use std::sync::Arc;
 
 /// An edge plus a flag recording whether it has ever been produced by a
@@ -66,13 +67,27 @@ pub struct SwapWorkspace {
     pub(crate) darts: Vec<u32>,
     /// Per-pair swap proposals of the current sweep.
     pub(crate) proposals: Vec<Proposal>,
+    /// Per-pair partner-choice bits of the current sweep, batch-filled
+    /// before the proposal phase (`1` = cross pairing).
+    pub(crate) sides: Vec<u8>,
+    /// Replacement-edge keys of the current sweep's accepted proposals, two
+    /// per pair (`EMPTY` for rejected pairs) — the input of the bulk claim
+    /// scatter.
+    pub(crate) claim_keys: Vec<u64>,
+    /// Scratch for partitioning claim records by destination shard.
+    pub(crate) scatter: ShardScatter,
     /// Scratch for the reservation-based parallel shuffle.
     pub(crate) permute: PermuteScratch,
-    /// Edge-membership table of the current sweep (epoch-cleared).
-    pub(crate) table: Option<EpochHashSet>,
+    /// Edge-membership table of the current sweep (sharded, epoch-cleared).
+    pub(crate) table: Option<ShardedEpochHashSet>,
     /// Minimum-index claim map for deterministic conflict resolution
-    /// (epoch-cleared).
-    pub(crate) claims: Option<EpochHashMap>,
+    /// (sharded, epoch-cleared).
+    pub(crate) claims: Option<ShardedEpochHashMap>,
+    /// Shard count for the tables; `0` means [`DEFAULT_SHARD_COUNT`].
+    /// Sharding never influences swap decisions (the claim reduction is a
+    /// commutative minimum), so results are byte-identical across shard
+    /// counts.
+    pub(crate) shards: usize,
     /// Capacity the tables were created for (they are rebuilt when a run
     /// exceeds it).
     pub(crate) table_capacity: usize,
@@ -113,6 +128,33 @@ impl SwapWorkspace {
         ws
     }
 
+    /// A workspace whose tables are split into exactly `shards` shards
+    /// (`0` restores the default, [`DEFAULT_SHARD_COUNT`]).
+    ///
+    /// The shard count is a pure performance lever: claim/commit outcomes
+    /// are a commutative minimum per key, so any shard count produces the
+    /// same byte-identical result (asserted by `tests/thread_scaling.rs`).
+    pub fn with_shards(shards: usize) -> Self {
+        let mut ws = Self::new();
+        ws.set_shards(shards);
+        ws
+    }
+
+    /// Change the shard count for subsequent runs; `0` restores the
+    /// default. Tables are rebuilt on the next run if the count changed.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards;
+    }
+
+    /// The shard count runs over this workspace use.
+    pub fn shard_count(&self) -> usize {
+        if self.shards == 0 {
+            DEFAULT_SHARD_COUNT
+        } else {
+            self.shards
+        }
+    }
+
     /// Attach (or detach, with `None`) a metrics registry. Subsequent runs
     /// over this workspace count sweeps, proposals, accepts, rejections by
     /// cause, recovery events, and hash-table probe lengths into it.
@@ -136,11 +178,16 @@ impl SwapWorkspace {
     /// probing strategy. Idempotent and cheap when already large enough
     /// (the tables are epoch-cleared, not refilled).
     pub(crate) fn prepare(&mut self, m: usize, probe: Probe) {
+        let npairs = m / 2;
         self.darts.resize(m, 0);
         self.proposals
             .resize(m.div_ceil(2), Proposal::RejectSingleton);
+        self.sides.resize(m.div_ceil(2), 0);
+        self.claim_keys.resize(2 * npairs, conchash::EMPTY);
+        self.scatter.reserve(2 * npairs, self.shard_count());
         self.permute.reserve(m);
         let want = self.forced_capacity.unwrap_or(m);
+        let shards = self.shard_count();
         let rebuild = match (&self.table, &self.claims) {
             (Some(t), Some(c)) => {
                 let outgrown = match self.forced_capacity {
@@ -148,7 +195,11 @@ impl SwapWorkspace {
                     Some(cap) => cap != self.table_capacity,
                     None => m > self.table_capacity,
                 };
-                outgrown || t.probe() != probe || c.probe() != probe
+                outgrown
+                    || t.probe() != probe
+                    || c.probe() != probe
+                    || t.shard_count() != shards
+                    || c.shard_count() != shards
             }
             _ => true,
         };
@@ -158,9 +209,9 @@ impl SwapWorkspace {
             // and at most one key per slot during the violation-tracking
             // registration (= m keys).
             let hist = self.metrics.as_ref().map(|m| m.probe_handle());
-            let mut table = EpochHashSet::with_probe(want, probe);
+            let mut table = ShardedEpochHashSet::with_shards(want, probe, shards);
             table.set_probe_histogram(hist.clone());
-            let mut claims = EpochHashMap::with_probe(want, probe);
+            let mut claims = ShardedEpochHashMap::with_shards(want, probe, shards);
             claims.set_probe_histogram(hist);
             self.table = Some(table);
             self.claims = Some(claims);

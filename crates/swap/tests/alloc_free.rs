@@ -137,6 +137,97 @@ fn metrics_attached_sweeps_allocate_nothing_in_steady_state() {
     assert_eq!(metrics.snapshot().swap_sweeps, 2 + 5 + 50);
 }
 
+/// The sharded two-phase sweep keeps the steady state allocation-free at
+/// any shard count: the per-shard tables, the claim-key slab, and the
+/// scatter scratch are all workspace-resident, so re-sharding moves where
+/// keys live but never puts an allocation on the sweep path.
+#[test]
+fn sharded_sweeps_allocate_nothing_in_steady_state() {
+    let _serialized = MEASURE_LOCK.lock().unwrap();
+    const N: u32 = 2_000;
+    for shards in [1usize, 8, 32] {
+        let mut ws = SwapWorkspace::with_shards(shards);
+        let mut warm = ring(N);
+        swap_edges_serial_with_workspace(&mut warm, &SwapConfig::new(2, 1), &mut ws);
+
+        let mut g5 = ring(N);
+        let mut g50 = ring(N);
+        let a5 = allocs_during(|| {
+            swap_edges_serial_with_workspace(&mut g5, &SwapConfig::new(5, 42), &mut ws);
+        });
+        let a50 = allocs_during(|| {
+            swap_edges_serial_with_workspace(&mut g50, &SwapConfig::new(50, 42), &mut ws);
+        });
+        assert_eq!(
+            a5, a50,
+            "{shards} shards: sweep count changed the allocation count \
+             (5 sweeps -> {a5}, 50 sweeps -> {a50})"
+        );
+        assert!(
+            a5 <= 4,
+            "{shards} shards: per-run allocation constant too high: {a5}"
+        );
+    }
+}
+
+/// Same bound on the parallel two-phase path: the scatter's count/prefix
+/// passes and the bulk per-shard claim phase run entirely out of
+/// workspace-resident scratch.
+#[test]
+fn sharded_parallel_sweeps_allocation_bounded() {
+    let _serialized = MEASURE_LOCK.lock().unwrap();
+    const N: u32 = 2_000;
+    let mut ws = SwapWorkspace::with_shards(8);
+    let mut warm = ring(N);
+    swap_edges_with_workspace(&mut warm, &SwapConfig::new(2, 1), &mut ws);
+
+    let mut g5 = ring(N);
+    let mut g50 = ring(N);
+    let a5 = allocs_during(|| {
+        swap_edges_with_workspace(&mut g5, &SwapConfig::new(5, 42), &mut ws);
+    });
+    let a50 = allocs_during(|| {
+        swap_edges_with_workspace(&mut g50, &SwapConfig::new(50, 42), &mut ws);
+    });
+    let per_sweep = (a50.saturating_sub(a5)) as f64 / 45.0;
+    assert!(
+        per_sweep <= 8.0,
+        "sharded parallel path allocates {per_sweep:.1} times per sweep \
+         (5 sweeps -> {a5}, 50 sweeps -> {a50})"
+    );
+}
+
+/// Re-sharding an existing workspace rebuilds tables once (on the next
+/// prepare), after which sweeps are steady-state allocation-free again.
+#[test]
+fn reshard_rebuild_is_per_reconfigure_not_per_sweep() {
+    let _serialized = MEASURE_LOCK.lock().unwrap();
+    const N: u32 = 2_000;
+    let mut ws = SwapWorkspace::new();
+    let mut warm = ring(N);
+    swap_edges_serial_with_workspace(&mut warm, &SwapConfig::new(2, 1), &mut ws);
+
+    // Change the shard count: the very next run pays the rebuild...
+    ws.set_shards(4);
+    let mut rebuilt = ring(N);
+    swap_edges_serial_with_workspace(&mut rebuilt, &SwapConfig::new(2, 1), &mut ws);
+
+    // ...and runs after it are back to the per-run constant.
+    let mut g5 = ring(N);
+    let mut g50 = ring(N);
+    let a5 = allocs_during(|| {
+        swap_edges_serial_with_workspace(&mut g5, &SwapConfig::new(5, 42), &mut ws);
+    });
+    let a50 = allocs_during(|| {
+        swap_edges_serial_with_workspace(&mut g50, &SwapConfig::new(50, 42), &mut ws);
+    });
+    assert_eq!(
+        a5, a50,
+        "post-reshard sweeps must be allocation-free: \
+         5 sweeps -> {a5}, 50 sweeps -> {a50}"
+    );
+}
+
 /// Violation tracking allocates only its one-time census, not per sweep.
 #[test]
 fn violation_tracking_census_is_per_run_not_per_sweep() {

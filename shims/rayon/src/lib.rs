@@ -1,0 +1,481 @@
+//! Sequential, API-compatible stand-in for the `rayon` crate.
+//!
+//! This shim exists so the workspace builds and tests on air-gapped machines
+//! with an empty cargo registry cache (see `shims/README.md`). It is **never
+//! part of a normal build**: the committed manifests depend on the real
+//! `rayon`, and this crate only takes its place when a local, untracked
+//! `.cargo/config.toml` adds a `[patch.crates-io]` entry pointing here.
+//!
+//! Design rules that keep the swap from being observable:
+//!
+//! * **Identical results.** Every algorithm in the workspace is written to be
+//!   deterministic regardless of the rayon pool size (offset-seeded chunks,
+//!   commutative reductions, fixed block layouts). A sequential executor is
+//!   simply the one-thread member of that family, so outputs are
+//!   byte-identical to any real-rayon run.
+//! * **Same or stricter bounds.** Adaptor signatures carry the `Send`/`Sync`
+//!   bounds real rayon requires, so code that compiles against the shim also
+//!   compiles against real rayon — the shim cannot mask a thread-safety
+//!   error.
+//! * **Same shapes.** `fold`/`reduce` take rayon's two-argument
+//!   (identity-factory, op) form, `for_each` takes `Fn` (not `FnMut`), and
+//!   thread-pool `install` scopes `current_num_threads` exactly like a real
+//!   pool would report it.
+//!
+//! Only the API surface the workspace actually uses is provided; extending it
+//! is preferable to loosening a bound.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// A "parallel" iterator: a thin wrapper over a std iterator exposing
+/// rayon-shaped adaptors. Not itself `Iterator`, so rayon-named methods never
+/// collide with `Iterator` methods in scope.
+pub struct Par<I>(I);
+
+impl<I: Iterator> IntoIterator for Par<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+    fn into_iter(self) -> I {
+        self.0
+    }
+}
+
+/// Conversion into a [`Par`] iterator; blanket-implemented for everything
+/// `IntoIterator`, which covers all the types real rayon implements its
+/// `IntoParallelIterator` for (ranges, vectors, slices, references).
+pub trait IntoParallelIterator {
+    type SeqIter: Iterator<Item = Self::Item>;
+    type Item;
+    fn into_par_iter(self) -> Par<Self::SeqIter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type SeqIter = T::IntoIter;
+    type Item = T::Item;
+    fn into_par_iter(self) -> Par<T::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter()` — borrowing conversion, mirrors rayon's trait of the same
+/// name.
+pub trait IntoParallelRefIterator<'a> {
+    type SeqIter: Iterator<Item = Self::Item>;
+    type Item: 'a;
+    fn par_iter(&'a self) -> Par<Self::SeqIter>;
+}
+
+impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+where
+    &'a T: IntoIterator,
+{
+    type SeqIter = <&'a T as IntoIterator>::IntoIter;
+    type Item = <&'a T as IntoIterator>::Item;
+    fn par_iter(&'a self) -> Par<Self::SeqIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter_mut()` — mutably-borrowing conversion.
+pub trait IntoParallelRefMutIterator<'a> {
+    type SeqIter: Iterator<Item = Self::Item>;
+    type Item: 'a;
+    fn par_iter_mut(&'a mut self) -> Par<Self::SeqIter>;
+}
+
+impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
+where
+    &'a mut T: IntoIterator,
+{
+    type SeqIter = <&'a mut T as IntoIterator>::IntoIter;
+    type Item = <&'a mut T as IntoIterator>::Item;
+    fn par_iter_mut(&'a mut self) -> Par<Self::SeqIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// Chunking/sorting views of shared slices, mirroring rayon's `ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+    fn par_chunks_exact(&self, chunk_size: usize) -> Par<std::slice::ChunksExact<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(chunk_size))
+    }
+    fn par_chunks_exact(&self, chunk_size: usize) -> Par<std::slice::ChunksExact<'_, T>> {
+        Par(self.chunks_exact(chunk_size))
+    }
+}
+
+/// Chunking/sorting views of mutable slices, mirroring rayon's
+/// `ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(chunk_size))
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+    {
+        self.sort_unstable_by(compare);
+    }
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+impl<I: Iterator> Par<I> {
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> Par<std::iter::Zip<I, Z::SeqIter>> {
+        Par(self.0.zip(other.into_par_iter().0))
+    }
+
+    pub fn map<R, F>(self, f: F) -> Par<std::iter::Map<I, F>>
+    where
+        F: Fn(I::Item) -> R + Sync + Send,
+    {
+        Par(self.0.map(f))
+    }
+
+    pub fn filter<F>(self, f: F) -> Par<std::iter::Filter<I, F>>
+    where
+        F: Fn(&I::Item) -> bool + Sync + Send,
+    {
+        Par(self.0.filter(f))
+    }
+
+    pub fn flat_map<U, F>(self, f: F) -> Par<impl Iterator<Item = U::Item>>
+    where
+        U: IntoParallelIterator,
+        F: Fn(I::Item) -> U + Sync + Send,
+    {
+        Par(self.0.flat_map(move |x| f(x).into_par_iter().0))
+    }
+
+    pub fn flatten(self) -> Par<impl Iterator<Item = <I::Item as IntoParallelIterator>::Item>>
+    where
+        I::Item: IntoParallelIterator,
+    {
+        Par(self.0.flat_map(|x| x.into_par_iter().0))
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I::Item) + Sync + Send,
+    {
+        self.0.for_each(|x| f(x));
+    }
+
+    pub fn try_for_each<E, F>(mut self, f: F) -> Result<(), E>
+    where
+        F: Fn(I::Item) -> Result<(), E> + Sync + Send,
+        E: Send,
+    {
+        self.0.try_for_each(|x| f(x))
+    }
+
+    /// Rayon-shaped fold: per-"thread" accumulators built by `identity`.
+    /// Sequentially there is exactly one accumulator, so this yields a
+    /// one-item parallel iterator — compose with `reduce`/`collect`/`flatten`
+    /// exactly as with real rayon.
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> Par<std::iter::Once<A>>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync + Send,
+        F: Fn(A, I::Item) -> A + Sync + Send,
+    {
+        Par(std::iter::once(
+            self.0.fold(identity(), |a, x| fold_op(a, x)),
+        ))
+    }
+
+    /// Rayon-shaped reduce with an identity factory.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        I::Item: Send,
+        ID: Fn() -> I::Item + Sync + Send,
+        F: Fn(I::Item, I::Item) -> I::Item + Sync + Send,
+    {
+        self.0.fold(identity(), |a, b| op(a, b))
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item> + Send,
+    {
+        self.0.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    pub fn all<P>(self, predicate: P) -> bool
+    where
+        P: Fn(I::Item) -> bool + Sync + Send,
+    {
+        let mut it = self.0;
+        it.all(|x| predicate(x))
+    }
+
+    pub fn any<P>(self, predicate: P) -> bool
+    where
+        P: Fn(I::Item) -> bool + Sync + Send,
+    {
+        let mut it = self.0;
+        it.any(|x| predicate(x))
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.0.collect()
+    }
+
+    /// Granularity hint; meaningless sequentially.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Granularity hint; meaningless sequentially.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+}
+
+impl<'a, T, I> Par<I>
+where
+    T: 'a + Copy,
+    I: Iterator<Item = &'a T>,
+{
+    pub fn copied(self) -> Par<std::iter::Copied<I>> {
+        Par(self.0.copied())
+    }
+}
+
+impl<'a, T, I> Par<I>
+where
+    T: 'a + Clone,
+    I: Iterator<Item = &'a T>,
+{
+    pub fn cloned(self) -> Par<std::iter::Cloned<I>> {
+        Par(self.0.cloned())
+    }
+}
+
+/// Run two closures "in parallel" (sequentially here), mirroring
+/// `rayon::join`.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (oper_a(), oper_b())
+}
+
+// ---------------------------------------------------------------------------
+// Thread pools. `install` scopes the advertised thread count exactly like
+// entering a real pool would, so `current_num_threads()` reports the same
+// values real rayon reports (a pool's configured size is independent of the
+// physical core count there too).
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT_POOL: Cell<usize> = const { Cell::new(0) };
+}
+
+static GLOBAL_POOL: AtomicUsize = AtomicUsize::new(0);
+
+/// Advertised size of the pool the caller is "inside".
+pub fn current_num_threads() -> usize {
+    let scoped = CURRENT_POOL.with(|c| c.get());
+    if scoped != 0 {
+        return scoped;
+    }
+    let global = GLOBAL_POOL.load(Ordering::Relaxed);
+    if global != 0 {
+        global
+    } else {
+        1
+    }
+}
+
+/// Error building a thread pool. The sequential shim never fails, but the
+/// type exists so `build().unwrap()`-style call sites compile unchanged.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    _private: (),
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` means "default", which for the sequential shim is one thread.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    pub fn stack_size(self, _bytes: usize) -> Self {
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_POOL.store(self.num_threads.max(1), Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Pool handle mirroring `rayon::ThreadPool`; `install` runs the closure on
+/// the calling thread with the pool's size advertised.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_POOL.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(CURRENT_POOL.with(|c| c.get()));
+        CURRENT_POOL.with(|c| c.set(self.num_threads));
+        op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn adaptors_match_serial_semantics() {
+        let v: Vec<u64> = (0..100).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        let s: u64 = (0..10u64).into_par_iter().sum();
+        assert_eq!(s, 45);
+        let folded: Vec<u64> = (0..10u64)
+            .into_par_iter()
+            .fold(Vec::new, |mut a, x| {
+                a.push(x);
+                a
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        assert_eq!(folded, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_cover_input_in_order() {
+        let mut v = vec![0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn install_scopes_advertised_threads() {
+        assert_eq!(current_num_threads(), 1);
+        let pool = match ThreadPoolBuilder::new().num_threads(8).build() {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        };
+        assert_eq!(pool.current_num_threads(), 8);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 8);
+        assert_eq!(current_num_threads(), 1);
+    }
+}

@@ -42,6 +42,7 @@ fn multigraph_input_gets_simplified() {
         refine_tolerance: None,
         track_violations: true,
         metrics: None,
+        swap_shards: None,
     };
     let (stats, _) = generate_from_edge_list(&mut g, &cfg);
     assert!(g.is_simple(), "not simplified after 30 iterations");
