@@ -1,0 +1,130 @@
+//! Edge-generation throughput for the two pre-swap pipeline phases,
+//! emitted as `BENCH_gen.json` (hand-rolled JSON, no serde):
+//!
+//! * `genprob` — the §IV-A heuristic probability matrix
+//!   ([`genprob::heuristic_probabilities`]), O(|D|²) in the number of
+//!   distinct degrees;
+//! * `edgeskip` — geometric edge skipping over every class pair
+//!   ([`edgeskip::generate`]), O(m) in the edges actually produced.
+//!
+//! Each size targets `m` edges on a calibrated power-law degree
+//! distribution (the paper's test-graph shape, avg degree ~10), so rows
+//! compare like-for-like with the swap bench at the same `m`. Phases are
+//! timed separately because their scaling laws differ — the probability
+//! matrix depends only on the distinct-degree count, edge skipping on the
+//! produced edge count.
+//!
+//! ```text
+//! cargo run -p bench --release --bin gen_throughput
+//! # NULLGRAPH_GEN_SIZES=10000,100000   override the size ladder
+//! # NULLGRAPH_GEN_REPS=3               repetitions per measurement
+//! # NULLGRAPH_BENCH_OUT=/tmp/out.json  redirect the JSON
+//! ```
+
+use graphcore::DegreeDistribution;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    m_target: usize,
+    n: u64,
+    m_generated: usize,
+    phase: &'static str, // genprob | edgeskip
+    secs: f64,
+    edges_per_sec: f64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(default)
+}
+
+fn sizes() -> Vec<usize> {
+    match std::env::var("NULLGRAPH_GEN_SIZES") {
+        Ok(v) => v
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&s| s >= 100)
+            .collect(),
+        Err(_) => vec![10_000, 100_000, 1_000_000],
+    }
+}
+
+/// The paper's test-graph shape at a target edge count: power law with
+/// average degree ~10 and a hub cap near sqrt(n).
+fn dist_for(m_target: usize) -> DegreeDistribution {
+    let n = (m_target / 5).max(20) as u64;
+    let d_max = ((n as f64).sqrt() as u32).clamp(10, u32::MAX);
+    datasets::calibrated_powerlaw(n, m_target as u64, 1, d_max)
+}
+
+fn main() {
+    let reps = env_usize("NULLGRAPH_GEN_REPS", 5);
+    let threads = rayon::current_num_threads();
+    let mut rows: Vec<Row> = Vec::new();
+
+    for m_target in sizes() {
+        let dist = dist_for(m_target);
+        let n = dist.num_vertices();
+
+        // Phase 1: probability matrix. Timed over `reps` full recomputes.
+        let t = Instant::now();
+        let mut probs = genprob::heuristic_probabilities(&dist);
+        for _ in 1..reps {
+            probs = genprob::heuristic_probabilities(&dist);
+        }
+        let genprob_secs = t.elapsed().as_secs_f64() / reps as f64;
+
+        // Phase 2: edge skipping. Fresh seed per rep so no rep can reuse
+        // another's sampling path; the edge count is seed-stable to within
+        // sampling noise, so the last rep's count labels the row.
+        let mut m_generated = 0usize;
+        let t = Instant::now();
+        for rep in 0..reps {
+            let g = edgeskip::generate(&probs, &dist, 0x9E_0000 + rep as u64);
+            m_generated = g.len();
+        }
+        let edgeskip_secs = t.elapsed().as_secs_f64() / reps as f64;
+
+        for (phase, secs) in [("genprob", genprob_secs), ("edgeskip", edgeskip_secs)] {
+            let edges_per_sec = m_generated as f64 / secs;
+            println!(
+                "m_target={m_target:>9}  n={n:>9}  m={m_generated:>9}  {phase:<9} \
+                 {:>10.3} ms  {edges_per_sec:>12.0} edges/s",
+                secs * 1e3
+            );
+            rows.push(Row {
+                m_target,
+                n,
+                m_generated,
+                phase,
+                secs,
+                edges_per_sec,
+            });
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"gen_throughput\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"reps_per_measurement\": {reps},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"m_target\": {}, \"n\": {}, \"m_generated\": {}, \"phase\": \"{}\", \
+             \"secs\": {:.6}, \"edges_per_sec\": {:.0}}}",
+            r.m_target, r.n, r.m_generated, r.phase, r.secs, r.edges_per_sec
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::env::var("NULLGRAPH_BENCH_OUT").unwrap_or_else(|_| "BENCH_gen.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_gen.json");
+    println!("\nwrote {out}");
+}

@@ -22,9 +22,10 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
     if args.get("refine-tol").is_some() {
         cfg = cfg.with_refine_tolerance(args.require_parsed("refine-tol")?);
     }
-    if args.get("shards").is_some() {
-        cfg = cfg.with_swap_shards(args.require_parsed("shards")?);
+    if let Some(shards) = super::shards_arg(args)? {
+        cfg = cfg.with_swap_shards(shards);
     }
+    cfg = cfg.with_key_width(super::key_width_arg(args)?);
     if let Some(m) = &metrics {
         cfg = cfg.with_metrics(m.clone());
     }

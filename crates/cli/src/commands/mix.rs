@@ -11,7 +11,7 @@
 //!   completion leaves a checkpoint next to the partial result and
 //!   prints the exact `--resume` invocation that continues the run.
 
-use super::CliError;
+use super::{shards_arg, CliError};
 use crate::args::{ArgError, Parsed};
 use ckpt::{Snapshot, SwapCounters};
 use graphcore::{io, EdgeList};
@@ -81,6 +81,7 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
         track_violations: args.flag("track"),
         metrics: metrics.clone(),
         swap_shards: shards_arg(args)?,
+        key_width: super::key_width_arg(args)?,
     };
     let (stats, timings) = nullmodel::try_generate_from_edge_list(&mut graph, &cfg)?;
     debug_assert_eq!(graph.degree_distribution(), before);
@@ -90,27 +91,6 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
     }
     print_summary(args, &graph, &stats, &timings.to_string());
     Ok(())
-}
-
-/// Parse `--shards`: the swap tables' shard count, a pure performance
-/// lever (output is byte-identical at any value). Absent means the swap
-/// crate's default; zero is rejected rather than silently meaning
-/// "default".
-fn shards_arg(args: &Parsed) -> Result<Option<usize>, ArgError> {
-    match args.get("shards") {
-        None => Ok(None),
-        Some(_) => {
-            let n: usize = args.require_parsed("shards")?;
-            if n == 0 {
-                return Err(ArgError::Invalid {
-                    key: "shards".to_string(),
-                    value: "0".to_string(),
-                    expected: "shard count >= 1",
-                });
-            }
-            Ok(Some(n))
-        }
-    }
 }
 
 /// Parse `--checkpoint-every`: a bare integer is a sweep cadence, an
@@ -258,6 +238,7 @@ fn run_resumable(args: &Parsed, out_path: &str) -> Result<(), CliError> {
     if let Some(shards) = shards_arg(args)? {
         ws.set_shards(shards);
     }
+    ws.set_key_width(super::key_width_arg(args)?);
     ws.set_metrics(metrics.clone());
     let recovery = RecoveryPolicy::default();
     let run_result: Result<(EdgeList, MixReport), GenError> = match &resumed {

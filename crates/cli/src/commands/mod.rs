@@ -42,6 +42,48 @@ pub(crate) fn write_metrics_snapshot(
     Ok(())
 }
 
+/// Parse `--key-width auto|32|64|wide`: the swap tables' entry width (see
+/// [`nullmodel::KeyWidth`]). A performance knob only — output is
+/// byte-identical at every width — except that forcing a width the graph
+/// does not fit fails the run with a typed bad_input error instead of
+/// truncating keys. Absent means `auto`.
+pub(crate) fn key_width_arg(args: &Parsed) -> Result<nullmodel::KeyWidth, CliError> {
+    match args.get("key-width") {
+        None => Ok(nullmodel::KeyWidth::Auto),
+        Some(_) => {
+            let raw = args.require("key-width")?;
+            raw.parse().map_err(|_| {
+                CliError::Args(crate::args::ArgError::Invalid {
+                    key: "key-width".to_string(),
+                    value: raw.to_string(),
+                    expected: "auto, 32, 64, or wide",
+                })
+            })
+        }
+    }
+}
+
+/// Parse `--shards`: the swap tables' shard count, a pure performance
+/// lever (output is byte-identical at any value). Absent means the swap
+/// crate's default; zero is rejected rather than silently meaning
+/// "default".
+pub(crate) fn shards_arg(args: &Parsed) -> Result<Option<usize>, crate::args::ArgError> {
+    match args.get("shards") {
+        None => Ok(None),
+        Some(_) => {
+            let n: usize = args.require_parsed("shards")?;
+            if n == 0 {
+                return Err(crate::args::ArgError::Invalid {
+                    key: "shards".to_string(),
+                    value: "0".to_string(),
+                    expected: "shard count >= 1",
+                });
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
 /// Unified command error.
 #[derive(Debug)]
 pub enum CliError {

@@ -65,7 +65,7 @@ pub fn usage() -> &'static str {
 
 USAGE:
   nullgraph generate --dist <file> --out <file> [--seed N] [--swaps N] [--refine N]
-            [--refine-tol F] [--shards N] [--metrics <file>]
+            [--refine-tol F] [--shards N] [--key-width auto|32|64|wide] [--metrics <file>]
       Generate a uniformly-random simple graph from a degree distribution
       (one 'degree count' pair per line). With --refine-tol the probability
       refinement must converge below F or the run fails with
@@ -74,6 +74,7 @@ USAGE:
 
   nullgraph mix --input <file> --out <file> [--iterations N] [--seed N]
             [--until-mixed] [--threshold F] [--budget-ms N] [--shards N]
+            [--key-width auto|32|64|wide]
             [--metrics <file>] [--checkpoint <file>] [--checkpoint-every <N|Nms|Ns>]
       Uniformly mix an existing edge list ('u v' per line) with parallel
       double-edge swaps; degrees are preserved exactly. With --until-mixed,
@@ -84,7 +85,9 @@ USAGE:
       expired deadline, not 'no deadline'. --metrics writes the counter
       snapshot plus exact per-sweep accept counts as JSON. --shards sets
       the swap tables' shard count — a performance knob only; output is
-      byte-identical at any value.
+      byte-identical at any value. --key-width packs the swap tables'
+      entries into 32- or 64-bit words (auto picks the narrowest that
+      fits; forcing one that does not fit is error_code=bad_input).
       --checkpoint writes crash-consistent ckpt_v1 snapshots to <file>
       (default cadence: every 5s of wall clock; --checkpoint-every takes a
       sweep count or an ms/s duration). Any run with checkpointing, or any

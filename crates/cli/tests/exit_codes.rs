@@ -371,3 +371,93 @@ fn interrupted_maps_to_exit_10_in_process() {
     let bare = nullgraph_cli::commands::CliError::Interrupted { resume_hint: None };
     assert_eq!(bare.exit_code(), 10);
 }
+
+#[test]
+fn shards_zero_is_usage_exit_2_on_both_commands() {
+    let dist = write("shards0_dist.txt", "2 30\n4 10\n");
+    let graph = write("shards0_graph.txt", "0 1\n1 2\n2 0\n");
+    for args in [
+        vec![
+            "generate",
+            "--dist",
+            dist.to_str().unwrap(),
+            "--out",
+            tmp("shards0_gen.txt").to_str().unwrap(),
+            "--shards",
+            "0",
+        ],
+        vec![
+            "mix",
+            "--input",
+            graph.to_str().unwrap(),
+            "--out",
+            tmp("shards0_mix.txt").to_str().unwrap(),
+            "--shards",
+            "0",
+        ],
+    ] {
+        let r = nullgraph(&args);
+        assert_eq!(r.status.code(), Some(2), "args: {args:?}");
+        let err = stderr(&r);
+        assert!(err.contains("error_code=usage"), "stderr: {err}");
+        assert!(err.contains("shard count >= 1"), "stderr: {err}");
+    }
+}
+
+#[test]
+fn bogus_key_width_is_usage_exit_2() {
+    let graph = write("kw_graph.txt", "0 1\n1 2\n2 0\n");
+    let r = nullgraph(&[
+        "mix",
+        "--input",
+        graph.to_str().unwrap(),
+        "--out",
+        tmp("kw_out.txt").to_str().unwrap(),
+        "--key-width",
+        "16",
+    ]);
+    assert_eq!(r.status.code(), Some(2));
+    let err = stderr(&r);
+    assert!(err.contains("error_code=usage"), "stderr: {err}");
+    assert!(err.contains("auto, 32, 64, or wide"), "stderr: {err}");
+}
+
+#[test]
+fn forced_key_width_that_does_not_fit_is_bad_input_exit_4() {
+    // 70_000 vertices need 17-bit ids; two of those plus the epoch tag
+    // overflow a 32-bit table word, so forcing --key-width 32 must be
+    // the typed bad_input error before any sweep runs.
+    let mut edges = String::new();
+    for i in 0..8u32 {
+        edges.push_str(&format!("{} {}\n", i, 69_999 - i));
+    }
+    let input = write("kw_wide_graph.txt", &edges);
+    let out = tmp("kw_wide_out.txt");
+    let r = nullgraph(&[
+        "mix",
+        "--input",
+        input.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+        "--iterations",
+        "2",
+        "--key-width",
+        "32",
+    ]);
+    assert_eq!(r.status.code(), Some(4), "stderr: {}", stderr(&r));
+    let err = stderr(&r);
+    assert!(err.contains("error_code=bad_input"), "stderr: {err}");
+    assert!(err.contains("key width"), "stderr: {err}");
+
+    // The same graph under --key-width auto must succeed (wider layout).
+    let r = nullgraph(&[
+        "mix",
+        "--input",
+        input.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+        "--iterations",
+        "2",
+    ]);
+    assert_eq!(r.status.code(), Some(0), "stderr: {}", stderr(&r));
+}

@@ -24,7 +24,7 @@
 //! with any other operation (same contract as the non-epoch tables, where a
 //! racing clear could drop concurrent insertions).
 
-use crate::{hash64, Probe, TableFullError, EMPTY};
+use crate::{hash64, probe_sampled, Probe, TableFullError, EMPTY};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -49,9 +49,10 @@ pub struct EpochHashSet {
     mask: usize,
     probe: Probe,
     occupied: AtomicUsize,
-    /// When attached, successful insertions record their probe length
-    /// (number of slots examined); recording is a relaxed atomic add and
-    /// never changes table behavior.
+    /// When attached, a deterministic 1-in-64 sample of successful
+    /// insertions (selected by key hash) records its probe length — number
+    /// of slots examined; recording is a relaxed atomic add and never
+    /// changes table behavior.
     probe_hist: Option<Arc<obs::Histogram>>,
 }
 
@@ -79,7 +80,7 @@ impl EpochHashSet {
     }
 
     /// Attach (or detach, with `None`) a histogram recording the probe
-    /// length of every successful insertion.
+    /// length of a deterministic 1-in-64 sample of successful insertions.
     pub fn set_probe_histogram(&mut self, hist: Option<Arc<obs::Histogram>>) {
         self.probe_hist = hist;
     }
@@ -138,14 +139,30 @@ impl EpochHashSet {
         }
     }
 
+    /// Hint the cache to load the home slot (tag + key) of the key hashing
+    /// to `h`.
+    #[inline(always)]
+    pub(crate) fn prefetch_slot_h(&self, h: u64) {
+        let idx = (h as usize) & self.mask;
+        parutil::mem::prefetch_read(&self.tags[idx]);
+        parutil::mem::prefetch_read(&self.slots[idx]);
+    }
+
     /// Fallible [`EpochHashSet::test_and_set`]: returns
     /// `Err(TableFullError)` instead of panicking when every slot is live
     /// in the current epoch.
     #[inline]
     pub fn try_test_and_set(&self, key: u64) -> Result<bool, TableFullError> {
+        self.try_test_and_set_h(key, hash64(key))
+    }
+
+    /// As [`EpochHashSet::try_test_and_set`] with the key's hash already
+    /// computed (the sharded facade hashes once for routing + indexing).
+    #[inline]
+    pub(crate) fn try_test_and_set_h(&self, key: u64, h: u64) -> Result<bool, TableFullError> {
         assert_ne!(key, EMPTY, "the sentinel key cannot be stored");
         let live = self.epoch.load(Ordering::Relaxed) * 2;
-        let mut idx = (hash64(key) as usize) & self.mask;
+        let mut idx = (h as usize) & self.mask;
         for it in 1..=self.slots.len() {
             loop {
                 let tag = self.tags[idx].load(Ordering::Acquire);
@@ -173,8 +190,10 @@ impl EpochHashSet {
                         self.slots[idx].store(key, Ordering::Relaxed);
                         self.tags[idx].store(live, Ordering::Release);
                         self.occupied.fetch_add(1, Ordering::Relaxed);
-                        if let Some(h) = &self.probe_hist {
-                            h.record(it as u64);
+                        if let Some(hist) = &self.probe_hist {
+                            if probe_sampled(h) {
+                                hist.record(it as u64);
+                            }
                         }
                         return Ok(false);
                     }
@@ -193,8 +212,14 @@ impl EpochHashSet {
     /// `true` if `key` is in the set in the current epoch (no insertion).
     #[inline]
     pub fn contains(&self, key: u64) -> bool {
+        self.contains_h(key, hash64(key))
+    }
+
+    /// As [`EpochHashSet::contains`] with the hash precomputed.
+    #[inline]
+    pub(crate) fn contains_h(&self, key: u64, h: u64) -> bool {
         let live = self.epoch.load(Ordering::Relaxed) * 2;
-        let mut idx = (hash64(key) as usize) & self.mask;
+        let mut idx = (h as usize) & self.mask;
         for it in 1..=self.slots.len() {
             loop {
                 let tag = self.tags[idx].load(Ordering::Acquire);
@@ -251,7 +276,8 @@ pub struct EpochHashMap {
     mask: usize,
     probe: Probe,
     occupied: AtomicUsize,
-    /// As [`EpochHashSet`]: probe lengths of successful first claims.
+    /// As [`EpochHashSet`]: sampled probe lengths of successful first
+    /// claims.
     probe_hist: Option<Arc<obs::Histogram>>,
 }
 
@@ -278,7 +304,7 @@ impl EpochHashMap {
     }
 
     /// Attach (or detach, with `None`) a histogram recording the probe
-    /// length of every first claim of a key.
+    /// length of a deterministic 1-in-64 sample of first claims.
     pub fn set_probe_histogram(&mut self, hist: Option<Arc<obs::Histogram>>) {
         self.probe_hist = hist;
     }
@@ -337,13 +363,34 @@ impl EpochHashMap {
         }
     }
 
+    /// Hint the cache to load the home slot (tag + key + value) of the key
+    /// hashing to `h`.
+    #[inline(always)]
+    pub(crate) fn prefetch_slot_h(&self, h: u64) {
+        let idx = (h as usize) & self.mask;
+        parutil::mem::prefetch_read(&self.tags[idx]);
+        parutil::mem::prefetch_read(&self.keys[idx]);
+        parutil::mem::prefetch_read(&self.values[idx]);
+    }
+
     /// Fallible [`EpochHashMap::claim_min`]: returns `Err(TableFullError)`
     /// instead of panicking when every slot is live in the current epoch.
     #[inline]
     pub fn try_claim_min(&self, key: u64, value: u64) -> Result<(), TableFullError> {
+        self.try_claim_min_h(key, hash64(key), value)
+    }
+
+    /// As [`EpochHashMap::try_claim_min`] with the hash precomputed.
+    #[inline]
+    pub(crate) fn try_claim_min_h(
+        &self,
+        key: u64,
+        h: u64,
+        value: u64,
+    ) -> Result<(), TableFullError> {
         assert_ne!(key, EMPTY, "the sentinel key cannot be stored");
         let live = self.epoch.load(Ordering::Relaxed) * 2;
-        let mut idx = (hash64(key) as usize) & self.mask;
+        let mut idx = (h as usize) & self.mask;
         for it in 1..=self.keys.len() {
             loop {
                 let tag = self.tags[idx].load(Ordering::Acquire);
@@ -369,8 +416,10 @@ impl EpochHashMap {
                         self.values[idx].store(value, Ordering::Relaxed);
                         self.tags[idx].store(live, Ordering::Release);
                         self.occupied.fetch_add(1, Ordering::Relaxed);
-                        if let Some(h) = &self.probe_hist {
-                            h.record(it as u64);
+                        if let Some(hist) = &self.probe_hist {
+                            if probe_sampled(h) {
+                                hist.record(it as u64);
+                            }
                         }
                         return Ok(());
                     }
@@ -390,8 +439,14 @@ impl EpochHashMap {
     /// if the key is absent.
     #[inline]
     pub fn get(&self, key: u64) -> Option<u64> {
+        self.get_h(key, hash64(key))
+    }
+
+    /// As [`EpochHashMap::get`] with the hash precomputed.
+    #[inline]
+    pub(crate) fn get_h(&self, key: u64, h: u64) -> Option<u64> {
         let live = self.epoch.load(Ordering::Relaxed) * 2;
-        let mut idx = (hash64(key) as usize) & self.mask;
+        let mut idx = (h as usize) & self.mask;
         for it in 1..=self.keys.len() {
             loop {
                 let tag = self.tags[idx].load(Ordering::Acquire);

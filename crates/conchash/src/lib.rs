@@ -37,9 +37,11 @@
 //! ```
 
 pub mod epoch;
+pub mod packed;
 pub mod shard;
 
 pub use epoch::{EpochHashMap, EpochHashSet};
+pub use packed::{PackedEpochMap, PackedEpochSet};
 pub use shard::{shard_of_key, ShardedEpochHashMap, ShardedEpochHashSet, DEFAULT_SHARD_COUNT};
 
 use rayon::prelude::*;
@@ -47,6 +49,154 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Sentinel marking an empty slot. Keys equal to this value are rejected.
 pub const EMPTY: u64 = u64::MAX;
+
+/// Minimum tag bits a packed layout must keep next to the key: enough
+/// epoch residues that the O(1) clear amortizes the occasional physical
+/// reset (at 6 bits the set resets every 63 clears, the map every 31).
+pub const MIN_TAG_BITS: u32 = 6;
+
+/// Requested table key width (the CLI's `--key-width`). Resolution against
+/// a concrete vertex count happens once per run via [`resolve_key_width`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum KeyWidth {
+    /// Narrowest packed layout that fits the vertex count, wide fallback.
+    #[default]
+    Auto,
+    /// Force 32-bit packed entries; resolution fails if ids do not fit.
+    W32,
+    /// Force 64-bit packed entries; resolution fails if ids do not fit.
+    W64,
+    /// Force the wide (separate tag/key/value words) layout: always valid.
+    Wide,
+}
+
+impl std::fmt::Display for KeyWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            KeyWidth::Auto => "auto",
+            KeyWidth::W32 => "32",
+            KeyWidth::W64 => "64",
+            KeyWidth::Wide => "wide",
+        })
+    }
+}
+
+impl std::str::FromStr for KeyWidth {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(KeyWidth::Auto),
+            "32" => Ok(KeyWidth::W32),
+            "64" => Ok(KeyWidth::W64),
+            "wide" => Ok(KeyWidth::Wide),
+            other => Err(format!(
+                "invalid key width '{other}' (expected auto, 32, 64, or wide)"
+            )),
+        }
+    }
+}
+
+/// The physical table layout a [`KeyWidth`] request resolved to for one run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResolvedWidth {
+    /// Separate `AtomicU64` tag/key(/value) arrays — any `u64` key.
+    Wide,
+    /// Single-`AtomicU64` entries: `key_bits` of packed key plus the tag.
+    Packed64 {
+        /// Packed key width (twice the per-vertex id width).
+        key_bits: u32,
+    },
+    /// Single-`AtomicU32` entries.
+    Packed32 {
+        /// Packed key width (twice the per-vertex id width).
+        key_bits: u32,
+    },
+}
+
+/// A forced packed width cannot index the run's vertex count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyWidthError {
+    /// The width that was requested.
+    pub requested: KeyWidth,
+    /// The vertex count that failed to fit.
+    pub num_vertices: u64,
+    /// Packed key bits the vertex count requires.
+    pub required_bits: u32,
+    /// Packed key bits the requested entry width can offer.
+    pub available_bits: u32,
+}
+
+impl std::fmt::Display for KeyWidthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "key width {} cannot index {} vertices: edge keys need {} packed bits \
+             but at most {} fit beside the epoch tag (use --key-width auto or a wider layout)",
+            self.requested, self.num_vertices, self.required_bits, self.available_bits
+        )
+    }
+}
+
+impl std::error::Error for KeyWidthError {}
+
+/// Bits needed to represent vertex ids `0..num_vertices` (at least 1).
+#[inline]
+fn bits_for_vertices(num_vertices: u64) -> u32 {
+    match num_vertices {
+        0 | 1 => 1,
+        n => 64 - (n - 1).leading_zeros(),
+    }
+}
+
+/// Resolve a requested [`KeyWidth`] against a run's vertex count.
+///
+/// Edge keys pack two vertex ids, so a packed layout needs
+/// `2 * ceil(log2(n))` key bits plus [`MIN_TAG_BITS`] of epoch tag inside
+/// one entry word. `Auto` picks the narrowest layout that fits (32-bit
+/// entries up to 2^13 vertices, 64-bit up to 2^29, wide beyond); forcing a
+/// width that cannot hold the ids is a typed error, never silent
+/// truncation.
+pub fn resolve_key_width(
+    requested: KeyWidth,
+    num_vertices: u64,
+) -> Result<ResolvedWidth, KeyWidthError> {
+    let key_bits = 2 * bits_for_vertices(num_vertices);
+    let fits = |word_bits: u32| key_bits + MIN_TAG_BITS <= word_bits;
+    let fail = |word_bits: u32| KeyWidthError {
+        requested,
+        num_vertices,
+        required_bits: key_bits,
+        available_bits: word_bits - MIN_TAG_BITS,
+    };
+    match requested {
+        KeyWidth::Wide => Ok(ResolvedWidth::Wide),
+        KeyWidth::W32 => fits(32)
+            .then_some(ResolvedWidth::Packed32 { key_bits })
+            .ok_or_else(|| fail(32)),
+        KeyWidth::W64 => fits(64)
+            .then_some(ResolvedWidth::Packed64 { key_bits })
+            .ok_or_else(|| fail(64)),
+        KeyWidth::Auto => Ok(if fits(32) {
+            ResolvedWidth::Packed32 { key_bits }
+        } else if fits(64) {
+            ResolvedWidth::Packed64 { key_bits }
+        } else {
+            ResolvedWidth::Wide
+        }),
+    }
+}
+
+/// Deterministic 1-in-64 sampling decision for probe-length histograms.
+///
+/// Uses bits 24..30 of the key's hash: the low bits index slots inside a
+/// shard and the high bits pick the shard (fastrange), so the sampling
+/// decision is uncorrelated with both — the sampled population sees the
+/// same probe-length distribution as the full stream, at 1/64 of the
+/// recording cost in the hottest loop.
+#[inline]
+pub(crate) fn probe_sampled(h: u64) -> bool {
+    (h >> 24) & 63 == 0
+}
 
 /// Error returned by the fallible table operations (`try_test_and_set`,
 /// `try_claim_min`): every slot was probed and none could accept the key.
@@ -411,6 +561,52 @@ mod tests {
     use super::*;
     use proptest_lite::prelude::*;
     use std::collections::HashSet;
+
+    #[test]
+    fn key_width_resolution_rules() {
+        // Auto walks 32 -> 64 -> wide as the vertex count grows.
+        assert_eq!(
+            resolve_key_width(KeyWidth::Auto, 1 << 13),
+            Ok(ResolvedWidth::Packed32 { key_bits: 26 })
+        );
+        assert_eq!(
+            resolve_key_width(KeyWidth::Auto, (1 << 13) + 1),
+            Ok(ResolvedWidth::Packed64 { key_bits: 28 })
+        );
+        assert_eq!(
+            resolve_key_width(KeyWidth::Auto, 1 << 29),
+            Ok(ResolvedWidth::Packed64 { key_bits: 58 })
+        );
+        assert_eq!(
+            resolve_key_width(KeyWidth::Auto, (1 << 29) + 1),
+            Ok(ResolvedWidth::Wide)
+        );
+        // Forced widths hold or fail typed — never silently widen.
+        assert_eq!(
+            resolve_key_width(KeyWidth::W32, 100),
+            Ok(ResolvedWidth::Packed32 { key_bits: 14 })
+        );
+        let err = resolve_key_width(KeyWidth::W32, 1 << 20).unwrap_err();
+        assert_eq!(err.requested, KeyWidth::W32);
+        assert_eq!(err.num_vertices, 1 << 20);
+        assert_eq!(err.required_bits, 40);
+        assert_eq!(err.available_bits, 32 - MIN_TAG_BITS);
+        assert!(resolve_key_width(KeyWidth::W64, u64::from(u32::MAX)).is_err());
+        assert_eq!(
+            resolve_key_width(KeyWidth::Wide, u64::MAX),
+            Ok(ResolvedWidth::Wide)
+        );
+        // Degenerate vertex counts still resolve (1 bit per id).
+        assert_eq!(
+            resolve_key_width(KeyWidth::Auto, 0),
+            Ok(ResolvedWidth::Packed32 { key_bits: 2 })
+        );
+        // Round-trips through the CLI spelling.
+        for w in [KeyWidth::Auto, KeyWidth::W32, KeyWidth::W64, KeyWidth::Wide] {
+            assert_eq!(w.to_string().parse::<KeyWidth>(), Ok(w));
+        }
+        assert!("16".parse::<KeyWidth>().is_err());
+    }
 
     #[test]
     fn basic_insert_and_lookup() {

@@ -1,0 +1,772 @@
+//! Packed single-word variants of the epoch-stamped tables.
+//!
+//! The wide [`EpochHashSet`]/[`EpochHashMap`](crate::EpochHashMap) spend two
+//! to three separate `AtomicU64` arrays per table (tag + key, + value), so
+//! every probe touches two or three cache lines and an m-edge sweep streams
+//! tens of megabytes of table state through a cache that holds a fraction
+//! of it. When the vertex count is small enough that an edge key plus an
+//! epoch tag fit in one machine word, the packed tables store
+//! `(tag << key_bits) | packed_key` in a **single** atomic entry:
+//!
+//! * one cache line per probe instead of two or three,
+//! * half (`u64` entries) or a quarter (`u32` entries) of the wide layout's
+//!   table bytes, doubling or quadrupling entries per cache line,
+//! * set insertion publishes atomically with a single CAS — no
+//!   claim/write/publish dance, because the key rides inside the CAS word.
+//!
+//! An edge key is the canonical `(min << 32) | max` encoding; packing keeps
+//! the two halves side by side at `key_bits / 2` bits each, a bijection on
+//! the valid id range, so distinct edges stay distinct. Layout selection —
+//! which word width fits a run's vertex count — is
+//! [`resolve_key_width`](crate::resolve_key_width)'s job; these tables just
+//! enforce the contract with an assert.
+//!
+//! Epoch tags are a *residue* `r` cycling through a fixed-width field:
+//! clearing bumps `r` (O(1)), and when the field is exhausted the table
+//! does one physical zero-fill and restarts at `r = 1` (tag `0` is
+//! reserved for never-written entries, so reset slots are stale in every
+//! epoch). With [`MIN_TAG_BITS`](crate::MIN_TAG_BITS) = 6 that is one fill
+//! per 63 clears for the set and per 31 for the map — amortized noise.
+//!
+//! The map cannot publish key and value in one word, so it keeps the wide
+//! table's lock protocol in the tag field: residue `r` encodes live as
+//! `2r` and mid-insert as `2r + 1`. Unlike the wide layout, a locked entry
+//! still carries its key, so a prober only spins when the locked key is
+//! *its own* key — foreign locked slots are skipped immediately.
+//!
+//! Concurrency contract matches the wide tables: operations race freely;
+//! `clear`/`clear_shared` must not race anything.
+
+use crate::epoch::table_size_for;
+use crate::{hash64, probe_sampled, Probe, TableFullError, EMPTY};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// An atomic machine word a packed table can use as its entry type.
+///
+/// Implemented for `u64` (entries in an `AtomicU64`) and `u32`
+/// (`AtomicU32`). All arithmetic happens in `u64`; the narrow impl
+/// truncates on store — sound because constructors reject `key_bits` that
+/// do not fit beside the tag.
+pub trait PackedWord: 'static {
+    /// Entry width in bits.
+    const BITS: u32;
+    /// The backing atomic cell.
+    type Atomic: Send + Sync;
+    /// A zeroed (never-written, stale-in-every-epoch) cell.
+    fn zeroed() -> Self::Atomic;
+    /// Atomic load, widened to `u64`.
+    fn load(cell: &Self::Atomic, order: Ordering) -> u64;
+    /// Atomic store of the low `BITS` of `value`.
+    fn store(cell: &Self::Atomic, value: u64, order: Ordering);
+    /// Atomic compare-exchange-weak on the low `BITS`.
+    fn cas_weak(
+        cell: &Self::Atomic,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64>;
+}
+
+impl PackedWord for u64 {
+    const BITS: u32 = 64;
+    type Atomic = AtomicU64;
+    #[inline(always)]
+    fn zeroed() -> AtomicU64 {
+        AtomicU64::new(0)
+    }
+    #[inline(always)]
+    fn load(cell: &AtomicU64, order: Ordering) -> u64 {
+        cell.load(order)
+    }
+    #[inline(always)]
+    fn store(cell: &AtomicU64, value: u64, order: Ordering) {
+        cell.store(value, order)
+    }
+    #[inline(always)]
+    fn cas_weak(
+        cell: &AtomicU64,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        cell.compare_exchange_weak(current, new, success, failure)
+    }
+}
+
+impl PackedWord for u32 {
+    const BITS: u32 = 32;
+    type Atomic = AtomicU32;
+    #[inline(always)]
+    fn zeroed() -> AtomicU32 {
+        AtomicU32::new(0)
+    }
+    #[inline(always)]
+    fn load(cell: &AtomicU32, order: Ordering) -> u64 {
+        u64::from(cell.load(order))
+    }
+    #[inline(always)]
+    fn store(cell: &AtomicU32, value: u64, order: Ordering) {
+        cell.store(value as u32, order)
+    }
+    #[inline(always)]
+    fn cas_weak(
+        cell: &AtomicU32,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        cell.compare_exchange_weak(current as u32, new as u32, success, failure)
+            .map(u64::from)
+            .map_err(u64::from)
+    }
+}
+
+/// Shared geometry of a packed table: entry packing and residue bounds.
+struct PackedLayout {
+    mask: usize,
+    probe: Probe,
+    key_bits: u32,
+    half_bits: u32,
+    /// `2^half_bits - 1`: the largest id either key half may hold.
+    half_mask: u64,
+    /// Largest residue before a physical reset is required.
+    max_residue: u64,
+    /// Current epoch residue (live entries carry it in their tag field).
+    residue: AtomicU64,
+    occupied: AtomicUsize,
+    probe_hist: Option<Arc<obs::Histogram>>,
+}
+
+impl PackedLayout {
+    /// `word_bits` is the entry width; `residue_stride` is how many tag
+    /// values one residue consumes (1 for the set, 2 for the map's
+    /// live/locked pair).
+    fn new(
+        capacity: usize,
+        probe: Probe,
+        key_bits: u32,
+        word_bits: u32,
+        residue_stride: u32,
+    ) -> (Self, usize) {
+        assert!(
+            key_bits >= 2 && key_bits.is_multiple_of(2),
+            "key_bits must be an even number of bits >= 2 (two packed vertex ids)"
+        );
+        assert!(
+            key_bits + crate::MIN_TAG_BITS <= word_bits,
+            "key_bits {key_bits} leaves fewer than {} tag bits in a {word_bits}-bit entry",
+            crate::MIN_TAG_BITS,
+        );
+        let size = table_size_for(capacity);
+        let tag_bits = word_bits - key_bits;
+        // Tag field values: stride 1 uses residues 1..=2^t - 1 directly;
+        // stride 2 encodes residue r as tags {2r, 2r+1}, so r stays below
+        // 2^(t-1). Residue 0 is reserved for never-written entries.
+        let max_residue = (1u64 << (tag_bits - (residue_stride - 1))) - 1;
+        (
+            Self {
+                mask: size - 1,
+                probe,
+                key_bits,
+                half_bits: key_bits / 2,
+                half_mask: (1u64 << (key_bits / 2)) - 1,
+                max_residue,
+                residue: AtomicU64::new(1),
+                occupied: AtomicUsize::new(0),
+                probe_hist: None,
+            },
+            size,
+        )
+    }
+
+    /// Pack an edge key's two 32-bit halves into `key_bits` adjacent bits.
+    /// Panics when either half exceeds the layout's id range — a
+    /// mis-resolved width, never a capacity condition.
+    #[inline(always)]
+    fn pack(&self, key: u64) -> u64 {
+        let hi = key >> 32;
+        let lo = key & 0xFFFF_FFFF;
+        assert!(
+            hi <= self.half_mask && lo <= self.half_mask,
+            "key {key:#x} does not fit a {}-bit packed layout",
+            self.key_bits
+        );
+        (hi << self.half_bits) | lo
+    }
+
+    #[inline(always)]
+    fn step(&self, iteration: usize) -> usize {
+        match self.probe {
+            Probe::Linear => 1,
+            Probe::Quadratic => iteration,
+        }
+    }
+}
+
+/// Epoch-stamped concurrent hash set with packed single-word entries.
+///
+/// Semantics match [`EpochHashSet`] exactly — same sizing rule, same probe
+/// sequences (indices come from the hash of the *unpacked* `u64` key), same
+/// `test_and_set` convention, O(1) clear — for any key whose two 32-bit
+/// halves fit in `key_bits / 2` bits each.
+pub struct PackedEpochSet<W: PackedWord> {
+    entries: Box<[W::Atomic]>,
+    layout: PackedLayout,
+}
+
+impl<W: PackedWord> PackedEpochSet<W> {
+    /// Create a set holding at least `capacity` keys at a load factor of at
+    /// most 0.5, with `key_bits` of packed key per entry (the remaining
+    /// `W::BITS - key_bits >= MIN_TAG_BITS` bits hold the epoch tag).
+    pub fn with_probe(capacity: usize, probe: Probe, key_bits: u32) -> Self {
+        let (layout, size) = PackedLayout::new(capacity, probe, key_bits, W::BITS, 1);
+        Self {
+            entries: (0..size).map(|_| W::zeroed()).collect(),
+            layout,
+        }
+    }
+
+    /// Attach (or detach) a histogram sampling the probe length of
+    /// successful insertions (deterministic 1-in-64 by key hash).
+    pub fn set_probe_histogram(&mut self, hist: Option<Arc<obs::Histogram>>) {
+        self.layout.probe_hist = hist;
+    }
+
+    /// Number of slots in the backing array.
+    #[inline]
+    pub fn table_size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The probing strategy this table was built with.
+    #[inline]
+    pub fn probe(&self) -> Probe {
+        self.layout.probe
+    }
+
+    /// Packed key bits per entry.
+    #[inline]
+    pub fn key_bits(&self) -> u32 {
+        self.layout.key_bits
+    }
+
+    /// Number of keys stored in the current epoch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.layout.occupied.load(Ordering::Relaxed)
+    }
+
+    /// `true` if no keys are stored in the current epoch.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hint the cache to load the home slot of the key hashing to `h`.
+    #[inline(always)]
+    pub(crate) fn prefetch_slot_h(&self, h: u64) {
+        let idx = (h as usize) & self.layout.mask;
+        parutil::mem::prefetch_read(&self.entries[idx]);
+    }
+
+    /// Insert `key`; `Ok(true)` if already present this epoch (the
+    /// `TestAndSet` convention of [`EpochHashSet::try_test_and_set`]).
+    #[inline]
+    pub fn try_test_and_set(&self, key: u64) -> Result<bool, TableFullError> {
+        self.try_test_and_set_h(key, hash64(key))
+    }
+
+    /// As [`PackedEpochSet::try_test_and_set`] with the key's hash already
+    /// computed (the sharded facade hashes once for routing + indexing).
+    #[inline]
+    pub(crate) fn try_test_and_set_h(&self, key: u64, h: u64) -> Result<bool, TableFullError> {
+        assert_ne!(key, EMPTY, "the sentinel key cannot be stored");
+        let l = &self.layout;
+        let r = l.residue.load(Ordering::Relaxed);
+        let live = (r << l.key_bits) | l.pack(key);
+        let mut idx = (h as usize) & l.mask;
+        for it in 1..=self.entries.len() {
+            let cell = &self.entries[idx];
+            let mut cur = W::load(cell, Ordering::Relaxed);
+            loop {
+                if cur == live {
+                    return Ok(true);
+                }
+                if (cur >> l.key_bits) == r {
+                    break; // live with another key — probe on
+                }
+                // Stale: one CAS claims the slot and publishes the key —
+                // tag and key travel in the same word, so there is no
+                // locked intermediate state.
+                match W::cas_weak(cell, cur, live, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => {
+                        l.occupied.fetch_add(1, Ordering::Relaxed);
+                        if let Some(hist) = &l.probe_hist {
+                            if probe_sampled(h) {
+                                hist.record(it as u64);
+                            }
+                        }
+                        return Ok(false);
+                    }
+                    Err(now) => cur = now, // lost the race — re-examine
+                }
+            }
+            idx = (idx + l.step(it)) & l.mask;
+        }
+        Err(TableFullError {
+            table: "PackedEpochSet",
+            occupancy: self.len(),
+            capacity: self.table_size(),
+        })
+    }
+
+    /// `true` if `key` is in the set in the current epoch (no insertion).
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.contains_h(key, hash64(key))
+    }
+
+    /// As [`PackedEpochSet::contains`] with the hash precomputed.
+    #[inline]
+    pub(crate) fn contains_h(&self, key: u64, h: u64) -> bool {
+        let l = &self.layout;
+        let r = l.residue.load(Ordering::Relaxed);
+        let live = (r << l.key_bits) | l.pack(key);
+        let mut idx = (h as usize) & l.mask;
+        for it in 1..=self.entries.len() {
+            let cur = W::load(&self.entries[idx], Ordering::Relaxed);
+            if cur == live {
+                return true;
+            }
+            if (cur >> l.key_bits) != r {
+                return false; // stale slot ends the probe chain
+            }
+            idx = (idx + l.step(it)) & l.mask;
+        }
+        false
+    }
+
+    /// Reset the set to empty: a residue bump, with one physical zero-fill
+    /// each time the tag field wraps. Must not race other operations.
+    pub fn clear_shared(&self) {
+        let l = &self.layout;
+        let r = l.residue.load(Ordering::Relaxed);
+        if r == l.max_residue {
+            self.entries
+                .par_iter()
+                .for_each(|cell| W::store(cell, 0, Ordering::Relaxed));
+            l.residue.store(1, Ordering::Release);
+        } else {
+            l.residue.store(r + 1, Ordering::Release);
+        }
+        l.occupied.store(0, Ordering::Relaxed);
+    }
+
+    /// As [`PackedEpochSet::clear_shared`] for exclusive owners.
+    pub fn clear(&mut self) {
+        self.clear_shared();
+    }
+}
+
+impl<W: PackedWord> std::fmt::Debug for PackedEpochSet<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedEpochSet")
+            .field("word_bits", &W::BITS)
+            .field("key_bits", &self.layout.key_bits)
+            .field("table_size", &self.table_size())
+            .field("len", &self.len())
+            .field("probe", &self.layout.probe)
+            .finish()
+    }
+}
+
+/// Epoch-stamped concurrent *minimum-claim* map with packed single-word
+/// key entries and a separate `AtomicU32` value array.
+///
+/// Semantics match [`crate::EpochHashMap`] for keys that fit the packed
+/// width and values below `2^32` (the swap kernel claims with pair
+/// indices, which are bounded by the table capacity). The value array is
+/// published under the tag field's lock protocol — live `2r` / locked
+/// `2r + 1` — so a reader that observes a live entry always sees its
+/// value.
+pub struct PackedEpochMap<W: PackedWord> {
+    entries: Box<[W::Atomic]>,
+    values: Box<[AtomicU32]>,
+    layout: PackedLayout,
+}
+
+impl<W: PackedWord> PackedEpochMap<W> {
+    /// Create a map holding at least `capacity` keys at a load factor of at
+    /// most 0.5, with `key_bits` of packed key per entry.
+    pub fn with_probe(capacity: usize, probe: Probe, key_bits: u32) -> Self {
+        let (layout, size) = PackedLayout::new(capacity, probe, key_bits, W::BITS, 2);
+        Self {
+            entries: (0..size).map(|_| W::zeroed()).collect(),
+            values: (0..size).map(|_| AtomicU32::new(u32::MAX)).collect(),
+            layout,
+        }
+    }
+
+    /// Attach (or detach) a histogram sampling the probe length of first
+    /// claims (deterministic 1-in-64 by key hash).
+    pub fn set_probe_histogram(&mut self, hist: Option<Arc<obs::Histogram>>) {
+        self.layout.probe_hist = hist;
+    }
+
+    /// Number of slots in the backing array.
+    #[inline]
+    pub fn table_size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The probing strategy this table was built with.
+    #[inline]
+    pub fn probe(&self) -> Probe {
+        self.layout.probe
+    }
+
+    /// Packed key bits per entry.
+    #[inline]
+    pub fn key_bits(&self) -> u32 {
+        self.layout.key_bits
+    }
+
+    /// Number of distinct keys stored in the current epoch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.layout.occupied.load(Ordering::Relaxed)
+    }
+
+    /// `true` if no keys are stored in the current epoch.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hint the cache to load the home slot (entry + value) of the key
+    /// hashing to `h`.
+    #[inline(always)]
+    pub(crate) fn prefetch_slot_h(&self, h: u64) {
+        let idx = (h as usize) & self.layout.mask;
+        parutil::mem::prefetch_read(&self.entries[idx]);
+        parutil::mem::prefetch_read(&self.values[idx]);
+    }
+
+    /// Insert `key` if absent this epoch and lower its value to `value` if
+    /// smaller; the settled value is the minimum over all claims. `value`
+    /// must fit `u32` (asserted — claim values are pair indices, bounded by
+    /// the table capacity).
+    #[inline]
+    pub fn try_claim_min(&self, key: u64, value: u64) -> Result<(), TableFullError> {
+        self.try_claim_min_h(key, hash64(key), value)
+    }
+
+    /// As [`PackedEpochMap::try_claim_min`] with the hash precomputed.
+    #[inline]
+    pub(crate) fn try_claim_min_h(
+        &self,
+        key: u64,
+        h: u64,
+        value: u64,
+    ) -> Result<(), TableFullError> {
+        assert_ne!(key, EMPTY, "the sentinel key cannot be stored");
+        assert!(
+            value <= u64::from(u32::MAX),
+            "packed claim values must fit u32"
+        );
+        let l = &self.layout;
+        let r = l.residue.load(Ordering::Relaxed);
+        let pk = l.pack(key);
+        let live = ((2 * r) << l.key_bits) | pk;
+        let locked = ((2 * r + 1) << l.key_bits) | pk;
+        let mut idx = (h as usize) & l.mask;
+        for it in 1..=self.entries.len() {
+            let cell = &self.entries[idx];
+            loop {
+                let cur = W::load(cell, Ordering::Acquire);
+                if cur == live {
+                    self.values[idx].fetch_min(value as u32, Ordering::Relaxed);
+                    return Ok(());
+                }
+                let tag = cur >> l.key_bits;
+                if tag == 2 * r {
+                    break; // live with another key — probe on
+                }
+                if tag == 2 * r + 1 {
+                    if cur == locked {
+                        // Our key, mid-publication: wait for the value.
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    break; // another key being inserted — probe on
+                }
+                // Stale: lock, publish the value, then go live. Racers on
+                // this slot see the locked tag with our key and spin above.
+                match W::cas_weak(cell, cur, locked, Ordering::Acquire, Ordering::Relaxed) {
+                    Ok(_) => {
+                        self.values[idx].store(value as u32, Ordering::Relaxed);
+                        W::store(cell, live, Ordering::Release);
+                        l.occupied.fetch_add(1, Ordering::Relaxed);
+                        if let Some(hist) = &l.probe_hist {
+                            if probe_sampled(h) {
+                                hist.record(it as u64);
+                            }
+                        }
+                        return Ok(());
+                    }
+                    Err(_) => continue, // lost the claim race — re-examine
+                }
+            }
+            idx = (idx + l.step(it)) & l.mask;
+        }
+        Err(TableFullError {
+            table: "PackedEpochMap",
+            occupancy: self.len(),
+            capacity: self.table_size(),
+        })
+    }
+
+    /// The minimum value claimed for `key` this epoch, or `None`.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.get_h(key, hash64(key))
+    }
+
+    /// As [`PackedEpochMap::get`] with the hash precomputed.
+    #[inline]
+    pub(crate) fn get_h(&self, key: u64, h: u64) -> Option<u64> {
+        let l = &self.layout;
+        let r = l.residue.load(Ordering::Relaxed);
+        let pk = l.pack(key);
+        let live = ((2 * r) << l.key_bits) | pk;
+        let locked = ((2 * r + 1) << l.key_bits) | pk;
+        let mut idx = (h as usize) & l.mask;
+        for it in 1..=self.entries.len() {
+            loop {
+                let cur = W::load(&self.entries[idx], Ordering::Acquire);
+                if cur == live {
+                    return Some(u64::from(self.values[idx].load(Ordering::Relaxed)));
+                }
+                let tag = cur >> l.key_bits;
+                if tag == 2 * r {
+                    break;
+                }
+                if tag == 2 * r + 1 {
+                    if cur == locked {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    break;
+                }
+                return None; // stale slot ends the probe chain
+            }
+            idx = (idx + l.step(it)) & l.mask;
+        }
+        None
+    }
+
+    /// Reset the map to empty: a residue bump, with one physical zero-fill
+    /// of the entry array each time the tag field wraps (values need no
+    /// reset — they are only read through live entries, which always
+    /// published them first). Must not race other operations.
+    pub fn clear_shared(&self) {
+        let l = &self.layout;
+        let r = l.residue.load(Ordering::Relaxed);
+        if r == l.max_residue {
+            self.entries
+                .par_iter()
+                .for_each(|cell| W::store(cell, 0, Ordering::Relaxed));
+            l.residue.store(1, Ordering::Release);
+        } else {
+            l.residue.store(r + 1, Ordering::Release);
+        }
+        l.occupied.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<W: PackedWord> std::fmt::Debug for PackedEpochMap<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedEpochMap")
+            .field("word_bits", &W::BITS)
+            .field("key_bits", &self.layout.key_bits)
+            .field("table_size", &self.table_size())
+            .field("len", &self.len())
+            .field("probe", &self.layout.probe)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::EpochHashSet;
+
+    fn edge_key(u: u64, v: u64) -> u64 {
+        (u.min(v) << 32) | u.max(v)
+    }
+
+    #[test]
+    fn packed_set_matches_wide_semantics() {
+        // Same keys, same sizing: the packed set must agree with the wide
+        // set on every first-insert / re-insert / contains answer.
+        let wide = EpochHashSet::with_probe(600, Probe::Linear);
+        let p64 = PackedEpochSet::<u64>::with_probe(600, Probe::Linear, 26);
+        let p32 = PackedEpochSet::<u32>::with_probe(600, Probe::Linear, 26);
+        assert_eq!(wide.table_size(), p64.table_size());
+        assert_eq!(wide.table_size(), p32.table_size());
+        let keys: Vec<u64> = (0..600u64)
+            .map(|i| edge_key(i % 97, i * 31 % 8192))
+            .collect();
+        for &k in &keys {
+            let w = wide.try_test_and_set(k);
+            assert_eq!(p64.try_test_and_set(k).ok(), w.ok(), "p64 key {k:#x}");
+            assert_eq!(p32.try_test_and_set(k).ok(), w.ok(), "p32 key {k:#x}");
+        }
+        assert_eq!(p64.len(), wide.len());
+        assert_eq!(p32.len(), wide.len());
+        for &k in &keys {
+            assert!(p64.contains(k));
+            assert!(p32.contains(k));
+        }
+        for miss in [edge_key(96, 8190), edge_key(1000, 1001)] {
+            assert_eq!(p64.contains(miss), wide.contains(miss));
+            assert_eq!(p32.contains(miss), wide.contains(miss));
+        }
+    }
+
+    #[test]
+    fn packed_set_quadratic_fills_to_table_size() {
+        let set = PackedEpochSet::<u64>::with_probe(7, Probe::Quadratic, 40);
+        let size = set.table_size();
+        for k in 0..size as u64 {
+            // Identical low bits stress the probe walk.
+            assert_eq!(set.try_test_and_set(edge_key(k, 1 << 19)), Ok(false));
+        }
+        assert_eq!(set.len(), size);
+        let err = set
+            .try_test_and_set(edge_key(size as u64 + 1, 7))
+            .unwrap_err();
+        assert_eq!(err.table, "PackedEpochSet");
+        assert_eq!(err.capacity, size);
+    }
+
+    #[test]
+    fn packed_set_epoch_wrap_physically_resets() {
+        // key_bits = 26 in a u32 word leaves 6 tag bits: the set wraps
+        // after 63 clears. Drive it through several wraps and check each
+        // generation starts genuinely empty yet keeps exact semantics.
+        let set = PackedEpochSet::<u32>::with_probe(16, Probe::Linear, 26);
+        assert_eq!(set.layout.max_residue, 63);
+        for round in 0..200u64 {
+            let k = edge_key(round % 11, (round * 7) % 13 + 11);
+            assert_eq!(set.try_test_and_set(k), Ok(false), "round {round}");
+            assert_eq!(set.try_test_and_set(k), Ok(true));
+            assert!(set.contains(k));
+            set.clear_shared();
+            assert!(set.is_empty());
+            assert!(!set.contains(k), "stale key visible after clear {round}");
+        }
+    }
+
+    #[test]
+    fn packed_map_minimum_and_epoch_wrap() {
+        // 6-bit tag field at stride 2 = 31 residues; 100 rounds crosses
+        // three wraps.
+        let map = PackedEpochMap::<u32>::with_probe(32, Probe::Linear, 26);
+        assert_eq!(map.layout.max_residue, 31);
+        for round in 0..100u64 {
+            for k in 0..20u64 {
+                let key = edge_key(k, k + 1);
+                for v in [k + 50, k, k + 9] {
+                    map.try_claim_min(key, v).unwrap();
+                }
+            }
+            for k in 0..20u64 {
+                assert_eq!(map.get(edge_key(k, k + 1)), Some(k), "round {round}");
+            }
+            map.clear_shared();
+            assert!(map.is_empty());
+            assert_eq!(map.get(edge_key(3, 4)), None);
+        }
+    }
+
+    #[test]
+    fn packed_map_concurrent_claims_keep_minimum() {
+        let distinct = 4_096u64;
+        let threads = 8usize;
+        let map = PackedEpochMap::<u64>::with_probe(distinct as usize, Probe::Linear, 40);
+        let barrier = std::sync::Barrier::new(threads);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let map = &map;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..distinct {
+                        let k = (i * 48271 + t as u64) % distinct;
+                        map.try_claim_min(edge_key(k, k + 1), k * threads as u64 + t as u64)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        for k in 0..distinct {
+            assert_eq!(
+                map.get(edge_key(k, k + 1)),
+                Some(k * threads as u64),
+                "key {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_set_concurrent_inserts_exactly_once() {
+        let distinct = 8_192u64;
+        let threads = 8usize;
+        let set = PackedEpochSet::<u64>::with_probe(distinct as usize, Probe::Linear, 40);
+        let barrier = std::sync::Barrier::new(threads);
+        let fresh_total: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let set = &set;
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        barrier.wait();
+                        let mut fresh = 0usize;
+                        for i in 0..distinct {
+                            let k = (i * 2654435761 + t as u64 * 7919) % distinct;
+                            fresh +=
+                                usize::from(!set.try_test_and_set(edge_key(k, k + 2)).unwrap());
+                        }
+                        fresh
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(
+            fresh_total, distinct as usize,
+            "a key was double-counted or lost"
+        );
+        assert_eq!(set.len(), distinct as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_key_half_is_rejected_not_truncated() {
+        let set = PackedEpochSet::<u64>::with_probe(16, Probe::Linear, 26);
+        // half_bits = 13: an id of 2^13 must panic, not alias into the tag.
+        let _ = set.try_test_and_set(edge_key(1 << 13, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "tag bits")]
+    fn key_bits_crowding_out_the_tag_is_rejected() {
+        let _ = PackedEpochSet::<u32>::with_probe(16, Probe::Linear, 28);
+    }
+}

@@ -10,6 +10,15 @@
 //! in the swap kernel — and hand each shard to one worker: every cache line
 //! of a shard is touched by a single thread for the whole phase.
 //!
+//! Each facade dispatches over the physical layout selected per run by
+//! [`resolve_key_width`](crate::resolve_key_width): the wide tables, or
+//! the packed single-word tables of [`crate::packed`] when the vertex
+//! count fits. All layouts share the sizing rule and derive slot indices
+//! from the hash of the *unpacked* `u64` key, so probe sequences — and
+//! therefore [`TableFullError`] behavior — are identical across widths;
+//! only bytes per slot differ. The enum dispatch is one predictable branch
+//! per operation, constant for a whole run.
+//!
 //! Each sub-table lives in its own 128-byte-aligned allocation slot, so two
 //! shards' hot metadata (epoch, occupancy counters) never share a cache
 //! line even on processors that prefetch line pairs.
@@ -17,15 +26,16 @@
 //! Determinism: shard selection is a pure function of the key, the
 //! sub-tables are the unchanged epoch tables, and the claim reduction is a
 //! commutative minimum — so table contents after a round of operations are
-//! independent of the shard count, the thread count, and all
-//! interleavings. A shard reporting [`TableFullError`] is likewise a pure
-//! function of the key set (each probe chain visits every slot of its
+//! independent of the shard count, the thread count, the key width, and
+//! all interleavings. A shard reporting [`TableFullError`] is likewise a
+//! pure function of the key set (each probe chain visits every slot of its
 //! shard), which keeps the grow-and-retry recovery path byte-identical.
 //!
 //! [`parutil`'s `ShardScatter`]: https://docs.rs/parutil
 
 use crate::epoch::{EpochHashMap, EpochHashSet};
-use crate::{hash64, Probe, TableFullError};
+use crate::packed::{PackedEpochMap, PackedEpochSet};
+use crate::{hash64, Probe, ResolvedWidth, TableFullError};
 use std::sync::Arc;
 
 /// Default shard count for the swap workspace tables: enough to keep a
@@ -37,13 +47,19 @@ pub const DEFAULT_SHARD_COUNT: usize = 16;
 #[repr(align(128))]
 struct Padded<T>(T);
 
-/// Map a key to its shard: a fixed-point scaling of the key's hash
-/// (`fastrange`), which consumes the hash's high bits — the sub-tables mask
-/// with the low bits, so shard choice and in-shard slot are uncorrelated.
-/// Pure function of `(key, shards)`; any `shards >= 1` is valid.
+/// Map a hash to its shard (`fastrange`): consumes the hash's high bits —
+/// the sub-tables mask with the low bits, so shard choice and in-shard
+/// slot are uncorrelated.
+#[inline]
+fn shard_of_hash(h: u64, shards: usize) -> usize {
+    (((h as u128) * (shards as u128)) >> 64) as usize
+}
+
+/// Map a key to its shard. Pure function of `(key, shards)`; any
+/// `shards >= 1` is valid.
 #[inline]
 pub fn shard_of_key(key: u64, shards: usize) -> usize {
-    (((hash64(key) as u128) * (shards as u128)) >> 64) as usize
+    shard_of_hash(hash64(key), shards)
 }
 
 /// Per-shard capacity for a whole-table capacity: an even split plus 25%
@@ -55,13 +71,38 @@ fn shard_capacity(capacity: usize, shards: usize) -> usize {
     (capacity.div_ceil(shards) * 5).div_ceil(4)
 }
 
-/// [`EpochHashSet`] split into independent key-range shards.
+/// Dispatch a body over whichever layout a facade holds. Every layout
+/// exposes the same method surface, so one body serves all arms.
+macro_rules! dispatch {
+    ($enum:ident, $inner:expr, $sh:ident => $body:expr) => {
+        match $inner {
+            $enum::Wide($sh) => $body,
+            $enum::P64($sh) => $body,
+            $enum::P32($sh) => $body,
+        }
+    };
+}
+
+/// How many probe slots ahead the claim-run loop prefetches: enough to
+/// cover one memory latency at the loop's issue rate without washing the
+/// prefetches out of L1 before use.
+const CLAIM_RUN_LOOKAHEAD: usize = 8;
+
+enum SetShards {
+    Wide(Box<[Padded<EpochHashSet>]>),
+    P64(Box<[Padded<PackedEpochSet<u64>>]>),
+    P32(Box<[Padded<PackedEpochSet<u32>>]>),
+}
+
+/// [`EpochHashSet`] split into independent key-range shards, with the
+/// physical entry layout (wide or packed) chosen per run.
 pub struct ShardedEpochHashSet {
-    shards: Box<[Padded<EpochHashSet>]>,
+    inner: SetShards,
+    width: ResolvedWidth,
 }
 
 impl ShardedEpochHashSet {
-    /// Create a set of [`DEFAULT_SHARD_COUNT`] shards holding at least
+    /// Create a set of [`DEFAULT_SHARD_COUNT`] wide shards holding at least
     /// `capacity` keys in total (same 0.5 load-factor rule as the
     /// unsharded tables, applied per shard).
     pub fn new(capacity: usize) -> Self {
@@ -73,62 +114,99 @@ impl ShardedEpochHashSet {
         Self::with_shards(capacity, probe, DEFAULT_SHARD_COUNT)
     }
 
-    /// Fully explicit constructor; `shards` may be any positive count.
+    /// Explicit shard count, wide layout (the always-valid default).
     pub fn with_shards(capacity: usize, probe: Probe, shards: usize) -> Self {
+        Self::with_shards_width(capacity, probe, shards, ResolvedWidth::Wide)
+    }
+
+    /// Fully explicit constructor; `width` comes from
+    /// [`resolve_key_width`](crate::resolve_key_width).
+    pub fn with_shards_width(
+        capacity: usize,
+        probe: Probe,
+        shards: usize,
+        width: ResolvedWidth,
+    ) -> Self {
         let shards = shards.max(1);
         let per_shard = shard_capacity(capacity, shards);
-        Self {
-            shards: (0..shards)
-                .map(|_| Padded(EpochHashSet::with_probe(per_shard, probe)))
-                .collect(),
-        }
+        let inner = match width {
+            ResolvedWidth::Wide => SetShards::Wide(
+                (0..shards)
+                    .map(|_| Padded(EpochHashSet::with_probe(per_shard, probe)))
+                    .collect(),
+            ),
+            ResolvedWidth::Packed64 { key_bits } => SetShards::P64(
+                (0..shards)
+                    .map(|_| Padded(PackedEpochSet::with_probe(per_shard, probe, key_bits)))
+                    .collect(),
+            ),
+            ResolvedWidth::Packed32 { key_bits } => SetShards::P32(
+                (0..shards)
+                    .map(|_| Padded(PackedEpochSet::with_probe(per_shard, probe, key_bits)))
+                    .collect(),
+            ),
+        };
+        Self { inner, width }
+    }
+
+    /// The physical layout this set was built with.
+    #[inline]
+    pub fn resolved_width(&self) -> ResolvedWidth {
+        self.width
     }
 
     /// Number of shards.
     #[inline]
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        dispatch!(SetShards, &self.inner, sh => sh.len())
     }
 
     /// The shard that owns `key`.
     #[inline]
     pub fn shard_of(&self, key: u64) -> usize {
-        shard_of_key(key, self.shards.len())
-    }
-
-    /// Direct access to shard `s`, for phases that partition work by shard.
-    #[inline]
-    pub fn shard(&self, s: usize) -> &EpochHashSet {
-        &self.shards[s].0
+        shard_of_key(key, self.shard_count())
     }
 
     /// Total slots across all shards.
     pub fn table_size(&self) -> usize {
-        self.shards.iter().map(|s| s.0.table_size()).sum()
+        dispatch!(SetShards, &self.inner, sh => sh.iter().map(|s| s.0.table_size()).sum())
     }
 
     /// Total keys stored in the current epoch across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.0.len()).sum()
+        dispatch!(SetShards, &self.inner, sh => sh.iter().map(|s| s.0.len()).sum())
     }
 
     /// `true` if no keys are stored in the current epoch.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.0.is_empty())
+        dispatch!(SetShards, &self.inner, sh => sh.iter().all(|s| s.0.is_empty()))
     }
 
     /// The probing strategy the shards were built with.
     #[inline]
     pub fn probe(&self) -> Probe {
-        self.shards[0].0.probe()
+        dispatch!(SetShards, &self.inner, sh => sh[0].0.probe())
     }
 
     /// Attach (or detach) a probe-length histogram; all shards record into
-    /// the same histogram, so the distribution covers the whole key space.
+    /// the same histogram, so the (1-in-64 sampled) distribution covers the
+    /// whole key space.
     pub fn set_probe_histogram(&mut self, hist: Option<Arc<obs::Histogram>>) {
-        for s in self.shards.iter_mut() {
-            s.0.set_probe_histogram(hist.clone());
-        }
+        dispatch!(SetShards, &mut self.inner, sh => {
+            for s in sh.iter_mut() {
+                s.0.set_probe_histogram(hist.clone());
+            }
+        })
+    }
+
+    /// Hint the cache to load the home slot of `key` ahead of a
+    /// [`try_test_and_set`](Self::try_test_and_set) or
+    /// [`contains`](Self::contains). Purely a performance hint.
+    #[inline]
+    pub fn prefetch(&self, key: u64) {
+        let h = hash64(key);
+        let s = shard_of_hash(h, self.shard_count());
+        dispatch!(SetShards, &self.inner, sh => sh[s].0.prefetch_slot_h(h));
     }
 
     /// Insert `key` into its shard; `Ok(true)` if already present this
@@ -137,27 +215,32 @@ impl ShardedEpochHashSet {
     /// needs).
     #[inline]
     pub fn try_test_and_set(&self, key: u64) -> Result<bool, TableFullError> {
-        self.shards[self.shard_of(key)]
-            .0
-            .try_test_and_set(key)
-            .map_err(|e| TableFullError {
+        let h = hash64(key);
+        let s = shard_of_hash(h, self.shard_count());
+        dispatch!(SetShards, &self.inner, sh => sh[s].0.try_test_and_set_h(key, h)).map_err(|e| {
+            TableFullError {
                 table: "ShardedEpochHashSet",
                 ..e
-            })
+            }
+        })
     }
 
     /// `true` if `key` is present in the current epoch.
     #[inline]
     pub fn contains(&self, key: u64) -> bool {
-        self.shards[self.shard_of(key)].0.contains(key)
+        let h = hash64(key);
+        let s = shard_of_hash(h, self.shard_count());
+        dispatch!(SetShards, &self.inner, sh => sh[s].0.contains_h(key, h))
     }
 
     /// Reset every shard to empty: O(shards) epoch bumps. Must not race
     /// other operations (same contract as the unsharded tables).
     pub fn clear_shared(&self) {
-        for s in self.shards.iter() {
-            s.0.clear_shared();
-        }
+        dispatch!(SetShards, &self.inner, sh => {
+            for s in sh.iter() {
+                s.0.clear_shared();
+            }
+        })
     }
 
     /// As [`ShardedEpochHashSet::clear_shared`] for exclusive owners.
@@ -170,6 +253,7 @@ impl std::fmt::Debug for ShardedEpochHashSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedEpochHashSet")
             .field("shards", &self.shard_count())
+            .field("width", &self.width)
             .field("table_size", &self.table_size())
             .field("len", &self.len())
             .field("probe", &self.probe())
@@ -177,16 +261,24 @@ impl std::fmt::Debug for ShardedEpochHashSet {
     }
 }
 
+enum MapShards {
+    Wide(Box<[Padded<EpochHashMap>]>),
+    P64(Box<[Padded<PackedEpochMap<u64>>]>),
+    P32(Box<[Padded<PackedEpochMap<u32>>]>),
+}
+
 /// [`EpochHashMap`] split into independent key-range shards; the
 /// minimum-claim reduction is commutative, so sharding is unobservable in
-/// the settled values.
+/// the settled values. Physical entry layout (wide or packed) is chosen
+/// per run.
 pub struct ShardedEpochHashMap {
-    shards: Box<[Padded<EpochHashMap>]>,
+    inner: MapShards,
+    width: ResolvedWidth,
 }
 
 impl ShardedEpochHashMap {
-    /// Create a map of [`DEFAULT_SHARD_COUNT`] shards holding at least
-    /// `capacity` keys in total.
+    /// Create a map of [`DEFAULT_SHARD_COUNT`] wide shards holding at
+    /// least `capacity` keys in total.
     pub fn new(capacity: usize) -> Self {
         Self::with_shards(capacity, Probe::Linear, DEFAULT_SHARD_COUNT)
     }
@@ -196,63 +288,98 @@ impl ShardedEpochHashMap {
         Self::with_shards(capacity, probe, DEFAULT_SHARD_COUNT)
     }
 
-    /// Fully explicit constructor; `shards` may be any positive count.
+    /// Explicit shard count, wide layout (the always-valid default).
     pub fn with_shards(capacity: usize, probe: Probe, shards: usize) -> Self {
+        Self::with_shards_width(capacity, probe, shards, ResolvedWidth::Wide)
+    }
+
+    /// Fully explicit constructor; `width` comes from
+    /// [`resolve_key_width`](crate::resolve_key_width). Packed widths
+    /// additionally require claim values below `2^32`.
+    pub fn with_shards_width(
+        capacity: usize,
+        probe: Probe,
+        shards: usize,
+        width: ResolvedWidth,
+    ) -> Self {
         let shards = shards.max(1);
         let per_shard = shard_capacity(capacity, shards);
-        Self {
-            shards: (0..shards)
-                .map(|_| Padded(EpochHashMap::with_probe(per_shard, probe)))
-                .collect(),
-        }
+        let inner = match width {
+            ResolvedWidth::Wide => MapShards::Wide(
+                (0..shards)
+                    .map(|_| Padded(EpochHashMap::with_probe(per_shard, probe)))
+                    .collect(),
+            ),
+            ResolvedWidth::Packed64 { key_bits } => MapShards::P64(
+                (0..shards)
+                    .map(|_| Padded(PackedEpochMap::with_probe(per_shard, probe, key_bits)))
+                    .collect(),
+            ),
+            ResolvedWidth::Packed32 { key_bits } => MapShards::P32(
+                (0..shards)
+                    .map(|_| Padded(PackedEpochMap::with_probe(per_shard, probe, key_bits)))
+                    .collect(),
+            ),
+        };
+        Self { inner, width }
+    }
+
+    /// The physical layout this map was built with.
+    #[inline]
+    pub fn resolved_width(&self) -> ResolvedWidth {
+        self.width
     }
 
     /// Number of shards.
     #[inline]
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        dispatch!(MapShards, &self.inner, sh => sh.len())
     }
 
     /// The shard that owns `key`.
     #[inline]
     pub fn shard_of(&self, key: u64) -> usize {
-        shard_of_key(key, self.shards.len())
-    }
-
-    /// Direct access to shard `s`, for phases that partition claims by
-    /// shard. Callers must route only keys with `shard_of(key) == s` here,
-    /// or lookups through the sharded facade will miss them.
-    #[inline]
-    pub fn shard(&self, s: usize) -> &EpochHashMap {
-        &self.shards[s].0
+        shard_of_key(key, self.shard_count())
     }
 
     /// Total slots across all shards.
     pub fn table_size(&self) -> usize {
-        self.shards.iter().map(|s| s.0.table_size()).sum()
+        dispatch!(MapShards, &self.inner, sh => sh.iter().map(|s| s.0.table_size()).sum())
     }
 
     /// Total distinct keys stored in the current epoch across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.0.len()).sum()
+        dispatch!(MapShards, &self.inner, sh => sh.iter().map(|s| s.0.len()).sum())
     }
 
     /// `true` if no keys are stored in the current epoch.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.0.is_empty())
+        dispatch!(MapShards, &self.inner, sh => sh.iter().all(|s| s.0.is_empty()))
     }
 
     /// The probing strategy the shards were built with.
     #[inline]
     pub fn probe(&self) -> Probe {
-        self.shards[0].0.probe()
+        dispatch!(MapShards, &self.inner, sh => sh[0].0.probe())
     }
 
     /// Attach (or detach) a probe-length histogram shared by all shards.
     pub fn set_probe_histogram(&mut self, hist: Option<Arc<obs::Histogram>>) {
-        for s in self.shards.iter_mut() {
-            s.0.set_probe_histogram(hist.clone());
-        }
+        dispatch!(MapShards, &mut self.inner, sh => {
+            for s in sh.iter_mut() {
+                s.0.set_probe_histogram(hist.clone());
+            }
+        })
+    }
+
+    /// Hint the cache to load the home slot of `key` ahead of a
+    /// [`try_claim_min`](Self::try_claim_min) or [`get`](Self::get).
+    /// Purely a performance hint.
+    #[inline]
+    pub fn prefetch(&self, key: u64) {
+        let h = hash64(key);
+        let s = shard_of_hash(h, self.shard_count());
+        dispatch!(MapShards, &self.inner, sh => sh[s].0.prefetch_slot_h(h));
     }
 
     /// Claim `key` with `value` in its shard; the settled value is the
@@ -260,27 +387,68 @@ impl ShardedEpochHashMap {
     /// shard count, and thread count.
     #[inline]
     pub fn try_claim_min(&self, key: u64, value: u64) -> Result<(), TableFullError> {
-        self.shards[self.shard_of(key)]
-            .0
-            .try_claim_min(key, value)
-            .map_err(|e| TableFullError {
+        let h = hash64(key);
+        let s = shard_of_hash(h, self.shard_count());
+        dispatch!(MapShards, &self.inner, sh => sh[s].0.try_claim_min_h(key, h, value)).map_err(
+            |e| TableFullError {
                 table: "ShardedEpochHashMap",
                 ..e
-            })
+            },
+        )
+    }
+
+    /// Apply a whole pre-scattered run of claims to shard `s`, software-
+    /// pipelined: each claim's home slot is prefetched
+    /// [`CLAIM_RUN_LOOKAHEAD`] iterations ahead, so the dependent probe
+    /// loads overlap instead of serializing on memory latency.
+    ///
+    /// `keys[i]` is claimed with `value_of(idxs[i])`. Every key must
+    /// belong to shard `s` (`shard_of(key) == s`, the invariant a
+    /// `ShardScatter` partition provides) — this is what makes the
+    /// one-worker-per-shard phase race-free. The claim reduction itself is
+    /// the same commutative minimum as [`try_claim_min`](Self::try_claim_min),
+    /// so results are independent of run order and batching.
+    pub fn try_claim_min_run(
+        &self,
+        s: usize,
+        keys: &[u64],
+        idxs: &[u64],
+        value_of: impl Fn(u64) -> u64,
+    ) -> Result<(), TableFullError> {
+        debug_assert_eq!(keys.len(), idxs.len());
+        dispatch!(MapShards, &self.inner, sh => {
+            let shard = &sh[s].0;
+            for (i, (&key, &idx)) in keys.iter().zip(idxs).enumerate() {
+                if let Some(&ahead) = keys.get(i + CLAIM_RUN_LOOKAHEAD) {
+                    shard.prefetch_slot_h(hash64(ahead));
+                }
+                debug_assert_eq!(self.shard_of(key), s, "key routed to the wrong shard");
+                shard.try_claim_min_h(key, hash64(key), value_of(idx))?;
+            }
+            Ok(())
+        })
+        .map_err(|e| TableFullError {
+            table: "ShardedEpochHashMap",
+            ..e
+        })
     }
 
     /// The minimum value claimed for `key` this epoch, or `None`.
     #[inline]
     pub fn get(&self, key: u64) -> Option<u64> {
-        self.shards[self.shard_of(key)].0.get(key)
+        let h = hash64(key);
+        let s = shard_of_hash(h, self.shard_count());
+        dispatch!(MapShards, &self.inner, sh => sh[s].0.get_h(key, h))
     }
 
     /// Reset every shard to empty: O(shards) epoch bumps. Must not race
     /// other operations.
     pub fn clear_shared(&self) {
-        for s in self.shards.iter() {
-            s.0.clear_shared();
-        }
+        dispatch!(MapShards, &self.inner, sh => {
+            for s in sh.iter() {
+                s.0.clear_shared();
+            }
+        })
     }
 }
 
@@ -288,6 +456,7 @@ impl std::fmt::Debug for ShardedEpochHashMap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedEpochHashMap")
             .field("shards", &self.shard_count())
+            .field("width", &self.width)
             .field("table_size", &self.table_size())
             .field("len", &self.len())
             .field("probe", &self.probe())
@@ -298,6 +467,12 @@ impl std::fmt::Debug for ShardedEpochHashMap {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const WIDTHS: [ResolvedWidth; 3] = [
+        ResolvedWidth::Wide,
+        ResolvedWidth::Packed64 { key_bits: 26 },
+        ResolvedWidth::Packed32 { key_bits: 26 },
+    ];
 
     #[test]
     fn shard_of_key_is_in_range_and_stable() {
@@ -310,69 +485,100 @@ mod tests {
         }
     }
 
-    #[test]
-    fn sharded_set_matches_unsharded_semantics() {
-        let sharded = ShardedEpochHashSet::with_shards(1000, Probe::Linear, 8);
-        let plain = EpochHashSet::new(1000);
-        for k in (0..1000u64).map(|i| i * 31 + 7) {
-            assert_eq!(
-                sharded.try_test_and_set(k).ok(),
-                plain.try_test_and_set(k).ok(),
-                "first insert of {k}"
-            );
-        }
-        for k in (0..1000u64).map(|i| i * 31 + 7) {
-            assert!(sharded.contains(k));
-            assert_eq!(sharded.try_test_and_set(k), Ok(true));
-        }
-        assert!(!sharded.contains(5));
-        assert_eq!(sharded.len(), plain.len());
-        sharded.clear_shared();
-        assert!(sharded.is_empty());
-        assert!(!sharded.contains(7));
+    /// Distinct keys whose 32-bit halves both fit the 13-bit id range of a
+    /// `key_bits = 26` packed layout.
+    fn key(i: u64) -> u64 {
+        ((i / 100) << 32) | ((i % 100) * 73 + 1)
     }
 
     #[test]
-    fn sharded_map_holds_minimum_across_shards() {
-        let map = ShardedEpochHashMap::with_shards(256, Probe::Linear, 16);
-        for k in 0..256u64 {
-            for v in [k + 50, k, k + 9] {
-                map.try_claim_min(k, v).unwrap();
+    fn sharded_set_matches_unsharded_semantics_across_widths() {
+        for width in WIDTHS {
+            let sharded = ShardedEpochHashSet::with_shards_width(1000, Probe::Linear, 8, width);
+            assert_eq!(sharded.resolved_width(), width);
+            let plain = EpochHashSet::new(1000);
+            for k in (0..1000u64).map(key) {
+                assert_eq!(
+                    sharded.try_test_and_set(k).ok(),
+                    plain.try_test_and_set(k).ok(),
+                    "first insert of {k} at {width:?}"
+                );
             }
+            for k in (0..1000u64).map(key) {
+                sharded.prefetch(k); // hint only — must not change answers
+                assert!(sharded.contains(k));
+                assert_eq!(sharded.try_test_and_set(k), Ok(true));
+            }
+            assert!(!sharded.contains(5));
+            assert_eq!(sharded.len(), plain.len());
+            sharded.clear_shared();
+            assert!(sharded.is_empty());
+            assert!(!sharded.contains(7));
         }
-        for k in 0..256u64 {
-            assert_eq!(map.get(k), Some(k));
-        }
-        map.clear_shared();
-        for k in 0..256u64 {
-            assert_eq!(map.get(k), None);
+    }
+
+    #[test]
+    fn sharded_map_holds_minimum_across_shards_and_widths() {
+        for width in WIDTHS {
+            let map = ShardedEpochHashMap::with_shards_width(256, Probe::Linear, 16, width);
+            for k in 0..256u64 {
+                for v in [k + 50, k, k + 9] {
+                    map.try_claim_min(k, v).unwrap();
+                }
+            }
+            for k in 0..256u64 {
+                assert_eq!(map.get(k), Some(k), "{width:?}");
+            }
+            map.clear_shared();
+            for k in 0..256u64 {
+                assert_eq!(map.get(k), None);
+            }
         }
     }
 
     #[test]
     fn full_shard_reports_sharded_label_and_shard_capacity() {
         // One shard, tiny capacity: fill every slot of the single shard.
-        let set = ShardedEpochHashSet::with_shards(4, Probe::Linear, 1);
-        let size = set.table_size();
-        for k in 0..size as u64 {
-            set.try_test_and_set(k).unwrap();
+        // Fill behavior must be width-independent (same slot counts, same
+        // probe sequences), so run all three layouts through the same
+        // script.
+        for width in WIDTHS {
+            let set = ShardedEpochHashSet::with_shards_width(4, Probe::Linear, 1, width);
+            let size = set.table_size();
+            for k in 0..size as u64 {
+                set.try_test_and_set(k).unwrap();
+            }
+            let err = set.try_test_and_set(size as u64 + 1).unwrap_err();
+            assert_eq!(err.table, "ShardedEpochHashSet", "{width:?}");
+            assert!(err.occupancy <= err.capacity);
+            assert_eq!(err.capacity, size);
         }
-        let err = set.try_test_and_set(size as u64 + 1).unwrap_err();
-        assert_eq!(err.table, "ShardedEpochHashSet");
-        assert!(err.occupancy <= err.capacity);
-        assert_eq!(err.capacity, size);
     }
 
     #[test]
-    fn per_shard_access_agrees_with_facade() {
-        let map = ShardedEpochHashMap::with_shards(64, Probe::Linear, 4);
-        for k in 0..64u64 {
-            let s = map.shard_of(k);
-            map.shard(s).try_claim_min(k, k + 1).unwrap();
+    fn claim_run_agrees_with_per_key_claims() {
+        for width in WIDTHS {
+            let shards = 4usize;
+            let map = ShardedEpochHashMap::with_shards_width(64, Probe::Linear, shards, width);
+            let reference =
+                ShardedEpochHashMap::with_shards_width(64, Probe::Linear, shards, width);
+            // Scatter keys 0..64 by shard, as the claim phase does.
+            let mut by_shard: Vec<(Vec<u64>, Vec<u64>)> = vec![Default::default(); shards];
+            for k in 0..64u64 {
+                let s = map.shard_of(k);
+                by_shard[s].0.push(k);
+                by_shard[s].1.push(2 * k); // idx; value_of halves it back
+                reference.try_claim_min(k, k + 1).unwrap();
+            }
+            for (s, (keys, idxs)) in by_shard.iter().enumerate() {
+                map.try_claim_min_run(s, keys, idxs, |idx| idx / 2 + 1)
+                    .unwrap();
+            }
+            for k in 0..64u64 {
+                assert_eq!(map.get(k), reference.get(k), "key {k} at {width:?}");
+                assert_eq!(map.get(k), Some(k + 1));
+            }
+            assert_eq!(map.len(), 64);
         }
-        for k in 0..64u64 {
-            assert_eq!(map.get(k), Some(k + 1));
-        }
-        assert_eq!((0..4).map(|s| map.shard(s).len()).sum::<usize>(), map.len());
     }
 }

@@ -55,6 +55,8 @@ use std::sync::Arc;
 use std::time::Instant;
 use swap::{RecoveryPolicy, SwapConfig, SwapStats, SwapWorkspace};
 
+pub use swap::KeyWidth;
+
 /// Refinement-round cap used when a tolerance is requested without an
 /// explicit round budget ([`GeneratorConfig::refine_tolerance`]).
 const DEFAULT_REFINE_ROUNDS: usize = 64;
@@ -92,6 +94,12 @@ pub struct GeneratorConfig {
     /// any shard count yields the byte-identical graph (asserted by
     /// `tests/thread_scaling.rs`).
     pub swap_shards: Option<usize>,
+    /// Table-key width for the swap phase's concurrent tables. `Auto` (the
+    /// default) packs edge keys into 32- or 64-bit table entries whenever the
+    /// vertex count fits, halving table bytes; the generated graph is
+    /// byte-identical across widths. Forcing a width the graph does not fit
+    /// is a typed [`GenError`] rather than a silent truncation.
+    pub key_width: KeyWidth,
 }
 
 impl GeneratorConfig {
@@ -105,6 +113,7 @@ impl GeneratorConfig {
             refine_tolerance: None,
             metrics: None,
             swap_shards: None,
+            key_width: KeyWidth::Auto,
         }
     }
 
@@ -137,6 +146,12 @@ impl GeneratorConfig {
     /// [`GeneratorConfig::swap_shards`]).
     pub fn with_swap_shards(mut self, shards: usize) -> Self {
         self.swap_shards = Some(shards);
+        self
+    }
+
+    /// Set the swap-table key width (see [`GeneratorConfig::key_width`]).
+    pub fn with_key_width(mut self, width: KeyWidth) -> Self {
+        self.key_width = width;
         self
     }
 }
@@ -394,14 +409,17 @@ pub fn try_uniform_reference_with_workspace(
 /// the metrics registry (which owns the instrumentation hooks of the swap
 /// phase) and the table shard count. A config without metrics leaves any
 /// registry already attached to the workspace in place, so callers may wire
-/// metrics through either route; likewise an unset shard count leaves a
-/// caller-configured workspace alone.
+/// metrics through either route; likewise an unset shard count or an `Auto`
+/// key width leaves a caller-configured workspace alone.
 fn configure_workspace(cfg: &GeneratorConfig, ws: &mut SwapWorkspace) {
     if cfg.metrics.is_some() {
         ws.set_metrics(cfg.metrics.clone());
     }
     if let Some(shards) = cfg.swap_shards {
         ws.set_shards(shards);
+    }
+    if cfg.key_width != KeyWidth::Auto {
+        ws.set_key_width(cfg.key_width);
     }
 }
 

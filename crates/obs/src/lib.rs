@@ -256,7 +256,12 @@ pub struct Metrics {
     /// Probe lengths of successful concurrent-hash insertions. Behind an
     /// `Arc` so hash tables can hold a direct handle to it (see
     /// `conchash::EpochHashSet::set_probe_histogram` and
-    /// [`Metrics::probe_handle`]).
+    /// [`Metrics::probe_handle`]). Tables record a deterministic 1-in-64
+    /// sample of insertions (selected by key hash): the histogram is a
+    /// distribution estimate, and an unconditional bucket increment per
+    /// probe is exactly the random atomic write the sweep's memory-bound
+    /// hot path cannot afford. Counters elsewhere in this registry stay
+    /// exact.
     #[cfg(feature = "enabled")]
     pub probe_lengths: std::sync::Arc<Histogram>,
     /// Probe-length no-op (feature `enabled` is off). Kept inline rather

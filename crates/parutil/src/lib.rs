@@ -32,6 +32,7 @@
 
 pub mod chunk;
 pub mod hist;
+pub mod mem;
 pub mod permute;
 pub mod prefix;
 pub mod rng;

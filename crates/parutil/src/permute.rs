@@ -54,18 +54,42 @@ pub fn darts_into(out: &mut [u32], seed: u64) {
         // Seeding by element offset (not chunk index) keeps the array
         // independent of the chunking, hence of the thread count.
         let mut rng = Xoshiro256pp::stream(seed, start as u64);
-        for (off, d) in slice.iter_mut().enumerate() {
-            let i = start + off;
-            *d = rng.next_below(i as u64 + 1) as u32;
+        // Batch the draws: `fill_below_seq` consumes the stream exactly as
+        // the historical per-index `next_below(i + 1)` loop did, so the
+        // dart array is unchanged — only the fill is block-wise.
+        let mut buf = [0u64; 256];
+        let mut off = 0usize;
+        while off < slice.len() {
+            let n = buf.len().min(slice.len() - off);
+            rng.fill_below_seq((start + off) as u64 + 1, &mut buf[..n]);
+            for (d, &v) in slice[off..off + n].iter_mut().zip(&buf[..n]) {
+                *d = v as u32;
+            }
+            off += n;
         }
     });
 }
 
 /// Apply a dart array serially (reference implementation of the Knuth
 /// shuffle order used by the parallel algorithm).
+///
+/// The loop walks `i` downward (streaming reads of `data[i]` and
+/// `darts[i]`) but `data[darts[i]]` is a random access — one dependent
+/// cache miss per element on large inputs. The darts are precomputed, so
+/// the swap target of iteration `i - D` is known `D` iterations early;
+/// prefetching it overlaps the misses without changing a single swap (the
+/// prefetch is a pure hardware hint).
 pub fn apply_darts_serial<T>(data: &mut [T], darts: &[u32]) {
     assert_eq!(data.len(), darts.len());
+    /// Lookahead distance: far enough to cover a memory latency at one
+    /// swap's worth of work per step, short enough to stay within the
+    /// hardware's outstanding-miss budget.
+    const D: usize = 16;
     for i in (1..data.len()).rev() {
+        if i > D {
+            // In bounds: darts[j] <= j for every j, and j = i - D >= 1.
+            crate::mem::prefetch_read(data.as_ptr().wrapping_add(darts[i - D] as usize));
+        }
         data.swap(i, darts[i] as usize);
     }
 }

@@ -153,6 +153,50 @@ impl Xoshiro256pp {
             *w = self.next_u64();
         }
     }
+
+    /// Batch [`Xoshiro256pp::next_below`] over an ascending bound sequence:
+    /// `out[i]` is uniform in `[0, first_bound + i)`, drawn from this
+    /// generator's stream **exactly** as the equivalent scalar loop
+    /// `for i { out[i] = rng.next_below(first_bound + i) }` would draw it.
+    ///
+    /// This is the dart-generation kernel: per element the scalar loop pays
+    /// one serially-dependent state update plus the in-loop Lemire
+    /// bookkeeping. The batched fill draws raw words block-wise and applies
+    /// the reduction in a separate unrolled pass. Lemire's rejection
+    /// (probability `bound / 2^64` per element) breaks the one-draw-per-
+    /// element correspondence; when any lane of a block flags it, the whole
+    /// block is replayed with the scalar algorithm from the saved generator
+    /// state, so the output — and the stream position — stay identical.
+    pub fn fill_below_seq(&mut self, first_bound: u64, out: &mut [u64]) {
+        const BLK: usize = 128;
+        debug_assert!(first_bound > 0);
+        let mut raw = [0u64; BLK];
+        let mut done = 0usize;
+        while done < out.len() {
+            let n = BLK.min(out.len() - done);
+            let bound0 = first_bound + done as u64;
+            // The state is four words; saving it makes the rare replay exact.
+            let save = self.clone();
+            self.fill_u64(&mut raw[..n]);
+            let mut clean = true;
+            for (j, (&x, d)) in raw[..n].iter().zip(&mut out[done..done + n]).enumerate() {
+                let bound = bound0 + j as u64;
+                let m = (x as u128) * (bound as u128);
+                // `(m as u64) < bound` over-approximates "needs a redraw"
+                // (the true threshold is `2^64 mod bound`); a false positive
+                // just routes the block through the exact scalar replay.
+                clean &= (m as u64) >= bound;
+                *d = (m >> 64) as u64;
+            }
+            if !clean {
+                *self = save;
+                for (j, d) in out[done..done + n].iter_mut().enumerate() {
+                    *d = self.next_below(bound0 + j as u64);
+                }
+            }
+            done += n;
+        }
+    }
 }
 
 /// Batch-fill one decision bit per index: `out[i] = mix64(seed ^ i ^ salt) & 1`.
@@ -166,10 +210,28 @@ impl Xoshiro256pp {
 /// filled slab is deterministic regardless of the rayon pool size.
 pub fn mix_bits_into(out: &mut [u8], seed: u64, salt: u64) {
     const STEP: usize = 1 << 16;
+    let base = seed ^ salt; // xor is associative: seed ^ i ^ salt = (seed ^ salt) ^ i
     out.par_chunks_mut(STEP).enumerate().for_each(|(k, chunk)| {
-        let start = k * STEP;
-        for (off, b) in chunk.iter_mut().enumerate() {
-            *b = (mix64(seed ^ ((start + off) as u64) ^ salt) & 1) as u8;
+        let start = (k * STEP) as u64;
+        // Eight independent mixes per round: mix64 is a serial chain of
+        // multiplies, so an explicit unroll keeps several in flight at once
+        // instead of bounding the loop at one mix per iteration.
+        let mut blocks = chunk.chunks_exact_mut(8);
+        let mut i = start;
+        for b in &mut blocks {
+            b[0] = (mix64(base ^ i) & 1) as u8;
+            b[1] = (mix64(base ^ (i + 1)) & 1) as u8;
+            b[2] = (mix64(base ^ (i + 2)) & 1) as u8;
+            b[3] = (mix64(base ^ (i + 3)) & 1) as u8;
+            b[4] = (mix64(base ^ (i + 4)) & 1) as u8;
+            b[5] = (mix64(base ^ (i + 5)) & 1) as u8;
+            b[6] = (mix64(base ^ (i + 6)) & 1) as u8;
+            b[7] = (mix64(base ^ (i + 7)) & 1) as u8;
+            i += 8;
+        }
+        for b in blocks.into_remainder() {
+            *b = (mix64(base ^ i) & 1) as u8;
+            i += 1;
         }
     });
 }
@@ -254,6 +316,51 @@ mod tests {
         let mut r = Xoshiro256pp::new(11);
         for _ in 0..100 {
             assert_eq!(r.next_below(1), 0);
+        }
+    }
+
+    /// The batched dart fill must consume the stream exactly as the scalar
+    /// `next_below` loop does — same outputs, same final generator state —
+    /// across block boundaries and for tiny bounds (where Lemire's rejection
+    /// threshold check is most likely to flag a replay).
+    #[test]
+    fn fill_below_seq_is_formula_identical_to_scalar() {
+        for &(first, len) in &[
+            (1u64, 1usize),
+            (1, 127),
+            (1, 128),
+            (1, 129),
+            (1, 1000),
+            (2, 301),
+            (500_000, 777),
+            (u32::MAX as u64, 300),
+        ] {
+            for seed in [0u64, 7, 42, 0xDEAD_BEEF] {
+                let mut scalar_rng = Xoshiro256pp::stream(seed, 3);
+                let scalar: Vec<u64> = (0..len)
+                    .map(|i| scalar_rng.next_below(first + i as u64))
+                    .collect();
+                let mut batch_rng = Xoshiro256pp::stream(seed, 3);
+                let mut batch = vec![0u64; len];
+                batch_rng.fill_below_seq(first, &mut batch);
+                assert_eq!(batch, scalar, "first={first} len={len} seed={seed}");
+                // Stream positions must agree too, so interleaved use is safe.
+                assert_eq!(batch_rng.next_u64(), scalar_rng.next_u64());
+            }
+        }
+    }
+
+    /// The unrolled side-bit fill must reproduce the documented per-index
+    /// formula exactly, including across the 8-wide unroll remainder.
+    #[test]
+    fn mix_bits_into_matches_per_index_formula() {
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000, (1 << 16) + 3] {
+            let mut out = vec![0u8; len];
+            mix_bits_into(&mut out, 0xABCD_EF12, 0x9E37);
+            for (i, &b) in out.iter().enumerate() {
+                let want = (mix64(0xABCD_EF12 ^ i as u64 ^ 0x9E37) & 1) as u8;
+                assert_eq!(b, want, "index {i} of {len}");
+            }
         }
     }
 

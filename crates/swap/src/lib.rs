@@ -111,6 +111,19 @@ const REG_BLOCK: usize = 1 << 14;
 /// item per pair.
 const PAIR_BLOCK: usize = 1 << 13;
 
+/// Keys per prefetch batch in the registration and serial-claim loops:
+/// hash a batch, issue a prefetch for every home slot, then probe the
+/// batch. Each probe is an independent random table read, so the batch
+/// turns a chain of serial memory stalls into overlapped misses; 32 keys
+/// covers one memory latency at the loop's issue rate. Purely a
+/// performance shape — the operations and their order are unchanged.
+const PF_BATCH: usize = 32;
+
+/// Pairs per prefetch batch in the proposal and commit phases (each pair
+/// touches two table keys, so this keeps outstanding prefetches near
+/// [`PF_BATCH`]).
+const PAIR_PF_BATCH: usize = 16;
+
 /// Configuration for a swap run.
 #[derive(Clone, Debug)]
 pub struct SwapConfig {
@@ -129,7 +142,7 @@ pub struct SwapConfig {
     pub track_violations: bool,
 }
 
-pub use conchash::Probe;
+pub use conchash::{KeyWidth, KeyWidthError, Probe, ResolvedWidth};
 
 impl SwapConfig {
     /// `iterations` swap sweeps with the given seed and default options.
@@ -578,6 +591,12 @@ fn run_recovering(
     let mut events = FaultLog::with_capacity(policy.event_capacity);
     let mut grows = 0u32;
     let mut degraded = false;
+    // Resolve the requested key width against this run's vertex count
+    // before any sweep: `Auto` picks the narrowest packed table layout the
+    // ids fit, while a forced width that cannot hold them is a typed input
+    // error (never a silent truncation).
+    ws.resolve_width_for(graph.num_vertices() as u64)
+        .map_err(|e| GenError::bad_input(e.to_string()))?;
     loop {
         match run_until(
             graph,
@@ -715,6 +734,28 @@ impl ViolationCounters {
 /// drained between sweeps, and checkpoints are handed to the sink per the
 /// policy. Segment out-fields are reset on entry, so a grow-and-retry
 /// replay of a faulted attempt stays exact.
+/// Register one block of edges into the membership table, pipelined in
+/// [`PF_BATCH`]-key batches: compute-and-prefetch every key's home slot,
+/// then probe the batch. Each probe is an independent random read, so the
+/// prefetch pass overlaps their cache misses instead of paying them one
+/// full latency at a time. Insertion is idempotent and order-free, so the
+/// batching is byte-invisible.
+#[inline]
+fn register_block(table: &ShardedEpochHashSet, block: &[Slot]) -> Result<(), TableFullError> {
+    let mut keys = [0u64; PF_BATCH];
+    for chunk in block.chunks(PF_BATCH) {
+        let batch = &mut keys[..chunk.len()];
+        for (k, s) in batch.iter_mut().zip(chunk) {
+            *k = s.edge.key();
+            table.prefetch(*k);
+        }
+        for &k in batch.iter() {
+            table.try_test_and_set(k)?;
+        }
+    }
+    Ok(())
+}
+
 fn run_until(
     graph: &mut EdgeList,
     cfg: &SwapConfig,
@@ -832,16 +873,11 @@ fn run_until(
         {
             let _span = metrics.map(|m| m.phase_sweep_ns.start_span());
             if parallel {
-                slots.par_chunks(REG_BLOCK).try_for_each(|block| {
-                    for s in block {
-                        table.try_test_and_set(s.edge.key())?;
-                    }
-                    Ok(())
-                })?;
+                slots
+                    .par_chunks(REG_BLOCK)
+                    .try_for_each(|block| register_block(table, block))?;
             } else {
-                for s in slots.iter() {
-                    table.try_test_and_set(s.edge.key())?;
-                }
+                register_block(table, slots)?;
             }
         }
 
@@ -865,22 +901,53 @@ fn run_until(
         // fills one contiguous slab of proposals plus the matching slab of
         // claim keys (`EMPTY` marks pairs with nothing to claim), so the
         // claim phase below can work from a dense key array.
+        //
+        // Each slab runs in [`PAIR_PF_BATCH`]-pair batches of two passes:
+        // pass A computes the replacement candidates, applies the
+        // arithmetic-only rejections (self loop, duplicate), and prefetches
+        // the membership slots of the survivors; pass B performs the table
+        // lookups against warmed lines. The rejection tests and their
+        // precedence are exactly the historical `propose_swap` sequence, so
+        // the proposal stream is unchanged.
         let npairs = m / 2;
         {
             let slots: &[Slot] = slots;
             let sides: &[u8] = sides;
             let fill = |base: usize, props: &mut [Proposal], cks: &mut [u64]| {
-                for (j, out) in props.iter_mut().enumerate() {
-                    let pair_idx = base + j;
-                    let lo = pair_idx * 2;
-                    let p = propose_swap(&slots[lo..lo + 2], sides[pair_idx] != 0, table);
-                    *out = p;
-                    let (k0, k1) = match p {
-                        Proposal::Accept(g, h) => (g.key(), h.key()),
-                        _ => (EMPTY, EMPTY),
-                    };
-                    cks[2 * j] = k0;
-                    cks[2 * j + 1] = k1;
+                let nb = props.len();
+                let mut start = 0usize;
+                while start < nb {
+                    let len = PAIR_PF_BATCH.min(nb - start);
+                    for (j, out) in props[start..start + len].iter_mut().enumerate() {
+                        let pair_idx = base + start + j;
+                        let lo = pair_idx * 2;
+                        let e = slots[lo].edge;
+                        let f = slots[lo + 1].edge;
+                        let (g, h) = e.swap_with(&f, sides[pair_idx] != 0);
+                        *out = if g.is_self_loop() || h.is_self_loop() {
+                            Proposal::RejectSelfLoop
+                        } else if g.key() == h.key() {
+                            Proposal::RejectDuplicate
+                        } else {
+                            table.prefetch(g.key());
+                            table.prefetch(h.key());
+                            Proposal::Accept(g, h)
+                        };
+                    }
+                    for (j, out) in props[start..start + len].iter_mut().enumerate() {
+                        if let Proposal::Accept(g, h) = *out {
+                            if table.contains(g.key()) || table.contains(h.key()) {
+                                *out = Proposal::RejectExists;
+                            }
+                        }
+                        let (k0, k1) = match *out {
+                            Proposal::Accept(g, h) => (g.key(), h.key()),
+                            _ => (EMPTY, EMPTY),
+                        };
+                        cks[2 * (start + j)] = k0;
+                        cks[2 * (start + j) + 1] = k1;
+                    }
+                    start += len;
                 }
             };
             if parallel {
@@ -912,23 +979,31 @@ fn run_until(
             scatter.scatter(claim_keys, EMPTY, shard_count, |k| claims.shard_of(k));
             (0..shard_count).into_par_iter().try_for_each(|s| {
                 let (keys, idxs) = scatter.shard_slice(s);
-                let shard = claims.shard(s);
-                for (&k, &i) in keys.iter().zip(idxs) {
-                    // The claim-key buffer holds two keys per pair, so the
-                    // record index maps back to its pair as `i / 2`.
-                    shard.try_claim_min(k, i >> 1).map_err(|e| TableFullError {
-                        table: "ShardedEpochHashMap",
-                        ..e
-                    })?;
-                }
-                Ok(())
+                // The claim-key buffer holds two keys per pair, so the
+                // record index maps back to its pair as `idx / 2`. The run
+                // is applied software-pipelined inside the facade.
+                claims.try_claim_min_run(s, keys, idxs, |idx| idx >> 1)
             })?;
         } else {
-            for (i, p) in proposals.iter().enumerate() {
-                if let Proposal::Accept(g, h) = p {
-                    claims.try_claim_min(g.key(), i as u64)?;
-                    claims.try_claim_min(h.key(), i as u64)?;
+            // Same prefetch-batch shape as registration: warm both claim
+            // slots of a batch of accepted pairs, then apply the claims.
+            let mut start = 0usize;
+            while start < proposals.len() {
+                let len = PAIR_PF_BATCH.min(proposals.len() - start);
+                for p in &proposals[start..start + len] {
+                    if let Proposal::Accept(g, h) = p {
+                        claims.prefetch(g.key());
+                        claims.prefetch(h.key());
+                    }
                 }
+                for (j, p) in proposals[start..start + len].iter().enumerate() {
+                    if let Proposal::Accept(g, h) = p {
+                        let i = (start + j) as u64;
+                        claims.try_claim_min(g.key(), i)?;
+                        claims.try_claim_min(h.key(), i)?;
+                    }
+                }
+                start += len;
             }
         }
 
@@ -961,27 +1036,40 @@ fn run_until(
             };
             1
         };
+        // Each slab commits in [`PAIR_PF_BATCH`]-pair batches: warm the
+        // claim slots of the batch's accepted proposals, then run the
+        // commit checks against them. An odd-length trailing slab leaves
+        // its singleton slot untouched, exactly as the per-pair chunking
+        // did (its proposal is `RejectSingleton`).
+        let commit_slab = |base: usize, slab: &mut [Slot]| -> u64 {
+            let pairs = slab.len() / 2;
+            let mut successes = 0u64;
+            let mut start = 0usize;
+            while start < pairs {
+                let len = PAIR_PF_BATCH.min(pairs - start);
+                for p in &proposals[base + start..base + start + len] {
+                    if let Proposal::Accept(g, h) = p {
+                        claims.prefetch(g.key());
+                        claims.prefetch(h.key());
+                    }
+                }
+                for j in start..start + len {
+                    successes += commit(base + j, &mut slab[2 * j..2 * j + 2]);
+                }
+                start += len;
+            }
+            successes
+        };
         let successes: u64 = if parallel {
             // Blocked like phase 3a: each task commits a contiguous slab of
             // pairs and accumulates its successes locally.
             slots
                 .par_chunks_mut(2 * PAIR_BLOCK)
                 .enumerate()
-                .map(|(b, block)| {
-                    let base = b * PAIR_BLOCK;
-                    block
-                        .chunks_mut(2)
-                        .enumerate()
-                        .map(|(j, pair)| commit(base + j, pair))
-                        .sum::<u64>()
-                })
+                .map(|(b, block)| commit_slab(b * PAIR_BLOCK, block))
                 .sum()
         } else {
-            slots
-                .chunks_mut(2)
-                .enumerate()
-                .map(|(pair_idx, pair)| commit(pair_idx, pair))
-                .sum()
+            commit_slab(0, slots)
         };
 
         if let Some(mx) = metrics {
@@ -1059,35 +1147,6 @@ fn run_until(
         s.final_state = Some(s.meta.state_from_slots(slots, &stats.iterations));
     }
     Ok(stats)
-}
-
-/// Propose the double-edge swap for one adjacent pair of the permuted list.
-/// Returns a rejection when the pair must self-transition: trailing
-/// singleton, self-loop replacement, duplicate replacement pair, or a
-/// replacement that already exists in the current edge set.
-///
-/// `side` is the pair's partner-choice bit (Alg. III.1 line 11), batch-drawn
-/// from the [`SIDE_SALT`] stream before the proposal phase; it is a pure
-/// function of `(seed, sweep, pair index)`, so proposals are independent of
-/// execution order.
-#[inline]
-fn propose_swap(pair: &[Slot], side: bool, table: &ShardedEpochHashSet) -> Proposal {
-    if pair.len() < 2 {
-        return Proposal::RejectSingleton;
-    }
-    let e = pair[0].edge;
-    let f = pair[1].edge;
-    let (g, h) = e.swap_with(&f, side);
-    if g.is_self_loop() || h.is_self_loop() {
-        return Proposal::RejectSelfLoop;
-    }
-    if g.key() == h.key() {
-        return Proposal::RejectDuplicate;
-    }
-    if table.contains(g.key()) || table.contains(h.key()) {
-        return Proposal::RejectExists;
-    }
-    Proposal::Accept(g, h)
 }
 
 #[cfg(test)]

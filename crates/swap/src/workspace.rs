@@ -18,7 +18,10 @@
 //! [`crate::swap_edges`] entry points create a fresh workspace internally
 //! and remain byte-for-byte equivalent.
 
-use conchash::{Probe, ShardedEpochHashMap, ShardedEpochHashSet, DEFAULT_SHARD_COUNT};
+use conchash::{
+    KeyWidth, KeyWidthError, Probe, ResolvedWidth, ShardedEpochHashMap, ShardedEpochHashSet,
+    DEFAULT_SHARD_COUNT,
+};
 use graphcore::Edge;
 use parutil::permute::PermuteScratch;
 use parutil::ShardScatter;
@@ -88,6 +91,14 @@ pub struct SwapWorkspace {
     /// commutative minimum), so results are byte-identical across shard
     /// counts.
     pub(crate) shards: usize,
+    /// Requested table key width (`--key-width`). Resolved against each
+    /// run's vertex count; like sharding, the physical entry layout never
+    /// influences swap decisions, so results are byte-identical across
+    /// widths.
+    pub(crate) key_width: KeyWidth,
+    /// Layout the last run resolved to (`None` before any run). `prepare`
+    /// rebuilds the tables when the resolution changes.
+    pub(crate) resolved_width: Option<ResolvedWidth>,
     /// Capacity the tables were created for (they are rebuilt when a run
     /// exceeds it).
     pub(crate) table_capacity: usize,
@@ -146,6 +157,44 @@ impl SwapWorkspace {
         self.shards = shards;
     }
 
+    /// A workspace whose tables use the given key width (default
+    /// [`KeyWidth::Auto`]: the narrowest packed layout the run's vertex
+    /// count fits, wide fallback).
+    ///
+    /// Like the shard count, the key width is a pure performance lever —
+    /// probe sequences are derived from the full 64-bit key under every
+    /// layout, so results are byte-identical across widths. A *forced*
+    /// packed width that cannot hold a run's vertex ids fails that run
+    /// with a typed `bad_input` error rather than truncating.
+    pub fn with_key_width(width: KeyWidth) -> Self {
+        let mut ws = Self::new();
+        ws.set_key_width(width);
+        ws
+    }
+
+    /// Change the requested key width for subsequent runs. Tables are
+    /// rebuilt on the next run if the resolved layout changes.
+    pub fn set_key_width(&mut self, width: KeyWidth) {
+        self.key_width = width;
+    }
+
+    /// The requested key width runs over this workspace use.
+    pub fn key_width(&self) -> KeyWidth {
+        self.key_width
+    }
+
+    /// The physical layout the most recent run resolved to, if any.
+    pub fn resolved_key_width(&self) -> Option<ResolvedWidth> {
+        self.resolved_width
+    }
+
+    /// Resolve the requested width against a run's vertex count and record
+    /// the outcome for the next [`SwapWorkspace::prepare`].
+    pub(crate) fn resolve_width_for(&mut self, num_vertices: u64) -> Result<(), KeyWidthError> {
+        self.resolved_width = Some(conchash::resolve_key_width(self.key_width, num_vertices)?);
+        Ok(())
+    }
+
     /// The shard count runs over this workspace use.
     pub fn shard_count(&self) -> usize {
         if self.shards == 0 {
@@ -188,6 +237,9 @@ impl SwapWorkspace {
         self.permute.reserve(m);
         let want = self.forced_capacity.unwrap_or(m);
         let shards = self.shard_count();
+        // Runs that never resolved a width (direct `prepare` callers) get
+        // the always-valid wide layout.
+        let width = self.resolved_width.unwrap_or(ResolvedWidth::Wide);
         let rebuild = match (&self.table, &self.claims) {
             (Some(t), Some(c)) => {
                 let outgrown = match self.forced_capacity {
@@ -200,6 +252,8 @@ impl SwapWorkspace {
                     || c.probe() != probe
                     || t.shard_count() != shards
                     || c.shard_count() != shards
+                    || t.resolved_width() != width
+                    || c.resolved_width() != width
             }
             _ => true,
         };
@@ -209,9 +263,9 @@ impl SwapWorkspace {
             // and at most one key per slot during the violation-tracking
             // registration (= m keys).
             let hist = self.metrics.as_ref().map(|m| m.probe_handle());
-            let mut table = ShardedEpochHashSet::with_shards(want, probe, shards);
+            let mut table = ShardedEpochHashSet::with_shards_width(want, probe, shards, width);
             table.set_probe_histogram(hist.clone());
-            let mut claims = ShardedEpochHashMap::with_shards(want, probe, shards);
+            let mut claims = ShardedEpochHashMap::with_shards_width(want, probe, shards, width);
             claims.set_probe_histogram(hist);
             self.table = Some(table);
             self.claims = Some(claims);

@@ -259,3 +259,73 @@ fn violation_tracking_census_is_per_run_not_per_sweep() {
          5 sweeps -> {a5}, 50 sweeps -> {a50}"
     );
 }
+
+/// Every key-width layout — the packed single-word tables (32- and 64-bit
+/// entries) as well as the forced wide fallback — must hold the same
+/// steady-state zero-allocation bound. The default `Auto` width already
+/// resolves these 2k-vertex rings to the 32-bit packed layout in the tests
+/// above; this pins the other layouts explicitly, including the
+/// prefetch-batched register/propose/claim/commit loops whose batch
+/// buffers are stack arrays, never heap.
+#[test]
+fn every_key_width_sweeps_allocation_free_in_steady_state() {
+    let _serialized = MEASURE_LOCK.lock().unwrap();
+    const N: u32 = 2_000;
+    use swap::KeyWidth;
+    for width in [KeyWidth::W32, KeyWidth::W64, KeyWidth::Wide] {
+        let mut ws = SwapWorkspace::with_key_width(width);
+        let mut warm = ring(N);
+        swap_edges_serial_with_workspace(&mut warm, &SwapConfig::new(2, 1), &mut ws);
+
+        let mut g5 = ring(N);
+        let mut g50 = ring(N);
+        let a5 = allocs_during(|| {
+            swap_edges_serial_with_workspace(&mut g5, &SwapConfig::new(5, 42), &mut ws);
+        });
+        let a50 = allocs_during(|| {
+            swap_edges_serial_with_workspace(&mut g50, &SwapConfig::new(50, 42), &mut ws);
+        });
+        assert_eq!(
+            a5, a50,
+            "{width}: sweep count changed the allocation count \
+             (5 sweeps -> {a5}, 50 sweeps -> {a50})"
+        );
+        assert!(
+            a5 <= 4,
+            "{width}: per-run allocation constant too high: {a5}"
+        );
+    }
+}
+
+/// Switching the key width on a reused workspace rebuilds the tables once
+/// (on the next prepare) — like re-sharding, it must never put the rebuild
+/// on the per-sweep path.
+#[test]
+fn key_width_switch_rebuild_is_per_reconfigure_not_per_sweep() {
+    let _serialized = MEASURE_LOCK.lock().unwrap();
+    const N: u32 = 2_000;
+    use swap::KeyWidth;
+    let mut ws = SwapWorkspace::new();
+    let mut warm = ring(N);
+    swap_edges_serial_with_workspace(&mut warm, &SwapConfig::new(2, 1), &mut ws);
+
+    // Force the wide layout: the very next run pays the rebuild...
+    ws.set_key_width(KeyWidth::Wide);
+    let mut rebuilt = ring(N);
+    swap_edges_serial_with_workspace(&mut rebuilt, &SwapConfig::new(2, 1), &mut ws);
+
+    // ...and runs after it are back to the per-run constant.
+    let mut g5 = ring(N);
+    let mut g50 = ring(N);
+    let a5 = allocs_during(|| {
+        swap_edges_serial_with_workspace(&mut g5, &SwapConfig::new(5, 42), &mut ws);
+    });
+    let a50 = allocs_during(|| {
+        swap_edges_serial_with_workspace(&mut g50, &SwapConfig::new(50, 42), &mut ws);
+    });
+    assert_eq!(
+        a5, a50,
+        "post-width-switch sweeps must be allocation-free: \
+         5 sweeps -> {a5}, 50 sweeps -> {a50}"
+    );
+}

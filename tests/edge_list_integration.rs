@@ -43,6 +43,7 @@ fn multigraph_input_gets_simplified() {
         track_violations: true,
         metrics: None,
         swap_shards: None,
+        key_width: nullmodel::KeyWidth::Auto,
     };
     let (stats, _) = generate_from_edge_list(&mut g, &cfg);
     assert!(g.is_simple(), "not simplified after 30 iterations");
