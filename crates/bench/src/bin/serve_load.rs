@@ -1,0 +1,187 @@
+//! Load harness for the ensemble server, emitted as `BENCH_serve.json`
+//! (hand-rolled JSON, no serde).
+//!
+//! Boots a [`serve::Server`] in-process on an ephemeral port with a
+//! throwaway state directory, then drives it the way a greedy client
+//! fleet would: a burst of `POST /jobs` submissions (some of which the
+//! bounded admission queue may shed — shed counts are part of the
+//! result, not a failure), a polling loop of `GET /jobs/<id>` status
+//! reads until every accepted job completes, and a final fetch of every
+//! member of every job. Each request's wall latency is recorded and the
+//! per-endpoint p50/p95/p99/max land in the JSON, alongside end-to-end
+//! throughput (samples generated per second of wall clock).
+//!
+//! ```text
+//! cargo run -p bench --release --bin serve_load
+//! # NULLGRAPH_SERVE_JOBS=4 NULLGRAPH_SERVE_SAMPLES=2 for a smoke run
+//! # NULLGRAPH_SERVE_SWEEPS=5 NULLGRAPH_SERVE_EDGES=1024
+//! # NULLGRAPH_SERVE_QUEUE_CAP=64   admission bound (shed past it)
+//! # NULLGRAPH_BENCH_OUT=/tmp/out.json to redirect the JSON
+//! ```
+
+use graphcore::{io as gio, EdgeList};
+use serve::client;
+use serve::{ServeConfig, Server};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Per-request timeout. Generous: the point is tail latency, not timeouts.
+const T: Duration = Duration::from_secs(60);
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(default)
+}
+
+fn ring(m: usize) -> EdgeList {
+    EdgeList::from_pairs((0..m as u32).map(|i| (i, (i + 1) % m as u32)))
+}
+
+/// Latency series for one endpoint; quantiles by sorted rank.
+#[derive(Default)]
+struct Series {
+    us: Vec<u64>,
+}
+
+impl Series {
+    fn record(&mut self, d: Duration) {
+        self.us.push(d.as_micros() as u64);
+    }
+
+    fn quantile(sorted: &[u64], q: f64) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    fn to_json(&self) -> String {
+        let mut sorted = self.us.clone();
+        sorted.sort_unstable();
+        format!(
+            "{{\"count\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+            sorted.len(),
+            Self::quantile(&sorted, 0.50),
+            Self::quantile(&sorted, 0.95),
+            Self::quantile(&sorted, 0.99),
+            sorted.last().copied().unwrap_or(0),
+        )
+    }
+}
+
+fn field(body: &str, key: &str) -> Option<String> {
+    serve::json::parse(body)
+        .ok()?
+        .get(key)
+        .and_then(|v| v.as_str().map(str::to_string))
+}
+
+fn main() {
+    let jobs = env_usize("NULLGRAPH_SERVE_JOBS", 16);
+    let samples = env_usize("NULLGRAPH_SERVE_SAMPLES", 4);
+    let sweeps = env_usize("NULLGRAPH_SERVE_SWEEPS", 10);
+    let edges = env_usize("NULLGRAPH_SERVE_EDGES", 10_000);
+    let queue_cap = env_usize("NULLGRAPH_SERVE_QUEUE_CAP", 64);
+
+    let state = std::env::temp_dir().join(format!("nullgraph_serve_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state);
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        state_dir: state.clone(),
+        queue_capacity: queue_cap,
+        ..ServeConfig::default()
+    })
+    .expect("server boots");
+    let addr = server.local_addr();
+
+    let mut body = Vec::new();
+    gio::write_edge_list(&ring(edges), &mut body).expect("render input");
+
+    let mut submit = Series::default();
+    let mut status = Series::default();
+    let mut sample = Series::default();
+    let mut accepted: Vec<String> = Vec::new();
+    let mut shed = 0usize;
+
+    let t0 = Instant::now();
+    for _ in 0..jobs {
+        let q = format!("/jobs?samples={samples}&sweeps={sweeps}&seed=7");
+        let t = Instant::now();
+        let resp = client::post(addr, &q, &body, T).expect("submit");
+        submit.record(t.elapsed());
+        match resp.status {
+            202 => accepted.push(field(&resp.text(), "id").expect("id in 202")),
+            503 => shed += 1,
+            other => panic!("unexpected submit status {other}: {}", resp.text()),
+        }
+    }
+
+    // Poll every accepted job to completion; each probe is a status read.
+    for id in &accepted {
+        loop {
+            let t = Instant::now();
+            let resp = client::get(addr, &format!("/jobs/{id}"), T).expect("status");
+            status.record(t.elapsed());
+            match field(&resp.text(), "phase").as_deref() {
+                Some("completed") => break,
+                Some("failed") | Some("cancelled") => {
+                    panic!("job {id} ended abnormally: {}", resp.text())
+                }
+                _ => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    }
+    let completed_secs = t0.elapsed().as_secs_f64();
+
+    for id in &accepted {
+        for k in 0..samples {
+            let t = Instant::now();
+            let resp = client::get(addr, &format!("/jobs/{id}/samples/{k}"), T).expect("sample");
+            sample.record(t.elapsed());
+            assert_eq!(resp.status, 200, "sample {k} of {id} missing");
+        }
+    }
+
+    server.request_drain();
+    server.join();
+    let _ = std::fs::remove_dir_all(&state);
+
+    let generated = accepted.len() * samples;
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"serve_load\",");
+    let _ = writeln!(
+        json,
+        "  \"jobs\": {jobs}, \"samples_per_job\": {samples}, \"sweeps\": {sweeps}, \"edges\": {edges},"
+    );
+    let _ = writeln!(json, "  \"queue_capacity\": {queue_cap},");
+    let _ = writeln!(
+        json,
+        "  \"accepted\": {}, \"shed\": {shed},",
+        accepted.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"samples_generated\": {generated}, \"complete_wall_secs\": {completed_secs:.6},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"samples_per_sec\": {:.2},",
+        generated as f64 / completed_secs.max(1e-9)
+    );
+    let _ = writeln!(json, "  \"latency\": {{");
+    let _ = writeln!(json, "    \"submit\": {},", submit.to_json());
+    let _ = writeln!(json, "    \"status\": {},", status.to_json());
+    let _ = writeln!(json, "    \"sample\": {}", sample.to_json());
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    let out = std::env::var("NULLGRAPH_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    std::fs::write(&out, &json).expect("write bench json");
+    print!("{json}");
+    eprintln!("wrote {out}");
+}

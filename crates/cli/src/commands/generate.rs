@@ -31,9 +31,17 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
     }
     let result = try_generate_from_distribution(&dist, &cfg);
     // The snapshot is written even when generation fails: partial phase
-    // counters are exactly what a failure post-mortem needs.
-    super::write_metrics_snapshot(args, metrics.as_ref())?;
-    let out = result?;
+    // counters are exactly what a failure post-mortem needs. On success
+    // the swap kernel's recovery log rides along inside it.
+    let out = match result {
+        Ok(out) => out,
+        Err(e) => {
+            super::write_metrics_snapshot(args, metrics.as_ref(), None)?;
+            return Err(e.into());
+        }
+    };
+    super::write_metrics_snapshot(args, metrics.as_ref(), Some(&out.swap_stats.events))?;
+    super::write_fault_log(args, &out.swap_stats.events)?;
     io::save_edge_list(&out.graph, out_path)?;
 
     if !args.flag("quiet") {

@@ -49,8 +49,9 @@ fn metrics_json(metrics: &obs::Metrics, stats: &SwapStats) -> String {
     }
     let _ = write!(
         json,
-        "],\n  \"wall_clock_exceeded\": {}\n}}\n",
-        stats.wall_clock_exceeded
+        "],\n  \"wall_clock_exceeded\": {},\n  \"fault_log\": {}\n}}\n",
+        stats.wall_clock_exceeded,
+        stats.events.to_json()
     );
     json
 }
@@ -89,6 +90,7 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
     if let (Some(path), Some(m)) = (args.get("metrics"), &metrics) {
         std::fs::write(path, metrics_json(m, &stats))?;
     }
+    super::write_fault_log(args, &stats.events)?;
     print_summary(args, &graph, &stats, &timings.to_string());
     Ok(())
 }
@@ -274,6 +276,7 @@ fn run_resumable(args: &Parsed, out_path: &str) -> Result<(), CliError> {
     if let (Some(path), Some(m)) = (args.get("metrics"), &metrics) {
         std::fs::write(path, metrics_json(m, &report.stats))?;
     }
+    super::write_fault_log(args, &report.stats.events)?;
     let resume_hint = |ckpt: &Path| {
         format!(
             "nullgraph mix --resume {} --out {}",

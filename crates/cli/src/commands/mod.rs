@@ -6,6 +6,7 @@ pub mod generate;
 pub mod lfr;
 pub mod mix;
 pub mod profile;
+pub mod serve;
 pub mod stats;
 pub mod verify;
 
@@ -29,13 +30,43 @@ pub(crate) fn metrics_registry(args: &Parsed) -> Result<Option<Arc<obs::Metrics>
 }
 
 /// Write the registry's [`obs::MetricsSnapshot`] as JSON to the path the
-/// user gave via `--metrics`. No-op when the flag was absent.
+/// user gave via `--metrics`. No-op when the flag was absent. When a
+/// [`fault::FaultLog`] is at hand, it is embedded as a `"fault_log"` key —
+/// spliced in before the closing brace so the document's top-level
+/// `"schema"` stays `metrics_snapshot_v1` for existing consumers.
 pub(crate) fn write_metrics_snapshot(
     args: &Parsed,
     metrics: Option<&Arc<obs::Metrics>>,
+    fault_log: Option<&fault::FaultLog>,
 ) -> Result<(), CliError> {
     if let (Some(path), Some(m)) = (args.get("metrics"), metrics) {
         let mut json = m.snapshot().to_json();
+        if let Some(log) = fault_log {
+            embed_fault_log(&mut json, log);
+        }
+        if !json.ends_with('\n') {
+            json.push('\n');
+        }
+        std::fs::write(path, json)?;
+    }
+    Ok(())
+}
+
+/// Splice `"fault_log": {...}` into a JSON object document, immediately
+/// before its final closing brace.
+pub(crate) fn embed_fault_log(json: &mut String, log: &fault::FaultLog) {
+    let Some(end) = json.rfind('}') else { return };
+    json.insert_str(end, &format!(",\n  \"fault_log\": {}\n", log.to_json()));
+}
+
+/// Write the run's [`fault::FaultLog`] to the path the user gave via
+/// `--fault-log` (`fault_log_v1` JSON). No-op when the flag was absent;
+/// an empty log still writes a document — "no recovery events" is a
+/// finding, not an error.
+pub(crate) fn write_fault_log(args: &Parsed, log: &fault::FaultLog) -> Result<(), CliError> {
+    if args.get("fault-log").is_some() {
+        let path = args.require("fault-log")?;
+        let mut json = log.to_json();
         json.push('\n');
         std::fs::write(path, json)?;
     }

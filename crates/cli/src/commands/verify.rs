@@ -110,7 +110,7 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
 
     // The snapshot covers the whole battery (all sequences, all trials),
     // and is written whether or not anything was rejected.
-    super::write_metrics_snapshot(args, metrics.as_ref())?;
+    super::write_metrics_snapshot(args, metrics.as_ref(), None)?;
 
     if rejections.is_empty() {
         if !quiet {

@@ -8,6 +8,7 @@
 //! nullgraph stats    --input graph.txt
 //! nullgraph verify   [--sequence 2,2,2,1,1] [--control] [--json]
 //! nullgraph directed --dist joint.txt --out digraph.txt
+//! nullgraph serve    --state jobs/ [--addr 127.0.0.1:7878] [--queue-cap 64]
 //! ```
 //!
 //! Every command is a plain function over parsed arguments, so the whole
@@ -39,6 +40,7 @@ pub fn run(argv: &[String]) -> i32 {
         "profile" => commands::profile::run(&parsed),
         "stats" => commands::stats::run(&parsed),
         "directed" => commands::digraph::run(&parsed),
+        "serve" => commands::serve::run(&parsed),
         "compare" => commands::compare::run(&parsed),
         "verify" => commands::verify::run(&parsed),
         "help" | "--help" | "-h" => {
@@ -133,7 +135,26 @@ USAGE:
   nullgraph directed --dist <file> --out <file> [--seed N] [--swaps N]
   nullgraph directed --input <file> --out <file> [--iterations N] [--seed N]
       Directed null models: generate from a joint 'out in count'
-      distribution, or mix an existing 'from to' edge list."
+      distribution, or mix an existing 'from to' edge list.
+
+  nullgraph serve --state <dir> [--addr HOST:PORT] [--queue-cap N] [--workers N]
+            [--http-threads N] [--pool-cap N] [--checkpoint-wall-ms N]
+      Run the ensemble server: POST an edge list to /jobs to generate an
+      ensemble of mixed null models, poll /jobs/<id>, fetch
+      /jobs/<id>/samples/<k>, or follow /jobs/<id>/stream. Admission is
+      bounded by --queue-cap; past it submissions are shed with the typed
+      overloaded error (HTTP 503, error_code=overloaded, exit 11 when
+      surfaced through the CLI) and a retry-after hint. POST /admin/drain,
+      SIGINT or SIGTERM drain gracefully: in-flight members checkpoint,
+      accepted-but-unfinished jobs stay owed in --state and resume on the
+      next boot, byte-identical to an uninterrupted run. A cancelled job
+      reports error_code=job_cancelled (exit 12). --state is durable
+      ground truth: 'nullgraph serve' over the same directory finishes
+      whatever an earlier (even SIGKILLed) process left behind.
+
+  Common flags: --metrics <file> writes a JSON counters snapshot (with an
+  embedded \"fault_log\" section on generate/mix); --fault-log <file>
+  writes just the fault_log_v1 recovery-event log."
 }
 
 #[cfg(test)]

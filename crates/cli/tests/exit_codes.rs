@@ -373,6 +373,30 @@ fn interrupted_maps_to_exit_10_in_process() {
 }
 
 #[test]
+fn overloaded_maps_to_exit_11_in_process() {
+    // The spawned-server version (a real flooded queue through HTTP) lives
+    // in crates/serve/tests/server_api.rs; this pins the CLI mapping.
+    let e = nullgraph_cli::commands::CliError::from(fault::GenError::Overloaded {
+        reason: "admission queue full".into(),
+        queue_depth: 64,
+        capacity: 64,
+        retry_after_ms: 500,
+    });
+    assert_eq!(e.exit_code(), 11);
+    assert_eq!(e.error_code(), "overloaded");
+}
+
+#[test]
+fn job_cancelled_maps_to_exit_12_in_process() {
+    let e = nullgraph_cli::commands::CliError::from(fault::GenError::JobCancelled {
+        job_id: "j00000001".into(),
+        samples_done: 3,
+    });
+    assert_eq!(e.exit_code(), 12);
+    assert_eq!(e.error_code(), "job_cancelled");
+}
+
+#[test]
 fn shards_zero_is_usage_exit_2_on_both_commands() {
     let dist = write("shards0_dist.txt", "2 30\n4 10\n");
     let graph = write("shards0_graph.txt", "0 1\n1 2\n2 0\n");

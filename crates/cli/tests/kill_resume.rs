@@ -4,8 +4,15 @@
 //! output of a never-killed run. Graceful SIGINT, corrupt checkpoints and
 //! budget exhaustion are driven through the same spawned-binary harness so
 //! the documented exit codes (7, 9, 10) are tested end to end.
+//!
+//! The same harness drives `nullgraph serve`: SIGTERM must drain
+//! gracefully (exit 0, zero lost accepted jobs), and even a SIGKILLed
+//! server must, on restart over the same state directory, finish every
+//! owed job with samples byte-identical to an uninterrupted run.
 #![cfg(unix)]
 
+use std::io::BufRead as _;
+use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Output, Stdio};
 use std::time::{Duration, Instant};
@@ -326,4 +333,181 @@ fn budget_exhaustion_prints_the_resume_command_and_the_resume_continues_counting
         err.contains("4/4 sweeps"),
         "resumed run reports absolute sweep counts: {err}"
     );
+}
+
+// ---------------------------------------------------------------- serve --
+
+const HTTP_T: Duration = Duration::from_secs(30);
+
+/// Boot `nullgraph serve` on an ephemeral port and parse the bound
+/// address from its first stdout line.
+fn spawn_serve(state: &Path) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nullgraph"))
+        .args([
+            "serve",
+            "--state",
+            state.to_str().expect("utf8 path"),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--quiet",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn nullgraph serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read bound-address line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .parse()
+        .expect("parse bound address");
+    (child, addr)
+}
+
+fn ring_graph(n: u32) -> graphcore::EdgeList {
+    graphcore::EdgeList::from_pairs((0..n).map(|i| (i, (i + 1) % n)))
+}
+
+fn body_field(body: &str, key: &str) -> Option<String> {
+    serve::json::parse(body)
+        .ok()?
+        .get(key)
+        .and_then(|v| v.as_str().map(str::to_string))
+}
+
+fn submit_job(addr: SocketAddr, query: &str, graph: &graphcore::EdgeList) -> String {
+    let mut bytes = Vec::new();
+    graphcore::io::write_edge_list(graph, &mut bytes).expect("render edge list");
+    let resp =
+        serve::client::post(addr, &format!("/jobs?{query}"), &bytes, HTTP_T).expect("submit");
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    body_field(&resp.text(), "id").expect("id in 202 body")
+}
+
+fn wait_completed(addr: SocketAddr, id: &str, deadline: Duration) {
+    let t0 = Instant::now();
+    loop {
+        let resp = serve::client::get(addr, &format!("/jobs/{id}"), HTTP_T).expect("status");
+        match body_field(&resp.text(), "phase").as_deref() {
+            Some("completed") => return,
+            Some("failed") | Some("cancelled") => {
+                panic!("job {id} ended abnormally: {}", resp.text())
+            }
+            _ => {}
+        }
+        assert!(
+            t0.elapsed() < deadline,
+            "timed out waiting for {id}; last status: {}",
+            resp.text()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Fetch every member and compare against the in-process reference
+/// ensemble: the server's contract is byte-identity with
+/// `nullmodel::try_mix_ensemble_from_edge_list`, interruptions included.
+fn assert_samples_match_reference(
+    addr: SocketAddr,
+    id: &str,
+    input: &graphcore::EdgeList,
+    sweeps: usize,
+    seed: u64,
+    samples: usize,
+) {
+    let reference = nullmodel::try_mix_ensemble_from_edge_list(input, sweeps, seed, samples)
+        .expect("reference");
+    for (k, member) in reference.iter().enumerate() {
+        let mut want = Vec::new();
+        graphcore::io::write_edge_list(member, &mut want).expect("render reference");
+        let resp = serve::client::get(addr, &format!("/jobs/{id}/samples/{k}"), HTTP_T)
+            .expect("fetch sample");
+        assert_eq!(resp.status, 200, "sample {k}: {}", resp.text());
+        assert_eq!(resp.body, want, "sample {k} diverged from the reference");
+    }
+}
+
+fn serve_state(name: &str) -> PathBuf {
+    let state = tmp(name);
+    std::fs::remove_dir_all(&state).ok();
+    state
+}
+
+#[test]
+fn sigterm_drains_the_server_exits_0_and_loses_no_accepted_job() {
+    let state = serve_state("serve_sigterm_state");
+    let input = ring_graph(1024);
+    let (sweeps, seed, samples) = (120usize, 21u64, 6usize);
+
+    let (mut child, addr) = spawn_serve(&state);
+    let id = submit_job(
+        addr,
+        &format!("samples={samples}&sweeps={sweeps}&seed={seed}&ckpt_sweeps=1"),
+        &input,
+    );
+
+    // Let the worker get into the job, then ask for graceful shutdown.
+    std::thread::sleep(Duration::from_millis(100));
+    send_signal(child.id(), "TERM");
+    let status = child.wait().expect("reap server");
+    assert_eq!(
+        status.code(),
+        Some(0),
+        "SIGTERM is a graceful drain, not a failure"
+    );
+
+    // Zero lost accepted jobs: a restart over the same state finishes the
+    // owed job, byte-identical to an uninterrupted ensemble.
+    let (mut child, addr) = spawn_serve(&state);
+    wait_completed(addr, &id, Duration::from_secs(120));
+    assert_samples_match_reference(addr, &id, &input, sweeps, seed, samples);
+    send_signal(child.id(), "TERM");
+    assert_eq!(child.wait().expect("reap server").code(), Some(0));
+}
+
+#[test]
+fn sigkilled_server_resumes_owed_jobs_byte_identically_on_restart() {
+    let state = serve_state("serve_kill9_state");
+    let input = ring_graph(1024);
+    let (sweeps, seed, samples) = (80usize, 77u64, 5usize);
+
+    let (mut child, addr) = spawn_serve(&state);
+    let id = submit_job(
+        addr,
+        &format!("samples={samples}&sweeps={sweeps}&seed={seed}&ckpt_sweeps=1"),
+        &input,
+    );
+
+    // Wait until the job has durable progress on disk (a finished member
+    // or a mid-member checkpoint), then SIGKILL: no drain, no cleanup.
+    let job_dir = state.join("jobs").join(&id);
+    let t0 = Instant::now();
+    loop {
+        let has_progress =
+            job_dir.join("sample_0.txt").exists() || job_dir.join("sample_0.ckpt").exists();
+        if has_progress {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "no durable progress appeared under {}",
+            job_dir.display()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL server");
+    assert!(!child.wait().expect("reap server").success());
+
+    let (mut child, addr) = spawn_serve(&state);
+    wait_completed(addr, &id, Duration::from_secs(120));
+    assert_samples_match_reference(addr, &id, &input, sweeps, seed, samples);
+    send_signal(child.id(), "TERM");
+    assert_eq!(child.wait().expect("reap server").code(), Some(0));
 }

@@ -110,6 +110,29 @@ pub enum GenError {
         /// What was wrong at that offset.
         reason: String,
     },
+    /// A long-running service refused new work: its bounded admission queue
+    /// is full, or it is draining for shutdown. Shedding is explicit —
+    /// the caller gets this typed error with a retry hint instead of an
+    /// unbounded backlog silently eating the process.
+    Overloaded {
+        /// Why admission was refused (`"queue_full"`, `"draining"`).
+        reason: String,
+        /// Jobs already waiting when admission was refused.
+        queue_depth: usize,
+        /// The admission queue's capacity.
+        capacity: usize,
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A job was cancelled cooperatively (client request) after being
+    /// accepted; completed samples remain available, the in-flight sample
+    /// was drained at a sweep boundary and discarded.
+    JobCancelled {
+        /// The cancelled job's identifier.
+        job_id: String,
+        /// Ensemble samples that had completed before the cancel landed.
+        samples_done: usize,
+    },
 }
 
 impl GenError {
@@ -123,12 +146,15 @@ impl GenError {
             Self::SolverNotConverged { .. } => "solver_not_converged",
             Self::BadInput { .. } => "bad_input",
             Self::CorruptCheckpoint { .. } => "corrupt_checkpoint",
+            Self::Overloaded { .. } => "overloaded",
+            Self::JobCancelled { .. } => "job_cancelled",
         }
     }
 
     /// Distinct nonzero process exit code per variant (documented in the
     /// repository README). Codes 0–3 are reserved for success, generic
-    /// failure, usage errors and IO errors respectively.
+    /// failure, usage errors and IO errors respectively; 10 is the CLI's
+    /// signal-interrupted (checkpointed) exit, which is not a `GenError`.
     pub fn exit_code(&self) -> i32 {
         match self {
             Self::BadInput { .. } => 4,
@@ -137,6 +163,8 @@ impl GenError {
             Self::MixingBudgetExceeded { .. } => 7,
             Self::SolverNotConverged { .. } => 8,
             Self::CorruptCheckpoint { .. } => 9,
+            Self::Overloaded { .. } => 11,
+            Self::JobCancelled { .. } => 12,
         }
     }
 
@@ -230,6 +258,23 @@ impl fmt::Display for GenError {
                 }
                 write!(f, " at byte {offset}: {reason}")
             }
+            Self::Overloaded {
+                reason,
+                queue_depth,
+                capacity,
+                retry_after_ms,
+            } => write!(
+                f,
+                "admission refused ({reason}): {queue_depth}/{capacity} jobs queued; \
+                 retry after {retry_after_ms}ms"
+            ),
+            Self::JobCancelled {
+                job_id,
+                samples_done,
+            } => write!(
+                f,
+                "job {job_id} cancelled after {samples_done} completed samples"
+            ),
         }
     }
 }
@@ -292,6 +337,30 @@ impl fmt::Display for FaultEvent {
                 f,
                 "parallel sweeps degraded to serial after {after_grows} grow attempts"
             ),
+        }
+    }
+}
+
+impl FaultEvent {
+    /// One-line JSON object for this event (hand-rolled; the workspace
+    /// carries no serde). Every field is a number or a static table name,
+    /// so no string escaping is needed.
+    pub fn to_json(&self) -> String {
+        match self {
+            Self::TableGrown {
+                table,
+                occupancy,
+                old_capacity,
+                new_capacity,
+                attempt,
+            } => format!(
+                "{{\"type\":\"table_grown\",\"table\":\"{table}\",\"occupancy\":{occupancy},\
+                 \"old_capacity\":{old_capacity},\"new_capacity\":{new_capacity},\
+                 \"attempt\":{attempt}}}"
+            ),
+            Self::SerialFallback { after_grows } => {
+                format!("{{\"type\":\"serial_fallback\",\"after_grows\":{after_grows}}}")
+            }
         }
     }
 }
@@ -377,6 +446,23 @@ impl FaultLog {
     pub fn iter(&self) -> impl Iterator<Item = &FaultEvent> {
         self.events.iter()
     }
+
+    /// The whole log as a `fault_log_v1` JSON document: ring parameters,
+    /// eviction counters, and every retained event oldest-first. This is
+    /// what `nullgraph --fault-log <file>` writes and what the `--metrics`
+    /// snapshot embeds, so recovery activity survives the process.
+    pub fn to_json(&self) -> String {
+        let events: Vec<String> = self.iter().map(FaultEvent::to_json).collect();
+        format!(
+            "{{\"schema\":\"fault_log_v1\",\"capacity\":{},\"retained\":{},\
+             \"dropped_events\":{},\"total_recorded\":{},\"events\":[{}]}}",
+            self.capacity(),
+            self.len(),
+            self.dropped_events(),
+            self.total_recorded(),
+            events.join(",")
+        )
+    }
 }
 
 impl<'a> IntoIterator for &'a FaultLog {
@@ -428,6 +514,16 @@ mod tests {
             },
             GenError::bad_input("x"),
             GenError::corrupt_checkpoint("run.ckpt", 20, "checksum mismatch"),
+            GenError::Overloaded {
+                reason: "queue_full".into(),
+                queue_depth: 64,
+                capacity: 64,
+                retry_after_ms: 500,
+            },
+            GenError::JobCancelled {
+                job_id: "j00000001".into(),
+                samples_done: 3,
+            },
         ];
         let mut exits: Vec<i32> = errs.iter().map(GenError::exit_code).collect();
         let mut names: Vec<&str> = errs.iter().map(GenError::error_code).collect();
@@ -520,6 +616,46 @@ mod tests {
         assert_eq!(log.len(), 0);
         assert_eq!(log.dropped_events(), 1);
         assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn overloaded_and_cancelled_carry_service_diagnostics() {
+        let e = GenError::Overloaded {
+            reason: "draining".into(),
+            queue_depth: 5,
+            capacity: 8,
+            retry_after_ms: 250,
+        };
+        assert_eq!(e.exit_code(), 11);
+        let s = e.to_string();
+        assert!(
+            s.contains("draining") && s.contains("5/8") && s.contains("250ms"),
+            "{s}"
+        );
+        let e = GenError::JobCancelled {
+            job_id: "j42".into(),
+            samples_done: 2,
+        };
+        assert_eq!(e.exit_code(), 12);
+        assert!(e.to_string().contains("j42"), "{e}");
+    }
+
+    #[test]
+    fn fault_log_json_round_trips_structure() {
+        let mut log = FaultLog::with_capacity(2);
+        log.push(grown(1));
+        log.push(FaultEvent::SerialFallback { after_grows: 4 });
+        log.push(grown(2)); // evicts grown(1)
+        let json = log.to_json();
+        assert!(json.contains("\"schema\":\"fault_log_v1\""), "{json}");
+        assert!(json.contains("\"dropped_events\":1"), "{json}");
+        assert!(json.contains("\"total_recorded\":3"), "{json}");
+        assert!(json.contains("\"type\":\"serial_fallback\""), "{json}");
+        assert!(
+            json.contains("\"attempt\":2") && !json.contains("\"attempt\":1"),
+            "{json}"
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -9,7 +9,19 @@
 use crate::{try_generate_from_edge_list_with_workspace, GenError, GeneratorConfig};
 use graphcore::{DegreeDistribution, EdgeList};
 use parutil::rng::mix64;
-use swap::SwapWorkspace;
+use swap::{MixControl, MixingBudget, RecoveryPolicy, StopRule, SwapWorkspace};
+
+/// The derived seed of edge-list ensemble member `k`.
+///
+/// Every consumer that generates ensemble members independently — this
+/// module's in-process loops, the serve crate generating one member per
+/// worker segment, a resumed job regenerating member `k` after a restart —
+/// must agree on this derivation, or "sample `k` of job `j`" stops naming a
+/// unique graph. Exposed so that agreement is a function call rather than a
+/// copied constant.
+pub fn ensemble_member_seed(base: u64, k: usize) -> u64 {
+    mix64(base ^ (k as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+}
 
 /// Generate `count` independent uniform samples from a degree distribution
 /// (each sample uses a distinct derived seed). One swap workspace serves
@@ -77,10 +89,61 @@ pub fn try_ensemble_from_edge_list(
         .map(|k| {
             let mut g = observed.clone();
             let sub = GeneratorConfig {
-                seed: mix64(cfg.seed ^ (k as u64).wrapping_mul(0xA076_1D64_78BD_642F)),
+                seed: ensemble_member_seed(cfg.seed, k),
                 ..cfg.clone()
             };
             try_generate_from_edge_list_with_workspace(&mut g, &sub, &mut ws)?;
+            Ok(g)
+        })
+        .collect()
+}
+
+/// Generate `count` independent fixed-sweep mixes of an observed edge list:
+/// member `k` is the observed graph mixed for exactly `sweeps` sweeps under
+/// seed [`ensemble_member_seed`]`(seed, k)`.
+///
+/// This is the *mix ensemble* — the serve crate's job contract. Unlike
+/// [`try_ensemble_from_edge_list`] it runs the bare resumable mixing kernel
+/// (no generator pipeline around it), so a member interrupted mid-mix,
+/// checkpointed, and resumed on another process is byte-identical to this
+/// uninterrupted reference (the property `crates/serve` restarts rely on).
+pub fn try_mix_ensemble_from_edge_list(
+    observed: &EdgeList,
+    sweeps: usize,
+    seed: u64,
+    count: usize,
+) -> Result<Vec<EdgeList>, GenError> {
+    try_mix_ensemble_from_edge_list_with_workspace(
+        observed,
+        sweeps,
+        seed,
+        count,
+        &mut SwapWorkspace::new(),
+    )
+}
+
+/// [`try_mix_ensemble_from_edge_list`] over a caller-provided workspace, so
+/// ensembles (or a server's successive job segments) share grown buffers.
+pub fn try_mix_ensemble_from_edge_list_with_workspace(
+    observed: &EdgeList,
+    sweeps: usize,
+    seed: u64,
+    count: usize,
+    ws: &mut SwapWorkspace,
+) -> Result<Vec<EdgeList>, GenError> {
+    let budget = MixingBudget::sweeps(sweeps);
+    (0..count)
+        .map(|k| {
+            let mut g = observed.clone();
+            swap::try_mix_resumable(
+                &mut g,
+                StopRule::FixedSweeps,
+                &budget,
+                ensemble_member_seed(seed, k),
+                &mut MixControl::none(),
+                ws,
+                &RecoveryPolicy::default(),
+            )?;
             Ok(g)
         })
         .collect()
@@ -192,6 +255,25 @@ mod tests {
             assert!(g.is_simple());
         }
         assert_ne!(nulls[0], nulls[1]);
+    }
+
+    #[test]
+    fn mix_ensemble_members_are_independent_and_degree_preserving() {
+        let d = dist(&[(2, 40), (3, 20)]);
+        let observed = generators::havel_hakimi(&d).unwrap();
+        let nulls = try_mix_ensemble_from_edge_list(&observed, 5, 77, 3).unwrap();
+        assert_eq!(nulls.len(), 3);
+        for g in &nulls {
+            assert_eq!(g.degree_distribution(), d);
+            assert!(g.is_simple());
+        }
+        assert_ne!(nulls[0], nulls[1]);
+        // Member k is a pure function of (observed, sweeps, seed, k): a
+        // shared-workspace run reproduces each member exactly.
+        let mut ws = SwapWorkspace::new();
+        let again =
+            try_mix_ensemble_from_edge_list_with_workspace(&observed, 5, 77, 3, &mut ws).unwrap();
+        assert_eq!(nulls, again);
     }
 
     #[test]

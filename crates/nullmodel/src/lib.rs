@@ -41,8 +41,10 @@ pub mod phases;
 pub mod validate;
 
 pub use ensemble::{
-    ensemble_from_distribution, ensemble_from_edge_list, significance_against_null,
-    try_ensemble_from_distribution, try_ensemble_from_edge_list, SignificanceReport,
+    ensemble_from_distribution, ensemble_from_edge_list, ensemble_member_seed,
+    significance_against_null, try_ensemble_from_distribution, try_ensemble_from_edge_list,
+    try_mix_ensemble_from_edge_list, try_mix_ensemble_from_edge_list_with_workspace,
+    SignificanceReport,
 };
 pub use fault::GenError;
 pub use hierarchical::{generate_layered, generate_lfr, Layer, LfrConfig, LfrGraph};

@@ -1,0 +1,99 @@
+//! A minimal blocking HTTP client for the server's own tests and the
+//! bench load harness — one request per connection, mirroring the
+//! server's `Connection: close` discipline.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A completed exchange: status code and body bytes.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body (close-delimited or length-delimited; we read to EOF either
+    /// way, which `Connection: close` makes equivalent).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Perform one request. `timeout` bounds connect and each read/write.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path_and_query: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let head = format!(
+        "{method} {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<Response> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("no response head"))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| std::io::Error::other("non-utf8 response head"))?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other("bad status line"))?;
+    Ok(Response {
+        status,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}
+
+/// `GET` helper.
+pub fn get(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Result<Response> {
+    request(addr, "GET", path, &[], timeout)
+}
+
+/// `POST` helper.
+pub fn post(
+    addr: SocketAddr,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<Response> {
+    request(addr, "POST", path, body, timeout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_and_body() {
+        let r = parse_response(b"HTTP/1.1 202 Accepted\r\nContent-Length: 2\r\n\r\nok").unwrap();
+        assert_eq!(r.status, 202);
+        assert_eq!(r.text(), "ok");
+    }
+
+    #[test]
+    fn rejects_headless_bytes() {
+        assert!(parse_response(b"not http at all").is_err());
+    }
+}

@@ -1,0 +1,281 @@
+//! Bounded HTTP/1.1 request parsing and response writing over `std::net`.
+//!
+//! The server speaks just enough HTTP for its own endpoints and clients:
+//! one request per connection (`Connection: close` on every response, so
+//! close-delimited bodies work for the streaming endpoint), a hard cap on
+//! header and body sizes (a robustness server must not let one connection
+//! balloon its memory), and read timeouts so a stalled client cannot pin a
+//! handler thread forever.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Maximum accepted size of the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum accepted request body (edge lists are the only large bodies;
+/// 64 MiB holds an m=1e6 graph with room to spare).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// How long a handler waits for a slow client before giving up on the
+/// connection.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A parsed request: method, path, query parameters, body.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path with the query string stripped, e.g. `/jobs/j00000001`.
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Raw request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query parameter named `key`.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Socket error or timeout mid-request.
+    Io(std::io::Error),
+    /// Malformed request line or headers.
+    Malformed(&'static str),
+    /// Head or body exceeded its cap.
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o: {e}"),
+            Self::Malformed(what) => write!(f, "malformed request: {what}"),
+            Self::TooLarge(what) => write!(f, "request too large: {what}"),
+        }
+    }
+}
+
+/// Read and parse one request from the stream, enforcing the caps and the
+/// read timeout.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ParseError::TooLarge("head"));
+        }
+        let n = stream.read(&mut chunk).map_err(ParseError::Io)?;
+        if n == 0 {
+            return Err(ParseError::Malformed("eof before end of head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ParseError::Malformed("non-utf8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(ParseError::Malformed("empty head"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(ParseError::Malformed("missing method"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing target"))?;
+    if parts.next().is_none() {
+        return Err(ParseError::Malformed("missing http version"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ParseError::Malformed("header without ':'"))?;
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::Malformed("bad content-length"))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge("body"));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(ParseError::Io)?;
+        if n == 0 {
+            return Err(ParseError::Malformed("eof before end of body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    let (path, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_raw
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+
+    Ok(Request {
+        method,
+        path: path.to_string(),
+        query,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reason phrases for the statuses the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete response with a known body, `Connection: close`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Write response headers only, for a close-delimited streaming body (no
+/// `Content-Length`; the connection close ends the body).
+pub fn write_stream_head(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+) -> std::io::Result<()> {
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &[u8]) -> Result<Request, ParseError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn);
+        writer.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_request_with_query_and_body() {
+        let req = round_trip(
+            b"POST /jobs?samples=3&seed=42&flag HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\n0 1\n\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.query_param("samples"), Some("3"));
+        assert_eq!(req.query_param("seed"), Some("42"));
+        assert_eq!(req.query_param("flag"), Some(""));
+        assert_eq!(req.body, b"0 1\n\n");
+    }
+
+    #[test]
+    fn parses_bodyless_get() {
+        let req = round_trip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        assert!(matches!(
+            round_trip(b"BROKEN\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_declared_body() {
+        let raw = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            round_trip(raw.as_bytes()),
+            Err(ParseError::TooLarge("body"))
+        ));
+    }
+}

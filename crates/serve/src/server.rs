@@ -1,0 +1,905 @@
+//! The ensemble server: acceptor, handler pool, worker pool, and the
+//! admission/drain/resume control plane. See `DESIGN.md` §13 for the state
+//! machine; the short version:
+//!
+//! * **admission** — `POST /jobs` either persists the job (spec + input,
+//!   durably, *before* the 202 leaves the socket — an accepted job is
+//!   never lost) and enqueues it, or sheds it with a typed `overloaded`
+//!   error. The queue is strictly bounded; there is no unbounded backlog
+//!   anywhere in the server (connection queue and admission queue both
+//!   shed when full).
+//! * **execution** — workers pop jobs and mix their members in order,
+//!   each member under its derived seed, checkpointing on a cadence so a
+//!   kill -9 loses at most one checkpoint interval of sweeps.
+//! * **drain** — SIGTERM / `POST /admin/drain` stops admission (typed
+//!   `overloaded`, reason `draining`), raises every live job's stop flag,
+//!   and lets workers checkpoint in-flight members. Drained jobs keep no
+//!   `status.json`, which is exactly what marks them owed.
+//! * **resume** — on boot the recovery scan re-admits every owed job;
+//!   members completed before the crash are never redone, and the
+//!   in-flight member continues from its checkpoint. Because the sweep
+//!   index is the RNG position, the final ensemble is byte-identical to an
+//!   uninterrupted run.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use fault::GenError;
+use graphcore::{io as gio, EdgeList};
+use obs::ServeMetrics;
+use swap::{
+    CheckpointPolicy, MixControl, MixOutcome, MixState, MixingBudget, RecoveryPolicy, StopRule,
+    WorkspacePool,
+};
+
+use crate::http::{self, Request};
+use crate::job::{
+    ckpt_path, sample_path, scan_job_dir, status_doc, write_atomic, Job, JobSpec, Phase, Recovered,
+    StopReason,
+};
+use crate::json::{num, str as jstr, Value};
+
+/// Server configuration. `addr` may use port 0 to bind an ephemeral port
+/// (tests do); read it back with [`Server::local_addr`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Root of the durable job state (`<state>/jobs/<id>/…`).
+    pub state_dir: PathBuf,
+    /// Bound of the admission queue; submissions past it are shed.
+    pub queue_capacity: usize,
+    /// Mixing worker threads.
+    pub workers: usize,
+    /// HTTP handler threads.
+    pub http_threads: usize,
+    /// Idle [`SwapWorkspace`](swap::SwapWorkspace)s retained for reuse
+    /// across jobs.
+    pub pool_capacity: usize,
+    /// Default checkpoint cadence for jobs that do not set `ckpt_sweeps`.
+    pub checkpoint_wall: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            state_dir: PathBuf::from("nullgraph-serve-state"),
+            queue_capacity: 64,
+            workers: cores,
+            http_threads: 2,
+            pool_capacity: cores,
+            checkpoint_wall: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Bound of the raw connection queue between acceptor and handlers.
+const CONN_QUEUE_CAP: usize = 128;
+
+/// Shared server state.
+struct Inner {
+    config: ServeConfig,
+    metrics: Arc<ServeMetrics>,
+    /// Every job this process knows: live, terminal, and drained.
+    jobs: Mutex<HashMap<String, Arc<Job>>>,
+    /// Bounded admission queue.
+    queue: Mutex<std::collections::VecDeque<Arc<Job>>>,
+    queue_cv: Condvar,
+    /// Accepted connections awaiting a handler.
+    conns: Mutex<std::collections::VecDeque<TcpStream>>,
+    conns_cv: Condvar,
+    next_id: AtomicU64,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    pool: Arc<WorkspacePool>,
+}
+
+impl Inner {
+    fn lock<'a, T>(&self, m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn jobs_dir(&self) -> PathBuf {
+        self.config.state_dir.join("jobs")
+    }
+
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+        for job in self.lock(&self.jobs).values() {
+            if !job.phase().is_terminal() {
+                job.request_stop(StopReason::Drain);
+            }
+        }
+        self.queue_cv.notify_all();
+        self.conns_cv.notify_all();
+    }
+}
+
+/// A running ensemble server. Drop order: [`Server::request_drain`] (or a
+/// drain via HTTP/SIGTERM), then [`Server::join`].
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    handlers: Vec<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Boot: run the recovery scan, bind, spawn the pools.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let metrics = Arc::new(ServeMetrics::new());
+        let pool = WorkspacePool::new(config.pool_capacity.max(1));
+        let inner = Arc::new(Inner {
+            metrics,
+            jobs: Mutex::new(HashMap::new()),
+            queue: Mutex::new(std::collections::VecDeque::new()),
+            queue_cv: Condvar::new(),
+            conns: Mutex::new(std::collections::VecDeque::new()),
+            conns_cv: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            pool,
+            config,
+        });
+
+        std::fs::create_dir_all(inner.jobs_dir())?;
+        recover_jobs(&inner);
+
+        let listener = TcpListener::bind(&inner.config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let workers = (0..inner.config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let handlers = (0..inner.config.http_threads.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-http-{i}"))
+                    .spawn(move || handler_loop(&inner))
+                    .expect("spawn handler")
+            })
+            .collect();
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(&inner, listener))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            inner,
+            addr,
+            acceptor: Some(acceptor),
+            handlers,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metric registry.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.inner.metrics
+    }
+
+    /// Begin a graceful drain: stop admitting, raise every live job's
+    /// stop flag. Non-blocking and idempotent; follow with [`Server::join`].
+    pub fn request_drain(&self) {
+        self.inner.begin_drain();
+    }
+
+    /// Whether a drain has been requested (by API, HTTP, or signal).
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::Acquire)
+    }
+
+    /// Wait for workers to finish or checkpoint everything in flight, then
+    /// stop the acceptor and handler threads. Blocks until a drain has
+    /// been requested (it is the drain that makes workers exit).
+    pub fn join(mut self) {
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.conns_cv.notify_all();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for h in self.handlers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Re-admit owed jobs and register terminal ones from the state dir.
+fn recover_jobs(inner: &Arc<Inner>) {
+    let mut max_id = 0u64;
+    let entries = match std::fs::read_dir(inner.jobs_dir()) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    // Deterministic re-admission order (directory order is arbitrary).
+    let mut dirs: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        match scan_job_dir(&dir) {
+            Ok(Recovered::Terminal { spec, phase, done }) => {
+                max_id = max_id.max(id_number(&spec.id));
+                let job = Arc::new(Job::new(spec.clone(), dir, done));
+                job.set_phase(phase);
+                inner.lock(&inner.jobs).insert(spec.id, job);
+            }
+            Ok(Recovered::Owed { spec, done, .. }) => {
+                max_id = max_id.max(id_number(&spec.id));
+                let job = Arc::new(Job::new(spec.clone(), dir, done));
+                inner.lock(&inner.jobs).insert(spec.id.clone(), job.clone());
+                inner.lock(&inner.queue).push_back(job);
+                inner.metrics.jobs_resumed.incr();
+            }
+            Err(_) => {
+                // Not a valid job dir (foreign file, corrupt spec): leave
+                // it alone rather than guess.
+            }
+        }
+    }
+    inner.next_id.store(max_id + 1, Ordering::Release);
+    inner
+        .metrics
+        .queue_depth
+        .set(inner.lock(&inner.queue).len() as f64);
+}
+
+fn id_number(id: &str) -> u64 {
+    u64::from_str_radix(id.trim_start_matches('j'), 16).unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------
+// Worker side: job execution.
+// ---------------------------------------------------------------------
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let job = {
+            let mut queue = inner.lock(&inner.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    inner.metrics.queue_depth.set(queue.len() as f64);
+                    break job;
+                }
+                if inner.draining.load(Ordering::Acquire) || inner.shutdown.load(Ordering::Acquire)
+                {
+                    return;
+                }
+                queue = inner
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        run_job(inner, &job);
+    }
+}
+
+/// How one member's mixing segment ended.
+enum MemberEnd {
+    Done,
+    Stopped,
+    Failed(GenError),
+}
+
+fn run_job(inner: &Arc<Inner>, job: &Arc<Job>) {
+    // A stop raised while the job was still queued.
+    if job.stop.load(Ordering::Acquire) {
+        finish_stopped(inner, job);
+        return;
+    }
+    job.set_phase(Phase::Running);
+
+    let input = match gio::load_edge_list(job.dir.join("input.txt")) {
+        Ok(g) => g,
+        Err(e) => {
+            finish_failed(inner, job, "io", &format!("unreadable input.txt: {e}"));
+            return;
+        }
+    };
+
+    let mut ws = inner.pool.acquire();
+    let spec = &job.spec;
+    let budget = MixingBudget {
+        max_sweeps: spec.sweeps,
+        max_wall: spec.budget_ms.map(Duration::from_millis),
+    };
+    let policy = RecoveryPolicy {
+        max_grows: spec.max_grows,
+        serial_fallback: spec.serial_fallback,
+        ..RecoveryPolicy::default()
+    };
+    let cadence = spec
+        .ckpt_sweeps
+        .map_or(CheckpointPolicy::wall(inner.config.checkpoint_wall), |n| {
+            CheckpointPolicy::sweeps(n)
+        });
+
+    let mut k = job.samples_done.load(Ordering::Acquire);
+    while k < spec.samples {
+        // A stop raised between members needs no checkpoint: member k has
+        // not started, so the completed prefix already is the state.
+        if job.stop.load(Ordering::Acquire) {
+            finish_stopped(inner, job);
+            return;
+        }
+        let end = run_member(job, &input, k, &budget, &policy, cadence, &mut ws);
+        match end {
+            MemberEnd::Done => {
+                job.member_done();
+                inner.metrics.samples_written.incr();
+                k += 1;
+            }
+            MemberEnd::Stopped => {
+                finish_stopped(inner, job);
+                return;
+            }
+            MemberEnd::Failed(e) => {
+                finish_failed(inner, job, e.error_code(), &e.to_string());
+                return;
+            }
+        }
+    }
+
+    let done = job.samples_done.load(Ordering::Acquire);
+    let status = status_doc(&spec.id, &Phase::Completed, done, spec.samples);
+    if let Err(e) = write_atomic(&job.dir.join("status.json"), status.as_bytes()) {
+        finish_failed(inner, job, "io", &format!("cannot persist status: {e}"));
+        return;
+    }
+    job.set_phase(Phase::Completed);
+    inner.metrics.jobs_completed.incr();
+}
+
+/// Mix member `k`: fresh from the input, or resumed from its checkpoint.
+#[allow(clippy::too_many_arguments)]
+fn run_member(
+    job: &Arc<Job>,
+    input: &EdgeList,
+    k: usize,
+    budget: &MixingBudget,
+    policy: &RecoveryPolicy,
+    cadence: CheckpointPolicy,
+    ws: &mut swap::SwapWorkspace,
+) -> MemberEnd {
+    let ckpt_file = ckpt_path(&job.dir, k);
+    let mut sink = |state: &MixState| -> Result<(), GenError> {
+        ckpt::write_atomic(&ckpt_file, &ckpt::Snapshot::without_counters(state.clone())).map_err(
+            |e| GenError::BadInput {
+                line: None,
+                text: String::new(),
+                reason: format!("checkpoint write failed: {e}"),
+            },
+        )?;
+        Ok(())
+    };
+    let mut ctl = MixControl {
+        interrupt: Some(&job.stop),
+        policy: Some(cadence),
+        sink: Some(&mut sink),
+    };
+
+    let (graph, report) = if ckpt_file.exists() {
+        let snap = match ckpt::load(&ckpt_file) {
+            Ok(s) => s,
+            Err(e) => {
+                return MemberEnd::Failed(GenError::CorruptCheckpoint {
+                    path: ckpt_file.display().to_string(),
+                    offset: 0,
+                    reason: format!("{e}"),
+                })
+            }
+        };
+        match swap::resume_from(&snap.state, budget, &mut ctl, ws, policy) {
+            Ok((g, r)) => (g, r),
+            Err(e) => return MemberEnd::Failed(e),
+        }
+    } else {
+        let mut g = input.clone();
+        let seed = nullmodel::ensemble_member_seed(job.spec.seed, k);
+        match swap::try_mix_resumable(
+            &mut g,
+            StopRule::FixedSweeps,
+            budget,
+            seed,
+            &mut ctl,
+            ws,
+            policy,
+        ) {
+            Ok(r) => (g, r),
+            Err(e) => return MemberEnd::Failed(e),
+        }
+    };
+
+    match report.outcome {
+        MixOutcome::Completed => {
+            let mut bytes = Vec::new();
+            if let Err(e) = gio::write_edge_list(&graph, &mut bytes) {
+                return MemberEnd::Failed(GenError::BadInput {
+                    line: None,
+                    text: String::new(),
+                    reason: format!("cannot render sample: {e}"),
+                });
+            }
+            if let Err(e) = write_atomic(&sample_path(&job.dir, k), &bytes) {
+                return MemberEnd::Failed(GenError::BadInput {
+                    line: None,
+                    text: String::new(),
+                    reason: format!("cannot persist sample: {e}"),
+                });
+            }
+            let _ = std::fs::remove_file(&ckpt_file);
+            MemberEnd::Done
+        }
+        MixOutcome::Interrupted => {
+            // Persist the final state so the drain (or a later resume of a
+            // cancelled job's debris) starts exactly where we stopped.
+            if let Some(state) = &report.checkpoint {
+                if let Err(e) =
+                    ckpt::write_atomic(&ckpt_file, &ckpt::Snapshot::without_counters(state.clone()))
+                {
+                    return MemberEnd::Failed(GenError::BadInput {
+                        line: None,
+                        text: String::new(),
+                        reason: format!("checkpoint write failed: {e}"),
+                    });
+                }
+            }
+            MemberEnd::Stopped
+        }
+        MixOutcome::BudgetExhausted => MemberEnd::Failed(report.budget_error(budget)),
+    }
+}
+
+fn finish_stopped(inner: &Arc<Inner>, job: &Arc<Job>) {
+    match job.stop_reason() {
+        Some(StopReason::Cancel) => {
+            let done = job.samples_done.load(Ordering::Acquire);
+            let status = status_doc(&job.spec.id, &Phase::Cancelled, done, job.spec.samples);
+            let _ = write_atomic(&job.dir.join("status.json"), status.as_bytes());
+            job.set_phase(Phase::Cancelled);
+            inner.metrics.jobs_cancelled.incr();
+        }
+        // Drain (or a spurious stop with no reason): keep the job owed on
+        // disk — no status.json is what re-admits it after restart.
+        _ => {
+            job.set_phase(Phase::Drained);
+            inner.metrics.jobs_drained.incr();
+        }
+    }
+}
+
+fn finish_failed(inner: &Arc<Inner>, job: &Arc<Job>, code: &str, message: &str) {
+    let done = job.samples_done.load(Ordering::Acquire);
+    let phase = Phase::Failed(code.to_string(), message.to_string());
+    let status = status_doc(&job.spec.id, &phase, done, job.spec.samples);
+    let _ = write_atomic(&job.dir.join("status.json"), status.as_bytes());
+    job.set_phase(phase);
+    inner.metrics.jobs_failed.incr();
+}
+
+// ---------------------------------------------------------------------
+// HTTP side: acceptor, handlers, routing.
+// ---------------------------------------------------------------------
+
+fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
+    while !inner.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let mut conns = inner.lock(&inner.conns);
+                if conns.len() >= CONN_QUEUE_CAP {
+                    drop(conns);
+                    // Shed at the door: a bounded queue, not a backlog.
+                    let mut stream = stream;
+                    inner.metrics.http_5xx.incr();
+                    let body = overloaded_body("connection_queue_full", CONN_QUEUE_CAP, 500);
+                    let _ = http::write_response(
+                        &mut stream,
+                        503,
+                        "application/json",
+                        &[("Retry-After", "1".into())],
+                        body.as_bytes(),
+                    );
+                } else {
+                    conns.push_back(stream);
+                    drop(conns);
+                    inner.conns_cv.notify_one();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handler_loop(inner: &Arc<Inner>) {
+    loop {
+        let stream = {
+            let mut conns = inner.lock(&inner.conns);
+            loop {
+                if let Some(s) = conns.pop_front() {
+                    break s;
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                conns = inner
+                    .conns_cv
+                    .wait(conns)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        handle_conn(inner, stream);
+    }
+}
+
+fn handle_conn(inner: &Arc<Inner>, mut stream: TcpStream) {
+    let t0 = Instant::now();
+    let req = match http::read_request(&mut stream) {
+        Ok(r) => r,
+        Err(_) => {
+            inner.metrics.http_parse_failures.incr();
+            let _ = http::write_response(
+                &mut stream,
+                400,
+                "application/json",
+                &[],
+                error_body("bad_request", "malformed HTTP request").as_bytes(),
+            );
+            return;
+        }
+    };
+    inner.metrics.http_requests.incr();
+    let status = route(inner, &req, &mut stream);
+    match status {
+        200..=299 => inner.metrics.http_2xx.incr(),
+        400..=499 => inner.metrics.http_4xx.incr(),
+        _ => inner.metrics.http_5xx.incr(),
+    }
+    inner
+        .metrics
+        .request_latency_us
+        .record(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+}
+
+/// JSON error body with a stable `error_code`.
+fn error_body(code: &str, message: &str) -> String {
+    Value::Obj(vec![
+        ("schema".to_string(), jstr("error_v1")),
+        ("error_code".to_string(), jstr(code)),
+        ("error".to_string(), jstr(message)),
+    ])
+    .to_json()
+}
+
+/// The typed `overloaded` body, matching `GenError::Overloaded`'s fields.
+fn overloaded_body(reason: &str, capacity: usize, retry_after_ms: u64) -> String {
+    let e = GenError::Overloaded {
+        reason: reason.to_string(),
+        queue_depth: capacity,
+        capacity,
+        retry_after_ms,
+    };
+    Value::Obj(vec![
+        ("schema".to_string(), jstr("error_v1")),
+        ("error_code".to_string(), jstr(e.error_code())),
+        ("error".to_string(), jstr(e.to_string())),
+        ("reason".to_string(), jstr(reason)),
+        ("retry_after_ms".to_string(), num(retry_after_ms)),
+    ])
+    .to_json()
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    headers: &[(&str, String)],
+    body: &[u8],
+) -> u16 {
+    let _ = http::write_response(stream, status, content_type, headers, body);
+    status
+}
+
+fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> u16 {
+    respond(stream, status, "application/json", &[], body.as_bytes())
+}
+
+fn route(inner: &Arc<Inner>, req: &Request, stream: &mut TcpStream) -> u16 {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => {
+            inner.metrics.ep_submit.incr();
+            submit(inner, req, stream)
+        }
+        ("GET", ["jobs", id]) => {
+            inner.metrics.ep_status.incr();
+            match lookup(inner, id) {
+                Some(job) => respond_json(stream, 200, &job.status_json()),
+                None => respond_json(stream, 404, &error_body("not_found", "no such job")),
+            }
+        }
+        ("GET", ["jobs", id, "samples", k]) => {
+            inner.metrics.ep_sample.incr();
+            sample(inner, id, k, stream)
+        }
+        ("GET", ["jobs", id, "stream"]) => {
+            inner.metrics.ep_stream.incr();
+            stream_samples(inner, id, stream)
+        }
+        ("POST", ["jobs", id, "cancel"]) => {
+            inner.metrics.ep_cancel.incr();
+            cancel(inner, id, stream)
+        }
+        ("GET", ["healthz"]) => {
+            inner.metrics.ep_healthz.incr();
+            let body = Value::Obj(vec![
+                ("ok".to_string(), Value::Bool(true)),
+                (
+                    "draining".to_string(),
+                    Value::Bool(inner.draining.load(Ordering::Acquire)),
+                ),
+            ])
+            .to_json();
+            respond_json(stream, 200, &body)
+        }
+        ("GET", ["metrics"]) => {
+            inner.metrics.ep_metrics.incr();
+            let body = inner.metrics.snapshot().to_json();
+            respond_json(stream, 200, &body)
+        }
+        ("POST", ["admin", "drain"]) => {
+            inner.metrics.ep_drain.incr();
+            inner.begin_drain();
+            respond_json(
+                stream,
+                200,
+                &Value::Obj(vec![("draining".to_string(), Value::Bool(true))]).to_json(),
+            )
+        }
+        _ => {
+            inner.metrics.ep_unknown.incr();
+            respond_json(stream, 404, &error_body("not_found", "no such endpoint"))
+        }
+    }
+}
+
+fn lookup(inner: &Arc<Inner>, id: &str) -> Option<Arc<Job>> {
+    inner.lock(&inner.jobs).get(id).cloned()
+}
+
+fn submit(inner: &Arc<Inner>, req: &Request, stream: &mut TcpStream) -> u16 {
+    if inner.draining.load(Ordering::Acquire) {
+        inner.metrics.jobs_shed.incr();
+        let body = overloaded_body("draining", inner.config.queue_capacity, 1_000);
+        return respond(
+            stream,
+            503,
+            "application/json",
+            &[("Retry-After", "1".into())],
+            body.as_bytes(),
+        );
+    }
+
+    let parse_u64 = |key: &str, default: u64| -> Result<u64, String> {
+        match req.query_param(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| format!("invalid {key}: {raw:?}")),
+        }
+    };
+    let samples = match parse_u64("samples", 10) {
+        Ok(v) if (1..=100_000).contains(&v) => v as usize,
+        Ok(v) => {
+            let msg = format!("samples must be in 1..=100000, got {v}");
+            return respond_json(stream, 400, &error_body("bad_input", &msg));
+        }
+        Err(msg) => return respond_json(stream, 400, &error_body("bad_input", &msg)),
+    };
+    let (sweeps, seed, max_grows) = match (
+        parse_u64("sweeps", 10),
+        parse_u64("seed", 0),
+        parse_u64("max_grows", 4),
+    ) {
+        (Ok(sw), Ok(se), Ok(mg)) => (sw as usize, se, mg as u32),
+        (Err(m), ..) | (_, Err(m), _) | (.., Err(m)) => {
+            return respond_json(stream, 400, &error_body("bad_input", &m))
+        }
+    };
+    let budget_ms = match req.query_param("budget_ms") {
+        None => None,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(v) => Some(v),
+            Err(_) => {
+                let msg = format!("invalid budget_ms: {raw:?}");
+                return respond_json(stream, 400, &error_body("bad_input", &msg));
+            }
+        },
+    };
+    let ckpt_sweeps = match req.query_param("ckpt_sweeps") {
+        None => None,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(v) => Some(v),
+            Err(_) => {
+                let msg = format!("invalid ckpt_sweeps: {raw:?}");
+                return respond_json(stream, 400, &error_body("bad_input", &msg));
+            }
+        },
+    };
+    let serial_fallback = req.query_param("serial_fallback") != Some("false");
+
+    let input = match gio::read_edge_list(&req.body[..]) {
+        Ok(g) => g,
+        Err(e) => {
+            let msg = format!("invalid edge list: {e}");
+            return respond_json(stream, 400, &error_body("bad_input", &msg));
+        }
+    };
+
+    // Admission. Persistence happens under the queue lock so the bound and
+    // the durable 202 promise stay consistent; submissions are rare and
+    // small relative to mixing work.
+    let mut queue = inner.lock(&inner.queue);
+    if queue.len() >= inner.config.queue_capacity {
+        drop(queue);
+        inner.metrics.jobs_shed.incr();
+        // Retry once roughly one queued job's worth of work has drained.
+        let body = overloaded_body("queue_full", inner.config.queue_capacity, 500);
+        return respond(
+            stream,
+            503,
+            "application/json",
+            &[("Retry-After", "1".into())],
+            body.as_bytes(),
+        );
+    }
+
+    let id = format!("j{:08x}", inner.next_id.fetch_add(1, Ordering::AcqRel));
+    let spec = JobSpec {
+        id: id.clone(),
+        samples,
+        sweeps,
+        seed,
+        budget_ms,
+        max_grows,
+        serial_fallback,
+        ckpt_sweeps,
+    };
+    let dir = inner.jobs_dir().join(&id);
+    let persist = (|| -> std::io::Result<()> {
+        std::fs::create_dir_all(&dir)?;
+        let mut input_bytes = Vec::new();
+        gio::write_edge_list(&input, &mut input_bytes)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        write_atomic(&dir.join("input.txt"), &input_bytes)?;
+        write_atomic(&dir.join("spec.json"), spec.to_json().as_bytes())
+    })();
+    if let Err(e) = persist {
+        drop(queue);
+        let _ = std::fs::remove_dir_all(&dir);
+        let msg = format!("cannot persist job: {e}");
+        return respond_json(stream, 500, &error_body("io", &msg));
+    }
+
+    let job = Arc::new(Job::new(spec, dir, 0));
+    inner.lock(&inner.jobs).insert(id.clone(), job.clone());
+    queue.push_back(job);
+    inner.metrics.queue_depth.set(queue.len() as f64);
+    drop(queue);
+    inner.queue_cv.notify_one();
+    inner.metrics.jobs_accepted.incr();
+
+    let body = Value::Obj(vec![
+        ("schema".to_string(), jstr("job_accepted_v1")),
+        ("id".to_string(), jstr(id.clone())),
+        ("status_url".to_string(), jstr(format!("/jobs/{id}"))),
+    ])
+    .to_json();
+    respond_json(stream, 202, &body)
+}
+
+fn sample(inner: &Arc<Inner>, id: &str, k: &str, stream: &mut TcpStream) -> u16 {
+    let Some(job) = lookup(inner, id) else {
+        return respond_json(stream, 404, &error_body("not_found", "no such job"));
+    };
+    let Ok(k) = k.parse::<usize>() else {
+        return respond_json(
+            stream,
+            400,
+            &error_body("bad_input", "invalid sample index"),
+        );
+    };
+    if k >= job.spec.samples {
+        return respond_json(stream, 404, &error_body("not_found", "sample out of range"));
+    }
+    match std::fs::read(sample_path(&job.dir, k)) {
+        Ok(bytes) => respond(stream, 200, "text/plain", &[], &bytes),
+        Err(_) => respond_json(
+            stream,
+            404,
+            &error_body("not_ready", "sample not generated yet"),
+        ),
+    }
+}
+
+fn stream_samples(inner: &Arc<Inner>, id: &str, stream: &mut TcpStream) -> u16 {
+    use std::io::Write as _;
+    let Some(job) = lookup(inner, id) else {
+        return respond_json(stream, 404, &error_body("not_found", "no such job"));
+    };
+    if http::write_stream_head(stream, 200, "text/plain").is_err() {
+        return 200;
+    }
+    for k in 0..job.spec.samples {
+        let phase = job.wait_for_member(k);
+        if job.samples_done.load(Ordering::Acquire) <= k {
+            // Terminal (or drained) before member k existed.
+            let _ = writeln!(stream, "# end {}", phase.name());
+            let _ = stream.flush();
+            return 200;
+        }
+        let bytes = match std::fs::read(sample_path(&job.dir, k)) {
+            Ok(b) => b,
+            Err(_) => {
+                let _ = writeln!(stream, "# end io_error");
+                return 200;
+            }
+        };
+        if writeln!(stream, "# sample {k}").is_err() || stream.write_all(&bytes).is_err() {
+            return 200; // client went away
+        }
+    }
+    let _ = writeln!(stream, "# end {}", job.phase().name());
+    let _ = stream.flush();
+    200
+}
+
+fn cancel(inner: &Arc<Inner>, id: &str, stream: &mut TcpStream) -> u16 {
+    let Some(job) = lookup(inner, id) else {
+        return respond_json(stream, 404, &error_body("not_found", "no such job"));
+    };
+    let phase = job.phase();
+    if phase.is_terminal() {
+        let msg = format!("job already {}", phase.name());
+        return respond_json(stream, 409, &error_body("job_already_terminal", &msg));
+    }
+    job.request_stop(StopReason::Cancel);
+    inner.queue_cv.notify_all();
+    let body = Value::Obj(vec![
+        ("schema".to_string(), jstr("cancel_v1")),
+        ("id".to_string(), jstr(id)),
+        ("cancelling".to_string(), Value::Bool(true)),
+    ])
+    .to_json();
+    respond_json(stream, 200, &body)
+}

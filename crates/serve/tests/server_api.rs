@@ -1,0 +1,291 @@
+//! End-to-end tests of the ensemble server over real sockets: the happy
+//! path, load shedding, cancellation, and drain → restart → resume
+//! byte-identity against the in-process reference ensemble.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use graphcore::{io as gio, EdgeList};
+use serve::client;
+use serve::{ServeConfig, Server};
+
+const T: Duration = Duration::from_secs(30);
+
+fn ring(n: u32) -> EdgeList {
+    EdgeList::from_pairs((0..n).map(|i| (i, (i + 1) % n)))
+}
+
+fn tmp_state(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("nullgraph_serve_api_tests")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn test_config(state: PathBuf) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        state_dir: state,
+        queue_capacity: 8,
+        workers: 1,
+        http_threads: 2,
+        pool_capacity: 2,
+        checkpoint_wall: Duration::from_millis(200),
+    }
+}
+
+fn body_field(body: &str, key: &str) -> Option<String> {
+    serve::json::parse(body)
+        .ok()?
+        .get(key)
+        .and_then(|v| v.as_str().map(str::to_string))
+}
+
+fn submit(addr: SocketAddr, query: &str, graph: &EdgeList) -> (u16, String) {
+    let mut bytes = Vec::new();
+    gio::write_edge_list(graph, &mut bytes).unwrap();
+    let resp = client::post(addr, &format!("/jobs?{query}"), &bytes, T).unwrap();
+    (resp.status, resp.text())
+}
+
+fn wait_phase(addr: SocketAddr, id: &str, want: &str, deadline: Duration) -> String {
+    let t0 = Instant::now();
+    loop {
+        let resp = client::get(addr, &format!("/jobs/{id}"), T).unwrap();
+        let phase = body_field(&resp.text(), "phase").unwrap_or_default();
+        if phase == want {
+            return phase;
+        }
+        assert!(
+            t0.elapsed() < deadline,
+            "timed out waiting for {id} to reach {want}; last status: {}",
+            resp.text()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn reference_sample_bytes(input: &EdgeList, sweeps: usize, seed: u64, k: usize) -> Vec<u8> {
+    let ensemble = nullmodel::try_mix_ensemble_from_edge_list(input, sweeps, seed, k + 1).unwrap();
+    let mut bytes = Vec::new();
+    gio::write_edge_list(&ensemble[k], &mut bytes).unwrap();
+    bytes
+}
+
+#[test]
+fn submit_complete_fetch_matches_reference_byte_for_byte() {
+    let server = Server::start(test_config(tmp_state("happy"))).unwrap();
+    let addr = server.local_addr();
+    let input = ring(64);
+
+    let (status, body) = submit(addr, "samples=3&sweeps=5&seed=42", &input);
+    assert_eq!(status, 202, "{body}");
+    let id = body_field(&body, "id").unwrap();
+
+    wait_phase(addr, &id, "completed", Duration::from_secs(60));
+    for k in 0..3 {
+        let resp = client::get(addr, &format!("/jobs/{id}/samples/{k}"), T).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.body,
+            reference_sample_bytes(&input, 5, 42, k),
+            "sample {k} differs from the in-process reference ensemble"
+        );
+    }
+
+    // The stream endpoint replays all members of a finished job.
+    let resp = client::get(addr, &format!("/jobs/{id}/stream"), T).unwrap();
+    let text = resp.text();
+    assert!(
+        text.contains("# sample 0") && text.contains("# sample 2"),
+        "{text}"
+    );
+    assert!(text.contains("# end completed"), "{text}");
+
+    // Out-of-range and unknown lookups are typed 404s.
+    let resp = client::get(addr, &format!("/jobs/{id}/samples/99"), T).unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = client::get(addr, "/jobs/zzz", T).unwrap();
+    assert_eq!(resp.status, 404);
+    assert_eq!(
+        body_field(&resp.text(), "error_code").as_deref(),
+        Some("not_found")
+    );
+
+    server.request_drain();
+    server.join();
+}
+
+#[test]
+fn bad_submissions_are_typed_400s() {
+    let server = Server::start(test_config(tmp_state("badreq"))).unwrap();
+    let addr = server.local_addr();
+
+    let resp = client::post(addr, "/jobs?samples=3", b"this is not an edge list", T).unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(
+        body_field(&resp.text(), "error_code").as_deref(),
+        Some("bad_input")
+    );
+
+    let (status, body) = submit(addr, "samples=0", &ring(8));
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = submit(addr, "samples=abc", &ring(8));
+    assert_eq!(status, 400, "{body}");
+
+    server.request_drain();
+    server.join();
+}
+
+#[test]
+fn overload_sheds_typed_errors_while_accepted_jobs_complete() {
+    let mut config = test_config(tmp_state("overload"));
+    config.queue_capacity = 2;
+    let server = Server::start(config).unwrap();
+    let addr = server.local_addr();
+    let input = ring(512);
+
+    // Flood: far more submissions than the queue holds. The first worker
+    // is busy on the first job, so later submissions pile into the
+    // bounded queue and overflow it.
+    let mut accepted = Vec::new();
+    let mut shed = 0usize;
+    for _ in 0..12 {
+        let (status, body) = submit(addr, "samples=2&sweeps=40&seed=7", &input);
+        match status {
+            202 => accepted.push(body_field(&body, "id").unwrap()),
+            503 => {
+                assert_eq!(
+                    body_field(&body, "error_code").as_deref(),
+                    Some("overloaded"),
+                    "{body}"
+                );
+                assert!(body.contains("retry_after_ms"), "{body}");
+                shed += 1;
+            }
+            other => panic!("unexpected status {other}: {body}"),
+        }
+    }
+    assert!(
+        shed > 0,
+        "queue of 2 absorbed 12 concurrent-ish submissions"
+    );
+    assert!(!accepted.is_empty());
+
+    // Every accepted job still completes — shedding protects, it never
+    // drops admitted work.
+    for id in &accepted {
+        wait_phase(addr, id, "completed", Duration::from_secs(120));
+    }
+
+    let resp = client::get(addr, "/metrics", T).unwrap();
+    assert_eq!(resp.status, 200);
+    let metrics = resp.text();
+    assert!(
+        metrics.contains("\"schema\": \"serve_metrics_v1\""),
+        "{metrics}"
+    );
+
+    server.request_drain();
+    server.join();
+}
+
+#[test]
+fn cancel_is_cooperative_and_typed() {
+    let server = Server::start(test_config(tmp_state("cancel"))).unwrap();
+    let addr = server.local_addr();
+
+    // A job big enough to still be running when the cancel lands.
+    let (status, body) = submit(
+        addr,
+        "samples=50&sweeps=400&seed=3&ckpt_sweeps=1",
+        &ring(2048),
+    );
+    assert_eq!(status, 202, "{body}");
+    let id = body_field(&body, "id").unwrap();
+
+    let resp = client::post(addr, &format!("/jobs/{id}/cancel"), &[], T).unwrap();
+    assert_eq!(resp.status, 200);
+    wait_phase(addr, &id, "cancelled", Duration::from_secs(60));
+
+    // Cancelling a terminal job is a typed conflict.
+    let resp = client::post(addr, &format!("/jobs/{id}/cancel"), &[], T).unwrap();
+    assert_eq!(resp.status, 409);
+    assert_eq!(
+        body_field(&resp.text(), "error_code").as_deref(),
+        Some("job_already_terminal")
+    );
+
+    server.request_drain();
+    server.join();
+}
+
+#[test]
+fn drain_checkpoints_and_restart_resumes_byte_identically() {
+    let state = tmp_state("drain-resume");
+    let input = ring(1024);
+    let (sweeps, seed, samples) = (60usize, 99u64, 4usize);
+
+    let id = {
+        let server = Server::start(test_config(state.clone())).unwrap();
+        let addr = server.local_addr();
+        let (status, body) = submit(
+            addr,
+            &format!("samples={samples}&sweeps={sweeps}&seed={seed}&ckpt_sweeps=1"),
+            &input,
+        );
+        assert_eq!(status, 202, "{body}");
+        let id = body_field(&body, "id").unwrap();
+
+        // Let it get some work done, then drain mid-job.
+        std::thread::sleep(Duration::from_millis(150));
+        let resp = client::post(addr, "/admin/drain", &[], T).unwrap();
+        assert_eq!(resp.status, 200);
+
+        // A drained server sheds new submissions with the typed error.
+        let (status, body) = submit(addr, "samples=1", &ring(8));
+        assert_eq!(status, 503, "{body}");
+        assert_eq!(
+            body_field(&body, "error_code").as_deref(),
+            Some("overloaded")
+        );
+        assert!(body.contains("draining"), "{body}");
+
+        server.join();
+        id
+    };
+
+    // "Restart": a new server over the same state dir re-admits the owed
+    // job and finishes it.
+    let server = Server::start(test_config(state)).unwrap();
+    let addr = server.local_addr();
+    wait_phase(addr, &id, "completed", Duration::from_secs(120));
+
+    for k in 0..samples {
+        let resp = client::get(addr, &format!("/jobs/{id}/samples/{k}"), T).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.body,
+            reference_sample_bytes(&input, sweeps, seed, k),
+            "sample {k} after drain+restart differs from an uninterrupted run"
+        );
+    }
+
+    server.request_drain();
+    server.join();
+}
+
+#[test]
+fn healthz_reports_drain_state() {
+    let server = Server::start(test_config(tmp_state("healthz"))).unwrap();
+    let addr = server.local_addr();
+    let resp = client::get(addr, "/healthz", T).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.text().contains("\"draining\":false"));
+    server.request_drain();
+    let resp = client::get(addr, "/healthz", T).unwrap();
+    assert!(resp.text().contains("\"draining\":true"));
+    server.join();
+}

@@ -70,6 +70,7 @@
 //! ```
 
 pub mod connected;
+mod pool;
 pub mod resume;
 pub mod stats;
 mod workspace;
@@ -79,6 +80,7 @@ pub use connected::{
     ConnectedSwapError,
 };
 pub use fault::{FaultEvent, FaultLog, GenError};
+pub use pool::{PooledWorkspace, WorkspacePool};
 pub use resume::{CheckpointPolicy, MixControl, MixOutcome, MixReport, MixState, StopRule};
 pub use stats::{IterationStats, SwapStats};
 pub use workspace::SwapWorkspace;
