@@ -109,8 +109,10 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let _ = writeln!(json, "  \"bench\": \"gen_throughput\",");
     let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(json, "  \"reps_per_measurement\": {reps},");
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {

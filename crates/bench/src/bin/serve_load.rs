@@ -153,7 +153,9 @@ fn main() {
     let generated = accepted.len() * samples;
     let mut json = String::new();
     let _ = writeln!(json, "{{");
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let _ = writeln!(json, "  \"bench\": \"serve_load\",");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(
         json,
         "  \"jobs\": {jobs}, \"samples_per_job\": {samples}, \"sweeps\": {sweeps}, \"edges\": {edges},"

@@ -194,8 +194,10 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let _ = writeln!(json, "  \"bench\": \"swap_sweep_throughput\",");
     let _ = writeln!(json, "  \"threads\": {ambient_threads},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(json, "  \"sweeps_per_measurement\": {sweeps},");
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {

@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //!      0     8  magic  89 4E 47 43 4B 50 54 0A  ("\x89NGCKPT\n")
-//!      8     4  schema version (this module writes and reads 1)
+//!      8     4  schema version (this module writes and reads 2)
 //!     12     8  payload length in bytes (must equal file length - 24)
 //!     20     4  CRC-32 (IEEE) of the payload bytes
 //!     24     …  payload:
@@ -15,8 +15,13 @@
 //!                 u64  completed sweeps (the RNG stream position)
 //!                 u64  vertex count
 //!                 u8   flags: bit0 = track_violations,
-//!                             bit1 = stop rule is Threshold
-//!                 u64  threshold bits (f64; 0 for FixedSweeps)
+//!                             bit1 = stop rule is Threshold,
+//!                             bit2 = stop rule is Converged
+//!                               (bit1 and bit2 are mutually exclusive),
+//!                             bit3 = track_diagnostics
+//!                 u64  stop-rule parameter: threshold bits (f64) under
+//!                      Threshold, `(min_ess << 32) | window` under
+//!                      Converged, 0 for FixedSweeps
 //!                 u64  m = edge count
 //!                 m×u64    edge keys, in current slot order
 //!                 ⌈m/8⌉×u8 ever-swapped flags, bit i of byte i/8,
@@ -24,7 +29,8 @@
 //!                 u64  iteration count (must equal completed sweeps)
 //!                 per iteration: u64 attempted pairs, u64 successful
 //!                 swaps, u64 ever-swapped-fraction bits (f64), u64 self
-//!                 loops, u64 multi-edge extras
+//!                 loops, u64 multi-edge extras, u64 degree-product-sum
+//!                 bits (f64), u64 wedge-sketch bits (f64)
 //!                 11×u64 accumulated swap metrics counters (sweeps,
 //!                 proposals, accepts, rejects by 5 causes, grow retries,
 //!                 serial fallbacks, fault events)
@@ -36,9 +42,12 @@
 //! failure is a typed [`GenError::CorruptCheckpoint`] carrying the byte
 //! offset of the first invalid field — never a panic, never a
 //! silently-wrong graph. Forward compatibility is strict: a file whose
-//! version is not exactly 1 is rejected (a future writer that *extends*
-//! the payload must bump the version, because v1 readers reject trailing
-//! bytes).
+//! version is not exactly 2 is rejected (a future writer that *extends*
+//! the payload must bump the version, because older readers reject
+//! trailing bytes). Version 2 widened the iteration records by the two
+//! convergence observables and added the converged stop rule; version-1
+//! files are rejected, not migrated (checkpoints are short-lived run
+//! state, not archives).
 
 use crate::crc32::crc32;
 use crate::{Snapshot, SwapCounters};
@@ -49,33 +58,47 @@ use swap::{IterationStats, MixState, StopRule};
 /// First eight bytes of every checkpoint file.
 pub const MAGIC: [u8; 8] = *b"\x89NGCKPT\n";
 /// Schema version this build writes and accepts.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 /// Bytes before the payload: magic + version + payload length + CRC.
 pub const HEADER_LEN: usize = 24;
 
 const FLAG_TRACK_VIOLATIONS: u8 = 1 << 0;
 const FLAG_THRESHOLD_RULE: u8 = 1 << 1;
+const FLAG_CONVERGED_RULE: u8 = 1 << 2;
+const FLAG_TRACK_DIAGNOSTICS: u8 = 1 << 3;
+const ALL_FLAGS: u8 =
+    FLAG_TRACK_VIOLATIONS | FLAG_THRESHOLD_RULE | FLAG_CONVERGED_RULE | FLAG_TRACK_DIAGNOSTICS;
 const COUNTER_FIELDS: usize = 11;
+/// u64 fields per iteration record (see the layout above).
+const ITER_FIELDS: usize = 7;
 
 /// Serialize a snapshot to the `ckpt_v1` wire form.
 pub fn encode(snap: &Snapshot) -> Vec<u8> {
     let st = &snap.state;
     let m = st.edges.len();
-    let mut payload = Vec::with_capacity(8 * (8 + m + 5 * st.iterations.len() + COUNTER_FIELDS));
+    let mut payload =
+        Vec::with_capacity(8 * (8 + m + ITER_FIELDS * st.iterations.len() + COUNTER_FIELDS));
     payload.extend_from_slice(&st.config_hash().to_le_bytes());
     payload.extend_from_slice(&st.seed.to_le_bytes());
     payload.extend_from_slice(&st.sweep_budget.to_le_bytes());
     payload.extend_from_slice(&st.completed_sweeps.to_le_bytes());
     payload.extend_from_slice(&(st.num_vertices as u64).to_le_bytes());
-    let (mut flags, threshold_bits) = match st.stop {
+    let (mut flags, rule_param) = match st.stop {
         StopRule::FixedSweeps => (0u8, 0u64),
         StopRule::Threshold(t) => (FLAG_THRESHOLD_RULE, t.to_bits()),
+        StopRule::Converged { min_ess, window } => (
+            FLAG_CONVERGED_RULE,
+            (u64::from(min_ess) << 32) | u64::from(window),
+        ),
     };
     if st.track_violations {
         flags |= FLAG_TRACK_VIOLATIONS;
     }
+    if st.track_diagnostics {
+        flags |= FLAG_TRACK_DIAGNOSTICS;
+    }
     payload.push(flags);
-    payload.extend_from_slice(&threshold_bits.to_le_bytes());
+    payload.extend_from_slice(&rule_param.to_le_bytes());
     payload.extend_from_slice(&(m as u64).to_le_bytes());
     for e in &st.edges {
         payload.extend_from_slice(&e.key().to_le_bytes());
@@ -94,6 +117,8 @@ pub fn encode(snap: &Snapshot) -> Vec<u8> {
         payload.extend_from_slice(&it.ever_swapped_fraction.to_bits().to_le_bytes());
         payload.extend_from_slice(&it.self_loops.to_le_bytes());
         payload.extend_from_slice(&it.multi_edges.to_le_bytes());
+        payload.extend_from_slice(&it.deg_product_sum.to_bits().to_le_bytes());
+        payload.extend_from_slice(&it.wedge_sketch.to_bits().to_le_bytes());
     }
     for c in snap.counters.as_array() {
         payload.extend_from_slice(&c.to_le_bytes());
@@ -164,6 +189,22 @@ impl<'a> Cursor<'a> {
             ))
         }
     }
+
+    /// An f64 field with no range constraint beyond finiteness (the
+    /// convergence observables are unbounded wrapping-integer readouts).
+    fn f64_finite(&mut self, what: &str) -> Result<f64, GenError> {
+        let at = self.file_offset();
+        let v = f64::from_bits(self.u64(what)?);
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(GenError::corrupt_checkpoint(
+                self.path,
+                at,
+                format!("{what} is not finite"),
+            ))
+        }
+    }
 }
 
 /// Parse and fully validate a `ckpt_v1` byte buffer. `path` is used only
@@ -230,18 +271,33 @@ pub fn decode(bytes: &[u8], path: &str) -> Result<Snapshot, GenError> {
     })?;
     let flags_at = cur.file_offset();
     let flags = cur.u8("flags")?;
-    if flags & !(FLAG_TRACK_VIOLATIONS | FLAG_THRESHOLD_RULE) != 0 {
+    if flags & !ALL_FLAGS != 0 {
         return Err(fail(flags_at, format!("unknown flag bits {flags:#04x}")));
     }
+    if flags & FLAG_THRESHOLD_RULE != 0 && flags & FLAG_CONVERGED_RULE != 0 {
+        return Err(fail(
+            flags_at,
+            "both the threshold and the converged stop-rule flags are set".into(),
+        ));
+    }
     let track_violations = flags & FLAG_TRACK_VIOLATIONS != 0;
+    let track_diagnostics = flags & FLAG_TRACK_DIAGNOSTICS != 0;
     let stop = if flags & FLAG_THRESHOLD_RULE != 0 {
         StopRule::Threshold(cur.f64_unit("mixing threshold")?)
+    } else if flags & FLAG_CONVERGED_RULE != 0 {
+        // Parameter sanity (min_ess ≥ 1, window ≥ 2, …) is enforced by the
+        // decoded state's validate() below.
+        let param = cur.u64("converged rule parameters")?;
+        StopRule::Converged {
+            min_ess: (param >> 32) as u32,
+            window: param as u32,
+        }
     } else {
         let bits_at = cur.file_offset();
-        if cur.u64("threshold bits")? != 0 {
+        if cur.u64("stop-rule parameter")? != 0 {
             return Err(fail(
                 bits_at,
-                "nonzero threshold bits under the fixed-sweeps stop rule".into(),
+                "nonzero stop-rule parameter under the fixed-sweeps stop rule".into(),
             ));
         }
         StopRule::FixedSweeps
@@ -302,7 +358,7 @@ pub fn decode(bytes: &[u8], path: &str) -> Result<Snapshot, GenError> {
     let n_iter = usize::try_from(n_iter64)
         .ok()
         .filter(|&n| {
-            n.checked_mul(40)
+            n.checked_mul(8 * ITER_FIELDS)
                 .is_some_and(|b| b <= cur.buf.len() - cur.pos)
         })
         .ok_or_else(|| {
@@ -319,6 +375,8 @@ pub fn decode(bytes: &[u8], path: &str) -> Result<Snapshot, GenError> {
             ever_swapped_fraction: cur.f64_unit("ever-swapped fraction")?,
             self_loops: cur.u64("self loop count")?,
             multi_edges: cur.u64("multi-edge count")?,
+            deg_product_sum: cur.f64_finite("degree-product sum")?,
+            wedge_sketch: cur.f64_finite("wedge sketch")?,
         });
     }
     let mut counters = [0u64; COUNTER_FIELDS];
@@ -341,6 +399,7 @@ pub fn decode(bytes: &[u8], path: &str) -> Result<Snapshot, GenError> {
         sweep_budget,
         stop,
         track_violations,
+        track_diagnostics,
         iterations,
     };
     // Semantic tamper check: the stored hash must match the hash of the

@@ -247,20 +247,19 @@ mod tests {
             sweep_budget: 40,
             stop: StopRule::Threshold(0.875),
             track_violations: false,
+            track_diagnostics: false,
             iterations: vec![
                 IterationStats {
                     attempted_pairs: 2,
                     successful_swaps: 1,
                     ever_swapped_fraction: 0.25,
-                    self_loops: 0,
-                    multi_edges: 0,
+                    ..Default::default()
                 },
                 IterationStats {
                     attempted_pairs: 2,
                     successful_swaps: 1,
                     ever_swapped_fraction: 0.5,
-                    self_loops: 0,
-                    multi_edges: 0,
+                    ..Default::default()
                 },
             ],
         }
@@ -285,6 +284,36 @@ mod tests {
         let bytes = codec::encode(&snap);
         let back = codec::decode(&bytes, "mem").expect("round trip");
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn converged_rule_with_diagnostics_round_trips() {
+        let mut snap = sample_snapshot();
+        snap.state.stop = StopRule::Converged {
+            min_ess: 48,
+            window: 96,
+        };
+        snap.state.track_diagnostics = true;
+        for (i, it) in snap.state.iterations.iter_mut().enumerate() {
+            it.deg_product_sum = -1.5e12 + i as f64;
+            it.wedge_sketch = 7.25e9 * (i + 1) as f64;
+        }
+        let bytes = codec::encode(&snap);
+        let back = codec::decode(&bytes, "mem").expect("round trip");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn nonsense_converged_parameters_are_rejected() {
+        let mut snap = sample_snapshot();
+        snap.state.stop = StopRule::Converged {
+            min_ess: 0,
+            window: 96,
+        };
+        snap.state.track_diagnostics = true;
+        let bytes = codec::encode(&snap);
+        let err = codec::decode(&bytes, "mem").expect_err("min_ess 0 must not validate");
+        assert_eq!(err.error_code(), "corrupt_checkpoint");
     }
 
     #[test]
@@ -334,7 +363,7 @@ mod tests {
     fn version_skew_and_garbage_are_typed_errors() {
         let snap = sample_snapshot();
         let mut bytes = codec::encode(&snap);
-        bytes[8] = 2; // future schema version
+        bytes[8] = 3; // future schema version
         let err = codec::decode(&bytes, "mem").expect_err("version skew");
         assert_eq!(err.error_code(), "corrupt_checkpoint");
         assert!(err.to_string().contains("version"), "{err}");

@@ -37,12 +37,20 @@ fn arbitrary_snapshot(seed: u64) -> Snapshot {
             ever_swapped_fraction: rng.below(1001) as f64 / 1000.0,
             self_loops: rng.below(100),
             multi_edges: rng.below(100),
+            deg_product_sum: rng.below(1 << 40) as f64 - (1u64 << 39) as f64,
+            wedge_sketch: rng.below(1 << 40) as f64,
         })
         .collect();
-    let stop = if rng.below(2) == 0 {
-        StopRule::FixedSweeps
-    } else {
-        StopRule::Threshold(rng.below(1001) as f64 / 1000.0)
+    let stop = match rng.below(3) {
+        0 => StopRule::FixedSweeps,
+        1 => StopRule::Threshold(rng.below(1001) as f64 / 1000.0),
+        _ => {
+            let window = 2 + rng.below(510) as u32;
+            StopRule::Converged {
+                min_ess: 1 + rng.below(u64::from(window)) as u32,
+                window,
+            }
+        }
     };
     Snapshot {
         state: MixState {
@@ -54,6 +62,7 @@ fn arbitrary_snapshot(seed: u64) -> Snapshot {
             sweep_budget: completed_sweeps + rng.below(1000),
             stop,
             track_violations: rng.below(2) == 1,
+            track_diagnostics: rng.below(2) == 1,
             iterations,
         },
         counters: SwapCounters {

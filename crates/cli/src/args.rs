@@ -66,6 +66,7 @@ const FLAGS: &[&str] = &[
     "json",
     "control",
     "until-mixed",
+    "until-converged",
 ];
 
 impl Parsed {

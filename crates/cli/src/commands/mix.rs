@@ -28,10 +28,56 @@ use swap::{
 /// Cadence used when `--checkpoint` is given without `--checkpoint-every`.
 const DEFAULT_CHECKPOINT_WALL: Duration = Duration::from_secs(5);
 
+/// Default ESS floor of `--until-converged` (also used to *report*
+/// diagnostics for runs under other stop rules).
+const DEFAULT_MIN_ESS: u32 = 64;
+/// Default trailing autocorrelation window of `--until-converged`.
+const DEFAULT_ESS_WINDOW: u32 = 128;
+
+/// Parse and validate the stopping rule from `--until-mixed` /
+/// `--until-converged` and their parameter options. All parameter
+/// validation happens here, at parse time: a NaN, zero, negative or >1
+/// threshold (or nonsense ESS parameters) is a typed bad-input error
+/// (exit 4), never a rule that silently runs to the iteration cap.
+fn parse_stop_rule(args: &Parsed) -> Result<StopRule, CliError> {
+    if args.flag("until-mixed") && args.flag("until-converged") {
+        return Err(ArgError::Conflict {
+            key: "until-converged".to_string(),
+            other: "until-mixed".to_string(),
+        }
+        .into());
+    }
+    if args.flag("until-converged") {
+        let min_ess: u32 = args.get_or("min-ess", DEFAULT_MIN_ESS)?;
+        let window: u32 = args.get_or("ess-window", DEFAULT_ESS_WINDOW)?;
+        if min_ess == 0 || window < 2 || min_ess > window {
+            return Err(GenError::bad_input(format!(
+                "--min-ess {min_ess} with --ess-window {window}: need min-ess >= 1, \
+                 ess-window >= 2 and min-ess <= ess-window (ESS cannot exceed the window)"
+            ))
+            .into());
+        }
+        Ok(StopRule::Converged { min_ess, window })
+    } else if args.flag("until-mixed") {
+        let t: f64 = args.get_or("threshold", 0.99)?;
+        if !(t > 0.0 && t <= 1.0) {
+            return Err(GenError::bad_input(format!(
+                "--threshold {t}: the mixing threshold must be in (0, 1]"
+            ))
+            .into());
+        }
+        Ok(StopRule::Threshold(t))
+    } else {
+        Ok(StopRule::FixedSweeps)
+    }
+}
+
 /// The `--metrics` document for `mix`: the obs snapshot plus the exact
 /// per-sweep counts from [`swap::SwapStats`], so external tooling can
 /// cross-check the aggregated counters against the authoritative stats.
-fn metrics_json(metrics: &obs::Metrics, stats: &SwapStats) -> String {
+/// A `mixing_diagnostics_v1` section reports the convergence ESS estimates
+/// under the run's stop rule (or the default window for other rules).
+fn metrics_json(metrics: &obs::Metrics, stats: &SwapStats, stop: StopRule) -> String {
     use std::fmt::Write as _;
     let mut json = String::new();
     json.push_str("{\n  \"snapshot\": ");
@@ -43,13 +89,24 @@ fn metrics_json(metrics: &obs::Metrics, stats: &SwapStats) -> String {
         }
         let _ = write!(
             json,
-            "{{\"attempted_pairs\":{},\"successful_swaps\":{},\"ever_swapped_fraction\":{}}}",
-            it.attempted_pairs, it.successful_swaps, it.ever_swapped_fraction
+            "{{\"attempted_pairs\":{},\"successful_swaps\":{},\"ever_swapped_fraction\":{},\
+             \"deg_product_sum\":{},\"wedge_sketch\":{}}}",
+            it.attempted_pairs,
+            it.successful_swaps,
+            it.ever_swapped_fraction,
+            it.deg_product_sum,
+            it.wedge_sketch
         );
     }
+    let (min_ess, window) = match stop {
+        StopRule::Converged { min_ess, window } => (min_ess, window),
+        _ => (DEFAULT_MIN_ESS, DEFAULT_ESS_WINDOW),
+    };
+    let diag = swap::MixingDiagnostics::from_iterations(&stats.iterations, min_ess, window);
     let _ = write!(
         json,
-        "],\n  \"wall_clock_exceeded\": {},\n  \"fault_log\": {}\n}}\n",
+        "],\n  \"mixing_diagnostics\": {},\n  \"wall_clock_exceeded\": {},\n  \"fault_log\": {}\n}}\n",
+        diag.to_json(),
         stats.wall_clock_exceeded,
         stats.events.to_json()
     );
@@ -62,7 +119,8 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
     let resumable = args.get("resume").is_some()
         || args.get("checkpoint").is_some()
         || args.get("checkpoint-every").is_some()
-        || args.flag("until-mixed");
+        || args.flag("until-mixed")
+        || args.flag("until-converged");
     if resumable {
         return run_resumable(args, &out_path);
     }
@@ -80,6 +138,7 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
         refine_rounds: 0,
         refine_tolerance: None,
         track_violations: args.flag("track"),
+        track_swap_diagnostics: false,
         metrics: metrics.clone(),
         swap_shards: shards_arg(args)?,
         key_width: super::key_width_arg(args)?,
@@ -88,7 +147,7 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
     debug_assert_eq!(graph.degree_distribution(), before);
     io::save_edge_list(&graph, &out_path)?;
     if let (Some(path), Some(m)) = (args.get("metrics"), &metrics) {
-        std::fs::write(path, metrics_json(m, &stats))?;
+        std::fs::write(path, metrics_json(m, &stats, StopRule::FixedSweeps))?;
     }
     super::write_fault_log(args, &stats.events)?;
     print_summary(args, &graph, &stats, &timings.to_string());
@@ -168,7 +227,7 @@ fn run_resumable(args: &Parsed, out_path: &str) -> Result<(), CliError> {
         Some(_) => {
             // The checkpoint already fixes these; accepting them here
             // would silently change the trajectory mid-run.
-            for fixed in ["input", "seed", "threshold"] {
+            for fixed in ["input", "seed", "threshold", "min-ess", "ess-window"] {
                 if args.get(fixed).is_some() {
                     return Err(ArgError::Conflict {
                         key: fixed.to_string(),
@@ -177,12 +236,14 @@ fn run_resumable(args: &Parsed, out_path: &str) -> Result<(), CliError> {
                     .into());
                 }
             }
-            if args.flag("until-mixed") {
-                return Err(ArgError::Conflict {
-                    key: "until-mixed".to_string(),
-                    other: "resume".to_string(),
+            for fixed_flag in ["until-mixed", "until-converged"] {
+                if args.flag(fixed_flag) {
+                    return Err(ArgError::Conflict {
+                        key: fixed_flag.to_string(),
+                        other: "resume".to_string(),
+                    }
+                    .into());
                 }
-                .into());
             }
             let resume_path = args.require("resume")?;
             let t0 = Instant::now();
@@ -236,6 +297,14 @@ fn run_resumable(args: &Parsed, out_path: &str) -> Result<(), CliError> {
         sink: Some(&mut sink),
     };
 
+    // The stop rule: a resumed run continues under the checkpoint's rule
+    // (the conflict checks above rejected any attempt to change it); a
+    // fresh run parses and validates it from the flags.
+    let stop = match &resumed {
+        Some(snap) => snap.state.stop,
+        None => parse_stop_rule(args)?,
+    };
+
     let mut ws = SwapWorkspace::new();
     if let Some(shards) = shards_arg(args)? {
         ws.set_shards(shards);
@@ -248,11 +317,6 @@ fn run_resumable(args: &Parsed, out_path: &str) -> Result<(), CliError> {
         None => {
             let in_path = args.require("input")?;
             let seed: u64 = args.get_or("seed", 0)?;
-            let stop = if args.flag("until-mixed") {
-                StopRule::Threshold(args.get_or("threshold", 0.99)?)
-            } else {
-                StopRule::FixedSweeps
-            };
             let mut graph = io::load_edge_list(in_path)?;
             swap::try_mix_resumable(
                 &mut graph, stop, &budget, seed, &mut ctl, &mut ws, &recovery,
@@ -274,7 +338,7 @@ fn run_resumable(args: &Parsed, out_path: &str) -> Result<(), CliError> {
     // whatever the outcome; the checkpoint only when there is more to do.
     io::save_edge_list(&graph, out_path)?;
     if let (Some(path), Some(m)) = (args.get("metrics"), &metrics) {
-        std::fs::write(path, metrics_json(m, &report.stats))?;
+        std::fs::write(path, metrics_json(m, &report.stats, stop))?;
     }
     super::write_fault_log(args, &report.stats.events)?;
     let resume_hint = |ckpt: &Path| {
@@ -399,12 +463,60 @@ mod tests {
     }
 
     #[test]
+    fn stop_rule_validation() {
+        // Legal values, including the boundary threshold 1.0.
+        assert_eq!(
+            parse_stop_rule(&parse(&["--until-mixed", "--threshold", "1.0"])).unwrap(),
+            StopRule::Threshold(1.0)
+        );
+        assert_eq!(
+            parse_stop_rule(&parse(&["--until-converged"])).unwrap(),
+            StopRule::Converged {
+                min_ess: DEFAULT_MIN_ESS,
+                window: DEFAULT_ESS_WINDOW
+            }
+        );
+        assert_eq!(parse_stop_rule(&parse(&[])).unwrap(), StopRule::FixedSweeps);
+        // NaN, zero, negative and >1 thresholds are typed bad-input errors.
+        for bad in ["NaN", "0", "0.0", "-0.5", "1.0001", "inf"] {
+            let err = parse_stop_rule(&parse(&["--until-mixed", "--threshold", bad]))
+                .expect_err(&format!("threshold {bad} must be rejected"));
+            match err {
+                CliError::Gen(e) => assert_eq!(e.exit_code(), 4, "{bad}"),
+                other => panic!("threshold {bad} gave {other:?}"),
+            }
+        }
+        // Nonsense ESS parameters likewise.
+        for bad in [
+            &["--min-ess", "0"][..],
+            &["--ess-window", "1"][..],
+            &["--min-ess", "65", "--ess-window", "64"][..],
+        ] {
+            let mut argv = vec!["--until-converged"];
+            argv.extend_from_slice(bad);
+            let err = parse_stop_rule(&parse(&argv)).expect_err("bad ESS params");
+            match err {
+                CliError::Gen(e) => assert_eq!(e.exit_code(), 4, "{bad:?}"),
+                other => panic!("{bad:?} gave {other:?}"),
+            }
+        }
+        // The two rules cannot be combined.
+        assert!(matches!(
+            parse_stop_rule(&parse(&["--until-mixed", "--until-converged"])),
+            Err(CliError::Args(ArgError::Conflict { .. }))
+        ));
+    }
+
+    #[test]
     fn resume_rejects_conflicting_flags() {
         for extra in [
             &["--seed", "3"][..],
             &["--input", "x.txt"][..],
             &["--threshold", "0.5"][..],
             &["--until-mixed"][..],
+            &["--until-converged"][..],
+            &["--min-ess", "32"][..],
+            &["--ess-window", "64"][..],
         ] {
             let mut argv = vec!["--resume", "missing.ckpt", "--out", "o.txt"];
             argv.extend_from_slice(extra);

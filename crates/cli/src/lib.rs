@@ -75,17 +75,24 @@ USAGE:
       MetricsSnapshot of pipeline counters and phase timings.
 
   nullgraph mix --input <file> --out <file> [--iterations N] [--seed N]
-            [--until-mixed] [--threshold F] [--budget-ms N] [--shards N]
-            [--key-width auto|32|64|wide]
+            [--until-mixed] [--threshold F]
+            [--until-converged] [--min-ess N] [--ess-window N]
+            [--budget-ms N] [--shards N] [--key-width auto|32|64|wide]
             [--metrics <file>] [--checkpoint <file>] [--checkpoint-every <N|Nms|Ns>]
       Uniformly mix an existing edge list ('u v' per line) with parallel
       double-edge swaps; degrees are preserved exactly. With --until-mixed,
       --iterations becomes a sweep budget: the run stops once the fraction
-      of edges ever swapped reaches --threshold (default 0.99), and fails
-      with error_code=mixing_budget_exceeded if the budget (or the optional
-      --budget-ms wall clock) runs out first. --budget-ms 0 is an already-
-      expired deadline, not 'no deadline'. --metrics writes the counter
-      snapshot plus exact per-sweep accept counts as JSON. --shards sets
+      of edges ever swapped reaches --threshold (default 0.99, valid range
+      (0, 1]), and fails with error_code=mixing_budget_exceeded if the
+      budget (or the optional --budget-ms wall clock) runs out first. The
+      threshold is a coverage proxy, not a convergence test; prefer
+      --until-converged, which stops only when the effective sample size
+      of every informative convergence observable (degree-product sum,
+      wedge sketch, swap trajectory) over the trailing --ess-window sweeps
+      (default 128) reaches --min-ess (default 64). --budget-ms 0 is an
+      already-expired deadline, not 'no deadline'. --metrics writes the
+      counter snapshot, exact per-sweep observables, and a
+      mixing_diagnostics_v1 section as JSON. --shards sets
       the swap tables' shard count — a performance knob only; output is
       byte-identical at any value. --key-width packs the swap tables'
       entries into 32- or 64-bit words (auto picks the narrowest that

@@ -429,6 +429,101 @@ fn shards_zero_is_usage_exit_2_on_both_commands() {
 }
 
 #[test]
+fn out_of_range_threshold_is_bad_input_exit_4() {
+    // The threshold is a fraction of edges: only (0, 1] is meaningful.
+    // NaN, zero, negatives and anything above 1 must be the typed
+    // bad_input error before any sweep runs (a NaN threshold used to be
+    // accepted and made --until-mixed unsatisfiable).
+    let graph = write("thr_graph.txt", "0 1\n2 3\n4 5\n6 7\n");
+    for bad in ["NaN", "0", "0.0", "-0.5", "1.0001", "inf"] {
+        let r = nullgraph(&[
+            "mix",
+            "--input",
+            graph.to_str().unwrap(),
+            "--out",
+            tmp("thr_out.txt").to_str().unwrap(),
+            "--until-mixed",
+            "--threshold",
+            bad,
+        ]);
+        assert_eq!(
+            r.status.code(),
+            Some(4),
+            "--threshold {bad}: stderr: {}",
+            stderr(&r)
+        );
+        let err = stderr(&r);
+        assert!(
+            err.contains("error_code=bad_input"),
+            "--threshold {bad}: stderr: {err}"
+        );
+        assert!(err.contains("(0, 1]"), "--threshold {bad}: stderr: {err}");
+    }
+    // The boundary itself is valid: threshold 1.0 means "every edge".
+    let r = nullgraph(&[
+        "mix",
+        "--input",
+        graph.to_str().unwrap(),
+        "--out",
+        tmp("thr_ok_out.txt").to_str().unwrap(),
+        "--until-mixed",
+        "--iterations",
+        "200",
+        "--threshold",
+        "1.0",
+        "--seed",
+        "1",
+    ]);
+    assert_eq!(r.status.code(), Some(0), "stderr: {}", stderr(&r));
+}
+
+#[test]
+fn nonsense_ess_parameters_are_bad_input_exit_4() {
+    let graph = write("ess_graph.txt", "0 1\n2 3\n4 5\n6 7\n");
+    for (min_ess, window) in [("0", "64"), ("64", "1"), ("65", "64")] {
+        let r = nullgraph(&[
+            "mix",
+            "--input",
+            graph.to_str().unwrap(),
+            "--out",
+            tmp("ess_out.txt").to_str().unwrap(),
+            "--until-converged",
+            "--min-ess",
+            min_ess,
+            "--ess-window",
+            window,
+        ]);
+        assert_eq!(
+            r.status.code(),
+            Some(4),
+            "--min-ess {min_ess} --ess-window {window}: stderr: {}",
+            stderr(&r)
+        );
+        assert!(
+            stderr(&r).contains("error_code=bad_input"),
+            "--min-ess {min_ess} --ess-window {window}: stderr: {}",
+            stderr(&r)
+        );
+    }
+}
+
+#[test]
+fn combined_stopping_rules_are_usage_exit_2() {
+    let graph = write("both_rules_graph.txt", "0 1\n2 3\n");
+    let r = nullgraph(&[
+        "mix",
+        "--input",
+        graph.to_str().unwrap(),
+        "--out",
+        tmp("both_rules_out.txt").to_str().unwrap(),
+        "--until-mixed",
+        "--until-converged",
+    ]);
+    assert_eq!(r.status.code(), Some(2), "stderr: {}", stderr(&r));
+    assert!(stderr(&r).contains("error_code=usage"), "{}", stderr(&r));
+}
+
+#[test]
 fn bogus_key_width_is_usage_exit_2() {
     let graph = write("kw_graph.txt", "0 1\n1 2\n2 0\n");
     let r = nullgraph(&[

@@ -79,6 +79,11 @@ pub struct GeneratorConfig {
     pub refine_rounds: usize,
     /// Track per-iteration simplicity violations during swaps (costly).
     pub track_violations: bool,
+    /// Record the convergence-diagnostic observables
+    /// (`deg_product_sum`/`wedge_sketch`, see `swap::diag`) in each
+    /// iteration's swap statistics. O(changes) per swap plus one O(n)
+    /// reduction per sweep; off by default.
+    pub track_swap_diagnostics: bool,
     /// When set, refinement must reach this residual tolerance: rounds run
     /// until the degree-system residual drops to the tolerance (up to
     /// `refine_rounds`, or a default cap when that is 0), and a stalled
@@ -112,6 +117,7 @@ impl GeneratorConfig {
             seed,
             refine_rounds: 0,
             track_violations: false,
+            track_swap_diagnostics: false,
             refine_tolerance: None,
             metrics: None,
             swap_shards: None,
@@ -135,6 +141,13 @@ impl GeneratorConfig {
     /// [`GeneratorConfig::refine_tolerance`]).
     pub fn with_refine_tolerance(mut self, tolerance: f64) -> Self {
         self.refine_tolerance = Some(tolerance);
+        self
+    }
+
+    /// Record the swap phase's convergence-diagnostic observables (see
+    /// [`GeneratorConfig::track_swap_diagnostics`]).
+    pub fn with_swap_diagnostics(mut self) -> Self {
+        self.track_swap_diagnostics = true;
         self
     }
 
@@ -293,6 +306,7 @@ pub fn try_generate_from_distribution_with_workspace(
     let t2 = Instant::now();
     let mut swap_cfg = SwapConfig::new(cfg.swap_iterations, parutil::rng::mix64(cfg.seed ^ 0x5A9));
     swap_cfg.track_violations = cfg.track_violations;
+    swap_cfg.track_diagnostics = cfg.track_swap_diagnostics;
     let swap_stats =
         swap::try_swap_edges_with_workspace(&mut graph, &swap_cfg, ws, &RecoveryPolicy::default())?;
     timings.swapping = t2.elapsed();
@@ -349,6 +363,7 @@ pub fn try_generate_from_edge_list_with_workspace(
     let t = Instant::now();
     let mut swap_cfg = SwapConfig::new(cfg.swap_iterations, parutil::rng::mix64(cfg.seed ^ 0x5A9));
     swap_cfg.track_violations = cfg.track_violations;
+    swap_cfg.track_diagnostics = cfg.track_swap_diagnostics;
     let stats =
         swap::try_swap_edges_with_workspace(graph, &swap_cfg, ws, &RecoveryPolicy::default())?;
     timings.swapping = t.elapsed();

@@ -26,18 +26,26 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
+use swap::StopRule;
+
 use crate::json::{self, num, str as jstr, Value};
 
 /// What one job asks for. Immutable once admitted; persisted as
 /// `spec.json`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JobSpec {
     /// Server-assigned identifier, e.g. `j00000001`.
     pub id: String,
     /// Ensemble size.
     pub samples: usize,
-    /// Fixed sweeps per member.
+    /// Sweep budget per member (exact count under
+    /// [`StopRule::FixedSweeps`], an upper bound otherwise).
     pub sweeps: usize,
+    /// When each member stops within its sweep budget. Serialized as the
+    /// optional `until` / `threshold` / `min_ess` / `ess_window` spec
+    /// fields; their absence means [`StopRule::FixedSweeps`], so specs
+    /// persisted before the field existed parse unchanged.
+    pub stop: StopRule,
     /// Base seed; member `k` derives its own.
     pub seed: u64,
     /// Optional per-member wall budget (milliseconds), mapped onto
@@ -70,6 +78,18 @@ impl JobSpec {
                 Value::Bool(self.serial_fallback),
             ),
         ];
+        match self.stop {
+            StopRule::FixedSweeps => {}
+            StopRule::Threshold(t) => {
+                doc.push(("until".to_string(), jstr("mixed")));
+                doc.push(("threshold".to_string(), num(t)));
+            }
+            StopRule::Converged { min_ess, window } => {
+                doc.push(("until".to_string(), jstr("converged")));
+                doc.push(("min_ess".to_string(), num(min_ess)));
+                doc.push(("ess_window".to_string(), num(window)));
+            }
+        }
         if let Some(ms) = self.budget_ms {
             doc.push(("budget_ms".to_string(), num(ms)));
         }
@@ -98,6 +118,12 @@ impl JobSpec {
                 .to_string(),
             samples: field_u64("samples")? as usize,
             sweeps: field_u64("sweeps")? as usize,
+            stop: stop_rule_from_fields(
+                v.get("until").and_then(Value::as_str),
+                v.get("threshold").and_then(Value::as_f64),
+                v.get("min_ess").and_then(Value::as_u64),
+                v.get("ess_window").and_then(Value::as_u64),
+            )?,
             seed: field_u64("seed")?,
             budget_ms: v.get("budget_ms").and_then(Value::as_u64),
             max_grows: field_u64("max_grows")? as u32,
@@ -107,6 +133,55 @@ impl JobSpec {
                 .ok_or("missing serial_fallback")?,
             ckpt_sweeps: v.get("ckpt_sweeps").and_then(Value::as_u64),
         })
+    }
+}
+
+/// Build a [`StopRule`] from the optional stop-rule wire fields, applying
+/// the same validation as the CLI: `threshold` must lie in `(0, 1]`,
+/// `min_ess >= 1`, `ess_window >= 2` and `min_ess <= ess_window`. Shared
+/// by the spec parser and the submission endpoint so an invalid rule is
+/// rejected at admission time, never mid-run.
+pub fn stop_rule_from_fields(
+    until: Option<&str>,
+    threshold: Option<f64>,
+    min_ess: Option<u64>,
+    ess_window: Option<u64>,
+) -> Result<StopRule, String> {
+    match until {
+        None => {
+            if threshold.is_some() || min_ess.is_some() || ess_window.is_some() {
+                return Err("threshold/min_ess/ess_window require until=mixed|converged".into());
+            }
+            Ok(StopRule::FixedSweeps)
+        }
+        Some("mixed") => {
+            if min_ess.is_some() || ess_window.is_some() {
+                return Err("min_ess/ess_window apply to until=converged only".into());
+            }
+            let t = threshold.unwrap_or(0.99);
+            if !(t > 0.0 && t <= 1.0) {
+                return Err(format!("threshold {t} outside the valid range (0, 1]"));
+            }
+            Ok(StopRule::Threshold(t))
+        }
+        Some("converged") => {
+            if threshold.is_some() {
+                return Err("threshold applies to until=mixed only".into());
+            }
+            let min_ess = min_ess.unwrap_or(64);
+            let window = ess_window.unwrap_or(128);
+            if min_ess == 0 || window < 2 || min_ess > window || window > u64::from(u32::MAX) {
+                return Err(format!(
+                    "invalid ESS parameters: need 1 <= min_ess ({min_ess}) <= ess_window \
+                     ({window}) and ess_window >= 2"
+                ));
+            }
+            Ok(StopRule::Converged {
+                min_ess: min_ess as u32,
+                window: window as u32,
+            })
+        }
+        Some(other) => Err(format!("unknown until mode '{other}' (mixed|converged)")),
     }
 }
 
@@ -439,6 +514,7 @@ mod tests {
             id: id.into(),
             samples: 4,
             sweeps: 10,
+            stop: StopRule::FixedSweeps,
             seed: u64::MAX - 12345,
             budget_ms: Some(2_000),
             max_grows: 4,
@@ -465,6 +541,72 @@ mod tests {
             ..spec("j2")
         };
         assert_eq!(JobSpec::from_json(&no_budget.to_json()).unwrap(), no_budget);
+    }
+
+    #[test]
+    fn spec_round_trips_every_stop_rule() {
+        for stop in [
+            StopRule::FixedSweeps,
+            StopRule::Threshold(0.875),
+            StopRule::Threshold(1.0),
+            StopRule::Converged {
+                min_ess: 32,
+                window: 96,
+            },
+        ] {
+            let s = JobSpec { stop, ..spec("j3") };
+            assert_eq!(JobSpec::from_json(&s.to_json()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn spec_without_stop_fields_is_fixed_sweeps() {
+        // Specs persisted before the stop-rule fields existed must keep
+        // parsing, defaulting to the old fixed-sweeps behaviour.
+        let doc = r#"{"schema":"job_spec_v1","id":"j4","samples":2,"sweeps":5,
+                      "seed":9,"max_grows":4,"serial_fallback":false}"#;
+        assert_eq!(JobSpec::from_json(doc).unwrap().stop, StopRule::FixedSweeps);
+    }
+
+    #[test]
+    fn stop_rule_fields_are_validated() {
+        let bad = [
+            // Out-of-range thresholds (the CLI's (0, 1] rule).
+            (Some("mixed"), Some(0.0), None, None),
+            (Some("mixed"), Some(-0.5), None, None),
+            (Some("mixed"), Some(1.0001), None, None),
+            (Some("mixed"), Some(f64::NAN), None, None),
+            (Some("mixed"), Some(f64::INFINITY), None, None),
+            // Nonsense ESS parameters.
+            (Some("converged"), None, Some(0), None),
+            (Some("converged"), None, None, Some(1)),
+            (Some("converged"), None, Some(200), Some(100)),
+            // Parameters without (or with the wrong) mode.
+            (None, Some(0.5), None, None),
+            (None, None, Some(64), None),
+            (Some("mixed"), None, Some(64), None),
+            (Some("converged"), Some(0.5), None, None),
+            (Some("sideways"), None, None, None),
+        ];
+        for (until, threshold, min_ess, window) in bad {
+            assert!(
+                stop_rule_from_fields(until, threshold, min_ess, window).is_err(),
+                "accepted until={until:?} threshold={threshold:?} \
+                 min_ess={min_ess:?} ess_window={window:?}"
+            );
+        }
+        // Omitted parameters take the CLI defaults.
+        assert_eq!(
+            stop_rule_from_fields(Some("converged"), None, None, None).unwrap(),
+            StopRule::Converged {
+                min_ess: 64,
+                window: 128,
+            }
+        );
+        assert_eq!(
+            stop_rule_from_fields(Some("mixed"), None, None, None).unwrap(),
+            StopRule::Threshold(0.99)
+        );
     }
 
     #[test]

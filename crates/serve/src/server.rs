@@ -32,14 +32,13 @@ use fault::GenError;
 use graphcore::{io as gio, EdgeList};
 use obs::ServeMetrics;
 use swap::{
-    CheckpointPolicy, MixControl, MixOutcome, MixState, MixingBudget, RecoveryPolicy, StopRule,
-    WorkspacePool,
+    CheckpointPolicy, MixControl, MixOutcome, MixState, MixingBudget, RecoveryPolicy, WorkspacePool,
 };
 
 use crate::http::{self, Request};
 use crate::job::{
-    ckpt_path, sample_path, scan_job_dir, status_doc, write_atomic, Job, JobSpec, Phase, Recovered,
-    StopReason,
+    ckpt_path, sample_path, scan_job_dir, status_doc, stop_rule_from_fields, write_atomic, Job,
+    JobSpec, Phase, Recovered, StopReason,
 };
 use crate::json::{num, str as jstr, Value};
 
@@ -425,15 +424,7 @@ fn run_member(
     } else {
         let mut g = input.clone();
         let seed = nullmodel::ensemble_member_seed(job.spec.seed, k);
-        match swap::try_mix_resumable(
-            &mut g,
-            StopRule::FixedSweeps,
-            budget,
-            seed,
-            &mut ctl,
-            ws,
-            policy,
-        ) {
+        match swap::try_mix_resumable(&mut g, job.spec.stop, budget, seed, &mut ctl, ws, policy) {
             Ok(r) => (g, r),
             Err(e) => return MemberEnd::Failed(e),
         }
@@ -521,12 +512,13 @@ fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
                     // Shed at the door: a bounded queue, not a backlog.
                     let mut stream = stream;
                     inner.metrics.http_5xx.incr();
-                    let body = overloaded_body("connection_queue_full", CONN_QUEUE_CAP, 500);
+                    let retry_ms = 500;
+                    let body = overloaded_body("connection_queue_full", CONN_QUEUE_CAP, retry_ms);
                     let _ = http::write_response(
                         &mut stream,
                         503,
                         "application/json",
-                        &[("Retry-After", "1".into())],
+                        &[("Retry-After", retry_after_secs(retry_ms))],
                         body.as_bytes(),
                     );
                 } else {
@@ -601,6 +593,15 @@ fn error_body(code: &str, message: &str) -> String {
         ("error".to_string(), jstr(message)),
     ])
     .to_json()
+}
+
+/// The `Retry-After` header value derived from the same hint the JSON
+/// body carries: milliseconds rounded **up** to whole seconds, floored at
+/// one so a sub-second hint never renders as "retry immediately". Keeping
+/// the header and `retry_after_ms` derived from one number means a client
+/// honouring either backs off consistently.
+fn retry_after_secs(retry_after_ms: u64) -> String {
+    retry_after_ms.div_ceil(1000).max(1).to_string()
 }
 
 /// The typed `overloaded` body, matching `GenError::Overloaded`'s fields.
@@ -702,12 +703,13 @@ fn lookup(inner: &Arc<Inner>, id: &str) -> Option<Arc<Job>> {
 fn submit(inner: &Arc<Inner>, req: &Request, stream: &mut TcpStream) -> u16 {
     if inner.draining.load(Ordering::Acquire) {
         inner.metrics.jobs_shed.incr();
-        let body = overloaded_body("draining", inner.config.queue_capacity, 1_000);
+        let retry_ms = 1_000;
+        let body = overloaded_body("draining", inner.config.queue_capacity, retry_ms);
         return respond(
             stream,
             503,
             "application/json",
-            &[("Retry-After", "1".into())],
+            &[("Retry-After", retry_after_secs(retry_ms))],
             body.as_bytes(),
         );
     }
@@ -736,25 +738,42 @@ fn submit(inner: &Arc<Inner>, req: &Request, stream: &mut TcpStream) -> u16 {
             return respond_json(stream, 400, &error_body("bad_input", &m))
         }
     };
-    let budget_ms = match req.query_param("budget_ms") {
+    let parse_opt_u64 = |key: &str| -> Result<Option<u64>, String> {
+        match req.query_param(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid {key}: {raw:?}")),
+        }
+    };
+    let (budget_ms, ckpt_sweeps, min_ess, ess_window) = match (
+        parse_opt_u64("budget_ms"),
+        parse_opt_u64("ckpt_sweeps"),
+        parse_opt_u64("min_ess"),
+        parse_opt_u64("ess_window"),
+    ) {
+        (Ok(b), Ok(c), Ok(m), Ok(w)) => (b, c, m, w),
+        (Err(m), ..) | (_, Err(m), ..) | (_, _, Err(m), _) | (.., Err(m)) => {
+            return respond_json(stream, 400, &error_body("bad_input", &m))
+        }
+    };
+    let threshold = match req.query_param("threshold") {
         None => None,
-        Some(raw) => match raw.parse::<u64>() {
+        Some(raw) => match raw.parse::<f64>() {
             Ok(v) => Some(v),
             Err(_) => {
-                let msg = format!("invalid budget_ms: {raw:?}");
+                let msg = format!("invalid threshold: {raw:?}");
                 return respond_json(stream, 400, &error_body("bad_input", &msg));
             }
         },
     };
-    let ckpt_sweeps = match req.query_param("ckpt_sweeps") {
-        None => None,
-        Some(raw) => match raw.parse::<u64>() {
-            Ok(v) => Some(v),
-            Err(_) => {
-                let msg = format!("invalid ckpt_sweeps: {raw:?}");
-                return respond_json(stream, 400, &error_body("bad_input", &msg));
-            }
-        },
+    // The stop rule is validated here, at admission: a spec that reaches a
+    // worker is never the thing that discovers threshold=NaN.
+    let stop = match stop_rule_from_fields(req.query_param("until"), threshold, min_ess, ess_window)
+    {
+        Ok(s) => s,
+        Err(msg) => return respond_json(stream, 400, &error_body("bad_input", &msg)),
     };
     let serial_fallback = req.query_param("serial_fallback") != Some("false");
 
@@ -774,12 +793,13 @@ fn submit(inner: &Arc<Inner>, req: &Request, stream: &mut TcpStream) -> u16 {
         drop(queue);
         inner.metrics.jobs_shed.incr();
         // Retry once roughly one queued job's worth of work has drained.
-        let body = overloaded_body("queue_full", inner.config.queue_capacity, 500);
+        let retry_ms = 500;
+        let body = overloaded_body("queue_full", inner.config.queue_capacity, retry_ms);
         return respond(
             stream,
             503,
             "application/json",
-            &[("Retry-After", "1".into())],
+            &[("Retry-After", retry_after_secs(retry_ms))],
             body.as_bytes(),
         );
     }
@@ -789,6 +809,7 @@ fn submit(inner: &Arc<Inner>, req: &Request, stream: &mut TcpStream) -> u16 {
         id: id.clone(),
         samples,
         sweeps,
+        stop,
         seed,
         budget_ms,
         max_grows,
@@ -902,4 +923,23 @@ fn cancel(inner: &Arc<Inner>, id: &str, stream: &mut TcpStream) -> u16 {
     ])
     .to_json();
     respond_json(stream, 200, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_header_rounds_ms_up_to_whole_seconds() {
+        // The header must agree with the JSON retry_after_ms hint: ceil to
+        // seconds, never the degenerate "0" (and never a hardcoded "1"
+        // that contradicts a multi-second hint).
+        assert_eq!(retry_after_secs(0), "1");
+        assert_eq!(retry_after_secs(1), "1");
+        assert_eq!(retry_after_secs(500), "1");
+        assert_eq!(retry_after_secs(1_000), "1");
+        assert_eq!(retry_after_secs(1_001), "2");
+        assert_eq!(retry_after_secs(2_500), "3");
+        assert_eq!(retry_after_secs(60_000), "60");
+    }
 }

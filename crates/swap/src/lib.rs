@@ -70,6 +70,7 @@
 //! ```
 
 pub mod connected;
+pub mod diag;
 mod pool;
 pub mod resume;
 pub mod stats;
@@ -79,6 +80,7 @@ pub use connected::{
     swap_edges_connected, swap_edges_connected_with_workspace, ConnectedSwapConfig,
     ConnectedSwapError,
 };
+pub use diag::{geyer_ess, MixingDiagnostics, SeriesDiagnostic};
 pub use fault::{FaultEvent, FaultLog, GenError};
 pub use pool::{PooledWorkspace, WorkspacePool};
 pub use resume::{CheckpointPolicy, MixControl, MixOutcome, MixReport, MixState, StopRule};
@@ -142,6 +144,14 @@ pub struct SwapConfig {
     /// incrementally (one multiplicity census at run start, then O(1)
     /// updates per committed swap); off by default.
     pub track_violations: bool,
+    /// When `true`, each iteration's [`IterationStats`] also carries the
+    /// convergence-diagnostic observables
+    /// ([`IterationStats::deg_product_sum`] and
+    /// [`IterationStats::wedge_sketch`]). Maintained incrementally (one
+    /// accumulator build at run start, then O(1) wrapping updates per
+    /// committed swap plus one O(n) reduction per sweep); off by default,
+    /// enabled automatically by [`StopRule::Converged`] runs.
+    pub track_diagnostics: bool,
 }
 
 pub use conchash::{KeyWidth, KeyWidthError, Probe, ResolvedWidth};
@@ -154,6 +164,7 @@ impl SwapConfig {
             seed,
             probe: Probe::Linear,
             track_violations: false,
+            track_diagnostics: false,
         }
     }
 }
@@ -504,10 +515,20 @@ fn mixing_core(
         None => !graph.is_simple(),
     };
     let needs_simplify = cfg.track_violations;
-    let criterion = move |it: &IterationStats| match stop {
-        StopRule::Threshold(t) => {
+    // Diagnostics tracking is likewise trajectory-describing: the converged
+    // rule needs the observable series from sweep 0, and a resumed run must
+    // keep recording whatever its predecessor recorded.
+    cfg.track_diagnostics = match prior {
+        Some(st) => st.track_diagnostics,
+        None => matches!(stop, StopRule::Converged { .. }),
+    };
+    let criterion = move |iterations: &[IterationStats]| match stop {
+        StopRule::Threshold(t) => iterations.last().is_some_and(|it| {
             it.ever_swapped_fraction >= t
                 && (!needs_simplify || (it.self_loops == 0 && it.multi_edges == 0))
+        }),
+        StopRule::Converged { min_ess, window } => {
+            diag::converged(iterations, min_ess, window, needs_simplify)
         }
         StopRule::FixedSweeps => false,
     };
@@ -522,6 +543,7 @@ fn mixing_core(
             sweep_budget: budget.max_sweeps as u64,
             stop,
             track_violations: cfg.track_violations,
+            track_diagnostics: cfg.track_diagnostics,
         },
         interrupt: ctl.interrupt,
         policy: ctl.policy,
@@ -546,7 +568,7 @@ fn mixing_core(
     // A graph too small to swap (m < 2) has nothing to mix; treat it as
     // trivially complete rather than forever over budget.
     let completed_rule = match stop {
-        StopRule::Threshold(_) => stats.iterations.last().is_some_and(&criterion),
+        StopRule::Threshold(_) | StopRule::Converged { .. } => criterion(&stats.iterations),
         StopRule::FixedSweeps => {
             stats.iterations.len() as u64 >= budget.max_sweeps as u64
                 && !stats.wall_clock_exceeded
@@ -584,7 +606,7 @@ fn run_recovering(
     graph: &mut EdgeList,
     cfg: &SwapConfig,
     parallel: bool,
-    stop_when: &(dyn Fn(&IterationStats) -> bool + Sync),
+    stop_when: &(dyn Fn(&[IterationStats]) -> bool + Sync),
     deadline: Option<Instant>,
     ws: &mut SwapWorkspace,
     policy: &RecoveryPolicy,
@@ -762,7 +784,7 @@ fn run_until(
     graph: &mut EdgeList,
     cfg: &SwapConfig,
     parallel: bool,
-    stop_when: &(dyn Fn(&IterationStats) -> bool + Sync),
+    stop_when: &(dyn Fn(&[IterationStats]) -> bool + Sync),
     deadline: Option<Instant>,
     ws: &mut SwapWorkspace,
     mut seg: Option<&mut SegmentCtl<'_, '_>>,
@@ -838,6 +860,12 @@ fn run_until(
     let violations = cfg
         .track_violations
         .then(|| ViolationCounters::census(slots));
+    // Convergence observables: accumulators are pure functions (mod 2⁶⁴) of
+    // the current edge multiset, so building them here makes resumed
+    // segments and grow-and-retry replays exact.
+    let diag = cfg
+        .track_diagnostics
+        .then(|| diag::DiagAccumulators::new(slots, graph.num_vertices(), cfg.seed));
     // Mixing statistic: slots that have ever held a successfully swapped
     // edge. Commits bump the counter for each slot flipping for the first
     // time; every slot flips at most once, so the relaxed sum is exact and
@@ -1028,6 +1056,9 @@ fn run_until(
                 v.on_removed(&pair[0].edge);
                 v.on_removed(&pair[1].edge);
             }
+            if let Some(d) = &diag {
+                d.on_swap(&pair[0].edge, &pair[1].edge, &g, &h);
+            }
             pair[0] = Slot {
                 edge: g,
                 swapped: true,
@@ -1106,16 +1137,20 @@ fn run_until(
             attempted_pairs: (m / 2) as u64,
             successful_swaps: successes,
             ever_swapped_fraction: ever.load(Ordering::Relaxed) as f64 / m as f64,
-            self_loops: 0,
-            multi_edges: 0,
+            ..Default::default()
         };
         if let Some(v) = &violations {
             it_stats.self_loops = v.self_loops.load(Ordering::Relaxed);
             it_stats.multi_edges = v.multi_edges.load(Ordering::Relaxed);
         }
-        let stop = stop_when(&it_stats);
+        if let Some(d) = &diag {
+            it_stats.deg_product_sum = d.deg_product_sum();
+            it_stats.wedge_sketch = d.wedge_sketch();
+        }
+        // The criterion sees the whole series (prior segments included):
+        // convergence is a property of the trajectory, not of one sweep.
         stats.iterations.push(it_stats);
-        if stop {
+        if stop_when(&stats.iterations) {
             break;
         }
         // Periodic checkpoint: hand the whole-sweep-boundary state to the
@@ -1600,6 +1635,7 @@ mod tests {
             sweep_budget: 5,
             stop: StopRule::FixedSweeps,
             track_violations: false,
+            track_diagnostics: false,
             iterations: Vec::new(),
         };
         let err = resume_from(

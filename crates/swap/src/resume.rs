@@ -45,7 +45,32 @@ pub enum StopRule {
     /// Stop once the ever-swapped fraction reaches the threshold (and, for
     /// non-simple input, every violation is gone); exhausting the budget
     /// first is a failure.
+    ///
+    /// **Calibration caveat:** the ever-swapped fraction is a *coverage*
+    /// proxy, not a convergence criterion — a chain in which nearly every
+    /// edge has been rewired once can still be far from uniform over the
+    /// realization space (Dutta–Fosdick–Clauset). Prefer
+    /// [`StopRule::Converged`] when the stopping point should carry a
+    /// statistical guarantee; `crates/stattest/tests/stopping_rules.rs`
+    /// demonstrates the threshold rule stopping early and biased on an
+    /// adversarial fixture.
     Threshold(f64),
+    /// Stop once the online convergence diagnostics say the chain has
+    /// mixed: over the trailing `window` sweeps, every informative scalar
+    /// observable series (degree-product sum, wedge sketch, ever-swapped
+    /// trajectory, acceptance counts) must reach an effective sample size
+    /// of at least `min_ess` under the Geyer initial-positive-sequence
+    /// autocorrelation estimator (see [`crate::diag`]). For non-simple
+    /// input, additionally every violation must be gone. Exhausting the
+    /// budget first is a failure.
+    Converged {
+        /// Minimum effective sample size every informative observable
+        /// series must reach within the window.
+        min_ess: u32,
+        /// Number of trailing sweeps the diagnostics are computed over; the
+        /// run cannot stop before `window` sweeps have completed.
+        window: u32,
+    },
 }
 
 /// How often a run hands its state to the checkpoint sink: every N
@@ -110,6 +135,11 @@ pub struct MixState {
     /// Whether violation tracking was on (it is derived from the input's
     /// simplicity at start and must not change across a resume).
     pub track_violations: bool,
+    /// Whether mixing-diagnostics observables were tracked (derived from
+    /// the stop rule at start and, like violation tracking, part of the
+    /// trajectory-describing configuration: the per-sweep observable
+    /// series must stay gapless across a resume).
+    pub track_diagnostics: bool,
     /// Per-sweep statistics accumulated so far, one entry per completed
     /// sweep; a resumed run appends to them so the final stats are
     /// indistinguishable from an uninterrupted run's.
@@ -122,14 +152,18 @@ impl MixState {
     /// stop rule or tracking mode would silently change the trajectory, so
     /// a mismatch is corruption, not a preference.
     pub fn config_hash(&self) -> u64 {
-        let (rule_tag, threshold_bits) = match self.stop {
+        let (rule_tag, rule_param) = match self.stop {
             StopRule::FixedSweeps => (0u64, 0u64),
             StopRule::Threshold(t) => (1u64, t.to_bits()),
+            StopRule::Converged { min_ess, window } => {
+                (2u64, (u64::from(min_ess) << 32) | u64::from(window))
+            }
         };
         let mut h = mix64(0x636b_7074_5f76_3100 ^ self.seed);
         h = mix64(h ^ rule_tag);
-        h = mix64(h ^ threshold_bits);
+        h = mix64(h ^ rule_param);
         h = mix64(h ^ u64::from(self.track_violations));
+        h = mix64(h ^ (u64::from(self.track_diagnostics) << 1));
         h
     }
 
@@ -162,12 +196,29 @@ impl MixState {
                 self.num_vertices
             )));
         }
-        if let StopRule::Threshold(t) = self.stop {
-            if !(t.is_finite() && (0.0..=1.0).contains(&t)) {
-                return Err(GenError::bad_input(format!(
-                    "mix state threshold {t} outside [0, 1]"
-                )));
+        match self.stop {
+            StopRule::Threshold(t) => {
+                if !(t.is_finite() && (0.0..=1.0).contains(&t)) {
+                    return Err(GenError::bad_input(format!(
+                        "mix state threshold {t} outside [0, 1]"
+                    )));
+                }
             }
+            StopRule::Converged { min_ess, window } => {
+                if min_ess == 0 || window < 2 {
+                    return Err(GenError::bad_input(format!(
+                        "mix state converged rule needs min_ess >= 1 and window >= 2, \
+                         got min_ess = {min_ess}, window = {window}"
+                    )));
+                }
+                if u64::from(min_ess) > u64::from(window) {
+                    return Err(GenError::bad_input(format!(
+                        "mix state converged rule min_ess {min_ess} exceeds its window \
+                         {window} (an ESS cannot exceed the series length)"
+                    )));
+                }
+            }
+            StopRule::FixedSweeps => {}
         }
         Ok(())
     }
@@ -252,6 +303,7 @@ pub(crate) struct SegmentMeta {
     pub(crate) sweep_budget: u64,
     pub(crate) stop: StopRule,
     pub(crate) track_violations: bool,
+    pub(crate) track_diagnostics: bool,
 }
 
 impl SegmentMeta {
@@ -269,6 +321,7 @@ impl SegmentMeta {
             sweep_budget: self.sweep_budget,
             stop: self.stop,
             track_violations: self.track_violations,
+            track_diagnostics: self.track_diagnostics,
             iterations: iterations.to_vec(),
         }
     }
@@ -311,6 +364,7 @@ mod tests {
             sweep_budget: 10,
             stop: StopRule::Threshold(0.9),
             track_violations: false,
+            track_diagnostics: false,
             iterations: vec![IterationStats::default()],
         }
     }
@@ -326,9 +380,22 @@ mod tests {
         thr.stop = StopRule::Threshold(0.95);
         let mut track = base.clone();
         track.track_violations = true;
-        for other in [&seed, &rule, &thr, &track] {
+        let mut diag = base.clone();
+        diag.track_diagnostics = true;
+        let mut conv = base.clone();
+        conv.stop = StopRule::Converged {
+            min_ess: 32,
+            window: 64,
+        };
+        let mut conv_other = base.clone();
+        conv_other.stop = StopRule::Converged {
+            min_ess: 32,
+            window: 128,
+        };
+        for other in [&seed, &rule, &thr, &track, &diag, &conv, &conv_other] {
             assert_ne!(base.config_hash(), other.config_hash());
         }
+        assert_ne!(conv.config_hash(), conv_other.config_hash());
         // ... but not to run-position fields.
         let mut pos = base.clone();
         pos.completed_sweeps = 5;
@@ -351,6 +418,20 @@ mod tests {
         let mut thr = state();
         thr.stop = StopRule::Threshold(f64::NAN);
         assert!(thr.validate().is_err());
+        for (min_ess, window) in [(0, 64), (8, 1), (65, 64)] {
+            let mut conv = state();
+            conv.stop = StopRule::Converged { min_ess, window };
+            assert!(
+                conv.validate().is_err(),
+                "min_ess {min_ess} window {window} must be rejected"
+            );
+        }
+        let mut conv_ok = state();
+        conv_ok.stop = StopRule::Converged {
+            min_ess: 32,
+            window: 64,
+        };
+        assert!(conv_ok.validate().is_ok());
     }
 
     #[test]

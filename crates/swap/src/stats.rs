@@ -18,6 +18,17 @@ pub struct IterationStats {
     pub self_loops: u64,
     /// Remaining multi-edge extras (only populated when tracking).
     pub multi_edges: u64,
+    /// Degree-product sum `Σ_{(u,v) ∈ E} d(u)·d(v)` over the current edge
+    /// list (the unnormalized numerator of degree assortativity; degrees are
+    /// swap-invariant, so the sum moves only when edges rewire). Maintained
+    /// incrementally in wrapping integer arithmetic and only populated when
+    /// [`crate::SwapConfig::track_diagnostics`] is set; 0 otherwise.
+    pub deg_product_sum: f64,
+    /// Signed wedge sketch `Σ_v W(v)²` where `W(v) = Σ_{u ∈ N(v)} s(u)`
+    /// over a seed-derived ±1 vertex hash `s` — a cheap O(changes)-per-swap
+    /// proxy for the graph's triangle/wedge structure. Only populated when
+    /// [`crate::SwapConfig::track_diagnostics`] is set; 0 otherwise.
+    pub wedge_sketch: f64,
 }
 
 impl IterationStats {
@@ -99,6 +110,7 @@ mod tests {
                     ever_swapped_fraction: 0.5,
                     self_loops: 2,
                     multi_edges: 1,
+                    ..Default::default()
                 },
                 IterationStats {
                     attempted_pairs: 10,
@@ -106,6 +118,7 @@ mod tests {
                     ever_swapped_fraction: 0.97,
                     self_loops: 0,
                     multi_edges: 0,
+                    ..Default::default()
                 },
             ],
             ..Default::default()

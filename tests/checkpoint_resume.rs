@@ -52,6 +52,18 @@ fn reference_run(n: u32, sweeps: usize, seed: u64) -> (EdgeList, Vec<swap::Itera
 /// Interrupt a run after `cut` sweeps and hand back the state as it went
 /// through the durable wire format (encode → write_atomic → load).
 fn interrupted_state_via_disk(n: u32, sweeps: usize, seed: u64, cut: u64, tag: &str) -> MixState {
+    interrupted_state_with_rule(n, StopRule::FixedSweeps, sweeps, seed, cut, tag)
+}
+
+/// As [`interrupted_state_via_disk`], under an arbitrary stop rule.
+fn interrupted_state_with_rule(
+    n: u32,
+    stop: StopRule,
+    sweeps: usize,
+    seed: u64,
+    cut: u64,
+    tag: &str,
+) -> MixState {
     let stop_flag = AtomicBool::new(false);
     let mut seen = 0u64;
     let mut captured: Option<MixState> = None;
@@ -71,7 +83,7 @@ fn interrupted_state_via_disk(n: u32, sweeps: usize, seed: u64, cut: u64, tag: &
     let mut graph = ring(n);
     let report = swap::try_mix_resumable(
         &mut graph,
-        StopRule::FixedSweeps,
+        stop,
         &MixingBudget::sweeps(sweeps),
         seed,
         &mut ctl,
@@ -127,6 +139,82 @@ fn interrupt_roundtrip_resume_is_byte_identical_across_pool_sizes() {
         assert_eq!(
             report.stats.iterations, ref_iters,
             "stitched per-sweep stats must equal the uninterrupted run's"
+        );
+    }
+}
+
+#[test]
+fn converged_rule_resumes_byte_identical_across_pool_sizes() {
+    // The adaptive-mixing diagnostics ride in the checkpoint: a run that
+    // is interrupted mid-window and resumed on any pool size must make
+    // the SAME stopping decision (stop at the same sweep) and land on the
+    // byte-identical graph, because the decision is a pure function of the
+    // replayed iteration series.
+    let (n, seed) = (240u32, 42u64);
+    let stop = StopRule::Converged {
+        min_ess: 24,
+        window: 48,
+    };
+    let budget = MixingBudget::sweeps(400);
+
+    let mut ref_graph = ring(n);
+    let ref_report = swap::try_mix_resumable(
+        &mut ref_graph,
+        stop,
+        &budget,
+        seed,
+        &mut MixControl::none(),
+        &mut SwapWorkspace::new(),
+        &RecoveryPolicy::default(),
+    )
+    .expect("uninterrupted converged run");
+    assert_eq!(ref_report.outcome, MixOutcome::Completed);
+    let decided_at = ref_report.stats.iterations.len();
+    assert!(
+        decided_at >= 48,
+        "the rule needs a full window before it can fire, stopped at {decided_at}"
+    );
+    let ref_bytes = serialize(&ref_graph);
+
+    // Cut inside the trailing window, after diagnostics have accumulated.
+    let cut = (decided_at / 2) as u64;
+    for threads in [1usize, 2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build pool");
+        let (resumed_graph, report) = pool.install(|| {
+            let state = interrupted_state_with_rule(
+                n,
+                stop,
+                400,
+                seed,
+                cut,
+                &format!("converged_pool{threads}"),
+            );
+            swap::resume_from(
+                &state,
+                &budget,
+                &mut MixControl::none(),
+                &mut SwapWorkspace::new(),
+                &RecoveryPolicy::default(),
+            )
+            .expect("resume")
+        });
+        assert_eq!(report.outcome, MixOutcome::Completed, "{threads} threads");
+        assert_eq!(
+            report.stats.iterations.len(),
+            decided_at,
+            "resumed run must stop at the same sweep on {threads} threads"
+        );
+        assert_eq!(
+            serialize(&resumed_graph),
+            ref_bytes,
+            "resumed graph must be byte-identical on {threads} threads"
+        );
+        assert_eq!(
+            report.stats.iterations, ref_report.stats.iterations,
+            "stitched per-sweep stats (observables included) must match"
         );
     }
 }

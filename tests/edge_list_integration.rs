@@ -44,6 +44,7 @@ fn multigraph_input_gets_simplified() {
         metrics: None,
         swap_shards: None,
         key_width: nullmodel::KeyWidth::Auto,
+        track_swap_diagnostics: false,
     };
     let (stats, _) = generate_from_edge_list(&mut g, &cfg);
     assert!(g.is_simple(), "not simplified after 30 iterations");
