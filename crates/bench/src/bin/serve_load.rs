@@ -21,6 +21,7 @@
 
 use graphcore::{io as gio, EdgeList};
 use serve::client;
+use serve::json::Value;
 use serve::{ServeConfig, Server};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -80,6 +81,19 @@ fn field(body: &str, key: &str) -> Option<String> {
         .and_then(|v| v.as_str().map(str::to_string))
 }
 
+fn num_field(body: &str, key: &str) -> Option<u64> {
+    serve::json::parse(body)
+        .ok()?
+        .get(key)
+        .and_then(Value::as_u64)
+}
+
+/// Resubmits attempted per job after a 503 before counting it as shed.
+const SHED_RETRIES: usize = 3;
+/// Ceiling on one honoured `retry_after_ms` hint, so a pathological hint
+/// cannot stall the harness.
+const RETRY_SLEEP_CAP: Duration = Duration::from_millis(2_000);
+
 fn main() {
     let jobs = env_usize("NULLGRAPH_SERVE_JOBS", 16);
     let samples = env_usize("NULLGRAPH_SERVE_SAMPLES", 4);
@@ -105,18 +119,45 @@ fn main() {
     let mut status = Series::default();
     let mut sample = Series::default();
     let mut accepted: Vec<String> = Vec::new();
-    let mut shed = 0usize;
+    let mut shed = 0usize; // permanently shed: still 503 after SHED_RETRIES
+    let mut shed_responses_503 = 0usize; // every 503 observed, retried or not
+    let mut shed_then_accepted = 0usize; // accepted only after >=1 503
 
     let t0 = Instant::now();
     for _ in 0..jobs {
         let q = format!("/jobs?samples={samples}&sweeps={sweeps}&seed=7");
-        let t = Instant::now();
-        let resp = client::post(addr, &q, &body, T).expect("submit");
-        submit.record(t.elapsed());
-        match resp.status {
-            202 => accepted.push(field(&resp.text(), "id").expect("id in 202")),
-            503 => shed += 1,
-            other => panic!("unexpected submit status {other}: {}", resp.text()),
+        let mut was_shed = false;
+        let mut landed = false;
+        for attempt in 0..=SHED_RETRIES {
+            let t = Instant::now();
+            let resp = client::post(addr, &q, &body, T).expect("submit");
+            submit.record(t.elapsed());
+            match resp.status {
+                202 => {
+                    accepted.push(field(&resp.text(), "id").expect("id in 202"));
+                    if was_shed {
+                        shed_then_accepted += 1;
+                    }
+                    landed = true;
+                }
+                503 => {
+                    shed_responses_503 += 1;
+                    was_shed = true;
+                    if attempt < SHED_RETRIES {
+                        // Honour the server's own backpressure hint, bounded
+                        // so a pathological hint cannot stall the harness.
+                        let hint = num_field(&resp.text(), "retry_after_ms").unwrap_or(100);
+                        std::thread::sleep(Duration::from_millis(hint).min(RETRY_SLEEP_CAP));
+                    }
+                }
+                other => panic!("unexpected submit status {other}: {}", resp.text()),
+            }
+            if landed {
+                break;
+            }
+        }
+        if !landed {
+            shed += 1;
         }
     }
 
@@ -165,6 +206,10 @@ fn main() {
         json,
         "  \"accepted\": {}, \"shed\": {shed},",
         accepted.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"shed_responses_503\": {shed_responses_503}, \"shed_then_accepted\": {shed_then_accepted},"
     );
     let _ = writeln!(
         json,

@@ -25,8 +25,7 @@ mod crc32;
 pub use crc32::crc32;
 
 use std::fmt;
-use std::fs::File;
-use std::io::{self, Read as _, Write as _};
+use std::io;
 use std::path::Path;
 
 use fault::GenError;
@@ -188,42 +187,41 @@ impl From<GenError> for LoadError {
 /// durable. Readers racing a writer see either the old file or the new
 /// one, each complete.
 pub fn write_atomic(path: &Path, snap: &Snapshot) -> io::Result<usize> {
+    write_atomic_vfs(&vfs::RealVfs, path, snap)
+}
+
+/// [`write_atomic`] through an explicit [`vfs::Vfs`], so checkpoint
+/// persistence is chaos-testable with a fault-injecting filesystem.
+pub fn write_atomic_vfs(fs: &dyn vfs::Vfs, path: &Path, snap: &Snapshot) -> io::Result<usize> {
     let bytes = codec::encode(snap);
-    let parent = match path.parent() {
-        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
-        _ => std::path::PathBuf::from("."),
-    };
-    let name = path.file_name().ok_or_else(|| {
-        io::Error::new(
-            io::ErrorKind::InvalidInput,
-            "checkpoint path has no file name",
-        )
-    })?;
-    let tmp = parent.join(format!(".{}.tmp", name.to_string_lossy()));
-    let result = (|| {
-        let mut f = File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_all()?;
-        drop(f);
-        std::fs::rename(&tmp, path)?;
-        // Make the rename durable. Directory fsync is not supported
-        // everywhere (and never on non-unix); failure to open the
-        // directory is not failure to checkpoint.
-        if let Ok(dir) = File::open(&parent) {
-            let _ = dir.sync_all();
-        }
-        Ok(bytes.len())
-    })();
-    if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-    }
-    result
+    vfs::write_atomic(fs, path, &bytes)?;
+    Ok(bytes.len())
+}
+
+/// [`write_atomic_vfs`] under a bounded deterministic retry policy:
+/// transient faults (EIO-class) are retried with seeded backoff, ENOSPC
+/// fast-fails, and an unrecovered fault surfaces as the typed
+/// [`GenError::StorageExhausted`] / [`GenError::StorageIo`]. Returns the
+/// byte count written.
+pub fn write_atomic_retry(
+    fs: &dyn vfs::Vfs,
+    path: &Path,
+    snap: &Snapshot,
+    policy: &vfs::RetryPolicy,
+) -> Result<usize, GenError> {
+    let bytes = codec::encode(snap);
+    vfs::write_atomic_retry(fs, path, &bytes, policy)?;
+    Ok(bytes.len())
 }
 
 /// Read and fully validate a checkpoint file.
 pub fn load(path: &Path) -> Result<Snapshot, LoadError> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
+    load_vfs(&vfs::RealVfs, path)
+}
+
+/// [`load`] through an explicit [`vfs::Vfs`].
+pub fn load_vfs(fs: &dyn vfs::Vfs, path: &Path) -> Result<Snapshot, LoadError> {
+    let bytes = fs.read(path)?;
     Ok(codec::decode(&bytes, &path.to_string_lossy())?)
 }
 

@@ -67,6 +67,7 @@ const FLAGS: &[&str] = &[
     "control",
     "until-mixed",
     "until-converged",
+    "chaos",
 ];
 
 impl Parsed {

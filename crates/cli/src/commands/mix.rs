@@ -16,7 +16,6 @@ use crate::args::{ArgError, Parsed};
 use ckpt::{Snapshot, SwapCounters};
 use graphcore::{io, EdgeList};
 use nullmodel::GeneratorConfig;
-use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -147,7 +146,10 @@ pub fn run(args: &Parsed) -> Result<(), CliError> {
     debug_assert_eq!(graph.degree_distribution(), before);
     io::save_edge_list(&graph, &out_path)?;
     if let (Some(path), Some(m)) = (args.get("metrics"), &metrics) {
-        std::fs::write(path, metrics_json(m, &stats, StopRule::FixedSweeps))?;
+        super::write_sink(
+            path,
+            metrics_json(m, &stats, StopRule::FixedSweeps).as_bytes(),
+        )?;
     }
     super::write_fault_log(args, &stats.events)?;
     print_summary(args, &graph, &stats, &timings.to_string());
@@ -177,12 +179,14 @@ fn parse_cadence(raw: &str) -> Result<CheckpointPolicy, ArgError> {
     }
 }
 
-/// Persist one snapshot atomically, tallying the ckpt metrics counters.
+/// Persist one snapshot atomically through the CLI VFS (bounded retry on
+/// transient faults; ENOSPC fast-fails as the typed `storage_exhausted`),
+/// tallying the ckpt and storage metrics counters.
 fn persist(
     path: &Path,
     state: &MixState,
     metrics: Option<&Arc<obs::Metrics>>,
-) -> std::io::Result<usize> {
+) -> Result<usize, GenError> {
     let snap = Snapshot {
         state: state.clone(),
         counters: metrics
@@ -190,13 +194,28 @@ fn persist(
             .unwrap_or_default(),
     };
     let t0 = Instant::now();
-    let bytes = ckpt::write_atomic(path, &snap)?;
+    let bytes = ckpt::codec::encode(&snap);
+    // Jitter seeded from the run's own seed: a chaos campaign replaying
+    // the same command line sees the same backoff schedule.
+    let outcome = vfs::write_atomic_retry(
+        super::cli_vfs().as_ref(),
+        path,
+        &bytes,
+        &vfs::RetryPolicy::new(snap.state.seed),
+    );
     if let Some(m) = metrics {
-        m.ckpt_writes.incr();
-        m.ckpt_bytes_written.add(bytes as u64);
-        m.ckpt_write_ns.add(t0.elapsed().as_nanos() as u64);
+        match &outcome {
+            Ok(retries) => {
+                m.ckpt_writes.incr();
+                m.ckpt_bytes_written.add(bytes.len() as u64);
+                m.ckpt_write_ns.add(t0.elapsed().as_nanos() as u64);
+                m.storage_retries.add(u64::from(*retries));
+            }
+            Err(_) => m.storage_faults.incr(),
+        }
     }
-    Ok(bytes)
+    outcome?;
+    Ok(bytes.len())
 }
 
 /// The checkpoint/resume-aware mixing path.
@@ -247,7 +266,8 @@ fn run_resumable(args: &Parsed, out_path: &str) -> Result<(), CliError> {
             }
             let resume_path = args.require("resume")?;
             let t0 = Instant::now();
-            let snap = ckpt::load(Path::new(resume_path)).map_err(CliError::from)?;
+            let snap = ckpt::load_vfs(super::cli_vfs().as_ref(), Path::new(resume_path))
+                .map_err(CliError::from)?;
             if let Some(m) = &metrics {
                 // A fresh registry seeded with the checkpoint's totals
                 // reports run-lifetime counters, as if never interrupted.
@@ -273,23 +293,14 @@ fn run_resumable(args: &Parsed, out_path: &str) -> Result<(), CliError> {
 
     let interrupt = crate::signal::install_interrupt_flag();
     // A checkpoint the sink cannot write is a hard failure (the operator
-    // asked for durability), but `GenError` has no IO variant — stash the
-    // real error and surface it as exit 3 after the run unwinds.
-    let sink_io: RefCell<Option<std::io::Error>> = RefCell::new(None);
+    // asked for durability): `persist` surfaces it as the typed
+    // `storage_exhausted` / `storage_io` error, which unwinds the run
+    // cleanly — the target is atomic-or-absent, never half-written.
     let metrics_for_sink = metrics.clone();
     let ckpt_for_sink = ckpt_path.clone();
     let mut sink = |state: &MixState| -> Result<(), GenError> {
-        match persist(&ckpt_for_sink, state, metrics_for_sink.as_ref()) {
-            Ok(_) => Ok(()),
-            Err(e) => {
-                let msg = format!(
-                    "checkpoint write to '{}' failed: {e}",
-                    ckpt_for_sink.display()
-                );
-                *sink_io.borrow_mut() = Some(e);
-                Err(GenError::bad_input(msg))
-            }
-        }
+        persist(&ckpt_for_sink, state, metrics_for_sink.as_ref())?;
+        Ok(())
     };
     let mut ctl = MixControl {
         interrupt,
@@ -324,21 +335,13 @@ fn run_resumable(args: &Parsed, out_path: &str) -> Result<(), CliError> {
             .map(|report| (graph, report))
         }
     };
-    let (graph, report) = match run_result {
-        Ok(x) => x,
-        Err(e) => {
-            if let Some(io_err) = sink_io.borrow_mut().take() {
-                return Err(CliError::Io(io_err));
-            }
-            return Err(e.into());
-        }
-    };
+    let (graph, report) = run_result.map_err(CliError::from)?;
 
     // The partial (or final) graph and the metrics post-mortem are written
     // whatever the outcome; the checkpoint only when there is more to do.
     io::save_edge_list(&graph, out_path)?;
     if let (Some(path), Some(m)) = (args.get("metrics"), &metrics) {
-        std::fs::write(path, metrics_json(m, &report.stats, stop))?;
+        super::write_sink(path, metrics_json(m, &report.stats, stop).as_bytes())?;
     }
     super::write_fault_log(args, &report.stats.events)?;
     let resume_hint = |ckpt: &Path| {

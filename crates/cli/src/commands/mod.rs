@@ -13,7 +13,44 @@ pub mod verify;
 use crate::args::Parsed;
 use fault::GenError;
 use std::fmt;
-use std::sync::Arc;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+
+/// The process-wide VFS every CLI sink writes through.
+///
+/// Defaults to the passthrough [`vfs::RealVfs`]. When the
+/// `NULLGRAPH_CHAOS_OPS` environment variable is set (a fault script such
+/// as `enospc@12,eio@5-7` or `sampled:SEED:RATE`, see
+/// [`vfs::FaultVfs::from_env`]), every checkpoint, metrics, and fault-log
+/// write routes through a deterministic [`vfs::FaultVfs`] instead — the
+/// chaos campaign drives the *real* binary this way, not a test double.
+/// A malformed script aborts at first use with a usage-style message
+/// rather than silently running fault-free.
+pub(crate) fn cli_vfs() -> &'static Arc<dyn vfs::Vfs> {
+    static VFS: OnceLock<Arc<dyn vfs::Vfs>> = OnceLock::new();
+    VFS.get_or_init(|| match vfs::FaultVfs::from_env("NULLGRAPH_CHAOS_OPS") {
+        Ok(Some(faulty)) => Arc::new(faulty),
+        Ok(None) => Arc::new(vfs::RealVfs),
+        Err(msg) => {
+            eprintln!("error: invalid NULLGRAPH_CHAOS_OPS: {msg}");
+            std::process::exit(2);
+        }
+    })
+}
+
+/// Write `bytes` to `path` through the CLI VFS with the default bounded
+/// retry policy, mapping persistent faults to typed [`GenError`]s
+/// (`storage_exhausted` / `storage_io`) instead of a bare exit-3 IO error.
+pub(crate) fn write_sink(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    vfs::write_atomic_retry(
+        cli_vfs().as_ref(),
+        Path::new(path),
+        bytes,
+        &vfs::RetryPolicy::new(0),
+    )
+    .map_err(CliError::Gen)?;
+    Ok(())
+}
 
 /// `--metrics <path>` plumbing shared by `generate`, `mix` and `verify`:
 /// a fresh [`obs::Metrics`] registry when the flag was given, else `None`
@@ -47,7 +84,7 @@ pub(crate) fn write_metrics_snapshot(
         if !json.ends_with('\n') {
             json.push('\n');
         }
-        std::fs::write(path, json)?;
+        write_sink(path, json.as_bytes())?;
     }
     Ok(())
 }
@@ -68,7 +105,7 @@ pub(crate) fn write_fault_log(args: &Parsed, log: &fault::FaultLog) -> Result<()
         let path = args.require("fault-log")?;
         let mut json = log.to_json();
         json.push('\n');
-        std::fs::write(path, json)?;
+        write_sink(path, json.as_bytes())?;
     }
     Ok(())
 }

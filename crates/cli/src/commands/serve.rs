@@ -24,7 +24,19 @@ const POLL: Duration = Duration::from_millis(50);
 /// Run the command. Returns when the server has fully drained.
 pub fn run(args: &Parsed) -> Result<(), CliError> {
     let config = config_from_args(args)?;
-    let server = Server::start(config)?;
+    let server = Server::start(config).map_err(|e| match e {
+        // A state directory we cannot write is an operator mistake, not a
+        // runtime storage fault: fail fast with the typed bad_input error
+        // before accepting (and then losing) any jobs.
+        serve::BootError::UnwritableState { path, source } => {
+            CliError::Gen(fault::GenError::BadInput {
+                line: None,
+                text: path.display().to_string(),
+                reason: format!("--state is not writable: {source}"),
+            })
+        }
+        serve::BootError::Io(io) => CliError::Io(io),
+    })?;
     // Scripts parse this line to discover an ephemeral port; flush so a
     // piped stdout delivers it before the server blocks.
     println!("listening on {}", server.local_addr());
@@ -76,6 +88,13 @@ fn config_from_args(args: &Parsed) -> Result<ServeConfig, CliError> {
     if args.get("checkpoint-wall-ms").is_some() {
         config.checkpoint_wall = Duration::from_millis(args.require_parsed("checkpoint-wall-ms")?);
     }
+    // --chaos enables the chaos hooks (panic_member submissions) and
+    // routes every durable write through the process-wide CLI VFS, which
+    // honours NULLGRAPH_CHAOS_OPS fault scripts.
+    if args.flag("chaos") {
+        config.chaos = true;
+    }
+    config.vfs = std::sync::Arc::clone(super::cli_vfs());
     Ok(config)
 }
 

@@ -145,7 +145,7 @@ USAGE:
       distribution, or mix an existing 'from to' edge list.
 
   nullgraph serve --state <dir> [--addr HOST:PORT] [--queue-cap N] [--workers N]
-            [--http-threads N] [--pool-cap N] [--checkpoint-wall-ms N]
+            [--http-threads N] [--pool-cap N] [--checkpoint-wall-ms N] [--chaos]
       Run the ensemble server: POST an edge list to /jobs to generate an
       ensemble of mixed null models, poll /jobs/<id>, fetch
       /jobs/<id>/samples/<k>, or follow /jobs/<id>/stream. Admission is
@@ -155,13 +155,25 @@ USAGE:
       SIGINT or SIGTERM drain gracefully: in-flight members checkpoint,
       accepted-but-unfinished jobs stay owed in --state and resume on the
       next boot, byte-identical to an uninterrupted run. A cancelled job
-      reports error_code=job_cancelled (exit 12). --state is durable
+      reports error_code=job_cancelled (exit 12); a job whose worker
+      panicked lands as error_code=job_failed (exit 15) while the server
+      keeps serving siblings. An unwritable --state fails fast at boot
+      with error_code=bad_input (exit 4). --chaos enables deterministic
+      fault-injection hooks (panic_member submissions). --state is durable
       ground truth: 'nullgraph serve' over the same directory finishes
       whatever an earlier (even SIGKILLed) process left behind.
 
   Common flags: --metrics <file> writes a JSON counters snapshot (with an
   embedded \"fault_log\" section on generate/mix); --fault-log <file>
-  writes just the fault_log_v1 recovery-event log."
+  writes just the fault_log_v1 recovery-event log.
+
+  Storage faults: durable writes (checkpoints, samples, metrics,
+  fault logs, serve state) are atomic-or-absent. Out-of-space fails with
+  error_code=storage_exhausted (exit 13); an I/O fault that persists
+  through bounded deterministic retries fails with error_code=storage_io
+  (exit 14). Setting NULLGRAPH_CHAOS_OPS (e.g. 'enospc@12,eio@5-7' or
+  'sampled:SEED:RATE') routes every durable write through a deterministic
+  fault-injecting filesystem for chaos testing."
 }
 
 #[cfg(test)]

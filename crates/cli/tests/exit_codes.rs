@@ -396,6 +396,180 @@ fn job_cancelled_maps_to_exit_12_in_process() {
     assert_eq!(e.error_code(), "job_cancelled");
 }
 
+/// Spawn the binary with a `NULLGRAPH_CHAOS_OPS` fault script routing
+/// every durable write through the deterministic fault-injecting VFS.
+fn nullgraph_chaos(script: &str, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_nullgraph"))
+        .env("NULLGRAPH_CHAOS_OPS", script)
+        .args(args)
+        .output()
+        .expect("spawn nullgraph")
+}
+
+#[test]
+fn enospc_on_checkpoint_write_is_storage_exhausted_exit_13() {
+    let input = write("enospc_in.txt", "0 1\n2 3\n4 5\n6 7\n");
+    let ckpt = tmp("enospc_run.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+    // Op 0 is the first checkpoint's tmp-file write: a full disk there
+    // must fail typed, and the atomic protocol leaves no checkpoint.
+    let r = nullgraph_chaos(
+        "enospc@0",
+        &[
+            "mix",
+            "--input",
+            input.to_str().unwrap(),
+            "--out",
+            tmp("enospc_out.txt").to_str().unwrap(),
+            "--iterations",
+            "3",
+            "--seed",
+            "5",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+        ],
+    );
+    assert_eq!(r.status.code(), Some(13), "stderr: {}", stderr(&r));
+    assert!(
+        stderr(&r).contains("error_code=storage_exhausted"),
+        "stderr: {}",
+        stderr(&r)
+    );
+    assert!(!ckpt.exists(), "half-written checkpoint left behind");
+}
+
+#[test]
+fn persistent_eio_is_storage_io_exit_14() {
+    let input = write("eio_in.txt", "0 1\n2 3\n4 5\n6 7\n");
+    // A dense EIO band outlasts the bounded retry budget; a single fault
+    // would be absorbed (see the recovery test below).
+    let r = nullgraph_chaos(
+        "eio@0-40",
+        &[
+            "mix",
+            "--input",
+            input.to_str().unwrap(),
+            "--out",
+            tmp("eio_out.txt").to_str().unwrap(),
+            "--iterations",
+            "3",
+            "--seed",
+            "5",
+            "--checkpoint",
+            tmp("eio_run.ckpt").to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+        ],
+    );
+    assert_eq!(r.status.code(), Some(14), "stderr: {}", stderr(&r));
+    assert!(
+        stderr(&r).contains("error_code=storage_io"),
+        "stderr: {}",
+        stderr(&r)
+    );
+}
+
+#[test]
+fn single_transient_eio_is_absorbed_by_retries() {
+    // One EIO against the default bounded-retry policy: the run recovers
+    // and its output is byte-identical to the fault-free run.
+    let input = write("eio1_in.txt", "0 1\n2 3\n4 5\n6 7\n");
+    let out_clean = tmp("eio1_clean.txt");
+    let out_faulty = tmp("eio1_faulty.txt");
+    let base = |out: &PathBuf, ckpt: &str| {
+        vec![
+            "mix".to_string(),
+            "--input".into(),
+            input.to_str().unwrap().into(),
+            "--out".into(),
+            out.to_str().unwrap().into(),
+            "--iterations".into(),
+            "3".into(),
+            "--seed".into(),
+            "5".into(),
+            "--checkpoint".into(),
+            tmp(ckpt).to_str().unwrap().into(),
+            "--checkpoint-every".into(),
+            "1".into(),
+        ]
+    };
+    let clean_args = base(&out_clean, "eio1_clean.ckpt");
+    let clean: Vec<&str> = clean_args.iter().map(String::as_str).collect();
+    let r = nullgraph(&clean);
+    assert_eq!(r.status.code(), Some(0), "stderr: {}", stderr(&r));
+    let faulty_args = base(&out_faulty, "eio1_faulty.ckpt");
+    let faulty: Vec<&str> = faulty_args.iter().map(String::as_str).collect();
+    let r = nullgraph_chaos("eio@1", &faulty);
+    assert_eq!(r.status.code(), Some(0), "stderr: {}", stderr(&r));
+    assert_eq!(
+        std::fs::read(&out_clean).unwrap(),
+        std::fs::read(&out_faulty).unwrap(),
+        "retry recovery must not perturb the trajectory"
+    );
+}
+
+#[test]
+fn malformed_chaos_script_is_usage_exit_2() {
+    let input = write("badscript_in.txt", "0 1\n2 3\n");
+    let r = nullgraph_chaos(
+        "kaboom@wat",
+        &[
+            "mix",
+            "--input",
+            input.to_str().unwrap(),
+            "--out",
+            tmp("badscript_out.txt").to_str().unwrap(),
+            "--iterations",
+            "1",
+            "--checkpoint",
+            tmp("badscript.ckpt").to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+        ],
+    );
+    assert_eq!(r.status.code(), Some(2), "stderr: {}", stderr(&r));
+    assert!(
+        stderr(&r).contains("NULLGRAPH_CHAOS_OPS"),
+        "stderr: {}",
+        stderr(&r)
+    );
+}
+
+#[test]
+fn unwritable_serve_state_is_bad_input_exit_4() {
+    // Nest --state under a regular file: mkdir can never succeed there,
+    // even for root (a chmod-based probe would be waved through). The
+    // server must fail fast at boot, before binding the listener.
+    let blocker = write("serve_state_blocker", "not a directory\n");
+    let state = blocker.join("state");
+    let r = nullgraph(&[
+        "serve",
+        "--state",
+        state.to_str().unwrap(),
+        "--addr",
+        "127.0.0.1:0",
+    ]);
+    assert_eq!(r.status.code(), Some(4), "stderr: {}", stderr(&r));
+    let err = stderr(&r);
+    assert!(err.contains("error_code=bad_input"), "stderr: {err}");
+    assert!(err.contains("not writable"), "stderr: {err}");
+}
+
+#[test]
+fn job_panicked_maps_to_exit_15_in_process() {
+    // The spawned-server version (a real panicking worker behind HTTP)
+    // lives in crates/serve/tests/chaos.rs; this pins the CLI mapping.
+    let e = nullgraph_cli::commands::CliError::from(fault::GenError::JobPanicked {
+        job_id: "j00000001".into(),
+        member: 1,
+        message: "chaos: injected panic in member 1".into(),
+    });
+    assert_eq!(e.exit_code(), 15);
+    assert_eq!(e.error_code(), "job_failed");
+}
+
 #[test]
 fn shards_zero_is_usage_exit_2_on_both_commands() {
     let dist = write("shards0_dist.txt", "2 30\n4 10\n");

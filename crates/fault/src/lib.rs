@@ -133,6 +133,44 @@ pub enum GenError {
         /// Ensemble samples that had completed before the cancel landed.
         samples_done: usize,
     },
+    /// The storage device ran out of space (ENOSPC) while persisting a
+    /// checkpoint, sample, or spec. Not retried — free space does not
+    /// reappear on a backoff timescale — but the atomic write protocol
+    /// guarantees the target file is either the previous complete version
+    /// or absent, never half-written.
+    StorageExhausted {
+        /// The filesystem operation that failed (`"write"`, `"fsync"`, ...).
+        op: String,
+        /// The path being written.
+        path: String,
+        /// Retry attempts spent before classification (0 for fast-fail).
+        retries: u32,
+    },
+    /// A storage I/O fault (EIO, short write, failed fsync, torn rename)
+    /// persisted through the bounded deterministic retry-with-backoff
+    /// policy. The atomic write protocol guarantees the target file is the
+    /// previous complete version or absent.
+    StorageIo {
+        /// The filesystem operation that failed.
+        op: String,
+        /// The path being written or read.
+        path: String,
+        /// Retry attempts spent before giving up.
+        retries: u32,
+        /// The underlying I/O error, rendered.
+        reason: String,
+    },
+    /// A mixing worker panicked while running an ensemble member. The panic
+    /// was caught at the job boundary (`catch_unwind`); the job lands in a
+    /// typed `job_failed` terminal status and the server keeps serving.
+    JobPanicked {
+        /// The poisoned job's identifier.
+        job_id: String,
+        /// Zero-based ensemble member index that panicked.
+        member: usize,
+        /// The panic payload, rendered (empty when not a string).
+        message: String,
+    },
 }
 
 impl GenError {
@@ -148,6 +186,9 @@ impl GenError {
             Self::CorruptCheckpoint { .. } => "corrupt_checkpoint",
             Self::Overloaded { .. } => "overloaded",
             Self::JobCancelled { .. } => "job_cancelled",
+            Self::StorageExhausted { .. } => "storage_exhausted",
+            Self::StorageIo { .. } => "storage_io",
+            Self::JobPanicked { .. } => "job_failed",
         }
     }
 
@@ -165,6 +206,9 @@ impl GenError {
             Self::CorruptCheckpoint { .. } => 9,
             Self::Overloaded { .. } => 11,
             Self::JobCancelled { .. } => 12,
+            Self::StorageExhausted { .. } => 13,
+            Self::StorageIo { .. } => 14,
+            Self::JobPanicked { .. } => 15,
         }
     }
 
@@ -275,6 +319,32 @@ impl fmt::Display for GenError {
                 f,
                 "job {job_id} cancelled after {samples_done} completed samples"
             ),
+            Self::StorageExhausted { op, path, retries } => write!(
+                f,
+                "storage exhausted (ENOSPC) during {op} of '{path}' \
+                 ({retries} retries spent); target left atomic-or-absent"
+            ),
+            Self::StorageIo {
+                op,
+                path,
+                retries,
+                reason,
+            } => write!(
+                f,
+                "storage I/O fault during {op} of '{path}' persisted through \
+                 {retries} retries: {reason}"
+            ),
+            Self::JobPanicked {
+                job_id,
+                member,
+                message,
+            } => {
+                write!(f, "job {job_id} poisoned: member {member} panicked")?;
+                if !message.is_empty() {
+                    write!(f, " ({message})")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -317,6 +387,31 @@ pub enum FaultEvent {
         /// Grow attempts that had been spent before degrading.
         after_grows: u32,
     },
+    /// A storage fault was injected (by a `FaultVfs`) or observed at a
+    /// filesystem operation.
+    IoFault {
+        /// The filesystem operation (`"write"`, `"fsync"`, `"rename"`, ...).
+        op: &'static str,
+        /// The fault class (`"enospc"`, `"eio"`, `"short_write"`,
+        /// `"torn_rename"`, `"fsync_fail"`).
+        kind: &'static str,
+        /// The path the operation targeted.
+        path: String,
+        /// Zero-based VFS operation index at which the fault fired.
+        index: u64,
+    },
+    /// A transient storage fault was retried under the bounded deterministic
+    /// backoff policy.
+    IoRetry {
+        /// The filesystem operation being retried.
+        op: &'static str,
+        /// The path the operation targeted.
+        path: String,
+        /// 1-based retry attempt number.
+        attempt: u32,
+        /// Backoff slept before this attempt, in milliseconds.
+        backoff_ms: u64,
+    },
 }
 
 impl fmt::Display for FaultEvent {
@@ -337,14 +432,50 @@ impl fmt::Display for FaultEvent {
                 f,
                 "parallel sweeps degraded to serial after {after_grows} grow attempts"
             ),
+            Self::IoFault {
+                op,
+                kind,
+                path,
+                index,
+            } => write!(f, "{kind} injected at {op} of '{path}' (vfs op #{index})"),
+            Self::IoRetry {
+                op,
+                path,
+                attempt,
+                backoff_ms,
+            } => write!(
+                f,
+                "retry #{attempt} of {op} on '{path}' after {backoff_ms}ms backoff"
+            ),
         }
     }
 }
 
+/// Escape a string for embedding inside a JSON string literal (hand-rolled;
+/// the workspace carries no serde). Quotes, backslashes, and control bytes
+/// are escaped; everything else passes through verbatim.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(&mut out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl FaultEvent {
     /// One-line JSON object for this event (hand-rolled; the workspace
-    /// carries no serde). Every field is a number or a static table name,
-    /// so no string escaping is needed.
+    /// carries no serde). Free-form strings (paths) go through
+    /// [`json_escape`]; the remaining fields are numbers or static names.
     pub fn to_json(&self) -> String {
         match self {
             Self::TableGrown {
@@ -361,6 +492,26 @@ impl FaultEvent {
             Self::SerialFallback { after_grows } => {
                 format!("{{\"type\":\"serial_fallback\",\"after_grows\":{after_grows}}}")
             }
+            Self::IoFault {
+                op,
+                kind,
+                path,
+                index,
+            } => format!(
+                "{{\"type\":\"io_fault\",\"op\":\"{op}\",\"kind\":\"{kind}\",\
+                 \"path\":\"{}\",\"index\":{index}}}",
+                json_escape(path)
+            ),
+            Self::IoRetry {
+                op,
+                path,
+                attempt,
+                backoff_ms,
+            } => format!(
+                "{{\"type\":\"io_retry\",\"op\":\"{op}\",\"path\":\"{}\",\
+                 \"attempt\":{attempt},\"backoff_ms\":{backoff_ms}}}",
+                json_escape(path)
+            ),
         }
     }
 }
@@ -524,6 +675,22 @@ mod tests {
                 job_id: "j00000001".into(),
                 samples_done: 3,
             },
+            GenError::StorageExhausted {
+                op: "write".into(),
+                path: "/tmp/run.ckpt".into(),
+                retries: 0,
+            },
+            GenError::StorageIo {
+                op: "fsync".into(),
+                path: "/tmp/run.ckpt".into(),
+                retries: 3,
+                reason: "Input/output error".into(),
+            },
+            GenError::JobPanicked {
+                job_id: "j00000002".into(),
+                member: 1,
+                message: "boom".into(),
+            },
         ];
         let mut exits: Vec<i32> = errs.iter().map(GenError::exit_code).collect();
         let mut names: Vec<&str> = errs.iter().map(GenError::error_code).collect();
@@ -602,7 +769,7 @@ mod tests {
             .iter()
             .map(|e| match e {
                 FaultEvent::TableGrown { attempt, .. } => *attempt,
-                FaultEvent::SerialFallback { .. } => u32::MAX,
+                _ => u32::MAX,
             })
             .collect();
         assert_eq!(attempts, vec![2, 3, 4]);
@@ -656,6 +823,63 @@ mod tests {
             "{json}"
         );
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn storage_errors_carry_op_path_and_retries() {
+        let e = GenError::StorageExhausted {
+            op: "write".into(),
+            path: "/data/out.ckpt".into(),
+            retries: 0,
+        };
+        assert_eq!(e.exit_code(), 13);
+        assert_eq!(e.error_code(), "storage_exhausted");
+        assert!(e.to_string().contains("/data/out.ckpt"), "{e}");
+        let e = GenError::StorageIo {
+            op: "rename".into(),
+            path: "/data/out.ckpt".into(),
+            retries: 3,
+            reason: "Input/output error".into(),
+        };
+        assert_eq!(e.exit_code(), 14);
+        assert_eq!(e.error_code(), "storage_io");
+        let s = e.to_string();
+        assert!(s.contains("3 retries") && s.contains("rename"), "{s}");
+        let e = GenError::JobPanicked {
+            job_id: "j2a".into(),
+            member: 4,
+            message: "index out of bounds".into(),
+        };
+        assert_eq!(e.exit_code(), 15);
+        assert_eq!(e.error_code(), "job_failed");
+        let s = e.to_string();
+        assert!(s.contains("j2a") && s.contains("member 4"), "{s}");
+    }
+
+    #[test]
+    fn io_fault_events_escape_paths_in_json() {
+        let e = FaultEvent::IoFault {
+            op: "write",
+            kind: "enospc",
+            path: "/tmp/we\"ird\\dir/a.ckpt".into(),
+            index: 12,
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"type\":\"io_fault\""), "{json}");
+        assert!(json.contains("\\\"ird\\\\dir"), "{json}");
+        assert!(json.contains("\"index\":12"), "{json}");
+        let e = FaultEvent::IoRetry {
+            op: "fsync",
+            path: "/tmp/a.ckpt".into(),
+            attempt: 2,
+            backoff_ms: 40,
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"type\":\"io_retry\""), "{json}");
+        assert!(json.contains("\"backoff_ms\":40"), "{json}");
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\nb"), "a\\nb");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]

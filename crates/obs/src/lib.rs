@@ -292,6 +292,12 @@ pub struct Metrics {
     pub ckpt_write_ns: Counter,
     /// Nanoseconds spent reading + validating checkpoints.
     pub ckpt_load_ns: Counter,
+    /// Storage-fault retries spent (and recovered) by the bounded
+    /// write-side retry policy.
+    pub storage_retries: Counter,
+    /// Storage faults that persisted through the retry policy and
+    /// surfaced as typed `storage_*` errors.
+    pub storage_faults: Counter,
     /// Nanoseconds in the probability-solve phase.
     pub phase_probabilities_ns: Counter,
     /// Nanoseconds in the edge-generation (edge-skip) phase.
@@ -349,6 +355,8 @@ impl Metrics {
             ckpt_bytes_written: self.ckpt_bytes_written.get(),
             ckpt_write_ns: self.ckpt_write_ns.get(),
             ckpt_load_ns: self.ckpt_load_ns.get(),
+            storage_retries: self.storage_retries.get(),
+            storage_faults: self.storage_faults.get(),
             phase_probabilities_ns: self.phase_probabilities_ns.get(),
             phase_edge_generation_ns: self.phase_edge_generation_ns.get(),
             phase_permute_ns: self.phase_permute_ns.get(),
@@ -406,6 +414,10 @@ pub struct MetricsSnapshot {
     pub ckpt_write_ns: u64,
     /// See [`Metrics::ckpt_load_ns`].
     pub ckpt_load_ns: u64,
+    /// See [`Metrics::storage_retries`].
+    pub storage_retries: u64,
+    /// See [`Metrics::storage_faults`].
+    pub storage_faults: u64,
     /// See [`Metrics::phase_probabilities_ns`].
     pub phase_probabilities_ns: u64,
     /// See [`Metrics::phase_edge_generation_ns`].
@@ -449,6 +461,8 @@ impl MetricsSnapshot {
             ckpt_bytes_written: 0,
             ckpt_write_ns: 0,
             ckpt_load_ns: 0,
+            storage_retries: 0,
+            storage_faults: 0,
             ..self.clone()
         }
     }
@@ -512,6 +526,10 @@ impl MetricsSnapshot {
         let _ = writeln!(j, "    \"bytes_written\": {},", self.ckpt_bytes_written);
         let _ = writeln!(j, "    \"write_ns\": {},", self.ckpt_write_ns);
         let _ = writeln!(j, "    \"load_ns\": {}", self.ckpt_load_ns);
+        let _ = writeln!(j, "  }},");
+        let _ = writeln!(j, "  \"storage\": {{");
+        let _ = writeln!(j, "    \"retries\": {},", self.storage_retries);
+        let _ = writeln!(j, "    \"faults\": {}", self.storage_faults);
         let _ = writeln!(j, "  }},");
         let _ = writeln!(j, "  \"phases_ns\": {{");
         let _ = writeln!(j, "    \"probabilities\": {},", self.phase_probabilities_ns);

@@ -74,6 +74,14 @@ pub struct ServeMetrics {
     pub jobs_drained: Counter,
     /// Ensemble samples written durably.
     pub samples_written: Counter,
+    /// Mixing workers whose panic was caught at the job boundary
+    /// (the job landed as a typed `job_failed` terminal status).
+    pub jobs_panicked: Counter,
+    /// Ensemble-member re-runs after a transient storage failure.
+    pub member_retries: Counter,
+    /// Submissions refused with a typed `storage_exhausted` response
+    /// while the server was in ENOSPC-degraded mode.
+    pub jobs_shed_storage: Counter,
 
     /// Admission-queue depth at last enqueue/dequeue.
     pub queue_depth: GaugeF64,
@@ -112,6 +120,12 @@ impl ServeMetrics {
             jobs_resumed: self.jobs_resumed.get(),
             jobs_drained: self.jobs_drained.get(),
             samples_written: self.samples_written.get(),
+            jobs_panicked: self.jobs_panicked.get(),
+            member_retries: self.member_retries.get(),
+            jobs_shed_storage: self.jobs_shed_storage.get(),
+            fault_injected_total: 0,
+            fault_dropped_events: 0,
+            fault_by_kind: Vec::new(),
             queue_depth: self.queue_depth.get(),
             latency_count: self.request_latency_us.count(),
             latency_sum_us: self.request_latency_us.sum(),
@@ -167,6 +181,19 @@ pub struct ServeMetricsSnapshot {
     pub jobs_drained: u64,
     /// See [`ServeMetrics::samples_written`].
     pub samples_written: u64,
+    /// See [`ServeMetrics::jobs_panicked`].
+    pub jobs_panicked: u64,
+    /// See [`ServeMetrics::member_retries`].
+    pub member_retries: u64,
+    /// See [`ServeMetrics::jobs_shed_storage`].
+    pub jobs_shed_storage: u64,
+    /// Storage faults injected by a fault VFS (0 in production). Filled
+    /// by the server from its VFS at scrape time, not by `snapshot()`.
+    pub fault_injected_total: u64,
+    /// Fault-log events evicted from the bounded ring.
+    pub fault_dropped_events: u64,
+    /// Injected faults per kind (`enospc`, `eio`, ...), scrape-time.
+    pub fault_by_kind: Vec<(String, u64)>,
     /// See [`ServeMetrics::queue_depth`].
     pub queue_depth: f64,
     /// Requests recorded in the latency histogram.
@@ -209,7 +236,20 @@ impl ServeMetricsSnapshot {
         let _ = writeln!(j, "    \"cancelled\": {},", self.jobs_cancelled);
         let _ = writeln!(j, "    \"resumed\": {},", self.jobs_resumed);
         let _ = writeln!(j, "    \"drained\": {},", self.jobs_drained);
-        let _ = writeln!(j, "    \"samples_written\": {}", self.samples_written);
+        let _ = writeln!(j, "    \"samples_written\": {},", self.samples_written);
+        let _ = writeln!(j, "    \"panicked\": {},", self.jobs_panicked);
+        let _ = writeln!(j, "    \"member_retries\": {},", self.member_retries);
+        let _ = writeln!(j, "    \"shed_storage\": {}", self.jobs_shed_storage);
+        let _ = writeln!(j, "  }},");
+        let _ = writeln!(j, "  \"fault_injection\": {{");
+        let _ = writeln!(j, "    \"injected_total\": {},", self.fault_injected_total);
+        let _ = writeln!(j, "    \"dropped_events\": {},", self.fault_dropped_events);
+        let by: Vec<String> = self
+            .fault_by_kind
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        let _ = writeln!(j, "    \"by_kind\": {{{}}}", by.join(", "));
         let _ = writeln!(j, "  }},");
         let _ = writeln!(j, "  \"queue_depth\": {},", json_f64(self.queue_depth));
         let _ = writeln!(j, "  \"latency_us\": {{");
@@ -272,6 +312,7 @@ mod tests {
             "\"http\"",
             "\"endpoints\"",
             "\"jobs\"",
+            "\"fault_injection\"",
             "\"queue_depth\"",
             "\"latency_us\"",
         ] {

@@ -61,6 +61,11 @@ pub struct JobSpec {
     /// default. Tests use a tight cadence to guarantee a checkpoint exists
     /// when the process is killed.
     pub ckpt_sweeps: Option<u64>,
+    /// Chaos hook: panic deliberately at the start of this member, to
+    /// exercise the worker's panic isolation. Only settable through the
+    /// submission endpoint when the server runs with chaos enabled; the
+    /// parser always accepts it so a chaos job survives a restart scan.
+    pub panic_member: Option<usize>,
 }
 
 impl JobSpec {
@@ -95,6 +100,9 @@ impl JobSpec {
         }
         if let Some(n) = self.ckpt_sweeps {
             doc.push(("ckpt_sweeps".to_string(), num(n)));
+        }
+        if let Some(k) = self.panic_member {
+            doc.push(("panic_member".to_string(), num(k)));
         }
         Value::Obj(doc).to_json()
     }
@@ -132,6 +140,10 @@ impl JobSpec {
                 .and_then(Value::as_bool)
                 .ok_or("missing serial_fallback")?,
             ckpt_sweeps: v.get("ckpt_sweeps").and_then(Value::as_u64),
+            panic_member: v
+                .get("panic_member")
+                .and_then(Value::as_u64)
+                .map(|k| k as usize),
         })
     }
 }
@@ -414,22 +426,11 @@ pub fn ckpt_path(dir: &Path, k: usize) -> PathBuf {
     dir.join(format!("sample_{k}.ckpt"))
 }
 
-/// Write `bytes` to `path` atomically: tmp sibling, fsync, rename.
+/// Write `bytes` to `path` atomically: hidden tmp sibling, fsync, rename,
+/// parent-dir fsync (the shared [`vfs::write_atomic`] protocol — the
+/// recovery scan never mistakes a `.{name}.tmp` leftover for an artifact).
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    use std::io::Write as _;
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)?;
-    if let Some(parent) = path.parent() {
-        if let Ok(d) = std::fs::File::open(parent) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(())
+    vfs::write_atomic(&vfs::RealVfs, path, bytes)
 }
 
 /// What the recovery scan found for one on-disk job directory.
@@ -520,6 +521,7 @@ mod tests {
             max_grows: 4,
             serial_fallback: true,
             ckpt_sweeps: Some(2),
+            panic_member: None,
         }
     }
 
@@ -541,6 +543,11 @@ mod tests {
             ..spec("j2")
         };
         assert_eq!(JobSpec::from_json(&no_budget.to_json()).unwrap(), no_budget);
+        let chaotic = JobSpec {
+            panic_member: Some(1),
+            ..spec("j5")
+        };
+        assert_eq!(JobSpec::from_json(&chaotic.to_json()).unwrap(), chaotic);
     }
 
     #[test]

@@ -47,4 +47,4 @@ pub mod json;
 mod server;
 
 pub use job::{JobSpec, Phase};
-pub use server::{ServeConfig, Server};
+pub use server::{BootError, ServeConfig, Server};

@@ -37,8 +37,8 @@ use swap::{
 
 use crate::http::{self, Request};
 use crate::job::{
-    ckpt_path, sample_path, scan_job_dir, status_doc, stop_rule_from_fields, write_atomic, Job,
-    JobSpec, Phase, Recovered, StopReason,
+    ckpt_path, sample_path, scan_job_dir, status_doc, stop_rule_from_fields, Job, JobSpec, Phase,
+    Recovered, StopReason,
 };
 use crate::json::{num, str as jstr, Value};
 
@@ -61,6 +61,19 @@ pub struct ServeConfig {
     pub pool_capacity: usize,
     /// Default checkpoint cadence for jobs that do not set `ckpt_sweeps`.
     pub checkpoint_wall: Duration,
+    /// The filesystem every durable write goes through. Production is
+    /// [`vfs::RealVfs`]; the chaos campaign injects a fault VFS here.
+    pub vfs: Arc<dyn vfs::Vfs>,
+    /// Accept chaos hooks (`panic_member`) on the submission endpoint.
+    /// Off by default; without it the hooks are rejected as `bad_input`.
+    pub chaos: bool,
+    /// Re-runs granted to a member that failed on a *transient* storage
+    /// fault (its checkpoint makes the re-run cheap). Panics and ENOSPC
+    /// are never retried.
+    pub member_retries: u32,
+    /// Backoff schedule for transient storage faults inside one durable
+    /// write.
+    pub retry: vfs::RetryPolicy,
 }
 
 impl Default for ServeConfig {
@@ -74,7 +87,57 @@ impl Default for ServeConfig {
             http_threads: 2,
             pool_capacity: cores,
             checkpoint_wall: Duration::from_secs(5),
+            vfs: Arc::new(vfs::RealVfs),
+            chaos: false,
+            member_retries: 2,
+            retry: vfs::RetryPolicy::new(0),
         }
+    }
+}
+
+/// Why the server refused to boot. Split from plain `io::Error` so the
+/// CLI can map an unwritable `--state` to the typed `bad_input` exit
+/// instead of a mid-run surprise.
+#[derive(Debug)]
+pub enum BootError {
+    /// The state directory cannot be created or written: wrong
+    /// permissions, a file where a directory should be, or a full disk.
+    /// Probed at boot, before the listener binds.
+    UnwritableState {
+        /// The state directory that failed the probe.
+        path: PathBuf,
+        /// The underlying failure.
+        source: std::io::Error,
+    },
+    /// Any other boot-time failure (bind, spawn).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for BootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BootError::UnwritableState { path, source } => write!(
+                f,
+                "state directory '{}' is not writable: {source}",
+                path.display()
+            ),
+            BootError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BootError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BootError::UnwritableState { source, .. } => Some(source),
+            BootError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for BootError {
+    fn from(e: std::io::Error) -> Self {
+        BootError::Io(e)
     }
 }
 
@@ -95,6 +158,9 @@ struct Inner {
     conns_cv: Condvar,
     next_id: AtomicU64,
     draining: AtomicBool,
+    /// ENOSPC-degraded: admission sheds with `storage_exhausted` until a
+    /// writability probe succeeds again.
+    degraded: AtomicBool,
     shutdown: AtomicBool,
     pool: Arc<WorkspacePool>,
 }
@@ -106,6 +172,20 @@ impl Inner {
 
     fn jobs_dir(&self) -> PathBuf {
         self.config.state_dir.join("jobs")
+    }
+
+    fn fs(&self) -> &dyn vfs::Vfs {
+        &*self.config.vfs
+    }
+
+    /// Probe state-dir writability through the VFS: create the jobs dir
+    /// (idempotent) and atomically write + remove a probe file.
+    fn probe_writable(&self) -> std::io::Result<()> {
+        self.fs().create_dir_all(&self.jobs_dir())?;
+        let probe = self.jobs_dir().join(".writable.probe");
+        vfs::write_atomic(self.fs(), &probe, b"probe")?;
+        let _ = self.fs().remove_file(&probe);
+        Ok(())
     }
 
     fn begin_drain(&self) {
@@ -131,8 +211,11 @@ pub struct Server {
 }
 
 impl Server {
-    /// Boot: run the recovery scan, bind, spawn the pools.
-    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+    /// Boot: probe state-dir writability, run the recovery scan, bind,
+    /// spawn the pools. An unwritable `--state` fails fast and typed
+    /// ([`BootError::UnwritableState`]) instead of surprising the first
+    /// accepted job.
+    pub fn start(config: ServeConfig) -> Result<Server, BootError> {
         let metrics = Arc::new(ServeMetrics::new());
         let pool = WorkspacePool::new(config.pool_capacity.max(1));
         let inner = Arc::new(Inner {
@@ -144,12 +227,18 @@ impl Server {
             conns_cv: Condvar::new(),
             next_id: AtomicU64::new(1),
             draining: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             pool,
             config,
         });
 
-        std::fs::create_dir_all(inner.jobs_dir())?;
+        inner
+            .probe_writable()
+            .map_err(|source| BootError::UnwritableState {
+                path: inner.config.state_dir.clone(),
+                source,
+            })?;
         recover_jobs(&inner);
 
         let listener = TcpListener::bind(&inner.config.addr)?;
@@ -343,6 +432,7 @@ fn run_job(inner: &Arc<Inner>, job: &Arc<Job>) {
         });
 
     let mut k = job.samples_done.load(Ordering::Acquire);
+    let mut retries_left = inner.config.member_retries;
     while k < spec.samples {
         // A stop raised between members needs no checkpoint: member k has
         // not started, so the completed prefix already is the state.
@@ -350,7 +440,27 @@ fn run_job(inner: &Arc<Inner>, job: &Arc<Job>) {
             finish_stopped(inner, job);
             return;
         }
-        let end = run_member(job, &input, k, &budget, &policy, cadence, &mut ws);
+        // Panic isolation: a poisoned member must not take the worker
+        // thread (and with it the whole queue) down. The workspace it was
+        // mutating is discarded — never returned to the pool — and the job
+        // lands as the typed `job_failed` terminal status.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_member(inner, job, &input, k, &budget, &policy, cadence, &mut ws)
+        }));
+        let end = match caught {
+            Ok(end) => end,
+            Err(payload) => {
+                ws.discard();
+                inner.metrics.jobs_panicked.incr();
+                let e = GenError::JobPanicked {
+                    job_id: spec.id.clone(),
+                    member: k,
+                    message: panic_message(payload.as_ref()),
+                };
+                finish_failed(inner, job, e.error_code(), &e.to_string());
+                return;
+            }
+        };
         match end {
             MemberEnd::Done => {
                 job.member_done();
@@ -362,6 +472,19 @@ fn run_job(inner: &Arc<Inner>, job: &Arc<Job>) {
                 return;
             }
             MemberEnd::Failed(e) => {
+                // A transient storage fault gets a bounded number of member
+                // re-runs: the member's checkpoint survived (atomic-or-
+                // absent), so the re-run resumes instead of starting over.
+                if matches!(e, GenError::StorageIo { .. }) && retries_left > 0 {
+                    retries_left -= 1;
+                    inner.metrics.member_retries.incr();
+                    continue;
+                }
+                if matches!(e, GenError::StorageExhausted { .. }) {
+                    // Flip to graceful degradation: admission sheds with
+                    // `storage_exhausted` until a probe succeeds again.
+                    inner.degraded.store(true, Ordering::Release);
+                }
                 finish_failed(inner, job, e.error_code(), &e.to_string());
                 return;
             }
@@ -370,17 +493,37 @@ fn run_job(inner: &Arc<Inner>, job: &Arc<Job>) {
 
     let done = job.samples_done.load(Ordering::Acquire);
     let status = status_doc(&spec.id, &Phase::Completed, done, spec.samples);
-    if let Err(e) = write_atomic(&job.dir.join("status.json"), status.as_bytes()) {
-        finish_failed(inner, job, "io", &format!("cannot persist status: {e}"));
+    if let Err(e) = vfs::write_atomic_retry(
+        inner.fs(),
+        &job.dir.join("status.json"),
+        status.as_bytes(),
+        &inner.config.retry,
+    ) {
+        if matches!(e, GenError::StorageExhausted { .. }) {
+            inner.degraded.store(true, Ordering::Release);
+        }
+        finish_failed(inner, job, e.error_code(), &e.to_string());
         return;
     }
     job.set_phase(Phase::Completed);
     inner.metrics.jobs_completed.incr();
 }
 
+/// Render a caught panic payload (the common `&str` / `String` cases).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::new()
+    }
+}
+
 /// Mix member `k`: fresh from the input, or resumed from its checkpoint.
 #[allow(clippy::too_many_arguments)]
 fn run_member(
+    inner: &Arc<Inner>,
     job: &Arc<Job>,
     input: &EdgeList,
     k: usize,
@@ -389,14 +532,19 @@ fn run_member(
     cadence: CheckpointPolicy,
     ws: &mut swap::SwapWorkspace,
 ) -> MemberEnd {
+    // Chaos hook: a job submitted with `panic_member=k` (only accepted when
+    // the server runs with chaos enabled) poisons exactly that member, so
+    // tests can drive the panic-isolation path deterministically.
+    if job.spec.panic_member == Some(k) {
+        panic!("chaos: injected panic in member {k}");
+    }
     let ckpt_file = ckpt_path(&job.dir, k);
     let mut sink = |state: &MixState| -> Result<(), GenError> {
-        ckpt::write_atomic(&ckpt_file, &ckpt::Snapshot::without_counters(state.clone())).map_err(
-            |e| GenError::BadInput {
-                line: None,
-                text: String::new(),
-                reason: format!("checkpoint write failed: {e}"),
-            },
+        ckpt::write_atomic_retry(
+            inner.fs(),
+            &ckpt_file,
+            &ckpt::Snapshot::without_counters(state.clone()),
+            &inner.config.retry,
         )?;
         Ok(())
     };
@@ -406,9 +554,12 @@ fn run_member(
         sink: Some(&mut sink),
     };
 
-    let (graph, report) = if ckpt_file.exists() {
-        let snap = match ckpt::load(&ckpt_file) {
+    let (graph, report) = if inner.fs().exists(&ckpt_file) {
+        let snap = match ckpt::load_vfs(inner.fs(), &ckpt_file) {
             Ok(s) => s,
+            Err(ckpt::LoadError::Io(e)) => {
+                return MemberEnd::Failed(vfs::storage_error("read", &ckpt_file, &e, 0))
+            }
             Err(e) => {
                 return MemberEnd::Failed(GenError::CorruptCheckpoint {
                     path: ckpt_file.display().to_string(),
@@ -440,28 +591,28 @@ fn run_member(
                     reason: format!("cannot render sample: {e}"),
                 });
             }
-            if let Err(e) = write_atomic(&sample_path(&job.dir, k), &bytes) {
-                return MemberEnd::Failed(GenError::BadInput {
-                    line: None,
-                    text: String::new(),
-                    reason: format!("cannot persist sample: {e}"),
-                });
+            if let Err(e) = vfs::write_atomic_retry(
+                inner.fs(),
+                &sample_path(&job.dir, k),
+                &bytes,
+                &inner.config.retry,
+            ) {
+                return MemberEnd::Failed(e);
             }
-            let _ = std::fs::remove_file(&ckpt_file);
+            let _ = inner.fs().remove_file(&ckpt_file);
             MemberEnd::Done
         }
         MixOutcome::Interrupted => {
             // Persist the final state so the drain (or a later resume of a
             // cancelled job's debris) starts exactly where we stopped.
             if let Some(state) = &report.checkpoint {
-                if let Err(e) =
-                    ckpt::write_atomic(&ckpt_file, &ckpt::Snapshot::without_counters(state.clone()))
-                {
-                    return MemberEnd::Failed(GenError::BadInput {
-                        line: None,
-                        text: String::new(),
-                        reason: format!("checkpoint write failed: {e}"),
-                    });
+                if let Err(e) = ckpt::write_atomic_retry(
+                    inner.fs(),
+                    &ckpt_file,
+                    &ckpt::Snapshot::without_counters(state.clone()),
+                    &inner.config.retry,
+                ) {
+                    return MemberEnd::Failed(e);
                 }
             }
             MemberEnd::Stopped
@@ -475,7 +626,7 @@ fn finish_stopped(inner: &Arc<Inner>, job: &Arc<Job>) {
         Some(StopReason::Cancel) => {
             let done = job.samples_done.load(Ordering::Acquire);
             let status = status_doc(&job.spec.id, &Phase::Cancelled, done, job.spec.samples);
-            let _ = write_atomic(&job.dir.join("status.json"), status.as_bytes());
+            let _ = vfs::write_atomic(inner.fs(), &job.dir.join("status.json"), status.as_bytes());
             job.set_phase(Phase::Cancelled);
             inner.metrics.jobs_cancelled.incr();
         }
@@ -492,7 +643,10 @@ fn finish_failed(inner: &Arc<Inner>, job: &Arc<Job>, code: &str, message: &str) 
     let done = job.samples_done.load(Ordering::Acquire);
     let phase = Phase::Failed(code.to_string(), message.to_string());
     let status = status_doc(&job.spec.id, &phase, done, job.spec.samples);
-    let _ = write_atomic(&job.dir.join("status.json"), status.as_bytes());
+    // Best-effort: if even this write faults (e.g. persistent ENOSPC), the
+    // job stays owed on disk — no status.json is what re-admits it after a
+    // restart, so nothing is silently lost.
+    let _ = vfs::write_atomic(inner.fs(), &job.dir.join("status.json"), status.as_bytes());
     job.set_phase(phase);
     inner.metrics.jobs_failed.incr();
 }
@@ -622,6 +776,22 @@ fn overloaded_body(reason: &str, capacity: usize, retry_after_ms: u64) -> String
     .to_json()
 }
 
+/// The typed `storage_exhausted` shed body: admission is refused because
+/// the state directory cannot durably accept a new job, not because the
+/// queue is full — clients distinguish the two by `error_code`.
+fn storage_exhausted_body(retry_after_ms: u64) -> String {
+    Value::Obj(vec![
+        ("schema".to_string(), jstr("error_v1")),
+        ("error_code".to_string(), jstr("storage_exhausted")),
+        (
+            "error".to_string(),
+            jstr("state directory out of space; admission shed until a write probe succeeds"),
+        ),
+        ("retry_after_ms".to_string(), num(retry_after_ms)),
+    ])
+    .to_json()
+}
+
 fn respond(
     stream: &mut TcpStream,
     status: u16,
@@ -671,14 +841,30 @@ fn route(inner: &Arc<Inner>, req: &Request, stream: &mut TcpStream) -> u16 {
                     "draining".to_string(),
                     Value::Bool(inner.draining.load(Ordering::Acquire)),
                 ),
+                (
+                    "degraded".to_string(),
+                    Value::Bool(inner.degraded.load(Ordering::Acquire)),
+                ),
             ])
             .to_json();
             respond_json(stream, 200, &body)
         }
         ("GET", ["metrics"]) => {
             inner.metrics.ep_metrics.incr();
-            let body = inner.metrics.snapshot().to_json();
-            respond_json(stream, 200, &body)
+            let mut snap = inner.metrics.snapshot();
+            // Fault-injection telemetry lives on the VFS, not on the metric
+            // counters: fill it in at scrape time so a fault-free RealVfs
+            // reports zeros and a FaultVfs reports live injection stats.
+            if let Some(stats) = inner.config.vfs.fault_stats() {
+                snap.fault_injected_total = stats.injected_total;
+                snap.fault_dropped_events = stats.dropped_events;
+                snap.fault_by_kind = stats
+                    .by_kind
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), *v))
+                    .collect();
+            }
+            respond_json(stream, 200, &snap.to_json())
         }
         ("POST", ["admin", "drain"]) => {
             inner.metrics.ep_drain.incr();
@@ -712,6 +898,27 @@ fn submit(inner: &Arc<Inner>, req: &Request, stream: &mut TcpStream) -> u16 {
             &[("Retry-After", retry_after_secs(retry_ms))],
             body.as_bytes(),
         );
+    }
+
+    // Graceful degradation: after a worker hit ENOSPC, shed new admissions
+    // with a typed `storage_exhausted` body until a write probe succeeds
+    // again — accepting a job we cannot durably persist would break the
+    // durable-202 promise.
+    if inner.degraded.load(Ordering::Acquire) {
+        if inner.probe_writable().is_ok() {
+            inner.degraded.store(false, Ordering::Release);
+        } else {
+            inner.metrics.jobs_shed_storage.incr();
+            let retry_ms = 5_000;
+            let body = storage_exhausted_body(retry_ms);
+            return respond(
+                stream,
+                503,
+                "application/json",
+                &[("Retry-After", retry_after_secs(retry_ms))],
+                body.as_bytes(),
+            );
+        }
     }
 
     let parse_u64 = |key: &str, default: u64| -> Result<u64, String> {
@@ -776,6 +983,20 @@ fn submit(inner: &Arc<Inner>, req: &Request, stream: &mut TcpStream) -> u16 {
         Err(msg) => return respond_json(stream, 400, &error_body("bad_input", &msg)),
     };
     let serial_fallback = req.query_param("serial_fallback") != Some("false");
+    let panic_member = match req.query_param("panic_member") {
+        None => None,
+        Some(_) if !inner.config.chaos => {
+            let msg = "panic_member requires the server to run with --chaos";
+            return respond_json(stream, 400, &error_body("bad_input", msg));
+        }
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(v) => Some(v),
+            Err(_) => {
+                let msg = format!("invalid panic_member: {raw:?}");
+                return respond_json(stream, 400, &error_body("bad_input", &msg));
+            }
+        },
+    };
 
     let input = match gio::read_edge_list(&req.body[..]) {
         Ok(g) => g,
@@ -815,21 +1036,52 @@ fn submit(inner: &Arc<Inner>, req: &Request, stream: &mut TcpStream) -> u16 {
         max_grows,
         serial_fallback,
         ckpt_sweeps,
+        panic_member,
     };
     let dir = inner.jobs_dir().join(&id);
-    let persist = (|| -> std::io::Result<()> {
-        std::fs::create_dir_all(&dir)?;
+    let persist = (|| -> Result<(), GenError> {
+        inner
+            .fs()
+            .create_dir_all(&dir)
+            .map_err(|e| vfs::storage_error("create_dir_all", &dir, &e, 0))?;
         let mut input_bytes = Vec::new();
-        gio::write_edge_list(&input, &mut input_bytes)
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
-        write_atomic(&dir.join("input.txt"), &input_bytes)?;
-        write_atomic(&dir.join("spec.json"), spec.to_json().as_bytes())
+        gio::write_edge_list(&input, &mut input_bytes).map_err(|e| GenError::BadInput {
+            line: None,
+            text: String::new(),
+            reason: format!("cannot render input: {e}"),
+        })?;
+        vfs::write_atomic_retry(
+            inner.fs(),
+            &dir.join("input.txt"),
+            &input_bytes,
+            &inner.config.retry,
+        )?;
+        vfs::write_atomic_retry(
+            inner.fs(),
+            &dir.join("spec.json"),
+            spec.to_json().as_bytes(),
+            &inner.config.retry,
+        )?;
+        Ok(())
     })();
     if let Err(e) = persist {
         drop(queue);
         let _ = std::fs::remove_dir_all(&dir);
+        if matches!(e, GenError::StorageExhausted { .. }) {
+            inner.degraded.store(true, Ordering::Release);
+            inner.metrics.jobs_shed_storage.incr();
+            let retry_ms = 5_000;
+            let body = storage_exhausted_body(retry_ms);
+            return respond(
+                stream,
+                503,
+                "application/json",
+                &[("Retry-After", retry_after_secs(retry_ms))],
+                body.as_bytes(),
+            );
+        }
         let msg = format!("cannot persist job: {e}");
-        return respond_json(stream, 500, &error_body("io", &msg));
+        return respond_json(stream, 500, &error_body(e.error_code(), &msg));
     }
 
     let job = Arc::new(Job::new(spec, dir, 0));

@@ -1,0 +1,346 @@
+//! Serve-side chaos: panic isolation, ENOSPC graceful degradation, and the
+//! write-fault campaign over the accept → fault → recovery-boot path.
+//!
+//! The library-level mix→checkpoint→resume campaign lives in the root test
+//! tree (`tests/storage_chaos.rs`, registered under ckpt); this file drives
+//! the same contract through real sockets against a [`serve::Server`]
+//! whose durable writes go through a scripted [`vfs::FaultVfs`].
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use graphcore::{io as gio, EdgeList};
+use serve::client;
+use serve::{BootError, ServeConfig, Server};
+use vfs::{FaultKind, FaultVfs, RetryPolicy, Vfs};
+
+const T: Duration = Duration::from_secs(30);
+
+fn ring(n: u32) -> EdgeList {
+    EdgeList::from_pairs((0..n).map(|i| (i, (i + 1) % n)))
+}
+
+fn tmp_state(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("nullgraph_serve_chaos_tests")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(state: PathBuf, fs: Arc<dyn vfs::Vfs>) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        state_dir: state,
+        queue_capacity: 8,
+        workers: 1,
+        http_threads: 2,
+        pool_capacity: 2,
+        checkpoint_wall: Duration::from_millis(200),
+        vfs: fs,
+        // Full retry budget, zero sleeps: the campaign exercises the retry
+        // machinery without wall-clock cost.
+        retry: RetryPolicy::fast(0),
+        ..ServeConfig::default()
+    }
+}
+
+fn body_field(body: &str, key: &str) -> Option<String> {
+    serve::json::parse(body)
+        .ok()?
+        .get(key)
+        .and_then(|v| v.as_str().map(str::to_string))
+}
+
+fn submit(addr: SocketAddr, query: &str, graph: &EdgeList) -> (u16, String) {
+    let mut bytes = Vec::new();
+    gio::write_edge_list(graph, &mut bytes).unwrap();
+    let resp = client::post(addr, &format!("/jobs?{query}"), &bytes, T).unwrap();
+    (resp.status, resp.text())
+}
+
+/// Poll until the job reaches any terminal phase; returns (phase, body).
+fn wait_terminal(addr: SocketAddr, id: &str, deadline: Duration) -> (String, String) {
+    let t0 = Instant::now();
+    loop {
+        let resp = client::get(addr, &format!("/jobs/{id}"), T).unwrap();
+        let body = resp.text();
+        let phase = body_field(&body, "phase").unwrap_or_default();
+        if matches!(phase.as_str(), "completed" | "failed" | "cancelled") {
+            return (phase, body);
+        }
+        assert!(
+            t0.elapsed() < deadline,
+            "timed out waiting for {id} to settle; last status: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn sample_bytes(addr: SocketAddr, id: &str, k: usize) -> Vec<u8> {
+    let resp = client::get(addr, &format!("/jobs/{id}/samples/{k}"), T).unwrap();
+    assert_eq!(resp.status, 200, "sample {k} of {id} missing");
+    resp.body
+}
+
+const JOB_QUERY: &str = "samples=1&sweeps=3&seed=11";
+
+/// Fault-free serve flow through a counting FaultVfs: returns the sample
+/// bytes and the total op-index space one boot+submit+complete consumes.
+fn reference(name: &str) -> (Vec<u8>, u64) {
+    let counter = Arc::new(FaultVfs::scripted(HashMap::new()));
+    let server = Server::start(config(tmp_state(name), counter.clone())).unwrap();
+    let addr = server.local_addr();
+    let (status, body) = submit(addr, JOB_QUERY, &ring(32));
+    assert_eq!(status, 202, "{body}");
+    let id = body_field(&body, "id").unwrap();
+    let (phase, status_body) = wait_terminal(addr, &id, Duration::from_secs(60));
+    assert_eq!(phase, "completed", "{status_body}");
+    let bytes = sample_bytes(addr, &id, 0);
+    server.request_drain();
+    server.join();
+    let ops = counter.fault_stats().unwrap().ops_total;
+    (bytes, ops)
+}
+
+#[test]
+fn write_fault_campaign_every_op_is_identical_or_typed_and_resumable() {
+    let (ref_bytes, ops_total) = reference("campaign_ref");
+    assert!(ops_total >= 10, "serve flow too small: {ops_total} ops");
+
+    for kind in [FaultKind::Enospc, FaultKind::Eio, FaultKind::TornRename] {
+        for index in 0..ops_total {
+            let tag = format!("campaign_{}_{index}", kind.name());
+            let state = tmp_state(&tag);
+            let faulty: Arc<dyn vfs::Vfs> = Arc::new(FaultVfs::single(index, kind));
+            // No retry budget in the sweep: every injected fault must
+            // surface typed instead of being silently absorbed.
+            let mut cfg = config(state.clone(), faulty);
+            cfg.retry = RetryPolicy::none();
+
+            let mut accepted: Option<String> = None;
+            match Server::start(cfg) {
+                Err(BootError::UnwritableState { .. }) => {
+                    // Typed fail-fast at boot; nothing was accepted, so
+                    // nothing can be owed or torn.
+                }
+                Err(other) => panic!("{tag}: untyped boot failure: {other}"),
+                Ok(server) => {
+                    let addr = server.local_addr();
+                    let (status, body) = submit(addr, JOB_QUERY, &ring(32));
+                    match status {
+                        202 => {
+                            let id = body_field(&body, "id").unwrap();
+                            let (phase, status_body) =
+                                wait_terminal(addr, &id, Duration::from_secs(60));
+                            match phase.as_str() {
+                                "completed" => {
+                                    assert_eq!(
+                                        sample_bytes(addr, &id, 0),
+                                        ref_bytes,
+                                        "{tag}: completed job diverged"
+                                    );
+                                }
+                                "failed" => {
+                                    let code =
+                                        body_field(&status_body, "error_code").unwrap_or_default();
+                                    assert!(
+                                        code == "storage_exhausted" || code == "storage_io",
+                                        "{tag}: untyped job failure: {status_body}"
+                                    );
+                                    accepted = Some(id);
+                                }
+                                other => panic!("{tag}: unexpected terminal {other}"),
+                            }
+                        }
+                        503 | 500 => {
+                            let code = body_field(&body, "error_code").unwrap_or_default();
+                            assert!(
+                                code == "storage_exhausted" || code == "storage_io",
+                                "{tag}: untyped shed: {status} {body}"
+                            );
+                        }
+                        other => panic!("{tag}: unexpected submit status {other}: {body}"),
+                    }
+                    server.request_drain();
+                    server.join();
+                }
+            }
+
+            // Recovery boot over the same state dir with a clean VFS: a
+            // failed-but-owed job resumes and completes byte-identically; a
+            // terminally-failed job stays terminal with its typed code (its
+            // spec/status must load — never half-written).
+            if let Some(id) = accepted {
+                let recovery =
+                    Server::start(config(state.clone(), Arc::new(vfs::RealVfs))).unwrap();
+                let addr = recovery.local_addr();
+                let resp = client::get(addr, &format!("/jobs/{id}"), T).unwrap();
+                assert_eq!(resp.status, 200, "{tag}: job lost across restart");
+                let (phase, status_body) = wait_terminal(addr, &id, Duration::from_secs(60));
+                match phase.as_str() {
+                    "completed" => assert_eq!(
+                        sample_bytes(addr, &id, 0),
+                        ref_bytes,
+                        "{tag}: recovered job diverged"
+                    ),
+                    "failed" => {
+                        let code = body_field(&status_body, "error_code").unwrap_or_default();
+                        assert!(
+                            code == "storage_exhausted" || code == "storage_io",
+                            "{tag}: recovery saw untyped failure: {status_body}"
+                        );
+                    }
+                    other => panic!("{tag}: unexpected recovery terminal {other}"),
+                }
+                recovery.request_drain();
+                recovery.join();
+            }
+            let _ = std::fs::remove_dir_all(&state);
+        }
+    }
+}
+
+#[test]
+fn panicking_job_is_isolated_and_siblings_stay_byte_identical() {
+    let mut cfg = config(tmp_state("panic_isolation"), Arc::new(vfs::RealVfs));
+    cfg.chaos = true;
+    let server = Server::start(cfg).unwrap();
+    let addr = server.local_addr();
+    let input = ring(32);
+
+    // A job whose second member is scripted to panic, then a sibling with
+    // the identical spec (and no panic).
+    let (status, body) = submit(addr, "samples=2&sweeps=3&seed=11&panic_member=1", &input);
+    assert_eq!(status, 202, "{body}");
+    let poisoned = body_field(&body, "id").unwrap();
+    let (status, body) = submit(addr, "samples=2&sweeps=3&seed=11", &input);
+    assert_eq!(status, 202, "{body}");
+    let sibling = body_field(&body, "id").unwrap();
+
+    let (phase, status_body) = wait_terminal(addr, &poisoned, Duration::from_secs(60));
+    assert_eq!(phase, "failed", "{status_body}");
+    assert_eq!(
+        body_field(&status_body, "error_code").as_deref(),
+        Some("job_failed"),
+        "{status_body}"
+    );
+    assert!(
+        body_field(&status_body, "error")
+            .unwrap_or_default()
+            .contains("member 1 panicked"),
+        "{status_body}"
+    );
+
+    // The server survived: healthz answers, and the sibling's ensemble is
+    // byte-identical to the poisoned job's completed prefix (same seed,
+    // same spec → member 0 must agree bit for bit).
+    let resp = client::get(addr, "/healthz", T).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.text().contains("\"ok\":true"), "{}", resp.text());
+
+    let (phase, status_body) = wait_terminal(addr, &sibling, Duration::from_secs(60));
+    assert_eq!(phase, "completed", "{status_body}");
+    assert_eq!(
+        sample_bytes(addr, &sibling, 0),
+        sample_bytes(addr, &poisoned, 0),
+        "panic in member 1 must not perturb member 0 or the sibling job"
+    );
+
+    // /metrics reports the panic and the fault-injection section.
+    let resp = client::get(addr, "/metrics", T).unwrap();
+    let metrics = resp.text();
+    assert!(metrics.contains("\"panicked\": 1"), "{metrics}");
+    assert!(metrics.contains("\"fault_injection\""), "{metrics}");
+
+    server.request_drain();
+    server.join();
+}
+
+#[test]
+fn panic_member_requires_chaos_mode() {
+    let server = Server::start(config(tmp_state("no_chaos"), Arc::new(vfs::RealVfs))).unwrap();
+    let addr = server.local_addr();
+    let (status, body) = submit(addr, "samples=1&sweeps=2&seed=1&panic_member=0", &ring(16));
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(
+        body_field(&body, "error_code").as_deref(),
+        Some("bad_input")
+    );
+    server.request_drain();
+    server.join();
+}
+
+#[test]
+fn enospc_flips_admission_to_typed_shedding_and_recovers() {
+    // Boot consumes the first few op indices (probe); a dense ENOSPC band
+    // after that fails the first submission's durable persist, flips the
+    // server into degraded shedding, and — once the band is spent — a
+    // later probe succeeds and admission recovers. The exact index the
+    // band starts at only needs to be past the boot probe.
+    // Each shed probe burns one op (its create_dir_all faults first), so
+    // the loop bound below must comfortably exceed the band width.
+    let faulty = Arc::new(FaultVfs::from_script_str("enospc@8-24").unwrap());
+    let server = Server::start(config(tmp_state("degrade"), faulty.clone())).unwrap();
+    let addr = server.local_addr();
+    let input = ring(16);
+
+    let mut saw_storage_shed = false;
+    let mut recovered_id = None;
+    for _ in 0..40 {
+        let (status, body) = submit(addr, "samples=1&sweeps=2&seed=3", &input);
+        match status {
+            202 => {
+                recovered_id = Some(body_field(&body, "id").unwrap());
+                break;
+            }
+            503 => {
+                assert_eq!(
+                    body_field(&body, "error_code").as_deref(),
+                    Some("storage_exhausted"),
+                    "{body}"
+                );
+                assert!(
+                    serve::json::parse(&body)
+                        .unwrap()
+                        .get("retry_after_ms")
+                        .and_then(serve::json::Value::as_u64)
+                        .is_some(),
+                    "shed body must carry a retry hint: {body}"
+                );
+                saw_storage_shed = true;
+            }
+            other => panic!("unexpected submit status {other}: {body}"),
+        }
+    }
+    assert!(saw_storage_shed, "the ENOSPC band never shed a submission");
+    let id = recovered_id.expect("admission never recovered after the ENOSPC band");
+    let (phase, status_body) = wait_terminal(addr, &id, Duration::from_secs(60));
+    assert_eq!(phase, "completed", "{status_body}");
+
+    // The degradation episode is visible to operators.
+    let resp = client::get(addr, "/metrics", T).unwrap();
+    let metrics = resp.text();
+    assert!(metrics.contains("\"shed_storage\""), "{metrics}");
+    assert!(metrics.contains("\"injected_total\""), "{metrics}");
+    let stats = faulty.fault_stats().unwrap();
+    assert!(stats.injected_total > 0, "band never fired");
+
+    server.request_drain();
+    server.join();
+}
+
+#[test]
+fn healthz_reports_the_degraded_flag() {
+    let server = Server::start(config(tmp_state("healthz"), Arc::new(vfs::RealVfs))).unwrap();
+    let addr = server.local_addr();
+    let resp = client::get(addr, "/healthz", T).unwrap();
+    assert_eq!(resp.status, 200);
+    let text = resp.text();
+    assert!(text.contains("\"degraded\":false"), "{text}");
+    server.request_drain();
+    server.join();
+}

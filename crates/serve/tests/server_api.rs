@@ -33,6 +33,7 @@ fn test_config(state: PathBuf) -> ServeConfig {
         http_threads: 2,
         pool_capacity: 2,
         checkpoint_wall: Duration::from_millis(200),
+        ..ServeConfig::default()
     }
 }
 

@@ -1,0 +1,102 @@
+//! Parser-robustness properties for the durable job documents.
+//!
+//! `spec.json` and `status.json` are the server's crash-recovery ground
+//! truth: the boot scan feeds whatever bytes survived a fault back through
+//! these parsers. A torn write must therefore surface as a *typed* parse
+//! error — never a panic, never a silently mis-parsed job. The truncation
+//! sweeps cover every strict prefix a torn write could leave behind (the
+//! atomic protocol makes such prefixes unreachable, but the parser is the
+//! last line of defence); the proptest corruption pass flips arbitrary
+//! bytes and demands totality.
+
+use proptest_lite::prelude::*;
+use serve::job::{parse_status, status_doc, JobSpec, Phase};
+use swap::StopRule;
+
+/// A spec exercising every optional field, so the truncation sweep walks
+/// through every parse path.
+fn full_spec() -> JobSpec {
+    JobSpec {
+        id: "j00000042".into(),
+        samples: 4,
+        sweeps: 10,
+        stop: StopRule::Converged {
+            min_ess: 64,
+            window: 128,
+        },
+        seed: 0xDEAD_BEEF,
+        budget_ms: Some(1_500),
+        max_grows: 3,
+        serial_fallback: true,
+        ckpt_sweeps: Some(2),
+        panic_member: Some(1),
+    }
+}
+
+#[test]
+fn spec_round_trips() {
+    let spec = full_spec();
+    let parsed = JobSpec::from_json(&spec.to_json()).expect("valid spec parses");
+    assert_eq!(parsed, spec);
+}
+
+#[test]
+fn every_spec_truncation_is_a_typed_error() {
+    let text = full_spec().to_json();
+    for cut in 0..text.len() {
+        let prefix = &text[..cut];
+        match JobSpec::from_json(prefix) {
+            Err(msg) => assert!(!msg.is_empty(), "empty diagnostic at cut {cut}"),
+            Ok(_) => panic!("strict prefix parsed as a full spec at cut {cut}: {prefix:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_status_truncation_is_a_typed_error() {
+    for phase in [
+        Phase::Completed,
+        Phase::Cancelled,
+        Phase::Failed("storage_io".into(), "fsync: injected eio".into()),
+    ] {
+        let text = status_doc("j00000042", &phase, 2, 4);
+        for cut in 0..text.len() {
+            match parse_status(&text[..cut]) {
+                Err(msg) => assert!(!msg.is_empty(), "empty diagnostic at cut {cut}"),
+                Ok(_) => panic!("strict status prefix parsed at cut {cut}"),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Single-byte corruption anywhere in a valid spec: the parser is
+    /// total — it returns `Ok` or a typed `Err`, and never panics. (The
+    /// replacement byte stays printable ASCII so the document remains
+    /// valid UTF-8; lower layers hand the parser `&str`.)
+    #[test]
+    fn corrupted_spec_bytes_never_panic(pos in any::<u64>(), byte in 0x20u8..0x7f) {
+        let mut bytes = full_spec().to_json().into_bytes();
+        let idx = (pos % bytes.len() as u64) as usize;
+        bytes[idx] = byte;
+        let text = String::from_utf8(bytes).expect("ascii stays utf-8");
+        let _ = JobSpec::from_json(&text);
+    }
+
+    #[test]
+    fn corrupted_status_bytes_never_panic(pos in any::<u64>(), byte in 0x20u8..0x7f) {
+        let doc = status_doc(
+            "j00000042",
+            &Phase::Failed("storage_exhausted".into(), "disk full".into()),
+            1,
+            4,
+        );
+        let mut bytes = doc.into_bytes();
+        let idx = (pos % bytes.len() as u64) as usize;
+        bytes[idx] = byte;
+        let text = String::from_utf8(bytes).expect("ascii stays utf-8");
+        let _ = parse_status(&text);
+    }
+}

@@ -120,6 +120,18 @@ impl std::ops::DerefMut for PooledWorkspace {
     }
 }
 
+impl PooledWorkspace {
+    /// Drop the workspace instead of returning it to the pool.
+    ///
+    /// A workspace whose run was interrupted by a caught panic may hold
+    /// arbitrarily inconsistent internal state; discarding it guarantees
+    /// the poison never reaches a later job through the free list. After
+    /// `discard` the guard must not be dereferenced.
+    pub fn discard(&mut self) {
+        self.ws = None;
+    }
+}
+
 impl Drop for PooledWorkspace {
     fn drop(&mut self) {
         if let Some(ws) = self.ws.take() {
@@ -161,6 +173,15 @@ mod tests {
         drop(pool.acquire());
         assert_eq!(pool.hits(), 0);
         assert_eq!(pool.misses(), 2);
+    }
+
+    #[test]
+    fn discarded_workspace_never_returns_to_the_pool() {
+        let pool = WorkspacePool::new(4);
+        let mut ws = pool.acquire();
+        ws.discard();
+        drop(ws);
+        assert_eq!(pool.idle(), 0, "discarded workspace must not be pooled");
     }
 
     #[test]

@@ -1,0 +1,783 @@
+//! Filesystem abstraction with deterministic storage-fault injection.
+//!
+//! Every durable write in the pipeline — checkpoints, served samples,
+//! 202'd job specs, metrics snapshots — goes through the [`Vfs`] trait
+//! instead of calling `std::fs` directly. Production code uses [`RealVfs`]
+//! (a zero-cost passthrough); the chaos campaign swaps in a [`FaultVfs`]
+//! that injects ENOSPC, EIO, short writes, torn renames, and fsync failures
+//! at *scripted or SplitMix64-sampled operation indices*, so every
+//! write-side failure mode the CRC layer can only detect after the fact is
+//! provoked deterministically and proven survivable before it happens in
+//! production.
+//!
+//! The crate also owns the write-side hardening built on top of the trait:
+//!
+//! * [`write_atomic`] — the tmp-sibling → fsync → rename → dir-fsync
+//!   protocol (atomic-or-absent: the destination is either the previous
+//!   complete version or the new complete version, never a prefix);
+//! * [`RetryPolicy`] — a bounded, *deterministic* exponential backoff
+//!   schedule (seeded jitter, monotone non-decreasing, capped) for
+//!   transient faults;
+//! * [`write_atomic_retry`] — retry-with-backoff around the atomic
+//!   protocol, mapping unrecovered faults to the typed
+//!   [`GenError::StorageExhausted`] / [`GenError::StorageIo`] errors
+//!   (ENOSPC fast-fails: free space does not reappear on a backoff
+//!   timescale).
+//!
+//! Injected faults and retries are logged as [`fault::FaultEvent`]s into
+//! the `FaultVfs`'s bounded [`FaultLog`], surfaced through
+//! [`Vfs::fault_stats`] so serve's `/metrics` and the CLI's `--fault-log`
+//! sink can report recovered faults that would otherwise be silent.
+
+use fault::{FaultEvent, FaultLog, GenError};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The filesystem operations the pipeline's durable paths perform.
+///
+/// Implementations must be shareable across threads (serve hands one
+/// `Arc<dyn Vfs>` to every worker). `exists` is a pure query and is not a
+/// faultable/counted operation; everything else is.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Create (or truncate) `path` and write all of `bytes`.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Flush `path`'s data and metadata to the storage device.
+    fn fsync(&self, path: &Path) -> io::Result<()>;
+    /// Atomically rename `from` to `to` (same filesystem).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Flush a *directory*'s entries to the storage device (durability of
+    /// a rename). Callers tolerate failure: some filesystems refuse
+    /// directory fsync, and the rename itself is already atomic.
+    fn fsync_dir(&self, path: &Path) -> io::Result<()>;
+    /// Read the entire file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Remove the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Create `path` and all missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Whether `path` exists (pure query; never faulted, never counted).
+    fn exists(&self, path: &Path) -> bool;
+    /// Fault-injection statistics, when this VFS injects faults.
+    fn fault_stats(&self) -> Option<FaultStats> {
+        None
+    }
+    /// Record a recovery event (e.g. a retry) into this VFS's fault log.
+    /// A no-op for implementations without one.
+    fn record(&self, _event: FaultEvent) {}
+}
+
+/// The production VFS: a zero-state passthrough to `std::fs`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::File::create(path)?;
+        f.write_all(bytes)
+    }
+
+    fn fsync(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn fsync_dir(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// The storage-fault classes a [`FaultVfs`] can inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The device is out of space (`ENOSPC`, raw os error 28). On a write,
+    /// a *prefix* of the bytes lands before the error — exactly what a
+    /// real full disk does — so only the atomic protocol saves the target.
+    Enospc,
+    /// A generic I/O error (`EIO`, raw os error 5); nothing is written.
+    Eio,
+    /// A short write: a prefix of the bytes lands, then `EIO`.
+    ShortWrite,
+    /// The rename fails and is *not* performed; the tmp sibling remains.
+    TornRename,
+    /// The data reached the kernel but fsync fails — the bytes may or may
+    /// not be durable, and the caller must treat the write as failed.
+    FsyncFail,
+}
+
+impl FaultKind {
+    /// Stable name used in scripts, logs, and `/metrics`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Enospc => "enospc",
+            Self::Eio => "eio",
+            Self::ShortWrite => "short_write",
+            Self::TornRename => "torn_rename",
+            Self::FsyncFail => "fsync_fail",
+        }
+    }
+
+    /// Every kind, in the order used for per-kind counters.
+    pub const ALL: [FaultKind; 5] = [
+        Self::Enospc,
+        Self::Eio,
+        Self::ShortWrite,
+        Self::TornRename,
+        Self::FsyncFail,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Self::Enospc => 0,
+            Self::Eio => 1,
+            Self::ShortWrite => 2,
+            Self::TornRename => 3,
+            Self::FsyncFail => 4,
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "enospc" => Some(Self::Enospc),
+            "eio" => Some(Self::Eio),
+            "short" | "short_write" => Some(Self::ShortWrite),
+            "torn" | "torn_rename" => Some(Self::TornRename),
+            "fsync" | "fsync_fail" => Some(Self::FsyncFail),
+            _ => None,
+        }
+    }
+
+    /// The `io::Error` this kind surfaces as.
+    fn error(self) -> io::Error {
+        match self {
+            Self::Enospc => io::Error::from_raw_os_error(28),
+            _ => io::Error::from_raw_os_error(5),
+        }
+    }
+}
+
+/// A snapshot of a fault-injecting VFS's activity, for `/metrics` and for
+/// the chaos campaign's op-count discovery pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Faultable operations performed so far (the op-index space).
+    pub ops_total: u64,
+    /// Faults actually injected.
+    pub injected_total: u64,
+    /// Events evicted from the bounded fault log.
+    pub dropped_events: u64,
+    /// Injected faults per kind, in [`FaultKind::ALL`] order.
+    pub by_kind: Vec<(&'static str, u64)>,
+}
+
+/// How a [`FaultVfs`] decides which operation indices fault.
+#[derive(Clone, Debug)]
+enum FaultMode {
+    /// Explicit `index → kind` map.
+    Scripted(HashMap<u64, FaultKind>),
+    /// SplitMix64-sampled: op `i` faults when
+    /// `splitmix64(seed ^ i) % 1000 < rate_per_1000`, with the kind drawn
+    /// from the same hash. Deterministic for a seed.
+    Sampled { seed: u64, rate_per_1000: u64 },
+}
+
+/// A deterministic fault-injecting VFS wrapping [`RealVfs`].
+///
+/// Every faultable operation is assigned a process-wide index from an
+/// atomic counter; the mode decides which indices fault and with which
+/// [`FaultKind`]. Each injection is logged as a
+/// [`FaultEvent::IoFault`] into a bounded [`FaultLog`] and counted
+/// per-kind, so no injected fault is ever silent.
+#[derive(Debug)]
+pub struct FaultVfs {
+    inner: RealVfs,
+    mode: FaultMode,
+    ops: AtomicU64,
+    injected: AtomicU64,
+    by_kind: [AtomicU64; 5],
+    log: Mutex<FaultLog>,
+}
+
+impl FaultVfs {
+    /// A fault VFS with an explicit `index → kind` script.
+    pub fn scripted(script: HashMap<u64, FaultKind>) -> Self {
+        Self::with_mode(FaultMode::Scripted(script))
+    }
+
+    /// A fault VFS injecting exactly one fault: `kind` at op `index`.
+    pub fn single(index: u64, kind: FaultKind) -> Self {
+        Self::scripted(HashMap::from([(index, kind)]))
+    }
+
+    /// A fault VFS sampling fault sites with SplitMix64: op `i` faults
+    /// with probability `rate_per_1000 / 1000`, kind drawn from the same
+    /// hash. Deterministic for a seed.
+    pub fn sampled(seed: u64, rate_per_1000: u64) -> Self {
+        Self::with_mode(FaultMode::Sampled {
+            seed,
+            rate_per_1000,
+        })
+    }
+
+    /// Parse a script like `"enospc@12,eio@40,torn@7,eio@0-20"`. Each
+    /// comma-separated term is `<kind>@<index>` or `<kind>@<lo>-<hi>`
+    /// (inclusive range). Kinds: `enospc`, `eio`, `short`/`short_write`,
+    /// `torn`/`torn_rename`, `fsync`/`fsync_fail`. Alternatively the
+    /// whole script may be `sampled:SEED:RATE` for the per-mille
+    /// SplitMix64 storm mode ([`FaultVfs::sampled`]).
+    pub fn from_script_str(s: &str) -> Result<Self, String> {
+        // `sampled:SEED:RATE` selects the SplitMix64 storm mode instead of
+        // an explicit index script: op i faults with probability RATE/1000.
+        if let Some(rest) = s.trim().strip_prefix("sampled:") {
+            let (seed_s, rate_s) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("'sampled:{rest}' needs 'sampled:SEED:RATE'"))?;
+            let seed = seed_s
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad seed '{seed_s}' in 'sampled:{rest}'"))?;
+            let rate = rate_s
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad rate '{rate_s}' in 'sampled:{rest}'"))?;
+            if rate > 1000 {
+                return Err(format!("rate {rate} exceeds 1000 (per-mille)"));
+            }
+            return Ok(Self::sampled(seed, rate));
+        }
+        let mut script = HashMap::new();
+        for term in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (kind_s, at) = term
+                .split_once('@')
+                .ok_or_else(|| format!("fault term '{term}' missing '@<index>'"))?;
+            let kind = FaultKind::parse(kind_s.trim())
+                .ok_or_else(|| format!("unknown fault kind '{kind_s}' in '{term}'"))?;
+            let at = at.trim();
+            let (lo, hi) = match at.split_once('-') {
+                Some((lo, hi)) => (
+                    lo.parse::<u64>()
+                        .map_err(|_| format!("bad index '{lo}' in '{term}'"))?,
+                    hi.parse::<u64>()
+                        .map_err(|_| format!("bad index '{hi}' in '{term}'"))?,
+                ),
+                None => {
+                    let i = at
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad index '{at}' in '{term}'"))?;
+                    (i, i)
+                }
+            };
+            if hi < lo {
+                return Err(format!("empty index range in '{term}'"));
+            }
+            for i in lo..=hi {
+                script.insert(i, kind);
+            }
+        }
+        Ok(Self::scripted(script))
+    }
+
+    /// Build a fault VFS from an environment variable holding a script
+    /// (see [`FaultVfs::from_script_str`]); `None` when unset or empty.
+    pub fn from_env(var: &str) -> Result<Option<Self>, String> {
+        match std::env::var(var) {
+            Ok(s) if !s.trim().is_empty() => Self::from_script_str(&s).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    fn with_mode(mode: FaultMode) -> Self {
+        Self {
+            inner: RealVfs,
+            mode,
+            ops: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            by_kind: Default::default(),
+            log: Mutex::new(FaultLog::new()),
+        }
+    }
+
+    /// A clone of the fault log (injections and recorded retries).
+    pub fn log(&self) -> FaultLog {
+        self.log.lock().map(|l| l.clone()).unwrap_or_default()
+    }
+
+    /// Claim the next op index and decide whether it faults.
+    fn next_fault(&self, op: &'static str, path: &Path) -> Option<FaultKind> {
+        let index = self.ops.fetch_add(1, Ordering::Relaxed);
+        let kind = match &self.mode {
+            FaultMode::Scripted(map) => map.get(&index).copied(),
+            FaultMode::Sampled {
+                seed,
+                rate_per_1000,
+            } => {
+                let h = splitmix64(seed ^ index);
+                (h % 1000 < *rate_per_1000)
+                    .then(|| FaultKind::ALL[(h / 1000) as usize % FaultKind::ALL.len()])
+            }
+        }?;
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        self.by_kind[kind.index()].fetch_add(1, Ordering::Relaxed);
+        if let Ok(mut log) = self.log.lock() {
+            log.push(FaultEvent::IoFault {
+                op,
+                kind: kind.name(),
+                path: path.display().to_string(),
+                index,
+            });
+        }
+        Some(kind)
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.next_fault("write", path) {
+            None => self.inner.write(path, bytes),
+            // A full disk and a short write both land a *prefix* before
+            // erroring — the torn-file shape the atomic protocol exists
+            // to mask. Plain EIO writes nothing.
+            Some(k @ (FaultKind::Enospc | FaultKind::ShortWrite)) => {
+                let _ = self.inner.write(path, &bytes[..bytes.len() / 2]);
+                Err(k.error())
+            }
+            Some(k) => Err(k.error()),
+        }
+    }
+
+    fn fsync(&self, path: &Path) -> io::Result<()> {
+        match self.next_fault("fsync", path) {
+            None => self.inner.fsync(path),
+            Some(k) => Err(k.error()),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.next_fault("rename", to) {
+            // A torn/failed rename leaves the tmp sibling in place and the
+            // destination untouched; the protocol's cleanup handles it.
+            None => self.inner.rename(from, to),
+            Some(k) => Err(k.error()),
+        }
+    }
+
+    fn fsync_dir(&self, path: &Path) -> io::Result<()> {
+        match self.next_fault("fsync_dir", path) {
+            None => self.inner.fsync_dir(path),
+            Some(k) => Err(k.error()),
+        }
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.next_fault("read", path) {
+            None => self.inner.read(path),
+            Some(k) => Err(k.error()),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.next_fault("remove_file", path) {
+            None => self.inner.remove_file(path),
+            Some(k) => Err(k.error()),
+        }
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        match self.next_fault("create_dir_all", path) {
+            None => self.inner.create_dir_all(path),
+            Some(k) => Err(k.error()),
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn fault_stats(&self) -> Option<FaultStats> {
+        let log = self.log();
+        Some(FaultStats {
+            ops_total: self.ops.load(Ordering::Relaxed),
+            injected_total: self.injected.load(Ordering::Relaxed),
+            dropped_events: log.dropped_events(),
+            by_kind: FaultKind::ALL
+                .iter()
+                .map(|k| (k.name(), self.by_kind[k.index()].load(Ordering::Relaxed)))
+                .collect(),
+        })
+    }
+
+    fn record(&self, event: FaultEvent) {
+        if let Ok(mut log) = self.log.lock() {
+            log.push(event);
+        }
+    }
+}
+
+/// SplitMix64: the workspace's standard seed-expansion hash.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `true` when `e` is the out-of-space condition (ENOSPC / `StorageFull`),
+/// which is never retried.
+pub fn is_enospc(e: &io::Error) -> bool {
+    e.raw_os_error() == Some(28) || e.kind() == io::ErrorKind::StorageFull
+}
+
+/// Classify an unrecovered I/O error into the typed storage [`GenError`]s:
+/// ENOSPC → [`GenError::StorageExhausted`], anything else →
+/// [`GenError::StorageIo`].
+pub fn storage_error(op: &str, path: &Path, e: &io::Error, retries: u32) -> GenError {
+    if is_enospc(e) {
+        GenError::StorageExhausted {
+            op: op.to_string(),
+            path: path.display().to_string(),
+            retries,
+        }
+    } else {
+        GenError::StorageIo {
+            op: op.to_string(),
+            path: path.display().to_string(),
+            retries,
+            reason: e.to_string(),
+        }
+    }
+}
+
+/// Resolve `path` into (parent dir, hidden tmp sibling), mirroring the
+/// checkpoint convention: `.{name}.tmp` next to the destination, so a
+/// crash leaves at worst one hidden leftover that directory scans ignore.
+fn tmp_sibling(path: &Path) -> io::Result<(PathBuf, PathBuf)> {
+    let parent = match path.parent() {
+        Some(p) if p.as_os_str().is_empty() => PathBuf::from("."),
+        Some(p) => p.to_path_buf(),
+        None => PathBuf::from("."),
+    };
+    let name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "write_atomic target has no file name",
+        )
+    })?;
+    let tmp = parent.join(format!(".{}.tmp", name.to_string_lossy()));
+    Ok((parent, tmp))
+}
+
+/// Write `bytes` to `path` with the atomic-or-absent protocol: tmp sibling
+/// → fsync → rename → parent-dir fsync (failure of the final dir fsync is
+/// tolerated — the rename is already atomic; durability of the *entry* may
+/// lag by one crash). On any error the tmp sibling is best-effort removed
+/// and the destination is untouched.
+pub fn write_atomic(fs: &dyn Vfs, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let (parent, tmp) = tmp_sibling(path)?;
+    let guarded = (|| {
+        fs.write(&tmp, bytes)?;
+        fs.fsync(&tmp)?;
+        fs.rename(&tmp, path)
+    })();
+    if let Err(e) = guarded {
+        let _ = fs.remove_file(&tmp);
+        return Err(e);
+    }
+    let _ = fs.fsync_dir(&parent);
+    Ok(())
+}
+
+/// A bounded, deterministic exponential-backoff schedule for transient
+/// storage faults.
+///
+/// Attempt `a` (0-based) sleeps `min(base_ms·2^a + jitter_a, cap_ms)` where
+/// `jitter_a ∈ [0, base_ms)` is drawn from SplitMix64 over `seed ^ a` —
+/// fully reproducible for a seed, monotone non-decreasing in `a` (proved by
+/// `base·2^(a+1) ≥ base·2^a + base > base·2^a + jitter_a`), and capped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Base backoff; also the exclusive jitter bound.
+    pub base_ms: u64,
+    /// Ceiling on any single backoff.
+    pub cap_ms: u64,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// The production default: 3 retries, 10ms base, 500ms cap.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            max_retries: 3,
+            base_ms: 10,
+            cap_ms: 500,
+            seed,
+        }
+    }
+
+    /// No retries: the first failure is final.
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            base_ms: 0,
+            cap_ms: 0,
+            seed: 0,
+        }
+    }
+
+    /// Full retry count but zero sleep — for tests and chaos campaigns.
+    pub fn fast(seed: u64) -> Self {
+        Self {
+            max_retries: 3,
+            base_ms: 0,
+            cap_ms: 0,
+            seed,
+        }
+    }
+
+    /// The backoff before 0-based retry `attempt`, in milliseconds.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        // Saturating 2^attempt (checked_shl would discard high bits and
+        // break monotonicity for absurd attempt counts).
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        let raw = self.base_ms.saturating_mul(factor).min(self.cap_ms);
+        if raw >= self.cap_ms || self.base_ms == 0 {
+            return raw.min(self.cap_ms);
+        }
+        let jitter = splitmix64(self.seed ^ u64::from(attempt)) % self.base_ms;
+        (raw + jitter).min(self.cap_ms)
+    }
+}
+
+/// [`write_atomic`] under a bounded deterministic retry policy.
+///
+/// Transient faults (EIO, short write, fsync failure, torn rename) are
+/// retried up to `policy.max_retries` times with [`RetryPolicy::backoff`]
+/// sleeps, each retry recorded as a [`FaultEvent::IoRetry`] via
+/// [`Vfs::record`]. ENOSPC fast-fails to [`GenError::StorageExhausted`]
+/// without retrying. Returns the number of retries spent on success.
+pub fn write_atomic_retry(
+    fs: &dyn Vfs,
+    path: &Path,
+    bytes: &[u8],
+    policy: &RetryPolicy,
+) -> Result<u32, GenError> {
+    let mut attempt: u32 = 0;
+    loop {
+        match write_atomic(fs, path, bytes) {
+            Ok(()) => return Ok(attempt),
+            Err(e) if is_enospc(&e) => {
+                return Err(storage_error("write_atomic", path, &e, attempt))
+            }
+            Err(e) => {
+                if attempt >= policy.max_retries {
+                    return Err(storage_error("write_atomic", path, &e, attempt));
+                }
+                let backoff_ms = policy.backoff(attempt);
+                attempt += 1;
+                fs.record(FaultEvent::IoRetry {
+                    op: "write_atomic",
+                    path: path.display().to_string(),
+                    attempt,
+                    backoff_ms,
+                });
+                if backoff_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("vfs_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).expect("create test dir");
+        d
+    }
+
+    #[test]
+    fn real_vfs_round_trips() {
+        let d = tmp_dir("real");
+        let p = d.join("a.txt");
+        let fs_ = RealVfs;
+        fs_.write(&p, b"hello").unwrap();
+        assert!(fs_.exists(&p));
+        assert_eq!(fs_.read(&p).unwrap(), b"hello");
+        fs_.fsync(&p).unwrap();
+        let q = d.join("b.txt");
+        fs_.rename(&p, &q).unwrap();
+        assert!(!fs_.exists(&p) && fs_.exists(&q));
+        fs_.remove_file(&q).unwrap();
+        assert!(fs_.fault_stats().is_none());
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn write_atomic_is_atomic_or_absent_under_every_single_fault() {
+        for kind in FaultKind::ALL {
+            // A generous index sweep: the protocol performs 4 ops.
+            for index in 0..4u64 {
+                let d = tmp_dir(&format!("atomic_{}_{index}", kind.name()));
+                let p = d.join("out.bin");
+                let fs_ = FaultVfs::single(index, kind);
+                // Seed a previous complete version for rename-overwrite.
+                write_atomic(&RealVfs, &p, b"old-version").unwrap();
+                let r = write_atomic(&fs_, &p, b"new-version-longer");
+                let on_disk = fs::read(&p).unwrap();
+                match r {
+                    Ok(()) => assert_eq!(on_disk, b"new-version-longer"),
+                    Err(_) => assert_eq!(
+                        on_disk,
+                        b"old-version",
+                        "{} at op {index} tore the destination",
+                        kind.name()
+                    ),
+                }
+                // No tmp litter regardless of where the fault hit: the
+                // failure path best-effort unlinks the sibling (that unlink
+                // itself may be the faulted op, in which case one hidden
+                // sibling may remain — allowed by the scan convention, but
+                // a clean dir-fsync fault must not leave one).
+                if r.is_ok() {
+                    assert!(!d.join(".out.bin.tmp").exists(), "tmp litter after success");
+                }
+                let stats = fs_.fault_stats().unwrap();
+                assert!(stats.ops_total >= 1);
+                let _ = fs::remove_dir_all(&d);
+            }
+        }
+    }
+
+    #[test]
+    fn dir_fsync_fault_is_tolerated() {
+        let d = tmp_dir("dirfsync");
+        let p = d.join("out.bin");
+        // Ops: 0 write, 1 fsync, 2 rename, 3 fsync_dir — fault the last.
+        let fs_ = FaultVfs::single(3, FaultKind::Eio);
+        write_atomic(&fs_, &p, b"payload").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"payload");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn enospc_fast_fails_and_eio_is_retried() {
+        let d = tmp_dir("retry");
+        let p = d.join("out.bin");
+        let policy = RetryPolicy::fast(7);
+
+        let fs_ = FaultVfs::single(0, FaultKind::Enospc);
+        let err = write_atomic_retry(&fs_, &p, b"x", &policy).unwrap_err();
+        assert_eq!(err.error_code(), "storage_exhausted");
+        assert!(matches!(err, GenError::StorageExhausted { retries: 0, .. }));
+
+        // One transient EIO at op 0: the retry recovers and reports it.
+        let fs_ = FaultVfs::single(0, FaultKind::Eio);
+        let retries = write_atomic_retry(&fs_, &p, b"payload", &policy).unwrap();
+        assert_eq!(retries, 1);
+        assert_eq!(fs::read(&p).unwrap(), b"payload");
+        let log = fs_.log();
+        assert!(log
+            .iter()
+            .any(|e| matches!(e, FaultEvent::IoRetry { attempt: 1, .. })));
+
+        // Dense EIO: every op faults, the budget runs out, typed error.
+        let fs_ = FaultVfs::from_script_str("eio@0-63").unwrap();
+        let err = write_atomic_retry(&fs_, &p, b"x", &policy).unwrap_err();
+        assert_eq!(err.error_code(), "storage_io");
+        assert!(matches!(err, GenError::StorageIo { retries: 3, .. }));
+        // The failed attempts never touched the previous complete version.
+        assert_eq!(fs::read(&p).unwrap(), b"payload");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn script_parsing_accepts_ranges_and_rejects_garbage() {
+        let fs_ = FaultVfs::from_script_str("enospc@2, eio@5-7, torn@9").unwrap();
+        let stats = fs_.fault_stats().unwrap();
+        assert_eq!(stats.injected_total, 0);
+        for _ in 0..12 {
+            let _ = fs_.fsync_dir(Path::new("/"));
+        }
+        let stats = fs_.fault_stats().unwrap();
+        assert_eq!(stats.ops_total, 12);
+        assert_eq!(stats.injected_total, 5);
+        let by: HashMap<_, _> = stats.by_kind.iter().copied().collect();
+        assert_eq!(by["enospc"], 1);
+        assert_eq!(by["eio"], 3);
+        assert_eq!(by["torn_rename"], 1);
+
+        assert!(FaultVfs::from_script_str("bogus@1").is_err());
+        assert!(FaultVfs::from_script_str("eio@x").is_err());
+        assert!(FaultVfs::from_script_str("eio@9-2").is_err());
+        assert!(FaultVfs::from_script_str("eio").is_err());
+    }
+
+    #[test]
+    fn script_parsing_accepts_the_sampled_storm_form() {
+        let fs_ = FaultVfs::from_script_str("sampled:42:300").unwrap();
+        let faults = (0..200)
+            .filter(|_| fs_.fsync_dir(Path::new("/")).is_err())
+            .count();
+        assert!((20..120).contains(&faults), "rate wildly off: {faults}/200");
+
+        assert!(FaultVfs::from_script_str("sampled:42").is_err());
+        assert!(FaultVfs::from_script_str("sampled:x:10").is_err());
+        assert!(FaultVfs::from_script_str("sampled:42:1001").is_err());
+    }
+
+    #[test]
+    fn sampled_mode_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let fs_ = FaultVfs::sampled(seed, 300);
+            (0..200)
+                .map(|_| fs_.fsync_dir(Path::new("/")).is_err())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds fault different ops");
+        let faults = run(42).iter().filter(|&&b| b).count();
+        assert!((20..120).contains(&faults), "rate wildly off: {faults}/200");
+    }
+
+    #[test]
+    fn enospc_detection_matches_raw_os_error() {
+        assert!(is_enospc(&io::Error::from_raw_os_error(28)));
+        assert!(!is_enospc(&io::Error::from_raw_os_error(5)));
+        let e = storage_error(
+            "write",
+            Path::new("/x"),
+            &io::Error::from_raw_os_error(5),
+            2,
+        );
+        assert_eq!(e.error_code(), "storage_io");
+    }
+}

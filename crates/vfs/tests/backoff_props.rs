@@ -1,0 +1,87 @@
+//! Property tests for the deterministic retry-backoff schedule.
+//!
+//! The schedule is the contract the chaos campaign and serve's member
+//! retries lean on: for a fixed seed it must be *reproducible* (two
+//! policies with the same parameters sleep identically — retries cannot
+//! perturb determinism elsewhere), *monotone non-decreasing* in the
+//! attempt number (backoff never shrinks under sustained failure), and
+//! *capped* (a retry storm cannot sleep unboundedly).
+
+use proptest_lite::prelude::*;
+use vfs::RetryPolicy;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn backoff_is_deterministic_per_seed(
+        seed in any::<u64>(),
+        base in 1u64..1000,
+        cap in 1u64..100_000,
+        attempt in 0u32..40,
+    ) {
+        let a = RetryPolicy { max_retries: 8, base_ms: base, cap_ms: cap, seed };
+        let b = RetryPolicy { max_retries: 8, base_ms: base, cap_ms: cap, seed };
+        prop_assert_eq!(a.backoff(attempt), b.backoff(attempt));
+    }
+
+    #[test]
+    fn backoff_is_monotone_non_decreasing(
+        seed in any::<u64>(),
+        base in 0u64..1000,
+        cap in 0u64..100_000,
+    ) {
+        let p = RetryPolicy { max_retries: 8, base_ms: base, cap_ms: cap, seed };
+        let mut prev = p.backoff(0);
+        // Far past any sane retry budget, including the shift-overflow zone.
+        for attempt in 1..96u32 {
+            let cur = p.backoff(attempt);
+            prop_assert!(
+                cur >= prev,
+                "backoff shrank at attempt {}: {} -> {} (base={}, cap={}, seed={})",
+                attempt, prev, cur, base, cap, seed
+            );
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn backoff_is_capped(
+        seed in any::<u64>(),
+        base in 0u64..1000,
+        cap in 0u64..100_000,
+        attempt in 0u32..96,
+    ) {
+        let p = RetryPolicy { max_retries: 8, base_ms: base, cap_ms: cap, seed };
+        prop_assert!(p.backoff(attempt) <= cap);
+    }
+
+    #[test]
+    fn different_seeds_eventually_jitter_differently(seed in any::<u64>()) {
+        // Jitter must actually depend on the seed (not be a constant):
+        // two seeds differing in one bit should disagree on at least one
+        // pre-cap attempt. Base 100 / huge cap keeps every attempt in the
+        // jittered region.
+        let a = RetryPolicy { max_retries: 8, base_ms: 100, cap_ms: u64::MAX, seed };
+        let b = RetryPolicy { max_retries: 8, base_ms: 100, cap_ms: u64::MAX, seed: seed ^ 1 };
+        let differs = (0..32u32).any(|k| a.backoff(k) != b.backoff(k));
+        prop_assert!(differs, "jitter ignored the seed ({seed})");
+    }
+}
+
+#[test]
+fn zero_base_never_sleeps() {
+    let p = RetryPolicy::fast(1234);
+    for attempt in 0..64 {
+        assert_eq!(p.backoff(attempt), 0);
+    }
+    assert_eq!(RetryPolicy::none().max_retries, 0);
+}
+
+#[test]
+fn production_default_is_bounded_and_exponential() {
+    let p = RetryPolicy::new(99);
+    assert!(p.backoff(0) >= 10 && p.backoff(0) < 20);
+    assert!(p.backoff(1) >= 20 && p.backoff(1) < 30);
+    assert_eq!(p.backoff(10), 500, "cap reached and held");
+}

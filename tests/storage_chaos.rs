@@ -1,0 +1,247 @@
+//! Storage-fault chaos campaign for the mix→checkpoint→resume pipeline.
+//!
+//! A fault-free reference run through a counting [`vfs::FaultVfs`]
+//! discovers the pipeline's full operation-index space; the campaign then
+//! replays the identical pipeline once per (kind, index) pair with exactly
+//! that one operation faulted, and asserts the chaos contract:
+//!
+//! * **byte-identical or typed** — every run either completes with output
+//!   byte-identical to the fault-free reference, or fails with a typed
+//!   `storage_exhausted` / `storage_io` error. No panics, no other codes.
+//! * **atomic-or-absent** — whatever happened, the sample file on disk is
+//!   either the full reference bytes or absent; never a prefix.
+//! * **resumable** — after a typed failure, a fault-free rerun over the
+//!   same directory (resuming from whatever checkpoint survived) lands on
+//!   the byte-identical reference output.
+//!
+//! The serve-side campaign (accept → fault → recovery boot) lives in
+//! `crates/serve/tests/chaos.rs`; this harness drives the library layers
+//! (`swap` + `ckpt` + `vfs`) directly.
+
+use graphcore::EdgeList;
+use std::path::{Path, PathBuf};
+use swap::{
+    CheckpointPolicy, GenError, MixControl, MixOutcome, MixState, MixingBudget, RecoveryPolicy,
+    StopRule, SwapWorkspace,
+};
+use vfs::{FaultKind, FaultVfs, RetryPolicy, Vfs};
+
+const N: u32 = 48;
+const SWEEPS: usize = 5;
+const SEED: u64 = 0x00C1_1A05;
+
+fn ring(n: u32) -> EdgeList {
+    EdgeList::from_pairs((0..n).map(|i| (i, (i + 1) % n)))
+}
+
+fn serialize(graph: &EdgeList) -> Vec<u8> {
+    let mut buf = Vec::new();
+    graphcore::io::write_edge_list(graph, &mut buf).expect("in-memory write");
+    buf
+}
+
+fn campaign_root(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("nullgraph_storage_chaos_{tag}"));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create campaign root");
+    d
+}
+
+/// One full member pipeline through `fs`: fresh mix (or resume from the
+/// checkpoint a previous attempt left), cadence checkpoints every sweep,
+/// final sample persisted atomically, checkpoint cleaned up. This mirrors
+/// serve's `run_member` and the CLI's resumable path.
+fn pipeline(fs: &dyn Vfs, dir: &Path, policy: &RetryPolicy) -> Result<Vec<u8>, GenError> {
+    fs.create_dir_all(dir)
+        .map_err(|e| vfs::storage_error("create_dir_all", dir, &e, 0))?;
+    let ckpt_file = dir.join("member.ckpt");
+    let sample = dir.join("sample.txt");
+    let budget = MixingBudget::sweeps(SWEEPS);
+    let recovery = RecoveryPolicy::default();
+    let mut ws = SwapWorkspace::new();
+
+    let mut sink = |state: &MixState| -> Result<(), GenError> {
+        ckpt::write_atomic_retry(
+            fs,
+            &ckpt_file,
+            &ckpt::Snapshot::without_counters(state.clone()),
+            policy,
+        )?;
+        Ok(())
+    };
+    let mut ctl = MixControl {
+        interrupt: None,
+        policy: Some(CheckpointPolicy::sweeps(1)),
+        sink: Some(&mut sink),
+    };
+
+    let graph = if fs.exists(&ckpt_file) {
+        let snap = match ckpt::load_vfs(fs, &ckpt_file) {
+            Ok(s) => s,
+            Err(ckpt::LoadError::Io(e)) => {
+                return Err(vfs::storage_error("read", &ckpt_file, &e, 0))
+            }
+            Err(ckpt::LoadError::Corrupt(e)) => return Err(e),
+        };
+        let (graph, report) =
+            swap::resume_from(&snap.state, &budget, &mut ctl, &mut ws, &recovery)?;
+        assert_eq!(report.outcome, MixOutcome::Completed);
+        graph
+    } else {
+        let mut graph = ring(N);
+        let report = swap::try_mix_resumable(
+            &mut graph,
+            StopRule::FixedSweeps,
+            &budget,
+            SEED,
+            &mut ctl,
+            &mut ws,
+            &recovery,
+        )?;
+        assert_eq!(report.outcome, MixOutcome::Completed);
+        graph
+    };
+
+    let bytes = serialize(&graph);
+    vfs::write_atomic_retry(fs, &sample, &bytes, policy)?;
+    let _ = fs.remove_file(&ckpt_file);
+    Ok(bytes)
+}
+
+/// Fault-free reference bytes plus the pipeline's total op count,
+/// discovered by running through a scripted FaultVfs with an empty script
+/// (it counts every op but injects nothing).
+fn reference(root: &Path) -> (Vec<u8>, u64) {
+    let counter = FaultVfs::scripted(Default::default());
+    let bytes =
+        pipeline(&counter, &root.join("ref"), &RetryPolicy::none()).expect("fault-free reference");
+    let stats = counter.fault_stats().expect("fault vfs reports stats");
+    assert_eq!(stats.injected_total, 0, "empty script must inject nothing");
+    (bytes, stats.ops_total)
+}
+
+#[test]
+fn every_op_index_fault_is_byte_identical_or_typed_and_resumable() {
+    let root = campaign_root("sweep");
+    let (ref_bytes, ops_total) = reference(&root);
+    assert!(
+        ops_total >= 10,
+        "pipeline too small to be a meaningful campaign: {ops_total} ops"
+    );
+
+    for kind in [FaultKind::Enospc, FaultKind::Eio, FaultKind::TornRename] {
+        for index in 0..ops_total {
+            let tag = format!("{}_{index}", kind.name());
+            let dir = root.join(&tag);
+            let faulty = FaultVfs::single(index, kind);
+            match pipeline(&faulty, &dir, &RetryPolicy::none()) {
+                Ok(bytes) => {
+                    assert_eq!(bytes, ref_bytes, "{tag}: silent divergence");
+                }
+                Err(e) => {
+                    let code = e.error_code();
+                    assert!(
+                        code == "storage_exhausted" || code == "storage_io",
+                        "{tag}: untyped failure {code}: {e}"
+                    );
+                    assert!(
+                        e.exit_code() == 13 || e.exit_code() == 14,
+                        "{tag}: unstable exit code {}",
+                        e.exit_code()
+                    );
+                    // Typed failures must be resumable: a fault-free rerun
+                    // over the same directory (picking up any surviving
+                    // checkpoint) must land on the reference bytes.
+                    let recovered = pipeline(&vfs::RealVfs, &dir, &RetryPolicy::none())
+                        .unwrap_or_else(|e| panic!("{tag}: recovery run failed: {e}"));
+                    assert_eq!(recovered, ref_bytes, "{tag}: recovery diverged");
+                }
+            }
+            // Atomic-or-absent, fault or not: the sample on disk is either
+            // the complete reference bytes or missing — never a prefix.
+            let sample = dir.join("sample.txt");
+            if sample.exists() {
+                assert_eq!(
+                    std::fs::read(&sample).expect("read sample"),
+                    ref_bytes,
+                    "{tag}: torn sample on disk"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn single_transient_faults_recover_under_the_retry_policy() {
+    let root = campaign_root("retry");
+    let (ref_bytes, ops_total) = reference(&root);
+    let policy = RetryPolicy::fast(0xFA57);
+
+    // Op 0 is the campaign dir's create_dir_all (not covered by the write
+    // retry loop); every other op belongs to a retried atomic write or a
+    // best-effort cleanup, so a single transient fault must always recover
+    // to a byte-identical result.
+    let mut retried_runs = 0u64;
+    for kind in [
+        FaultKind::Eio,
+        FaultKind::ShortWrite,
+        FaultKind::TornRename,
+        FaultKind::FsyncFail,
+    ] {
+        for index in 1..ops_total {
+            let tag = format!("retry_{}_{index}", kind.name());
+            let dir = root.join(&tag);
+            let faulty = FaultVfs::single(index, kind);
+            let bytes = pipeline(&faulty, &dir, &policy)
+                .unwrap_or_else(|e| panic!("{tag}: retry should have recovered: {e}"));
+            assert_eq!(bytes, ref_bytes, "{tag}: recovered run diverged");
+            let stats = faulty.fault_stats().expect("stats");
+            assert_eq!(stats.injected_total, 1, "{tag}: single fault fired once");
+            // Recovered-but-logged: retried faults leave IoRetry events in
+            // the log (tolerated dir-fsync faults and ignored cleanups
+            // legitimately may not).
+            if faulty
+                .log()
+                .iter()
+                .any(|e| matches!(e, fault::FaultEvent::IoRetry { .. }))
+            {
+                retried_runs += 1;
+            }
+        }
+    }
+    assert!(
+        retried_runs > 0,
+        "campaign never exercised the retry path at all"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn sampled_fault_storms_never_corrupt_and_always_resume() {
+    let root = campaign_root("storm");
+    let (ref_bytes, _) = reference(&root);
+
+    for seed in [1u64, 7, 42, 1337] {
+        let tag = format!("storm_{seed}");
+        let dir = root.join(&tag);
+        // A 15% fault rate with the production retry shape (but zero
+        // sleeps): many runs survive through retries, the rest must fail
+        // typed and recover on a clean rerun.
+        let faulty = FaultVfs::sampled(seed, 150);
+        match pipeline(&faulty, &dir, &RetryPolicy::fast(seed)) {
+            Ok(bytes) => assert_eq!(bytes, ref_bytes, "{tag}: survived run diverged"),
+            Err(e) => {
+                let code = e.error_code();
+                assert!(
+                    code == "storage_exhausted" || code == "storage_io",
+                    "{tag}: untyped failure {code}: {e}"
+                );
+                let recovered = pipeline(&vfs::RealVfs, &dir, &RetryPolicy::none())
+                    .unwrap_or_else(|e| panic!("{tag}: recovery failed: {e}"));
+                assert_eq!(recovered, ref_bytes, "{tag}: recovery diverged");
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
